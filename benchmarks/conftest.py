@@ -1,0 +1,44 @@
+"""Shared machinery for the figure benchmarks.
+
+Every ``bench_figNN`` target regenerates one figure of the paper and prints
+its series (the same rows the paper plots).  The default scale is ``ci``
+(seconds per figure); set ``REPRO_SCALE=medium`` or ``REPRO_SCALE=paper``
+to rerun at larger sizes, e.g.::
+
+    REPRO_SCALE=medium pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.figures import generate
+from repro.experiments.io import render_figure
+
+__all__ = ["run_figure_benchmark"]
+
+
+def _scale() -> str:
+    return os.environ.get("REPRO_SCALE", "ci")
+
+
+@pytest.fixture
+def figure_scale() -> str:
+    return _scale()
+
+
+def run_figure_benchmark(benchmark, figure_id: str, seed: int = 0):
+    """Generate *figure_id* under pytest-benchmark timing and print it."""
+    scale = _scale()
+    fig = benchmark.pedantic(
+        generate,
+        args=(figure_id,),
+        kwargs={"scale": scale, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_figure(fig))
+    return fig

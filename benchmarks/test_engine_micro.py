@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These time the hot paths — the event loop, the O(1) task sampler, the
+vectorized cross/shell marking — independently of the figure sweeps, so
+performance regressions in the engine show up directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import MatrixDynamic, OuterDynamic, OuterRandom, OuterTwoPhase
+from repro.platform import Platform, uniform_speeds
+from repro.simulator import simulate
+from repro.taskpool import OuterTaskPool, SampleSet
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return Platform(uniform_speeds(50, 10, 100, rng=0))
+
+
+class TestSamplerMicro:
+    def test_sample_set_drain(self, benchmark):
+        """Drain a 100k-element SampleSet (O(1) per draw)."""
+        rng = np.random.default_rng(0)
+
+        def drain():
+            s = SampleSet(100_000)
+            while s:
+                s.draw(rng)
+            return s
+
+        result = benchmark(drain)
+        assert len(result) == 0
+
+    def test_mark_cross_row(self, benchmark):
+        """Vectorized cross marking on a 1000 x 1000 pool."""
+        n = 1000
+        rows = np.arange(0, n, 2, dtype=np.int64)[:400]  # evens 0..798
+        cols = np.arange(1, n, 2, dtype=np.int64)[:400]  # odds 1..799
+        # New indices outside the known sets (precondition of mark_cross).
+        i, j = 900, 901
+
+        def run():
+            pool = OuterTaskPool(n)
+            pool.mark_cross(i, j, rows, cols)
+            return pool
+
+        pool = benchmark(run)
+        assert pool.remaining == n * n - 801
+
+
+class TestSimulationMicro:
+    def test_outer_random_10k_tasks(self, benchmark, platform):
+        """RandomOuter, n=100: 10k discrete events through the heap."""
+        result = benchmark.pedantic(
+            lambda: simulate(OuterRandom(100), platform, rng=1), rounds=3, iterations=1
+        )
+        assert result.total_tasks == 10_000
+
+    def test_outer_dynamic_large(self, benchmark, platform):
+        """DynamicOuter, n=500: 250k tasks via vectorized marking."""
+        result = benchmark.pedantic(
+            lambda: simulate(OuterDynamic(500), platform, rng=1), rounds=3, iterations=1
+        )
+        assert result.total_tasks == 250_000
+
+    def test_outer_two_phase_tuned(self, benchmark, platform):
+        """DynamicOuter2Phases with auto-tuned beta, n=200."""
+        result = benchmark.pedantic(
+            lambda: simulate(OuterTwoPhase(200), platform, rng=1), rounds=3, iterations=1
+        )
+        assert result.total_tasks == 40_000
+
+    def test_matrix_dynamic_64k_tasks(self, benchmark, platform):
+        """DynamicMatrix, n=40: the Figure-9 instance size."""
+        result = benchmark.pedantic(
+            lambda: simulate(MatrixDynamic(40), platform, rng=1), rounds=3, iterations=1
+        )
+        assert result.total_tasks == 64_000

@@ -1,0 +1,15 @@
+"""Figure 1: random vs data-aware strategies for the outer product.
+
+Regenerates the Figure-1 series (normalized communication vs p) and checks
+the paper's shape: DynamicOuter clearly below RandomOuter/SortedOuter at
+every p.
+"""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_fig01(benchmark):
+    fig = run_figure_benchmark(benchmark, "fig01")
+    for i in range(len(fig["DynamicOuter"])):
+        assert fig["DynamicOuter"].mean[i] < fig["RandomOuter"].mean[i]
+        assert fig["DynamicOuter"].mean[i] < fig["SortedOuter"].mean[i]

@@ -1,0 +1,15 @@
+"""Figure 2: DynamicOuter2Phases vs the fraction of tasks in phase 1.
+
+Checks the paper's shape: a sweet spot with most-but-not-all tasks in
+phase 1 beats both extremes (pure random at 0%, pure dynamic at 100%).
+"""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_fig02(benchmark):
+    fig = run_figure_benchmark(benchmark, "fig02")
+    sweep = fig["DynamicOuter2Phases"]
+    best = min(sweep.mean)
+    assert best < sweep.mean[0]  # better than the all-random extreme
+    assert best <= sweep.mean[-1] + 1e-9  # no worse than all-dynamic

@@ -1,0 +1,17 @@
+"""Figure 4: all outer-product strategies + analysis (n = 100 blocks).
+
+Checks the full ordering and that the analysis tracks the two-phase
+strategy at the largest p of the grid.
+"""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_fig04(benchmark):
+    fig = run_figure_benchmark(benchmark, "fig04")
+    for i in range(len(fig["DynamicOuter2Phases"])):
+        assert fig["DynamicOuter2Phases"].mean[i] < fig["RandomOuter"].mean[i]
+        assert fig["DynamicOuter2Phases"].mean[i] < fig["SortedOuter"].mean[i]
+    sim = fig["DynamicOuter2Phases"].mean[-1]
+    ana = fig["Analysis"].mean[-1]
+    assert abs(ana - sim) / sim < 0.25

@@ -1,0 +1,15 @@
+"""Figure 5: all outer-product strategies + analysis (n = 1000 blocks).
+
+Checks the paper's key observation at larger n: the gap between the random
+strategies and the data-aware ones *widens* (compare with Figure 4 — the
+ratio Random/2Phases grows with n).
+"""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_fig05(benchmark):
+    fig = run_figure_benchmark(benchmark, "fig05")
+    for i in range(len(fig["DynamicOuter2Phases"])):
+        ratio = fig["RandomOuter"].mean[i] / fig["DynamicOuter2Phases"].mean[i]
+        assert ratio > 1.5

@@ -1,0 +1,20 @@
+"""Figure 6: outer-product communication vs β (p = 20, fixed speeds).
+
+Checks that the β minimizing the analysis lands inside the simulated
+valley, and that the speed-agnostic β (Section 3.6) is within a few
+percent of it.
+"""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_fig06(benchmark):
+    fig = run_figure_benchmark(benchmark, "fig06")
+    sweep = fig["DynamicOuter2Phases"]
+    beta_star = fig.meta["beta_opt_analysis"]
+    xs = sweep.x
+    best_idx = min(range(len(sweep)), key=lambda i: sweep.mean[i])
+    # beta* within the simulated flat valley (half the sweep range).
+    assert abs(xs[best_idx] - beta_star) <= (max(xs) - min(xs)) / 2
+    # Speed agnosticism.
+    assert abs(fig.meta["beta_opt_agnostic"] - beta_star) / beta_star < 0.10

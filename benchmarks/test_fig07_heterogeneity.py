@@ -1,0 +1,14 @@
+"""Figure 7: impact of the heterogeneity level (p = 20).
+
+Checks the paper's conclusion: the strategy ranking is invariant across
+heterogeneity levels from homogeneous (h = 0) to extreme (h -> 100).
+"""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_fig07(benchmark):
+    fig = run_figure_benchmark(benchmark, "fig07")
+    for i in range(len(fig["DynamicOuter"])):
+        assert fig["DynamicOuter"].mean[i] < fig["RandomOuter"].mean[i]
+        assert fig["DynamicOuter2Phases"].mean[i] <= fig["DynamicOuter"].mean[i] * 1.1

@@ -1,0 +1,15 @@
+"""Figure 8: heterogeneity scenarios unif.1/unif.2/set.3/set.5/dyn.5/dyn.20.
+
+Checks the paper's conclusion: neither the speed-class structure nor the
+dynamic speed drift changes the ranking of the heuristics.
+"""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_fig08(benchmark):
+    fig = run_figure_benchmark(benchmark, "fig08")
+    assert list(fig.x_categories) == ["unif.1", "unif.2", "set.3", "set.5", "dyn.5", "dyn.20"]
+    for i in range(6):
+        assert fig["DynamicOuter"].mean[i] < fig["RandomOuter"].mean[i]
+        assert fig["DynamicOuter2Phases"].mean[i] < fig["RandomOuter"].mean[i]

@@ -1,0 +1,17 @@
+"""Figure 9: all matmul strategies + analysis (n = 40 blocks).
+
+Checks the ordering carries over from the outer product to matmul.  The
+plain DynamicMatrix-vs-RandomMatrix comparison only holds at the paper's
+n = 40 (at the ci smoke size n = 10 the dynamic end-phase waste dominates),
+so it is asserted at medium/paper scale only.
+"""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_fig09(benchmark, figure_scale):
+    fig = run_figure_benchmark(benchmark, "fig09")
+    for i in range(len(fig["DynamicMatrix2Phases"])):
+        assert fig["DynamicMatrix2Phases"].mean[i] < fig["RandomMatrix"].mean[i]
+        if figure_scale != "ci":
+            assert fig["DynamicMatrix"].mean[i] < fig["RandomMatrix"].mean[i]

@@ -1,0 +1,17 @@
+"""Figure 10: all matmul strategies + analysis (n = 100 blocks).
+
+The million-task instance of the paper (at paper scale).  Checks the
+ordering and that the analysis tracks the two-phase strategy at the
+largest p.
+"""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_fig10(benchmark):
+    fig = run_figure_benchmark(benchmark, "fig10")
+    for i in range(len(fig["DynamicMatrix2Phases"])):
+        assert fig["DynamicMatrix2Phases"].mean[i] < fig["RandomMatrix"].mean[i]
+    sim = fig["DynamicMatrix2Phases"].mean[-1]
+    ana = fig["Analysis"].mean[-1]
+    assert abs(ana - sim) / sim < 0.25

@@ -1,0 +1,17 @@
+"""Figure 11: matmul communication vs β (p = 100, n = 40 at paper scale).
+
+Checks that the analysis' β* sits in the simulated valley and that the
+agnostic β is close (paper: 2.95 vs 2.92).
+"""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_fig11(benchmark):
+    fig = run_figure_benchmark(benchmark, "fig11")
+    sweep = fig["DynamicMatrix2Phases"]
+    beta_star = fig.meta["beta_opt_analysis"]
+    xs = sweep.x
+    best_idx = min(range(len(sweep)), key=lambda i: sweep.mean[i])
+    assert abs(xs[best_idx] - beta_star) <= (max(xs) - min(xs)) / 2
+    assert abs(fig.meta["beta_opt_agnostic"] - beta_star) / beta_star < 0.10

@@ -1,0 +1,45 @@
+"""Benchmark of the live threaded runtime (real BLAS kernels).
+
+Times an actual multi-threaded outer product and matmul driven by
+DynamicOuter2Phases / DynamicMatrix, and checks numerical correctness.
+Wall-clock scaling is hardware/GIL-dependent and is *reported*, not
+asserted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.execution.live import run_matrix_live, run_outer_live
+
+
+@pytest.fixture(scope="module")
+def outer_data():
+    rng = np.random.default_rng(0)
+    n, l = 40, 64
+    return n, rng.normal(size=n * l), rng.normal(size=n * l)
+
+
+@pytest.fixture(scope="module")
+def matrix_data():
+    rng = np.random.default_rng(1)
+    n, l = 12, 48
+    m = rng.normal(size=(n * l, n * l))
+    return n, m, rng.normal(size=(n * l, n * l))
+
+
+def test_live_outer(benchmark, outer_data):
+    n, a, b = outer_data
+    report = benchmark.pedantic(
+        lambda: run_outer_live(a, b, n, n_workers=4, rng=0), rounds=3, iterations=1
+    )
+    assert report.max_abs_error == 0.0
+    assert report.total_tasks == n * n
+
+
+def test_live_matrix(benchmark, matrix_data):
+    n, a, b = matrix_data
+    report = benchmark.pedantic(
+        lambda: run_matrix_live(a, b, n, n_workers=4, rng=0), rounds=3, iterations=1
+    )
+    assert report.max_abs_error < 1e-9
+    assert report.total_tasks == n**3

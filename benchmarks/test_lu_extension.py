@@ -1,0 +1,40 @@
+"""Extension benchmark: the tiled-LU DAG scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.lu import LocalityScheduler, RandomScheduler, lu_task_counts, simulate_lu
+from repro.platform import Platform, uniform_speeds
+
+N_TILES = 14
+REPS = 3
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return Platform(uniform_speeds(12, 10, 100, rng=0))
+
+
+def test_lu_locality_gain(benchmark, platform):
+    def run():
+        rnd = np.mean(
+            [simulate_lu(N_TILES, platform, RandomScheduler(), rng=s).total_blocks for s in range(REPS)]
+        )
+        loc = np.mean(
+            [simulate_lu(N_TILES, platform, LocalityScheduler(), rng=s).total_blocks for s in range(REPS)]
+        )
+        return rnd, loc
+
+    rnd, loc = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nRandomLU={rnd:.0f} blocks  LocalityLU={loc:.0f} blocks")
+    assert loc < 0.85 * rnd
+
+
+def test_lu_simulation_speed(benchmark, platform):
+    total = sum(lu_task_counts(N_TILES).values())
+    result = benchmark.pedantic(
+        lambda: simulate_lu(N_TILES, platform, LocalityScheduler(), rng=1),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.total_tasks == total

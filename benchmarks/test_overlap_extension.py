@@ -1,0 +1,36 @@
+"""Extension benchmark: the bandwidth/prefetch study (paper's open model).
+
+Times the bandwidth-limited engine and checks the two regime claims: the
+run is communication-bound below the critical bandwidth and overlaps with
+a small prefetch above it.
+"""
+
+import pytest
+
+from repro.core.strategies import OuterTwoPhase
+from repro.extensions.overlap import critical_bandwidth, simulate_with_bandwidth
+from repro.platform import Platform, uniform_speeds
+
+P, N = 20, 60
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return Platform(uniform_speeds(P, 10, 100, rng=0))
+
+
+def test_overlap_regimes(benchmark, platform):
+    def run():
+        b_star = critical_bandwidth(lambda: OuterTwoPhase(N), platform, rng=1)
+        low = simulate_with_bandwidth(
+            OuterTwoPhase(N), platform, bandwidth=0.5 * b_star, prefetch_tasks=2, rng=1
+        )
+        high = simulate_with_bandwidth(
+            OuterTwoPhase(N), platform, bandwidth=4.0 * b_star, prefetch_tasks=2, rng=1
+        )
+        return low.slowdown, high.slowdown
+
+    low, high = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nslowdown at B*/2: {low:.2f}   at 4B*: {high:.2f}")
+    assert low >= 1.8
+    assert high < 1.5

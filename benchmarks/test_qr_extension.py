@@ -1,0 +1,44 @@
+"""Extension benchmark: the tiled-QR DAG scheduler (future work of the paper).
+
+Checks the data-aware principle on the second factorization kernel and
+times the engine at a realistic tile count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.extensions.qr import LocalityScheduler, RandomScheduler, qr_task_counts, simulate_qr
+from repro.platform import Platform, uniform_speeds
+
+N_TILES = 14
+REPS = 3
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return Platform(uniform_speeds(12, 10, 100, rng=0))
+
+
+def test_qr_locality_gain(benchmark, platform):
+    def run():
+        rnd = np.mean(
+            [simulate_qr(N_TILES, platform, RandomScheduler(), rng=s).total_blocks for s in range(REPS)]
+        )
+        loc = np.mean(
+            [simulate_qr(N_TILES, platform, LocalityScheduler(), rng=s).total_blocks for s in range(REPS)]
+        )
+        return rnd, loc
+
+    rnd, loc = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nRandomQR={rnd:.0f} blocks  LocalityQR={loc:.0f} blocks")
+    assert loc < 0.85 * rnd
+
+
+def test_qr_simulation_speed(benchmark, platform):
+    total = sum(qr_task_counts(N_TILES).values())
+    result = benchmark.pedantic(
+        lambda: simulate_qr(N_TILES, platform, LocalityScheduler(), rng=1),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.total_tasks == total

@@ -1,0 +1,14 @@
+"""Section 3.6: β is effectively speed-agnostic.
+
+Regenerates the textual study: across random heterogeneous speed draws,
+the homogeneous β deviates little from the per-draw optimum and costs a
+negligible amount of predicted communication volume.
+"""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def test_sec36(benchmark):
+    fig = run_figure_benchmark(benchmark, "sec36")
+    assert max(fig["max_beta_rel_dev"].mean) < 0.15
+    assert max(fig["max_volume_rel_error"].mean) < 0.01

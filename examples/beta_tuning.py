@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Tune the two-phase threshold β for *your* platform (Figures 6 and 11).
+
+This is the paper's headline workflow: use the ODE analysis to pick the
+instant at which the scheduler should abandon data-aware allocation and
+finish with purely random allocation.
+
+The script:
+
+1. sweeps β for DynamicOuter2Phases on a fixed 20-worker platform and
+   prints simulation vs analysis side by side (Figure 6);
+2. shows that the *speed-agnostic* β (computed assuming homogeneous
+   workers — Section 3.6) is essentially as good, so a runtime needs only
+   p and the matrix size to set its threshold;
+3. repeats the exercise for matrix multiplication (Figure 11).
+
+Run:  python examples/beta_tuning.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core.analysis.matrix import matrix_total_ratio, optimal_matrix_beta
+from repro.core.analysis.outer import optimal_outer_beta, outer_total_ratio
+
+SEED = 7
+REPS = 5
+
+
+def sweep_outer() -> None:
+    p, n = 20, 100
+    platform = repro.Platform(repro.uniform_speeds(p, 10, 100, rng=SEED))
+    rel = platform.relative_speeds
+    lb = repro.outer_lower_bound(rel, n)
+
+    print(f"--- Outer product, p={p}, n={n} (Figure 6) ---")
+    print(f"{'beta':>6} {'phase-1 %':>10} {'simulated':>10} {'analysis':>9}")
+    for beta in (1.0, 2.0, 3.0, 4.0, 4.17, 5.0, 6.0, 8.0):
+        sims = [
+            repro.simulate(repro.OuterTwoPhase(n, beta=beta), platform, rng=s).normalized(lb)
+            for s in range(REPS)
+        ]
+        pred = outer_total_ratio(beta, rel, n)
+        print(f"{beta:>6.2f} {100 * (1 - np.exp(-beta)):>9.1f}% {np.mean(sims):>10.3f} {pred:>9.3f}")
+
+    beta_het = optimal_outer_beta(rel, n)
+    beta_hom = repro.agnostic_beta("outer", p, n)
+    print(f"\noptimal beta (knows speeds):      {beta_het:.4f}")
+    print(f"agnostic beta (homogeneous, 3.6): {beta_hom:.4f}")
+    print(f"relative difference:              {abs(beta_het - beta_hom) / beta_het:.2%}")
+
+
+def sweep_matrix() -> None:
+    p, n = 100, 40
+    platform = repro.Platform(repro.uniform_speeds(p, 10, 100, rng=SEED))
+    rel = platform.relative_speeds
+    lb = repro.matrix_lower_bound(rel, n)
+
+    print(f"\n--- Matrix multiplication, p={p}, n={n} (Figure 11) ---")
+    print(f"{'beta':>6} {'phase-1 %':>10} {'simulated':>10} {'analysis':>9}")
+    for beta in (1.0, 2.0, 2.95, 4.0, 6.0):
+        sims = [
+            repro.simulate(repro.MatrixTwoPhase(n, beta=beta), platform, rng=s).normalized(lb)
+            for s in range(3)
+        ]
+        pred = matrix_total_ratio(beta, rel, n)
+        print(f"{beta:>6.2f} {100 * (1 - np.exp(-beta)):>9.1f}% {np.mean(sims):>10.3f} {pred:>9.3f}")
+
+    beta_het = optimal_matrix_beta(rel, n)
+    beta_hom = repro.agnostic_beta("matrix", p, n)
+    print(f"\noptimal beta (knows speeds):      {beta_het:.4f}")
+    print(f"agnostic beta (homogeneous):      {beta_hom:.4f}")
+
+
+if __name__ == "__main__":
+    sweep_outer()
+    sweep_matrix()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Extension: dynamic data-aware scheduling of a blocked Cholesky DAG.
+
+The paper's conclusion names dense factorizations (Cholesky, QR) as the
+next step for this style of analysis — tasks now carry *precedence
+dependencies* on top of data reuse.  This example runs the extension
+package :mod:`repro.extensions.cholesky`:
+
+* builds the POTRF/TRSM/SYRK/GEMM task DAG for an n x n tile matrix;
+* schedules it demand-driven with (a) random ready-task selection and
+  (b) locality-aware selection (fewest fetched tiles, critical-path
+  tie-break), under a write-invalidate tile-cache model;
+* replays the locality schedule on a real SPD matrix and verifies the
+  factor against ``numpy.linalg.cholesky``.
+
+Run:  python examples/cholesky_extension.py
+"""
+
+import numpy as np
+
+import repro
+from repro.extensions.cholesky import (
+    LocalityScheduler,
+    RandomScheduler,
+    replay_cholesky,
+    simulate_cholesky,
+    task_counts,
+)
+from repro.extensions.cholesky.numerics import random_spd
+
+N_TILES = 16
+P = 8
+SEED = 5
+
+
+def main() -> None:
+    platform = repro.Platform(repro.uniform_speeds(P, 10, 100, rng=SEED))
+    counts = task_counts(N_TILES)
+    total = sum(counts.values())
+    print(f"Blocked Cholesky, {N_TILES} x {N_TILES} tiles on {P} workers")
+    print("tasks: " + ", ".join(f"{k.value}={v}" for k, v in counts.items()) + f"  (total {total})\n")
+
+    print(f"{'scheduler':<18} {'blocks':>8} {'makespan':>9} {'idle':>7}")
+    results = {}
+    for scheduler in (RandomScheduler(), LocalityScheduler()):
+        samples = [simulate_cholesky(N_TILES, platform, scheduler, rng=s) for s in range(5)]
+        blocks = np.mean([r.total_blocks for r in samples])
+        makespan = np.mean([r.makespan for r in samples])
+        idle = np.mean([r.idle_time for r in samples])
+        results[scheduler.name] = blocks
+        print(f"{scheduler.name:<18} {blocks:>8.0f} {makespan:>9.3f} {idle:>7.2f}")
+
+    gain = 1 - results["LocalityCholesky"] / results["RandomCholesky"]
+    print(f"\n=> locality-aware selection ships {gain:.0%} fewer blocks, as the")
+    print("   paper's data-aware principle predicts for dependent tasks too.\n")
+
+    size = N_TILES * 8
+    a = random_spd(size, rng=SEED)
+    replay = replay_cholesky(a, N_TILES, platform, LocalityScheduler(), rng=SEED)
+    print(f"numerical replay on a {size} x {size} SPD matrix:")
+    print(f"  || L L^T - A ||_max      = {replay.max_abs_error:.2e}")
+    print(f"  || L - chol(A) ||_max    = {replay.max_factor_error:.2e}")
+    print(f"  matches numpy.cholesky:  {np.allclose(replay.factor, np.linalg.cholesky(a))}")
+
+
+if __name__ == "__main__":
+    main()

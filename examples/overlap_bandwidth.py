@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""When does the paper's overlap assumption hold?  (the out-of-scope model)
+
+The paper counts communication volume and *assumes* transfers hide behind
+computation, noting that the prefetch threshold needed "has been observed
+to be small" but that "a rigorous algorithm to estimate it is still
+missing".  This example runs the extension that fills that gap:
+
+* computes the critical bandwidth B* = volume / ideal-makespan;
+* sweeps the master-uplink bandwidth around B* and the worker prefetch
+  depth θ, reporting the slowdown vs the compute-bound ideal.
+
+Expected picture: below B* the run is communication-bound (slowdown ~
+B*/B); above B*, θ of 0-2 batches already achieves the overlap the paper
+assumes, and *over*-prefetching hurts by committing tasks to workers too
+early (load imbalance at the tail).
+
+Run:  python examples/overlap_bandwidth.py
+"""
+
+import repro
+from repro.extensions.overlap import critical_bandwidth, overlap_study
+
+P, N, SEED = 20, 60, 3
+
+
+def main() -> None:
+    platform = repro.Platform(repro.uniform_speeds(P, 10, 100, rng=SEED))
+    factory = lambda: repro.OuterTwoPhase(N)  # noqa: E731
+
+    b_star = critical_bandwidth(factory, platform, rng=SEED)
+    print(f"DynamicOuter2Phases, p={P}, n={N}")
+    print(f"critical bandwidth B* = volume / ideal makespan = {b_star:.1f} blocks per time unit\n")
+
+    depths = (0, 1, 2, 4, 16, 64)
+    factors = (0.25, 0.5, 1.0, 2.0, 4.0)
+    study = overlap_study(
+        factory, platform, bandwidth_factors=factors, prefetch_depths=depths, rng=SEED
+    )
+
+    print("slowdown vs compute-bound ideal (rows: link bandwidth, cols: prefetch depth)")
+    print(f"{'B/B*':>6} " + "".join(f"{f'θ={d}':>8}" for d in depths))
+    for factor in factors:
+        row = study[factor]
+        print(f"{factor:>6.2f} " + "".join(f"{r.slowdown:>8.3f}" for r in row))
+
+    print("\nreading the table:")
+    print(" * B < B*: communication-bound — slowdown ~ B*/B regardless of θ;")
+    print(" * B >= B*: θ of 0-2 already overlaps (the paper's 'small' threshold);")
+    print(" * large θ backfires: tasks committed to slow workers too early.")
+
+
+if __name__ == "__main__":
+    main()

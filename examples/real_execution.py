@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Execute a scheduled computation on real data (execution replay).
+
+The paper measures schedulers by simulated communication counts.  This
+example closes the loop: it runs DynamicOuter2Phases and DynamicMatrix
+through the simulator *and then actually performs every block task with
+NumPy*, verifying the assembled result against the reference kernels.
+
+This is the reproduction's stand-in for a real heterogeneous cluster run:
+the exact same scheduling decisions drive real arithmetic, proving that
+
+* every block task is computed exactly once,
+* the per-worker work shares follow the speeds,
+* the assembled result equals a b^t / A @ B.
+
+Run:  python examples/real_execution.py
+"""
+
+import numpy as np
+
+import repro
+from repro.execution import execute_matrix, execute_outer
+
+SEED = 99
+
+
+def outer_demo() -> None:
+    n, l = 20, 8  # 20 blocks of 8 elements -> vectors of 160
+    rng = np.random.default_rng(SEED)
+    a = rng.normal(size=n * l)
+    b = rng.normal(size=n * l)
+    platform = repro.Platform(repro.uniform_speeds(6, 10, 100, rng=SEED))
+
+    report = execute_outer(a, b, n, platform, "DynamicOuter2Phases", rng=SEED)
+    sim = report.simulation
+    print(f"--- Outer product: {n} x {n} blocks of {l} elements on {platform.p} workers ---")
+    print(f"tasks executed:        {report.tasks_executed} (exactly once each)")
+    print(f"communication:         {sim.total_blocks} blocks")
+    print(f"per-worker tasks:      {report.per_worker_tasks.tolist()}")
+    print(f"relative speeds:       {np.round(platform.relative_speeds, 3).tolist()}")
+    print(f"max |error| vs outer:  {report.max_abs_error:.2e}  (exact: {report.exact})\n")
+
+
+def matrix_demo() -> None:
+    n, l = 10, 6  # 10 x 10 blocks of 6 x 6 -> matrices of 60 x 60
+    rng = np.random.default_rng(SEED + 1)
+    a = rng.normal(size=(n * l, n * l))
+    b = rng.normal(size=(n * l, n * l))
+    platform = repro.Platform(repro.uniform_speeds(6, 10, 100, rng=SEED + 1))
+
+    report = execute_matrix(a, b, n, platform, "DynamicMatrix", rng=SEED + 1)
+    sim = report.simulation
+    print(f"--- Matrix product: {n} x {n} blocks of {l} x {l} on {platform.p} workers ---")
+    print(f"tasks executed:        {report.tasks_executed} (= n^3 = {n ** 3})")
+    print(f"communication:         {sim.total_blocks} blocks")
+    print(f"makespan:              {sim.makespan:.4f} time units")
+    print(f"max |error| vs A @ B:  {report.max_abs_error:.2e}")
+    ok = np.allclose(report.result, a @ b)
+    print(f"matches NumPy matmul:  {ok}")
+    if not ok:  # pragma: no cover - sanity
+        raise SystemExit("replay mismatch!")
+
+
+if __name__ == "__main__":
+    outer_demo()
+    matrix_demo()

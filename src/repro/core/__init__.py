@@ -1,0 +1,14 @@
+"""The paper's primary contribution: dynamic scheduling strategies and their
+ODE-based theoretical analysis.
+
+* :mod:`repro.core.strategies` — the eight runtime strategies (Random /
+  Sorted / Dynamic / Dynamic2Phases, for the outer product and for matrix
+  multiplication);
+* :mod:`repro.core.analysis` — lower bounds, the ODE lemmas, the closed-form
+  communication-ratio predictions, and the optimal-β computation that turns
+  the analysis into a runtime threshold.
+"""
+
+from repro.core import analysis, strategies
+
+__all__ = ["strategies", "analysis"]

@@ -1,0 +1,87 @@
+"""Speed-agnostic β estimation (Section 3.6).
+
+The optimal β nominally depends on the relative speeds through
+``sum_k rs_k^{3/2}`` etc., but the paper observes that β computed for a
+*homogeneous* platform of the same size is within ~5 % of the heterogeneous
+optimum, and that the resulting volume prediction error is below 0.1 %.
+These helpers compute the homogeneous β and quantify the deviation, which
+is what makes DynamicOuter2Phases "totally agnostic to processor speeds":
+only ``p`` and ``n`` are needed at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.analysis.matrix import matrix_total_ratio, optimal_matrix_beta
+from repro.core.analysis.outer import optimal_outer_beta, outer_total_ratio
+from repro.utils.validation import check_positive_int
+
+__all__ = ["agnostic_beta", "beta_deviation"]
+
+
+def agnostic_beta(kernel: str, p: int, n: int, variant: str = "exact") -> float:
+    """β for a homogeneous platform of *p* workers and size-*n* problems.
+
+    This is the value a speed-agnostic runtime would use.
+    """
+    p = check_positive_int("p", p)
+    rel = np.full(p, 1.0 / p)
+    if kernel == "outer":
+        return optimal_outer_beta(rel, n, variant)
+    if kernel == "matrix":
+        return optimal_matrix_beta(rel, n, variant)
+    raise ValueError(f"kernel must be 'outer' or 'matrix', got {kernel!r}")
+
+
+def beta_deviation(
+    kernel: str,
+    rel_speeds_draws: Sequence[np.ndarray],
+    n: int,
+    variant: str = "exact",
+) -> dict:
+    """Quantify Section 3.6: homogeneous vs per-draw heterogeneous β.
+
+    For each draw of relative speeds, compute the heterogeneous optimum
+    ``beta_het`` and compare with the homogeneous ``beta_hom`` (same ``p``).
+    Returns a dict with the homogeneous β, the per-draw heterogeneous βs,
+    the maximum relative β deviation, and the maximum relative error on the
+    *predicted volume* incurred by using ``beta_hom`` instead of
+    ``beta_het``.
+    """
+    draws = [np.asarray(d, dtype=float) for d in rel_speeds_draws]
+    if not draws:
+        raise ValueError("need at least one relative-speed draw")
+    p = draws[0].size
+    if any(d.size != p for d in draws):
+        raise ValueError("all draws must have the same number of workers")
+
+    beta_hom = agnostic_beta(kernel, p, n, variant)
+    if kernel == "outer":
+        ratio = outer_total_ratio
+        beta_opt = optimal_outer_beta
+    elif kernel == "matrix":
+        ratio = matrix_total_ratio
+        beta_opt = optimal_matrix_beta
+    else:
+        raise ValueError(f"kernel must be 'outer' or 'matrix', got {kernel!r}")
+
+    betas_het = []
+    volume_errors = []
+    for rel in draws:
+        b_het = beta_opt(rel, n, variant)
+        betas_het.append(b_het)
+        best = ratio(b_het, rel, n, variant)
+        with_hom = ratio(beta_hom, rel, n, variant)
+        volume_errors.append(abs(with_hom - best) / best)
+
+    betas_het_arr = np.asarray(betas_het)
+    return {
+        "beta_hom": beta_hom,
+        "betas_het": betas_het_arr,
+        "max_beta_rel_dev": float(np.max(np.abs(betas_het_arr - beta_hom) / beta_hom)),
+        "mean_beta_het": float(betas_het_arr.mean()),
+        "max_volume_rel_error": float(np.max(volume_errors)),
+    }

@@ -1,0 +1,60 @@
+"""Communication lower bounds used to normalize every figure.
+
+Outer product (Section 3.2): in the optimistic setting each worker computes
+a *square* sub-domain of area proportional to its relative speed; its
+communication is the half-perimeter ``2 n sqrt(rs_k)``, hence::
+
+    LB_outer = 2 n * sum_k sqrt(rs_k)
+
+Matrix multiplication (Section 4.2): each worker computes a *cube* of tasks
+with edge ``n * rs_k^(1/3)`` and must receive one square face of each of
+``A``, ``B``, ``C``::
+
+    LB_matrix = 3 n^2 * sum_k rs_k^(2/3)
+
+Neither bound is generally achievable (two heterogeneous workers cannot tile
+a square with two proportional squares); the best known static algorithm is
+a 7/4-approximation — see :mod:`repro.partition`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["outer_lower_bound", "matrix_lower_bound", "lower_bound"]
+
+
+def _check_rel(rel_speeds) -> np.ndarray:
+    rel = np.asarray(rel_speeds, dtype=float)
+    if rel.ndim != 1 or rel.size == 0:
+        raise ValueError("relative speeds must be a non-empty 1-D array")
+    if np.any(rel <= 0):
+        raise ValueError("relative speeds must be strictly positive")
+    if not np.isclose(rel.sum(), 1.0, rtol=1e-6):
+        raise ValueError(f"relative speeds must sum to 1, got {rel.sum():.6g}")
+    return rel
+
+
+def outer_lower_bound(rel_speeds, n: int) -> float:
+    """``2 n sum_k sqrt(rs_k)`` — blocks, for vectors of *n* blocks."""
+    rel = _check_rel(rel_speeds)
+    n = check_positive_int("n", n)
+    return float(2.0 * n * np.sum(np.sqrt(rel)))
+
+
+def matrix_lower_bound(rel_speeds, n: int) -> float:
+    """``3 n^2 sum_k rs_k^(2/3)`` — blocks, for matrices of *n x n* blocks."""
+    rel = _check_rel(rel_speeds)
+    n = check_positive_int("n", n)
+    return float(3.0 * n * n * np.sum(rel ** (2.0 / 3.0)))
+
+
+def lower_bound(kernel: str, rel_speeds, n: int) -> float:
+    """Dispatch on kernel name (``"outer"`` or ``"matrix"``)."""
+    if kernel == "outer":
+        return outer_lower_bound(rel_speeds, n)
+    if kernel == "matrix":
+        return matrix_lower_bound(rel_speeds, n)
+    raise ValueError(f"kernel must be 'outer' or 'matrix', got {kernel!r}")

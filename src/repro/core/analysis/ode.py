@@ -1,0 +1,119 @@
+"""Continuous-process primitives of the ODE analysis.
+
+The paper models the data-aware phase from the point of view of one worker
+``P_k`` whose known fraction of each input dimension is ``x``.  With
+``alpha_k = (sum_{i != k} s_i) / s_k`` and ``d`` the dimension of the task
+domain (``d = 2`` for the outer product, ``d = 3`` for matmul):
+
+* **Lemma 1 / 7** — the fraction of unprocessed tasks in the region not yet
+  owned by ``P_k``::
+
+      g_k(x) = (1 - x^d) ** alpha_k
+
+* the number of tasks ``P_k`` *could* have processed but that other workers
+  processed first (``h_k`` in the Lemma-2 proof)::
+
+      h_k(x) = n^d * (x^d + ((1 - x^d)^(alpha_k + 1) - 1) / (alpha_k + 1))
+
+* **Lemma 2 / 8** — the (speed-normalized) time at which ``P_k`` knows a
+  fraction ``x``::
+
+      t_k(x) * sum_i s_i = n^d * (1 - (1 - x^d) ** (alpha_k + 1))
+
+  (The paper's Lemma 8 prints this with a garbled left-hand side; the
+  derivation in DESIGN.md restores the symmetric form.)
+
+* **Lemma 3** — the phase switch happens simultaneously on all workers when
+  ``x_k^d = beta * rs_k - beta^2 / 2 * rs_k^2``; then
+  ``t_k(x_k) * sum s_i = n^d (1 - e^{-beta})`` at first order.
+
+All functions are NumPy-vectorized over ``x`` and/or ``alpha``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "alpha_of",
+    "unprocessed_fraction",
+    "stolen_tasks",
+    "time_to_knowledge",
+    "switch_fraction",
+]
+
+
+def _check_dim(d: int) -> int:
+    if d not in (2, 3):
+        raise ValueError(f"task-domain dimension must be 2 (outer) or 3 (matmul), got {d}")
+    return d
+
+
+def alpha_of(rel_speed):
+    """``alpha_k = (1 - rs_k) / rs_k``, vectorized over relative speeds."""
+    rs = np.asarray(rel_speed, dtype=float)
+    if np.any(rs <= 0) or np.any(rs > 1):
+        raise ValueError("relative speeds must lie in (0, 1]")
+    return (1.0 - rs) / rs
+
+
+def unprocessed_fraction(x, alpha, d: int = 2):
+    """Lemma 1 / 7: ``g_k(x) = (1 - x^d)^alpha``.
+
+    *x* is the worker's known fraction of each input dimension, *alpha* its
+    ``alpha_k``.  Both may be arrays (NumPy broadcasting applies).
+    """
+    d = _check_dim(d)
+    x = np.asarray(x, dtype=float)
+    alpha = np.asarray(alpha, dtype=float)
+    if np.any(x < 0) or np.any(x > 1):
+        raise ValueError("x must lie in [0, 1]")
+    if np.any(alpha < 0):
+        raise ValueError("alpha must be >= 0")
+    return (1.0 - x**d) ** alpha
+
+
+def stolen_tasks(x, alpha, n: int, d: int = 2):
+    """Tasks computable by ``P_k`` but processed by others, ``h_k(x)``.
+
+    Derived in the proof of Lemma 2:
+    ``h_k(x) = n^d (x^d + ((1 - x^d)^(alpha+1) - 1) / (alpha + 1))``.
+    """
+    d = _check_dim(d)
+    x = np.asarray(x, dtype=float)
+    alpha = np.asarray(alpha, dtype=float)
+    if np.any(x < 0) or np.any(x > 1):
+        raise ValueError("x must lie in [0, 1]")
+    xd = x**d
+    return (n**d) * (xd + ((1.0 - xd) ** (alpha + 1.0) - 1.0) / (alpha + 1.0))
+
+
+def time_to_knowledge(x, alpha, n: int, d: int = 2):
+    """Lemma 2 / 8: speed-normalized time ``t_k(x) * sum_i s_i``.
+
+    Returns ``n^d * (1 - (1 - x^d)^(alpha + 1))`` — divide by the platform's
+    total speed to get wall-clock simulation time.
+    """
+    d = _check_dim(d)
+    x = np.asarray(x, dtype=float)
+    alpha = np.asarray(alpha, dtype=float)
+    if np.any(x < 0) or np.any(x > 1):
+        raise ValueError("x must lie in [0, 1]")
+    return (n**d) * (1.0 - (1.0 - x**d) ** (alpha + 1.0))
+
+
+def switch_fraction(beta: float, rel_speed, d: int = 2):
+    """Lemma 3's simultaneous switch point ``x_k``.
+
+    ``x_k = (beta * rs_k - beta^2 / 2 * rs_k^2) ** (1/d)``, clipped into
+    ``[0, 1]`` (the expression is a first-order expansion and can leave the
+    unit interval for extreme ``beta * rs_k``).
+    """
+    d = _check_dim(d)
+    if beta < 0:
+        raise ValueError(f"beta must be >= 0, got {beta}")
+    rs = np.asarray(rel_speed, dtype=float)
+    if np.any(rs <= 0) or np.any(rs > 1):
+        raise ValueError("relative speeds must lie in (0, 1]")
+    val = beta * rs - 0.5 * beta**2 * rs**2
+    return np.clip(val, 0.0, 1.0) ** (1.0 / d)

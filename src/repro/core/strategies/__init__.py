@@ -1,0 +1,44 @@
+"""The eight scheduling strategies of the paper, behind one interface.
+
+Outer product (Section 3): :class:`OuterRandom`, :class:`OuterSorted`,
+:class:`OuterDynamic`, :class:`OuterTwoPhase`.
+
+Matrix multiplication (Section 4): :class:`MatrixRandom`,
+:class:`MatrixSorted`, :class:`MatrixDynamic`, :class:`MatrixTwoPhase`.
+
+Use :func:`make_strategy` for name-based construction.
+"""
+
+from repro.core.strategies.base import Assignment, Strategy
+from repro.core.strategies.mapreduce import MatrixMapReduce, OuterMapReduce
+from repro.core.strategies.matrix_dynamic import MatrixDynamic
+from repro.core.strategies.matrix_random import MatrixRandom, MatrixSorted
+from repro.core.strategies.matrix_two_phase import MatrixTwoPhase
+from repro.core.strategies.outer_dynamic import OuterDynamic
+from repro.core.strategies.outer_random import OuterRandom, OuterSorted
+from repro.core.strategies.outer_two_phase import OuterTwoPhase
+from repro.core.strategies.registry import (
+    STRATEGIES,
+    make_strategy,
+    strategies_for_kernel,
+    strategy_names,
+)
+
+__all__ = [
+    "Assignment",
+    "Strategy",
+    "OuterRandom",
+    "OuterSorted",
+    "OuterDynamic",
+    "OuterTwoPhase",
+    "OuterMapReduce",
+    "MatrixRandom",
+    "MatrixSorted",
+    "MatrixDynamic",
+    "MatrixTwoPhase",
+    "MatrixMapReduce",
+    "STRATEGIES",
+    "make_strategy",
+    "strategy_names",
+    "strategies_for_kernel",
+]

@@ -1,0 +1,135 @@
+"""Strategy interface shared by all schedulers.
+
+A strategy encapsulates the *master's* decision logic: given a requesting
+worker, decide which tasks to allocate and which blocks to ship.  It owns
+the task pool and the per-worker knowledge state; the simulation engine owns
+time.  This split mirrors the paper's model where the master "is aware of
+which blocks are replicated on the computing nodes and decides which new
+blocks are sent, as well as which tasks are allocated".
+
+Strategies are *reusable*: construct once, then :meth:`Strategy.reset` binds
+them to a platform and RNG at the start of each run.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import ClassVar, Optional
+
+import numpy as np
+
+from repro.platform.platform import Platform
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Assignment", "Strategy"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """The master's answer to one work request.
+
+    ``blocks`` is the communication cost (data blocks shipped), ``tasks``
+    the number of block tasks allocated.  ``phase`` distinguishes the two
+    phases of the *2Phases strategies for tracing.  ``task_ids`` carries the
+    allocated tasks' flat ids when the strategy was built with
+    ``collect_ids=True``.
+    """
+
+    blocks: int
+    tasks: int
+    phase: int = 1
+    task_ids: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.blocks < 0:
+            raise ValueError(f"blocks must be >= 0, got {self.blocks}")
+        if self.tasks < 0:
+            raise ValueError(f"tasks must be >= 0, got {self.tasks}")
+        if self.phase not in (1, 2):
+            raise ValueError(f"phase must be 1 or 2, got {self.phase}")
+
+
+class Strategy(ABC):
+    """Base class of all scheduling strategies.
+
+    Class attributes
+    ----------------
+    name:
+        The paper's name for the strategy (e.g. ``"DynamicOuter"``).
+    kernel:
+        ``"outer"`` or ``"matrix"`` — selects the task domain and the
+        communication lower bound used for normalization.
+
+    Parameters
+    ----------
+    n:
+        Problem size in blocks per dimension (the paper's ``N / l``).
+    collect_ids:
+        Propagated to the task pool; when true, every
+        :class:`Assignment` carries the flat ids of its tasks so the run can
+        be replayed on real data by :mod:`repro.execution`.
+    """
+
+    name: ClassVar[str] = "abstract"
+    kernel: ClassVar[str] = "abstract"
+
+    def __init__(self, n: int, *, collect_ids: bool = False) -> None:
+        self._n = check_positive_int("n", n)
+        self._collect_ids = bool(collect_ids)
+        self._platform: Optional[Platform] = None
+        self._rng: Optional[np.random.Generator] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self, platform: Platform, rng: np.random.Generator) -> None:
+        """Bind to *platform* and *rng* and rebuild all scheduling state."""
+        self._platform = platform
+        self._rng = rng
+        self._setup()
+
+    @abstractmethod
+    def _setup(self) -> None:
+        """Rebuild pools and per-worker state (platform/rng already bound)."""
+
+    # -- scheduling --------------------------------------------------------
+
+    @abstractmethod
+    def assign(self, worker: int, now: float) -> Assignment:
+        """Serve one work request from *worker* at simulation time *now*."""
+
+    @property
+    @abstractmethod
+    def done(self) -> bool:
+        """True when every task of the kernel has been allocated."""
+
+    @property
+    @abstractmethod
+    def total_tasks(self) -> int:
+        """Total number of block tasks of the kernel instance."""
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Blocks per dimension."""
+        return self._n
+
+    @property
+    def collect_ids(self) -> bool:
+        return self._collect_ids
+
+    @property
+    def platform(self) -> Platform:
+        if self._platform is None:
+            raise RuntimeError(f"{type(self).__name__} used before reset()")
+        return self._platform
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            raise RuntimeError(f"{type(self).__name__} used before reset()")
+        return self._rng
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self._n})"

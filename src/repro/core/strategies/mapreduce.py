@@ -1,0 +1,78 @@
+"""MapReduce-style full-replication baselines (the paper's motivation).
+
+The introduction motivates data-aware scheduling with the observation that
+a plain MapReduce implementation of the outer product "emits all possible
+pairs (a_i, b_j)" because the framework is unaware of the 2-D structure of
+the data — every task ships its inputs, with no worker-side caching.
+
+These strategies model exactly that: stateless workers, so the
+communication volume is the replication upper bound (``2`` blocks per task
+for the outer product, ``3`` for matmul).  They bound from above what the
+cached Random* baselines achieve and make the intro's "large replication
+factor" quantitative.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.strategies.base import Assignment, Strategy
+from repro.taskpool.sample_set import SampleSet
+
+__all__ = ["OuterMapReduce", "MatrixMapReduce"]
+
+
+class OuterMapReduce(Strategy):
+    """Outer product with full replication: 2 blocks shipped per task."""
+
+    name = "MapReduceOuter"
+    kernel = "outer"
+
+    def _setup(self) -> None:
+        self._sampler = SampleSet(self.n * self.n)
+
+    @property
+    def total_tasks(self) -> int:
+        return self.n * self.n
+
+    @property
+    def done(self) -> bool:
+        return len(self._sampler) == 0
+
+    def assign(self, worker: int, now: float) -> Assignment:
+        if self.done:
+            raise RuntimeError("assign() called after all tasks were allocated")
+        flat = self._sampler.draw(self.rng)
+        task_ids: Optional[np.ndarray] = None
+        if self.collect_ids:
+            task_ids = np.array([flat], dtype=np.int64)
+        return Assignment(blocks=2, tasks=1, task_ids=task_ids)
+
+
+class MatrixMapReduce(Strategy):
+    """Matmul with full replication: 3 blocks shipped per task."""
+
+    name = "MapReduceMatrix"
+    kernel = "matrix"
+
+    def _setup(self) -> None:
+        self._sampler = SampleSet(self.n**3)
+
+    @property
+    def total_tasks(self) -> int:
+        return self.n**3
+
+    @property
+    def done(self) -> bool:
+        return len(self._sampler) == 0
+
+    def assign(self, worker: int, now: float) -> Assignment:
+        if self.done:
+            raise RuntimeError("assign() called after all tasks were allocated")
+        flat = self._sampler.draw(self.rng)
+        task_ids: Optional[np.ndarray] = None
+        if self.collect_ids:
+            task_ids = np.array([flat], dtype=np.int64)
+        return Assignment(blocks=3, tasks=1, task_ids=task_ids)

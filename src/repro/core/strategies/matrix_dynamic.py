@@ -1,0 +1,92 @@
+"""DynamicMatrix: the data-aware randomized matmul strategy (Algorithm 3).
+
+Each worker maintains index sets ``I, J, K`` and owns the blocks
+``A[I x K]``, ``B[K x J]``, ``C[I x J]``.  Per request the master picks new
+indices ``i not in I``, ``j not in J``, ``k not in K`` uniformly at random,
+ships the blocks needed to grow the worker's cube by one in every dimension
+— ``3 (2 |I| + 1)`` blocks when all sets have equal size — and allocates
+every unprocessed task of the grown cube's shell (``i' = i`` or ``j' = j``
+or ``k' = k``).
+
+As for the outer product, exhausted dimensions degrade gracefully and a
+worker with complete knowledge absorbs the remainder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.strategies.base import Assignment, Strategy
+from repro.taskpool.knowledge import CubeKnowledge
+from repro.taskpool.matrix_pool import MatrixTaskPool
+
+__all__ = ["MatrixDynamic"]
+
+
+def _grown_blocks(n_rows: int, n_cols: int, grow_rows: bool, grow_cols: bool) -> int:
+    """New blocks of one operand when its index rectangle grows.
+
+    The operand footprint is the Cartesian product of two index sets; growing
+    a set by one index enlarges the rectangle, and the shipped blocks are the
+    area difference: ``(r + dr)(c + dc) - r c``.
+    """
+    dr = 1 if grow_rows else 0
+    dc = 1 if grow_cols else 0
+    return (n_rows + dr) * (n_cols + dc) - n_rows * n_cols
+
+
+class MatrixDynamic(Strategy):
+    """The paper's **DynamicMatrix** (Algorithm 3)."""
+
+    name = "DynamicMatrix"
+    kernel = "matrix"
+
+    def _setup(self) -> None:
+        self._pool = MatrixTaskPool(self.n, collect_ids=self.collect_ids)
+        self._knowledge: List[CubeKnowledge] = [CubeKnowledge(self.n) for _ in range(self.platform.p)]
+
+    @property
+    def pool(self) -> MatrixTaskPool:
+        """The shared task pool (exposed for the two-phase subclass/tests)."""
+        return self._pool
+
+    def knowledge_of(self, worker: int) -> CubeKnowledge:
+        """The worker's current I/J/K knowledge (for tests/inspection)."""
+        return self._knowledge[worker]
+
+    @property
+    def total_tasks(self) -> int:
+        return self._pool.total
+
+    @property
+    def done(self) -> bool:
+        return self._pool.done
+
+    def assign(self, worker: int, now: float) -> Assignment:
+        if self._pool.done:
+            raise RuntimeError("assign() called after all tasks were allocated")
+        return self._dynamic_assign(worker)
+
+    def _dynamic_assign(self, worker: int) -> Assignment:
+        kn = self._knowledge[worker]
+        if kn.complete:
+            count, ids = self._pool.mark_all()
+            return Assignment(blocks=0, tasks=count, task_ids=ids)
+
+        # Previous index sets (views keep their length across draws).
+        rows = kn.i.known_indices()
+        cols = kn.j.known_indices()
+        deps = kn.k.known_indices()
+        i: Optional[int] = kn.i.draw_unknown(self.rng) if not kn.i.complete else None
+        j: Optional[int] = kn.j.draw_unknown(self.rng) if not kn.j.complete else None
+        k: Optional[int] = kn.k.draw_unknown(self.rng) if not kn.k.complete else None
+
+        # Shipped blocks: growth of the three operand rectangles
+        # A over I x K, B over K x J, C over I x J.
+        blocks = (
+            _grown_blocks(rows.size, deps.size, i is not None, k is not None)
+            + _grown_blocks(deps.size, cols.size, k is not None, j is not None)
+            + _grown_blocks(rows.size, cols.size, i is not None, j is not None)
+        )
+        count, ids = self._pool.mark_shell(i, j, k, rows, cols, deps)
+        return Assignment(blocks=blocks, tasks=count, task_ids=ids)

@@ -1,0 +1,93 @@
+"""RandomMatrix and SortedMatrix: locality-oblivious matmul baselines.
+
+One task ``T[i, j, k]`` per request; the master ships whichever of
+``A[i, k]``, ``B[k, j]``, ``C[i, j]`` the worker does not yet hold (the
+``C`` block counts toward communication volume even though it physically
+travels back to the master at the end — the paper only tracks total
+volume).  Workers cache all blocks they ever touch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.strategies.base import Assignment, Strategy
+from repro.taskpool.knowledge import BlockCache
+from repro.taskpool.sample_set import SampleSet
+
+__all__ = ["MatrixRandom", "MatrixSorted"]
+
+
+class _MatrixTaskByTask(Strategy):
+    """Common machinery: per-worker A/B/C block caches, one task per request."""
+
+    kernel = "matrix"
+
+    def _setup(self) -> None:
+        n = self.n
+        p = self.platform.p
+        self._cache_a: List[BlockCache] = [BlockCache((n, n)) for _ in range(p)]
+        self._cache_b: List[BlockCache] = [BlockCache((n, n)) for _ in range(p)]
+        self._cache_c: List[BlockCache] = [BlockCache((n, n)) for _ in range(p)]
+        self._remaining = n**3
+        self._setup_order()
+
+    def _setup_order(self) -> None:
+        raise NotImplementedError
+
+    def _next_task(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def total_tasks(self) -> int:
+        return self.n**3
+
+    @property
+    def done(self) -> bool:
+        return self._remaining == 0
+
+    def assign(self, worker: int, now: float) -> Assignment:
+        if self._remaining == 0:
+            raise RuntimeError("assign() called after all tasks were allocated")
+        flat = self._next_task()
+        self._remaining -= 1
+        n = self.n
+        ij, k = divmod(flat, n)
+        i, j = divmod(ij, n)
+        blocks = (
+            int(self._cache_a[worker].add(i, k))
+            + int(self._cache_b[worker].add(k, j))
+            + int(self._cache_c[worker].add(i, j))
+        )
+        task_ids: Optional[np.ndarray] = None
+        if self.collect_ids:
+            task_ids = np.array([flat], dtype=np.int64)
+        return Assignment(blocks=blocks, tasks=1, task_ids=task_ids)
+
+
+class MatrixRandom(_MatrixTaskByTask):
+    """The paper's **RandomMatrix**: uniformly random task selection."""
+
+    name = "RandomMatrix"
+
+    def _setup_order(self) -> None:
+        self._sampler = SampleSet(self.n**3)
+
+    def _next_task(self) -> int:
+        return self._sampler.draw(self.rng)
+
+
+class MatrixSorted(_MatrixTaskByTask):
+    """The paper's **SortedMatrix**: lexicographic ``(i, j, k)`` order."""
+
+    name = "SortedMatrix"
+
+    def _setup_order(self) -> None:
+        self._next = 0
+
+    def _next_task(self) -> int:
+        flat = self._next
+        self._next += 1
+        return flat

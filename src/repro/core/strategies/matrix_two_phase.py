@@ -1,0 +1,152 @@
+"""DynamicMatrix2Phases: data-aware start, random finish (Section 4.1).
+
+Phase 1 is DynamicMatrix; when ``e^{-beta} n^3`` tasks remain the strategy
+switches to RandomMatrix-style allocation, seeding each worker's per-block
+caches with the rectangles ``A[I x K]``, ``B[K x J]``, ``C[I x J]``
+accumulated during phase 1.
+
+Threshold options mirror
+:class:`~repro.core.strategies.outer_two_phase.OuterTwoPhase`; the default
+tunes β by minimizing the matmul analysis of Section 4.2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.strategies.base import Assignment
+from repro.core.strategies.matrix_dynamic import MatrixDynamic
+from repro.taskpool.knowledge import BlockCache
+from repro.taskpool.sample_set import SampleSet
+
+__all__ = ["MatrixTwoPhase"]
+
+
+class MatrixTwoPhase(MatrixDynamic):
+    """The paper's **DynamicMatrix2Phases**."""
+
+    name = "DynamicMatrix2Phases"
+    kernel = "matrix"
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        beta: Optional[float] = None,
+        phase1_fraction: Optional[float] = None,
+        threshold_tasks: Optional[int] = None,
+        agnostic: bool = False,
+        collect_ids: bool = False,
+    ) -> None:
+        super().__init__(n, collect_ids=collect_ids)
+        given = [beta is not None, phase1_fraction is not None, threshold_tasks is not None]
+        if sum(given) > 1:
+            raise ValueError("give at most one of beta / phase1_fraction / threshold_tasks")
+        if beta is not None and beta < 0:
+            raise ValueError(f"beta must be >= 0, got {beta}")
+        if phase1_fraction is not None and not 0.0 <= phase1_fraction <= 1.0:
+            raise ValueError(f"phase1_fraction must lie in [0, 1], got {phase1_fraction}")
+        if threshold_tasks is not None and threshold_tasks < 0:
+            raise ValueError(f"threshold_tasks must be >= 0, got {threshold_tasks}")
+        self._beta = beta
+        self._phase1_fraction = phase1_fraction
+        self._threshold_tasks = threshold_tasks
+        self._agnostic = bool(agnostic)
+
+    def _resolve_threshold(self) -> int:
+        total = self.total_tasks
+        if self._threshold_tasks is not None:
+            return min(self._threshold_tasks, total)
+        if self._phase1_fraction is not None:
+            return min(total, int(round((1.0 - self._phase1_fraction) * total)))
+        beta = self._beta
+        if beta is None:
+            from repro.core.analysis.matrix import optimal_matrix_beta
+
+            if self._agnostic:
+                rel = np.full(self.platform.p, 1.0 / self.platform.p)
+            else:
+                rel = self.platform.relative_speeds
+            beta = optimal_matrix_beta(rel, self.n)
+        self._resolved_beta = float(beta)
+        return min(total, int(round(math.exp(-beta) * total)))
+
+    @property
+    def beta(self) -> Optional[float]:
+        """β in effect (resolved at reset when auto-tuned)."""
+        return getattr(self, "_resolved_beta", self._beta)
+
+    @property
+    def threshold(self) -> int:
+        """Remaining-task count at which phase 2 starts."""
+        if not hasattr(self, "_threshold"):
+            raise RuntimeError("threshold available only after reset()")
+        return self._threshold
+
+    @property
+    def phase(self) -> int:
+        return 2 if self._phase2 else 1
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _setup(self) -> None:
+        super()._setup()
+        self._threshold = self._resolve_threshold()
+        self._phase2 = False
+        self._sampler: Optional[SampleSet] = None
+        self._cache_a: List[BlockCache] = []
+        self._cache_b: List[BlockCache] = []
+        self._cache_c: List[BlockCache] = []
+
+    def _enter_phase2(self) -> None:
+        """Freeze phase-1 index sets into phase-2 per-block caches."""
+        self._phase2 = True
+        self._sampler = SampleSet(self.n**3, members=self._pool.unprocessed_ids())
+        for kn in self._knowledge:
+            rows = kn.i.known_indices()
+            cols = kn.j.known_indices()
+            deps = kn.k.known_indices()
+            cache_a = BlockCache((self.n, self.n))
+            cache_b = BlockCache((self.n, self.n))
+            cache_c = BlockCache((self.n, self.n))
+            if rows.size and deps.size:
+                cache_a.add_product(rows, deps)
+            if deps.size and cols.size:
+                cache_b.add_product(deps, cols)
+            if rows.size and cols.size:
+                cache_c.add_product(rows, cols)
+            self._cache_a.append(cache_a)
+            self._cache_b.append(cache_b)
+            self._cache_c.append(cache_c)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def assign(self, worker: int, now: float) -> Assignment:
+        if self._pool.done:
+            raise RuntimeError("assign() called after all tasks were allocated")
+        if not self._phase2 and self._pool.remaining <= self._threshold:
+            self._enter_phase2()
+        if not self._phase2:
+            return self._dynamic_assign(worker)
+        return self._random_assign(worker)
+
+    def _random_assign(self, worker: int) -> Assignment:
+        assert self._sampler is not None
+        flat = self._sampler.draw(self.rng)
+        n = self.n
+        ij, k = divmod(flat, n)
+        i, j = divmod(ij, n)
+        blocks = (
+            int(self._cache_a[worker].add(i, k))
+            + int(self._cache_b[worker].add(k, j))
+            + int(self._cache_c[worker].add(i, j))
+        )
+        newly = self._pool.mark_task(i, j, k)
+        assert newly, "phase-2 sampler handed out an already-processed task"
+        task_ids: Optional[np.ndarray] = None
+        if self.collect_ids:
+            task_ids = np.array([flat], dtype=np.int64)
+        return Assignment(blocks=blocks, tasks=1, phase=2, task_ids=task_ids)

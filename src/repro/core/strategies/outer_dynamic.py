@@ -1,0 +1,76 @@
+"""DynamicOuter: the data-aware randomized strategy (Algorithm 1).
+
+Per request, the master ships one new ``a`` block and one new ``b`` block
+(chosen uniformly among those the worker lacks) and allocates *every*
+unprocessed task on the resulting cross — so a worker that already knows
+``x n`` rows and columns receives ``2`` blocks but up to ``2 x n + 1``
+tasks.  The marking is a vectorized bitmap operation in
+:class:`~repro.taskpool.outer_pool.OuterTaskPool`.
+
+Tail behaviour: when one dimension is exhausted for a worker only the other
+arm of the cross is shipped/marked, and a worker with complete knowledge is
+allocated the whole remainder at once.  These degenerate cases are exactly
+why the plain DynamicOuter wastes communication at the end of a run and why
+the paper introduces the two-phase variant.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.strategies.base import Assignment, Strategy
+from repro.taskpool.knowledge import VectorKnowledge
+from repro.taskpool.outer_pool import OuterTaskPool
+
+__all__ = ["OuterDynamic"]
+
+
+class OuterDynamic(Strategy):
+    """The paper's **DynamicOuter** (Algorithm 1)."""
+
+    name = "DynamicOuter"
+    kernel = "outer"
+
+    def _setup(self) -> None:
+        self._pool = OuterTaskPool(self.n, collect_ids=self.collect_ids)
+        self._knowledge: List[VectorKnowledge] = [VectorKnowledge(self.n) for _ in range(self.platform.p)]
+
+    @property
+    def pool(self) -> OuterTaskPool:
+        """The shared task pool (exposed for the two-phase subclass/tests)."""
+        return self._pool
+
+    def knowledge_of(self, worker: int) -> VectorKnowledge:
+        """The worker's current row/column knowledge (for tests/inspection)."""
+        return self._knowledge[worker]
+
+    @property
+    def total_tasks(self) -> int:
+        return self._pool.total
+
+    @property
+    def done(self) -> bool:
+        return self._pool.done
+
+    def assign(self, worker: int, now: float) -> Assignment:
+        if self._pool.done:
+            raise RuntimeError("assign() called after all tasks were allocated")
+        return self._dynamic_assign(worker)
+
+    def _dynamic_assign(self, worker: int) -> Assignment:
+        """One DynamicOuter step (shared with the two-phase strategy)."""
+        kn = self._knowledge[worker]
+        if kn.complete:
+            # The worker owns both full vectors: allocate everything left.
+            count, ids = self._pool.mark_all()
+            return Assignment(blocks=0, tasks=count, task_ids=ids)
+
+        # Capture the *previous* index sets; the views keep their length
+        # after draw_unknown appends to the underlying buffers.
+        rows = kn.a.known_indices()
+        cols = kn.b.known_indices()
+        i = kn.a.draw_unknown(self.rng) if not kn.a.complete else None
+        j = kn.b.draw_unknown(self.rng) if not kn.b.complete else None
+        blocks = int(i is not None) + int(j is not None)
+        count, ids = self._pool.mark_cross(i, j, rows, cols)
+        return Assignment(blocks=blocks, tasks=count, task_ids=ids)

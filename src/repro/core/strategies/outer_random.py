@@ -1,0 +1,89 @@
+"""RandomOuter and SortedOuter: locality-oblivious baselines (Section 3.2).
+
+Both strategies hand out one task per request and ship whichever of the two
+input blocks the worker does not yet hold.  Workers *do* cache received
+blocks (the paper ships "one or two of the a_i and b_j blocks"), so even
+these baselines get some accidental reuse — they are oblivious, not
+stateless.  They differ only in task selection:
+
+* ``RandomOuter`` picks a uniformly random unprocessed task;
+* ``SortedOuter`` hands tasks out in lexicographic order of ``(i, j)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.strategies.base import Assignment, Strategy
+from repro.taskpool.knowledge import BlockCache
+from repro.taskpool.sample_set import SampleSet
+
+__all__ = ["OuterRandom", "OuterSorted"]
+
+
+class _OuterTaskByTask(Strategy):
+    """Common machinery: per-worker block caches + one task per request."""
+
+    kernel = "outer"
+
+    def _setup(self) -> None:
+        n = self.n
+        self._cache_a: List[BlockCache] = [BlockCache(n) for _ in range(self.platform.p)]
+        self._cache_b: List[BlockCache] = [BlockCache(n) for _ in range(self.platform.p)]
+        self._remaining = n * n
+        self._setup_order()
+
+    def _setup_order(self) -> None:
+        raise NotImplementedError
+
+    def _next_task(self) -> int:
+        """Return the flat id of the next task to hand out."""
+        raise NotImplementedError
+
+    @property
+    def total_tasks(self) -> int:
+        return self.n * self.n
+
+    @property
+    def done(self) -> bool:
+        return self._remaining == 0
+
+    def assign(self, worker: int, now: float) -> Assignment:
+        if self._remaining == 0:
+            raise RuntimeError("assign() called after all tasks were allocated")
+        flat = self._next_task()
+        self._remaining -= 1
+        i, j = divmod(flat, self.n)
+        blocks = int(self._cache_a[worker].add(i)) + int(self._cache_b[worker].add(j))
+        task_ids: Optional[np.ndarray] = None
+        if self.collect_ids:
+            task_ids = np.array([flat], dtype=np.int64)
+        return Assignment(blocks=blocks, tasks=1, task_ids=task_ids)
+
+
+class OuterRandom(_OuterTaskByTask):
+    """The paper's **RandomOuter**: uniformly random task selection."""
+
+    name = "RandomOuter"
+
+    def _setup_order(self) -> None:
+        self._sampler = SampleSet(self.n * self.n)
+
+    def _next_task(self) -> int:
+        return self._sampler.draw(self.rng)
+
+
+class OuterSorted(_OuterTaskByTask):
+    """The paper's **SortedOuter**: lexicographic ``(i, j)`` task order."""
+
+    name = "SortedOuter"
+
+    def _setup_order(self) -> None:
+        self._next = 0
+
+    def _next_task(self) -> int:
+        flat = self._next
+        self._next += 1
+        return flat

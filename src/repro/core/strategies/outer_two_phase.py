@@ -1,0 +1,153 @@
+"""DynamicOuter2Phases: data-aware start, random finish (Algorithm 2).
+
+Phase 1 is plain DynamicOuter.  When the number of *remaining* tasks drops
+to the threshold ``e^{-beta} n^2`` the strategy switches to RandomOuter-style
+allocation: a uniformly random unprocessed task per request, shipping the at
+most two missing blocks.  Workers keep the blocks accumulated in phase 1,
+so phase-2 requests are often satisfied with 0 or 1 new blocks.
+
+The threshold can be given three equivalent ways:
+
+* ``beta`` — the paper's parameter (remaining fraction ``e^{-beta}``);
+* ``phase1_fraction`` — "percentage of tasks treated in phase 1"
+  (Figure 2's x-axis);
+* ``threshold_tasks`` — an absolute remaining-task count.
+
+When none is given, β is computed at :meth:`reset` time from the platform's
+relative speeds by minimizing the analysis of Theorem 6 — the paper's
+headline use of the theory inside the scheduler.  Pass
+``agnostic=True`` to instead use the speed-agnostic homogeneous β of
+Section 3.6.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.strategies.base import Assignment
+from repro.core.strategies.outer_dynamic import OuterDynamic
+from repro.taskpool.knowledge import BlockCache
+from repro.taskpool.sample_set import SampleSet
+
+__all__ = ["OuterTwoPhase"]
+
+
+class OuterTwoPhase(OuterDynamic):
+    """The paper's **DynamicOuter2Phases** (Algorithm 2)."""
+
+    name = "DynamicOuter2Phases"
+    kernel = "outer"
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        beta: Optional[float] = None,
+        phase1_fraction: Optional[float] = None,
+        threshold_tasks: Optional[int] = None,
+        agnostic: bool = False,
+        collect_ids: bool = False,
+    ) -> None:
+        super().__init__(n, collect_ids=collect_ids)
+        given = [beta is not None, phase1_fraction is not None, threshold_tasks is not None]
+        if sum(given) > 1:
+            raise ValueError("give at most one of beta / phase1_fraction / threshold_tasks")
+        if beta is not None and beta < 0:
+            raise ValueError(f"beta must be >= 0, got {beta}")
+        if phase1_fraction is not None and not 0.0 <= phase1_fraction <= 1.0:
+            raise ValueError(f"phase1_fraction must lie in [0, 1], got {phase1_fraction}")
+        if threshold_tasks is not None and threshold_tasks < 0:
+            raise ValueError(f"threshold_tasks must be >= 0, got {threshold_tasks}")
+        self._beta = beta
+        self._phase1_fraction = phase1_fraction
+        self._threshold_tasks = threshold_tasks
+        self._agnostic = bool(agnostic)
+
+    # -- threshold resolution ---------------------------------------------
+
+    def _resolve_threshold(self) -> int:
+        total = self.total_tasks
+        if self._threshold_tasks is not None:
+            return min(self._threshold_tasks, total)
+        if self._phase1_fraction is not None:
+            return min(total, int(round((1.0 - self._phase1_fraction) * total)))
+        beta = self._beta
+        if beta is None:
+            # Tune from the analysis (Theorem 6); imported lazily to keep
+            # strategies importable without the analysis stack.
+            from repro.core.analysis.outer import optimal_outer_beta
+
+            if self._agnostic:
+                rel = np.full(self.platform.p, 1.0 / self.platform.p)
+            else:
+                rel = self.platform.relative_speeds
+            beta = optimal_outer_beta(rel, self.n)
+        self._resolved_beta = float(beta)
+        return min(total, int(round(math.exp(-beta) * total)))
+
+    @property
+    def beta(self) -> Optional[float]:
+        """β in effect (resolved at reset when auto-tuned)."""
+        return getattr(self, "_resolved_beta", self._beta)
+
+    @property
+    def threshold(self) -> int:
+        """Remaining-task count at which phase 2 starts."""
+        if not hasattr(self, "_threshold"):
+            raise RuntimeError("threshold available only after reset()")
+        return self._threshold
+
+    @property
+    def phase(self) -> int:
+        """Current phase (1 or 2)."""
+        return 2 if self._phase2 else 1
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _setup(self) -> None:
+        super()._setup()
+        self._threshold = self._resolve_threshold()
+        self._phase2 = False
+        self._sampler: Optional[SampleSet] = None
+        self._cache_a: List[BlockCache] = []
+        self._cache_b: List[BlockCache] = []
+
+    def _enter_phase2(self) -> None:
+        """Freeze phase-1 state into phase-2 samplers and block caches."""
+        self._phase2 = True
+        remaining_ids = self._pool.unprocessed_ids()
+        n2 = self.n * self.n
+        self._sampler = SampleSet(n2, members=remaining_ids)
+        for kn in self._knowledge:
+            cache_a = BlockCache(self.n)
+            cache_a.add_indices(kn.a.known_indices())
+            cache_b = BlockCache(self.n)
+            cache_b.add_indices(kn.b.known_indices())
+            self._cache_a.append(cache_a)
+            self._cache_b.append(cache_b)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def assign(self, worker: int, now: float) -> Assignment:
+        if self._pool.done:
+            raise RuntimeError("assign() called after all tasks were allocated")
+        if not self._phase2 and self._pool.remaining <= self._threshold:
+            self._enter_phase2()
+        if not self._phase2:
+            return self._dynamic_assign(worker)
+        return self._random_assign(worker)
+
+    def _random_assign(self, worker: int) -> Assignment:
+        assert self._sampler is not None
+        flat = self._sampler.draw(self.rng)
+        i, j = divmod(flat, self.n)
+        blocks = int(self._cache_a[worker].add(i)) + int(self._cache_b[worker].add(j))
+        newly = self._pool.mark_task(i, j)
+        assert newly, "phase-2 sampler handed out an already-processed task"
+        task_ids: Optional[np.ndarray] = None
+        if self.collect_ids:
+            task_ids = np.array([flat], dtype=np.int64)
+        return Assignment(blocks=blocks, tasks=1, phase=2, task_ids=task_ids)

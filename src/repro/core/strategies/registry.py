@@ -1,0 +1,63 @@
+"""Name-based strategy construction.
+
+Maps the paper's strategy names to their classes so experiments, benchmarks
+and the CLI can be configured with plain strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.core.strategies.base import Strategy
+from repro.core.strategies.mapreduce import MatrixMapReduce, OuterMapReduce
+from repro.core.strategies.matrix_dynamic import MatrixDynamic
+from repro.core.strategies.matrix_random import MatrixRandom, MatrixSorted
+from repro.core.strategies.matrix_two_phase import MatrixTwoPhase
+from repro.core.strategies.outer_dynamic import OuterDynamic
+from repro.core.strategies.outer_random import OuterRandom, OuterSorted
+from repro.core.strategies.outer_two_phase import OuterTwoPhase
+
+__all__ = ["STRATEGIES", "make_strategy", "strategy_names", "strategies_for_kernel"]
+
+# The paper's eight evaluated strategies plus the two MapReduce-style
+# full-replication baselines its introduction motivates against.
+STRATEGIES: Dict[str, Type[Strategy]] = {
+    cls.name: cls
+    for cls in (
+        OuterRandom,
+        OuterSorted,
+        OuterDynamic,
+        OuterTwoPhase,
+        OuterMapReduce,
+        MatrixRandom,
+        MatrixSorted,
+        MatrixDynamic,
+        MatrixTwoPhase,
+        MatrixMapReduce,
+    )
+}
+
+
+def make_strategy(name: str, n: int, **kwargs) -> Strategy:
+    """Instantiate a strategy by its paper name (e.g. ``"DynamicOuter"``).
+
+    Extra keyword arguments are forwarded to the constructor (``beta``,
+    ``phase1_fraction``, ``collect_ids``, ...).
+    """
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(f"unknown strategy {name!r}; choose from {sorted(STRATEGIES)}") from None
+    return cls(n, **kwargs)
+
+
+def strategy_names() -> List[str]:
+    """All registered strategy names (paper order)."""
+    return list(STRATEGIES)
+
+
+def strategies_for_kernel(kernel: str) -> List[str]:
+    """Names of the strategies applying to ``"outer"`` or ``"matrix"``."""
+    if kernel not in ("outer", "matrix"):
+        raise ValueError(f"kernel must be 'outer' or 'matrix', got {kernel!r}")
+    return [name for name, cls in STRATEGIES.items() if cls.kernel == kernel]

@@ -1,0 +1,22 @@
+"""Diagnostics: empirical validation of the ODE model against traces.
+
+The paper's Lemmas 1/2 (and 7/8 for matmul) describe, for one worker, the
+fraction ``g_k(x)`` of unprocessed tasks in the not-yet-owned region and the
+time ``t_k(x)`` at which a knowledge fraction ``x`` is reached.  This
+package *measures* those quantities from instrumented simulation runs and
+compares them with the closed forms — the finest-grained check that the
+continuous approximation is sound, beyond the end-to-end volume comparison
+of the figures.
+"""
+
+from repro.diagnostics.knowledge_curve import (
+    KnowledgeCurve,
+    measure_matrix_knowledge_curves,
+    measure_outer_knowledge_curves,
+)
+
+__all__ = [
+    "KnowledgeCurve",
+    "measure_outer_knowledge_curves",
+    "measure_matrix_knowledge_curves",
+]

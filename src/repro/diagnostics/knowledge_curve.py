@@ -1,0 +1,165 @@
+"""Measure per-worker knowledge growth and compare with Lemmas 1/2/7/8.
+
+An instrumented strategy wrapper records, at every assignment a worker
+receives, the triple ``(time, x, fresh_tasks)`` where ``x`` is the worker's
+knowledge fraction after the assignment and ``fresh_tasks`` the number of
+newly allocated tasks.  From these samples we reconstruct:
+
+* the **empirical g_k(x)**: the fraction of tasks on the newly acquired
+  cross/shell that were still unprocessed, to compare with
+  ``(1 - x^d)^alpha_k`` (Lemma 1 / 7);
+* the **empirical t_k(x)**: the request times, to compare with
+  ``n^d (1 - (1 - x^d)^(alpha_k+1)) / sum(s)`` (Lemma 2 / 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.analysis.ode import time_to_knowledge, unprocessed_fraction
+from repro.core.strategies.matrix_dynamic import MatrixDynamic
+from repro.core.strategies.outer_dynamic import OuterDynamic
+from repro.platform.platform import Platform
+from repro.simulator.engine import simulate
+from repro.utils.rng import SeedLike
+
+__all__ = [
+    "KnowledgeCurve",
+    "measure_outer_knowledge_curves",
+    "measure_matrix_knowledge_curves",
+]
+
+
+@dataclass
+class KnowledgeCurve:
+    """Empirical knowledge-growth samples of one worker.
+
+    ``x[i]`` is the knowledge fraction after the i-th assignment, ``t[i]``
+    the time of the request, ``g[i]`` the fresh-task fraction observed on
+    the acquired cross/shell (NaN when the cross was empty).
+    """
+
+    worker: int
+    alpha: float
+    d: int
+    n: int
+    x: np.ndarray
+    t: np.ndarray
+    g: np.ndarray
+
+    def predicted_g(self) -> np.ndarray:
+        """Lemma 1 / 7 prediction ``(1 - x^d)^alpha`` at the sample points."""
+        return unprocessed_fraction(np.clip(self.x, 0.0, 1.0), self.alpha, self.d)
+
+    def predicted_t(self, total_speed: float) -> np.ndarray:
+        """Lemma 2 / 8 prediction of the request times at the sample points."""
+        return time_to_knowledge(np.clip(self.x, 0.0, 1.0), self.alpha, self.n, self.d) / total_speed
+
+    def g_rmse(self, x_max: float = 0.9) -> float:
+        """RMS error between empirical and predicted g over ``x <= x_max``.
+
+        The tail (x near the worker's final knowledge) is excluded: there
+        the finite process deviates from the continuous model by design —
+        that is precisely the regime the two-phase switch removes.
+        """
+        mask = (self.x <= x_max) & ~np.isnan(self.g)
+        if not np.any(mask):
+            return float("nan")
+        return float(np.sqrt(np.mean((self.g[mask] - self.predicted_g()[mask]) ** 2)))
+
+    def t_relative_error(self, total_speed: float, x_max: float = 0.9) -> float:
+        """Max relative error between empirical and predicted request times."""
+        predicted = self.predicted_t(total_speed)
+        mask = (self.x <= x_max) & (predicted > 0)
+        if not np.any(mask):
+            return float("nan")
+        return float(np.max(np.abs(self.t[mask] - predicted[mask]) / predicted[mask]))
+
+
+class _InstrumentedOuter(OuterDynamic):
+    """DynamicOuter that records (time, x, fresh fraction) per assignment."""
+
+    name = "InstrumentedDynamicOuter"
+
+    def _setup(self) -> None:
+        super()._setup()
+        self.samples: List[List[tuple]] = [[] for _ in range(self.platform.p)]
+
+    def assign(self, worker, now):
+        kn = self._knowledge[worker]
+        # Knowledge fraction *at the time of the request* — this is the x
+        # of Lemmas 1-2 (the step then takes it to x + 1/n).
+        before = kn.a.count + kn.b.count
+        x = 0.5 * before / self.n
+        assignment = super().assign(worker, now)
+        after = kn.a.count + kn.b.count
+        cross_cells = 0
+        if after > before:  # normal growth step
+            # New row crossed with (old cols + new col) and old rows with
+            # the new col: |J|+1 + |I| cells when both dims grew.
+            grew = after - before
+            if grew == 2:
+                cross_cells = kn.b.count + kn.a.count - 1
+            else:  # one dimension exhausted
+                cross_cells = kn.a.count if kn.b.complete else kn.b.count
+        fresh = assignment.tasks / cross_cells if cross_cells > 0 else np.nan
+        self.samples[worker].append((now, x, fresh))
+        return assignment
+
+
+class _InstrumentedMatrix(MatrixDynamic):
+    """DynamicMatrix that records (time, x, fresh fraction) per assignment."""
+
+    name = "InstrumentedDynamicMatrix"
+
+    def _setup(self) -> None:
+        super()._setup()
+        self.samples: List[List[tuple]] = [[] for _ in range(self.platform.p)]
+
+    def assign(self, worker, now):
+        kn = self._knowledge[worker]
+        before = (kn.i.count, kn.j.count, kn.k.count)
+        x = (before[0] + before[1] + before[2]) / (3.0 * self.n)
+        assignment = super().assign(worker, now)
+        after = (kn.i.count, kn.j.count, kn.k.count)
+        # Shell size of the grown cube minus the old cube.
+        old_cube = before[0] * before[1] * before[2]
+        new_cube = after[0] * after[1] * after[2]
+        shell = new_cube - old_cube
+        fresh = assignment.tasks / shell if shell > 0 else np.nan
+        self.samples[worker].append((now, x, fresh))
+        return assignment
+
+
+def _curves_from(strategy, platform: Platform, d: int, n: int) -> List[KnowledgeCurve]:
+    total = platform.speeds.sum()
+    curves = []
+    for w in range(platform.p):
+        samples = strategy.samples[w]
+        if not samples:
+            continue
+        t, x, g = (np.array(col, dtype=float) for col in zip(*samples))
+        alpha = float((total - platform.speeds[w]) / platform.speeds[w])
+        curves.append(KnowledgeCurve(worker=w, alpha=alpha, d=d, n=n, x=x, t=t, g=g))
+    return curves
+
+
+def measure_outer_knowledge_curves(
+    n: int, platform: Platform, *, rng: SeedLike = None
+) -> List[KnowledgeCurve]:
+    """Run an instrumented DynamicOuter and return per-worker curves."""
+    strategy = _InstrumentedOuter(n)
+    simulate(strategy, platform, rng=rng)
+    return _curves_from(strategy, platform, d=2, n=n)
+
+
+def measure_matrix_knowledge_curves(
+    n: int, platform: Platform, *, rng: SeedLike = None
+) -> List[KnowledgeCurve]:
+    """Run an instrumented DynamicMatrix and return per-worker curves."""
+    strategy = _InstrumentedMatrix(n)
+    simulate(strategy, platform, rng=rng)
+    return _curves_from(strategy, platform, d=3, n=n)

@@ -1,0 +1,81 @@
+"""Block-level numerical kernels and references.
+
+The computational model of the paper: vectors/matrices are split into
+blocks of size ``l`` (``l x l`` for matrices); an outer-product task
+combines two vector blocks into an ``l x l`` tile, a matmul task performs
+one ``l x l`` GEMM update.  These helpers implement the block operations
+and the whole-array references the replay engine validates against.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "block_outer",
+    "block_gemm_update",
+    "reference_outer",
+    "reference_matmul",
+    "split_into_blocks",
+    "assemble_outer",
+]
+
+
+def block_outer(a_block: np.ndarray, b_block: np.ndarray) -> np.ndarray:
+    """Outer product of two size-``l`` vector blocks: an ``l x l`` tile."""
+    a_block = np.asarray(a_block)
+    b_block = np.asarray(b_block)
+    if a_block.ndim != 1 or b_block.ndim != 1:
+        raise ValueError("vector blocks must be 1-D")
+    return np.outer(a_block, b_block)
+
+
+def block_gemm_update(c_block: np.ndarray, a_block: np.ndarray, b_block: np.ndarray) -> None:
+    """In-place GEMM update ``C += A @ B`` on ``l x l`` blocks."""
+    if c_block.shape != (a_block.shape[0], b_block.shape[1]):
+        raise ValueError(
+            f"shape mismatch: C{c_block.shape} += A{a_block.shape} @ B{b_block.shape}"
+        )
+    c_block += a_block @ b_block
+
+
+def reference_outer(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Ground-truth outer product of two full vectors."""
+    return np.outer(np.asarray(a), np.asarray(b))
+
+
+def reference_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Ground-truth product of two full matrices."""
+    return np.asarray(a) @ np.asarray(b)
+
+
+def split_into_blocks(vec: np.ndarray, n: int) -> np.ndarray:
+    """Reshape a length-``n*l`` vector into ``(n, l)`` blocks."""
+    vec = np.asarray(vec)
+    if vec.ndim != 1:
+        raise ValueError("expected a 1-D vector")
+    if vec.size % n != 0:
+        raise ValueError(f"vector length {vec.size} not divisible into {n} blocks")
+    return vec.reshape(n, -1)
+
+
+def assemble_outer(tiles: np.ndarray) -> np.ndarray:
+    """Assemble an ``(n, n, l, l)`` tile array into the ``(n l, n l)`` matrix."""
+    tiles = np.asarray(tiles)
+    if tiles.ndim != 4 or tiles.shape[0] != tiles.shape[1] or tiles.shape[2] != tiles.shape[3]:
+        raise ValueError(f"expected (n, n, l, l) tiles, got {tiles.shape}")
+    n, _, l, _ = tiles.shape
+    return tiles.transpose(0, 2, 1, 3).reshape(n * l, n * l)
+
+
+def _as_blocked_matrix(mat: np.ndarray, n: int) -> Tuple[np.ndarray, int]:
+    """View an ``(n l, n l)`` matrix as ``(n, n, l, l)`` blocks; returns (blocks, l)."""
+    mat = np.asarray(mat)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {mat.shape}")
+    if mat.shape[0] % n != 0:
+        raise ValueError(f"matrix size {mat.shape[0]} not divisible into {n} blocks")
+    l = mat.shape[0] // n
+    return mat.reshape(n, l, n, l).transpose(0, 2, 1, 3), l

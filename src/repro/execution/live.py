@@ -1,0 +1,221 @@
+"""Live threaded runtime: the schedulers driving real concurrent kernels.
+
+Everything else in this repository measures *simulated* time.  This module
+runs a strategy as an actual shared-memory runtime system, StarPU-style in
+miniature:
+
+* the master is the strategy object behind a lock;
+* each worker is an OS thread that requests an assignment, releases the
+  lock, computes the assigned block tasks with NumPy (BLAS releases the
+  GIL, so computation genuinely overlaps), and requests again;
+* demand-driven load balancing emerges from real execution speed — no
+  speed is ever configured;
+* for matmul, each worker accumulates its own partial ``C`` and the master
+  reduces the contributions at the end, exactly as the paper describes
+  ("all C_{i,j} are sent back to the master that computes the final
+  results by adding the different contributions").
+
+This is the reproduction's answer to "slow for real kernels": the live
+path is provided and verified for correctness, while the evaluation runs
+on the discrete-event simulator like the paper's own.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Union
+
+import numpy as np
+
+from repro.core.strategies.base import Strategy
+from repro.core.strategies.registry import make_strategy
+from repro.execution.kernels import reference_matmul, reference_outer, split_into_blocks
+from repro.platform.platform import Platform
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["LiveReport", "run_outer_live", "run_matrix_live"]
+
+
+@dataclass(frozen=True)
+class LiveReport:
+    """Outcome of one live threaded run."""
+
+    result: np.ndarray
+    per_worker_tasks: np.ndarray
+    per_worker_blocks: np.ndarray
+    wall_time: float
+    n_workers: int
+    strategy_name: str
+    max_abs_error: float
+
+    @property
+    def total_tasks(self) -> int:
+        return int(self.per_worker_tasks.sum())
+
+
+def _resolve_strategy(strategy: Union[str, Strategy], kernel: str, n: int) -> Strategy:
+    if isinstance(strategy, str):
+        strategy = make_strategy(strategy, n, collect_ids=True)
+    if strategy.kernel != kernel:
+        raise ValueError(f"{strategy.name!r} is a {strategy.kernel} strategy, expected {kernel}")
+    if strategy.n != n or not strategy.collect_ids:
+        raise ValueError("live execution needs a size-matched strategy with collect_ids=True")
+    return strategy
+
+
+def run_outer_live(
+    a: np.ndarray,
+    b: np.ndarray,
+    n: int,
+    *,
+    n_workers: int = 4,
+    strategy: Union[str, Strategy] = "DynamicOuter2Phases",
+    rng: SeedLike = None,
+) -> LiveReport:
+    """Compute ``a b^t`` with *n_workers* threads driven by *strategy*.
+
+    Tiles are written exactly once (guaranteed by the strategies), so
+    workers write the shared output without synchronization.
+    """
+    n_workers = check_positive_int("n_workers", n_workers)
+    a_blocks = split_into_blocks(a, n)
+    b_blocks = split_into_blocks(b, n)
+    if a_blocks.shape != b_blocks.shape:
+        raise ValueError("a and b must have the same length")
+    l = a_blocks.shape[1]
+
+    strat = _resolve_strategy(strategy, "outer", n)
+    # The strategies are speed-agnostic; the platform only sizes the worker
+    # state (auto-tuned beta uses p, which is what we want).
+    strat.reset(Platform.homogeneous(n_workers), as_generator(rng))
+
+    out = np.zeros((n * l, n * l), dtype=np.result_type(a_blocks, b_blocks))
+    tiles = out.reshape(n, l, n, l).transpose(0, 2, 1, 3)
+    tasks = np.zeros(n_workers, dtype=np.int64)
+    blocks = np.zeros(n_workers, dtype=np.int64)
+    master_lock = threading.Lock()
+    errors: List[BaseException] = []
+
+    def worker(wid: int) -> None:
+        try:
+            while True:
+                with master_lock:
+                    if strat.done:
+                        return
+                    assignment = strat.assign(wid, time.monotonic())
+                blocks[wid] += assignment.blocks
+                ids = assignment.task_ids
+                if ids is None or ids.size == 0:
+                    continue
+                tasks[wid] += ids.size
+                for flat in ids:
+                    i, j = divmod(int(flat), n)
+                    tiles[i, j] = np.outer(a_blocks[i], b_blocks[j])
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=worker, args=(w,)) for w in range(n_workers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+
+    err = float(np.max(np.abs(out - reference_outer(a, b))))
+    return LiveReport(
+        result=out,
+        per_worker_tasks=tasks,
+        per_worker_blocks=blocks,
+        wall_time=wall,
+        n_workers=n_workers,
+        strategy_name=strat.name,
+        max_abs_error=err,
+    )
+
+
+def run_matrix_live(
+    a: np.ndarray,
+    b: np.ndarray,
+    n: int,
+    *,
+    n_workers: int = 4,
+    strategy: Union[str, Strategy] = "DynamicMatrix2Phases",
+    rng: SeedLike = None,
+) -> LiveReport:
+    """Compute ``A B`` with *n_workers* threads driven by *strategy*.
+
+    Each worker accumulates a private partial ``C`` (tasks with the same
+    ``(i, j)`` but different ``k`` may land on different workers); the
+    master sums the contributions at the end, as in the paper's model.
+    """
+    n_workers = check_positive_int("n_workers", n_workers)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError("A and B must be identical square matrices")
+    if a.shape[0] % n != 0:
+        raise ValueError(f"size {a.shape[0]} not divisible into {n} tiles")
+    l = a.shape[0] // n
+    a_tiles = a.reshape(n, l, n, l).transpose(0, 2, 1, 3)
+    b_tiles = b.reshape(n, l, n, l).transpose(0, 2, 1, 3)
+
+    strat = _resolve_strategy(strategy, "matrix", n)
+    strat.reset(Platform.homogeneous(n_workers), as_generator(rng))
+
+    partials = [np.zeros((n * l, n * l)) for _ in range(n_workers)]
+    tasks = np.zeros(n_workers, dtype=np.int64)
+    blocks = np.zeros(n_workers, dtype=np.int64)
+    master_lock = threading.Lock()
+    errors: List[BaseException] = []
+
+    def worker(wid: int) -> None:
+        try:
+            c_tiles = partials[wid].reshape(n, l, n, l).transpose(0, 2, 1, 3)
+            while True:
+                with master_lock:
+                    if strat.done:
+                        return
+                    assignment = strat.assign(wid, time.monotonic())
+                blocks[wid] += assignment.blocks
+                ids = assignment.task_ids
+                if ids is None or ids.size == 0:
+                    continue
+                tasks[wid] += ids.size
+                for flat in ids:
+                    ij, k = divmod(int(flat), n)
+                    i, j = divmod(ij, n)
+                    c_tiles[i, j] += a_tiles[i, k] @ b_tiles[k, j]
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=worker, args=(w,)) for w in range(n_workers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+    # Master-side reduction of the workers' partial results.
+    out = np.zeros((n * l, n * l))
+    for partial in partials:
+        out += partial
+    wall = time.perf_counter() - start
+
+    err = float(np.max(np.abs(out - reference_matmul(a, b))))
+    return LiveReport(
+        result=out,
+        per_worker_tasks=tasks,
+        per_worker_blocks=blocks,
+        wall_time=wall,
+        n_workers=n_workers,
+        strategy_name=strat.name,
+        max_abs_error=err,
+    )

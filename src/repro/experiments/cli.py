@@ -1,0 +1,171 @@
+"""``repro-experiments`` — regenerate the paper's figures from the shell.
+
+Examples::
+
+    repro-experiments list
+    repro-experiments run fig01 fig06 --scale ci --outdir results
+    repro-experiments run all --scale medium --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.config import SCALES
+from repro.experiments.figures import FIGURES, generate
+from repro.experiments.io import render_figure, write_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of Beaumont & Marchal, HPDC'14.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available figure ids")
+
+    run = sub.add_parser("run", help="run one or more figures")
+    run.add_argument(
+        "figures",
+        nargs="+",
+        help=f"figure ids ({', '.join(sorted(FIGURES))}) or 'all'",
+    )
+    run.add_argument("--scale", choices=SCALES, default="ci", help="experiment scale (default: ci)")
+    run.add_argument("--seed", type=int, default=0, help="top-level RNG seed (default: 0)")
+    run.add_argument("--outdir", default=None, help="write tidy CSVs into this directory")
+    run.add_argument("--svg", action="store_true", help="also write an SVG chart per figure (needs --outdir)")
+    run.add_argument("--quiet", action="store_true", help="suppress the terminal rendering")
+
+    gantt = sub.add_parser("gantt", help="simulate one strategy and print an ASCII Gantt chart")
+    gantt.add_argument("strategy", help="strategy name (see repro.strategy_names())")
+    gantt.add_argument("-n", type=int, default=40, help="blocks per dimension (default: 40)")
+    gantt.add_argument("-p", type=int, default=10, help="number of workers (default: 10)")
+    gantt.add_argument("--seed", type=int, default=0, help="RNG seed")
+    gantt.add_argument("--width", type=int, default=72, help="chart width in characters")
+
+    beta = sub.add_parser("beta", help="compute the optimal two-phase threshold beta")
+    beta.add_argument("kernel", choices=("outer", "matrix"), help="which kernel")
+    beta.add_argument("-n", type=int, required=True, help="blocks per dimension")
+    beta.add_argument("-p", type=int, required=True, help="number of workers")
+    beta.add_argument(
+        "--speeds",
+        type=float,
+        nargs="*",
+        default=None,
+        help="explicit worker speeds (defaults to the speed-agnostic homogeneous beta)",
+    )
+
+    report = sub.add_parser("report", help="summarize a results directory as markdown")
+    report.add_argument("directory", help="directory holding figure CSVs")
+    report.add_argument("-o", "--output", default=None, help="write the report here instead of stdout")
+    return parser
+
+
+def _resolve_figures(requested: List[str]) -> List[str]:
+    if "all" in requested:
+        return sorted(FIGURES)
+    unknown = [f for f in requested if f not in FIGURES]
+    if unknown:
+        raise SystemExit(f"unknown figure id(s): {', '.join(unknown)}; available: {', '.join(sorted(FIGURES))}")
+    return requested
+
+
+def _run_gantt(args) -> int:
+    from repro.core.analysis.lower_bounds import lower_bound
+    from repro.core.strategies.registry import make_strategy
+    from repro.platform.platform import Platform
+    from repro.platform.speeds import uniform_speeds
+    from repro.simulator.engine import simulate
+    from repro.simulator.gantt import ascii_gantt
+
+    platform = Platform(uniform_speeds(args.p, 10, 100, rng=args.seed))
+    strategy = make_strategy(args.strategy, args.n)
+    result = simulate(strategy, platform, rng=args.seed + 1, collect_trace=True)
+    print(ascii_gantt(result, width=args.width))
+    lb = lower_bound(strategy.kernel, platform.relative_speeds, args.n)
+    print(f"communication: {result.total_blocks} blocks = {result.normalized(lb):.3f} x lower bound")
+    return 0
+
+
+def _run_beta(args) -> int:
+    import math
+
+    import numpy as np
+
+    from repro.core.analysis.beta import agnostic_beta
+    from repro.core.analysis.matrix import matrix_total_ratio, optimal_matrix_beta
+    from repro.core.analysis.outer import optimal_outer_beta, outer_total_ratio
+
+    if args.speeds:
+        speeds = np.asarray(args.speeds, dtype=float)
+        if speeds.size != args.p:
+            raise SystemExit(f"expected {args.p} speeds, got {speeds.size}")
+        rel = speeds / speeds.sum()
+        beta = optimal_outer_beta(rel, args.n) if args.kernel == "outer" else optimal_matrix_beta(rel, args.n)
+        source = "tuned to the given speeds"
+    else:
+        rel = np.full(args.p, 1.0 / args.p)
+        beta = agnostic_beta(args.kernel, args.p, args.n)
+        source = "speed-agnostic (homogeneous, Section 3.6)"
+    ratio = outer_total_ratio(beta, rel, args.n) if args.kernel == "outer" else matrix_total_ratio(beta, rel, args.n)
+    total = args.n**2 if args.kernel == "outer" else args.n**3
+    threshold = round(math.exp(-beta) * total)
+    print(f"beta* = {beta:.4f}  ({source})")
+    print(f"switch to phase 2 when {threshold} of {total} tasks remain "
+          f"({100 * (1 - math.exp(-beta)):.1f}% done)")
+    print(f"predicted communication: {ratio:.3f} x lower bound")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "gantt":
+        return _run_gantt(args)
+
+    if args.command == "beta":
+        return _run_beta(args)
+
+    if args.command == "report":
+        from repro.experiments.report import summarize_results, write_report
+
+        if args.output:
+            print(f"wrote {write_report(args.directory, args.output)}")
+        else:
+            print(summarize_results(args.directory))
+        return 0
+
+    if args.command == "list":
+        for fid in sorted(FIGURES):
+            doc = (FIGURES[fid].__doc__ or "").strip().splitlines()[0]
+            print(f"{fid:8s} {doc}")
+        return 0
+
+    figure_ids = _resolve_figures(args.figures)
+    for fid in figure_ids:
+        start = time.time()
+        fig = generate(fid, scale=args.scale, seed=args.seed)
+        elapsed = time.time() - start
+        if not args.quiet:
+            print(render_figure(fig))
+            print(f"   [{fid} generated in {elapsed:.1f}s at scale={args.scale}]\n")
+        if args.outdir:
+            path = write_csv(fig, os.path.join(args.outdir, f"{fid}_{args.scale}.csv"))
+            print(f"   wrote {path}")
+            if args.svg:
+                from repro.experiments.svgplot import write_svg
+
+                svg_path = write_svg(fig, os.path.join(args.outdir, f"{fid}_{args.scale}.svg"))
+                print(f"   wrote {svg_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

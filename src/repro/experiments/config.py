@@ -1,0 +1,74 @@
+"""Figure-data containers and scale presets.
+
+A :class:`FigureData` is the plot-ready outcome of one experiment: named
+series of (x, mean, std) triples plus axis metadata.  Everything is plain
+data so it can be rendered to CSV or ASCII without a plotting dependency.
+
+Scales
+------
+``"paper"``
+    The exact parameters of the paper's figures (p up to 300, n up to
+    1000, 10-50 repetitions).  Minutes to hours of CPU.
+``"medium"``
+    A faithful hours-to-minutes reduction (same p-grid shape, n capped,
+    5 repetitions); the scale used to produce EXPERIMENTS.md.
+``"ci"``
+    Same experiment shape at smoke size (small p-grid, reduced n, 2
+    repetitions).  Seconds; used by the benchmark suite's default runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Series", "FigureData", "SCALES", "check_scale"]
+
+SCALES = ("paper", "medium", "ci")
+
+
+def check_scale(scale: str) -> str:
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+    return scale
+
+
+@dataclass
+class Series:
+    """One curve of a figure: aligned x, mean and std arrays."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    mean: List[float] = field(default_factory=list)
+    std: List[float] = field(default_factory=list)
+
+    def add(self, x: float, mean: float, std: float = 0.0) -> None:
+        self.x.append(float(x))
+        self.mean.append(float(mean))
+        self.std.append(float(std))
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+@dataclass
+class FigureData:
+    """Plot-ready outcome of one experiment."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: Dict[str, Series] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+    x_categories: Optional[Sequence[str]] = None  # for categorical x-axes (Fig. 8)
+
+    def new_series(self, label: str) -> Series:
+        if label in self.series:
+            raise ValueError(f"series {label!r} already exists in {self.figure_id}")
+        s = Series(label=label)
+        self.series[label] = s
+        return s
+
+    def __getitem__(self, label: str) -> Series:
+        return self.series[label]

@@ -1,0 +1,114 @@
+"""Serialize figure data to CSV and render it in a terminal.
+
+The repository carries no plotting dependency; figures are persisted as
+tidy CSV (one row per series point) and can be eyeballed with a small
+ASCII renderer.  Any plotting tool (pandas + matplotlib, gnuplot, ...) can
+consume the CSVs directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import List, Tuple
+
+from repro.experiments.config import FigureData
+
+__all__ = ["figure_to_rows", "write_csv", "read_csv", "render_figure"]
+
+_HEADER = ("figure", "series", "x", "x_label", "mean", "std")
+
+
+def figure_to_rows(fig: FigureData) -> List[Tuple]:
+    """Flatten a figure into tidy rows (one per series point)."""
+    rows: List[Tuple] = []
+    for label, series in fig.series.items():
+        for x, mean, std in zip(series.x, series.mean, series.std):
+            x_label = ""
+            if fig.x_categories is not None:
+                idx = int(x)
+                if 0 <= idx < len(fig.x_categories):
+                    x_label = fig.x_categories[idx]
+            rows.append((fig.figure_id, label, x, x_label, mean, std))
+    return rows
+
+
+def write_csv(fig: FigureData, path: str) -> str:
+    """Write the figure to *path* as tidy CSV; returns the path."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        writer.writerows(figure_to_rows(fig))
+    return path
+
+
+def read_csv(path: str) -> FigureData:
+    """Rebuild a :class:`FigureData` from a tidy CSV written by :func:`write_csv`.
+
+    Axis titles are not stored in the CSV; the figure id doubles as the
+    title and the labels are left generic.  Categorical x labels are
+    restored when present.
+    """
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        if tuple(header) != _HEADER:
+            raise ValueError(f"{path} is not a repro figure CSV (header {header})")
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"{path} contains no data rows")
+    figure_id = rows[0][0]
+    categories: dict = {}
+    fig = FigureData(figure_id=figure_id, title=figure_id, xlabel="x", ylabel="value")
+    for fid, label, x, x_label, mean, std in rows:
+        if fid != figure_id:
+            raise ValueError(f"{path} mixes figures {figure_id!r} and {fid!r}")
+        if label not in fig.series:
+            fig.new_series(label)
+        fig.series[label].add(float(x), float(mean), float(std))
+        if x_label:
+            categories[int(float(x))] = x_label
+    if categories:
+        size = max(categories) + 1
+        fig.x_categories = [categories.get(i, str(i)) for i in range(size)]
+    return fig
+
+
+def _format_point(x: float, categories) -> str:
+    if categories is not None:
+        idx = int(x)
+        if 0 <= idx < len(categories):
+            return str(categories[idx])
+    if float(x).is_integer():
+        return str(int(x))
+    return f"{x:g}"
+
+
+def render_figure(fig: FigureData, *, width: int = 78) -> str:
+    """Human-readable table of the figure (series as columns)."""
+    out = io.StringIO()
+    out.write(f"== {fig.figure_id}: {fig.title}\n")
+    for key, value in sorted(fig.meta.items()):
+        out.write(f"   {key} = {value}\n")
+    labels = list(fig.series)
+    xs: List[float] = sorted({x for s in fig.series.values() for x in s.x})
+    col = max(12, max((len(lb) for lb in labels), default=12) + 2)
+    out.write(f"{fig.xlabel[:18]:>18} " + "".join(f"{lb[:col - 1]:>{col}}" for lb in labels) + "\n")
+    for x in xs:
+        out.write(f"{_format_point(x, fig.x_categories):>18} ")
+        for lb in labels:
+            s = fig.series[lb]
+            try:
+                idx = s.x.index(x)
+                cell = f"{s.mean[idx]:.3f}"
+                if s.std[idx] > 0:
+                    cell += f"±{s.std[idx]:.2f}"
+            except ValueError:
+                cell = "-"
+            out.write(f"{cell:>{col}}")
+        out.write("\n")
+    return out.getvalue()

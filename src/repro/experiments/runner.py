@@ -1,0 +1,101 @@
+"""Repetition and aggregation around the simulator.
+
+The paper's figures average the *normalized communication amount* (total
+blocks over the kernel's lower bound) across 10-50 simulations, drawing a
+fresh speed vector per repetition (except the fixed-distribution β sweeps).
+These helpers implement exactly that protocol with independent RNG streams
+per repetition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.analysis.lower_bounds import lower_bound
+from repro.core.analysis.matrix import matrix_total_ratio, optimal_matrix_beta
+from repro.core.analysis.outer import optimal_outer_beta, outer_total_ratio
+from repro.core.strategies.base import Strategy
+from repro.platform.platform import Platform
+from repro.platform.speeds import SpeedModel
+from repro.simulator.engine import simulate
+from repro.utils.rng import SeedLike, spawn_rngs
+from repro.utils.stats import RunningStats, Summary
+
+__all__ = [
+    "average_normalized_comm",
+    "mean_analysis_ratio",
+    "PlatformFactory",
+    "StrategyFactory",
+]
+
+# A platform factory receives the repetition's RNG and returns the platform
+# (and optionally a speed model) for that repetition.
+PlatformFactory = Callable[[np.random.Generator], "Platform | tuple[Platform, SpeedModel]"]
+StrategyFactory = Callable[[], Strategy]
+
+
+def _unpack(made) -> "tuple[Platform, Optional[SpeedModel]]":
+    if isinstance(made, tuple):
+        platform, model = made
+        return platform, model
+    return made, None
+
+
+def average_normalized_comm(
+    strategy_factory: StrategyFactory,
+    platform_factory: PlatformFactory,
+    n: int,
+    reps: int,
+    *,
+    seed: SeedLike = 0,
+) -> Summary:
+    """Mean/std of normalized communication over *reps* simulations.
+
+    Each repetition gets an independent RNG stream used for the platform
+    draw, the strategy's choices and any dynamic speed perturbations —
+    mirroring the paper's protocol of averaging over full re-runs.
+    """
+    if reps <= 0:
+        raise ValueError(f"reps must be positive, got {reps}")
+    stats = RunningStats()
+    for rng in spawn_rngs(seed, reps):
+        platform, model = _unpack(platform_factory(rng))
+        strategy = strategy_factory()
+        result = simulate(strategy, platform, rng=rng, speed_model=model)
+        lb = lower_bound(strategy.kernel, platform.relative_speeds, n)
+        stats.add(result.normalized(lb))
+    return stats.summary()
+
+
+def mean_analysis_ratio(
+    kernel: str,
+    platform_factory: PlatformFactory,
+    n: int,
+    reps: int,
+    *,
+    seed: SeedLike = 0,
+    beta: Optional[float] = None,
+) -> Summary:
+    """Mean/std of the *predicted* normalized communication over draws.
+
+    For each repetition's platform draw, evaluates the closed-form total
+    ratio at *beta* (or at the per-draw optimal β when ``beta`` is None) —
+    this is the "Analysis" curve of Figures 4, 5, 7, 8, 9, 10.
+    """
+    if reps <= 0:
+        raise ValueError(f"reps must be positive, got {reps}")
+    stats = RunningStats()
+    for rng in spawn_rngs(seed, reps):
+        platform, _ = _unpack(platform_factory(rng))
+        rel = platform.relative_speeds
+        if kernel == "outer":
+            b = optimal_outer_beta(rel, n) if beta is None else beta
+            stats.add(outer_total_ratio(b, rel, n))
+        elif kernel == "matrix":
+            b = optimal_matrix_beta(rel, n) if beta is None else beta
+            stats.add(matrix_total_ratio(b, rel, n))
+        else:
+            raise ValueError(f"kernel must be 'outer' or 'matrix', got {kernel!r}")
+    return stats.summary()

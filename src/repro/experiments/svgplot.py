@@ -1,0 +1,174 @@
+"""Self-contained SVG line charts for figure data.
+
+The offline environment has no plotting stack, so this small renderer
+turns a :class:`~repro.experiments.config.FigureData` into a standalone
+SVG file: axes with tick labels, one polyline + markers per series,
+optional ±std whiskers, and a legend.  The output opens in any browser and
+is diff-friendly (deterministic text).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence, Tuple
+
+from repro.experiments.config import FigureData, Series
+
+__all__ = ["render_svg", "write_svg"]
+
+# A colorblind-safe categorical palette (Okabe-Ito).
+_PALETTE = (
+    "#0072B2",  # blue
+    "#D55E00",  # vermillion
+    "#009E73",  # green
+    "#CC79A7",  # purple
+    "#E69F00",  # orange
+    "#56B4E9",  # sky
+    "#F0E442",  # yellow
+    "#000000",  # black
+)
+
+_WIDTH, _HEIGHT = 720, 440
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 64, 180, 42, 52
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 6) -> List[float]:
+    """Round tick positions covering [lo, hi] (1/2/5 ladder)."""
+    import math
+
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(target - 1, 1)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    best = mag
+    for step in (1.0, 2.0, 5.0, 10.0):
+        cand = step * mag
+        if abs((hi - lo) / cand - (target - 1)) < abs((hi - lo) / best - (target - 1)):
+            best = cand
+    first = math.floor(lo / best) * best
+    ticks = []
+    t = first
+    while t <= hi + 1e-12 * max(abs(hi), 1.0):
+        if t >= lo - 1e-12 * max(abs(lo), 1.0):
+            ticks.append(round(t, 10))
+        t += best
+    return ticks or [lo, hi]
+
+
+def _bounds(series: Sequence[Series]) -> Tuple[float, float, float, float]:
+    xs = [x for s in series for x in s.x]
+    ys = [m + sd for s in series for m, sd in zip(s.mean, s.std)]
+    ys += [m - sd for s in series for m, sd in zip(s.mean, s.std)]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_lo == x_hi:
+        x_lo, x_hi = x_lo - 0.5, x_hi + 0.5
+    pad = 0.05 * (y_hi - y_lo or 1.0)
+    return x_lo, x_hi, y_lo - pad, y_hi + pad
+
+
+def render_svg(fig: FigureData) -> str:
+    """Render the figure as an SVG document string."""
+    series = [s for s in fig.series.values() if len(s) > 0]
+    if not series:
+        raise ValueError(f"figure {fig.figure_id} has no data to plot")
+    x_lo, x_hi, y_lo, y_hi = _bounds(series)
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def sx(x: float) -> float:
+        return _MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return _MARGIN_T + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" height="{_HEIGHT}" '
+        f'viewBox="0 0 {_WIDTH} {_HEIGHT}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_MARGIN_L}" y="22" font-size="15" font-weight="bold">{_esc(fig.title)}</text>',
+    ]
+
+    # Axes frame and grid.
+    parts.append(
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" height="{plot_h}" '
+        'fill="none" stroke="#444" stroke-width="1"/>'
+    )
+    for ty in _nice_ticks(y_lo, y_hi):
+        y = sy(ty)
+        if _MARGIN_T - 1 <= y <= _MARGIN_T + plot_h + 1:
+            parts.append(
+                f'<line x1="{_MARGIN_L}" y1="{y:.1f}" x2="{_MARGIN_L + plot_w}" y2="{y:.1f}" '
+                'stroke="#ddd" stroke-width="0.7"/>'
+            )
+            parts.append(f'<text x="{_MARGIN_L - 8}" y="{y + 4:.1f}" text-anchor="end">{ty:g}</text>')
+    if fig.x_categories is not None:
+        x_ticks = list(range(len(fig.x_categories)))
+        labels = list(fig.x_categories)
+    else:
+        x_ticks = _nice_ticks(x_lo, x_hi)
+        labels = [f"{t:g}" for t in x_ticks]
+    for tx, label in zip(x_ticks, labels):
+        x = sx(tx)
+        if _MARGIN_L - 1 <= x <= _MARGIN_L + plot_w + 1:
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{_MARGIN_T + plot_h}" x2="{x:.1f}" '
+                f'y2="{_MARGIN_T + plot_h + 5}" stroke="#444"/>'
+            )
+            parts.append(
+                f'<text x="{x:.1f}" y="{_MARGIN_T + plot_h + 20}" text-anchor="middle">{_esc(label)}</text>'
+            )
+
+    # Axis labels.
+    parts.append(
+        f'<text x="{_MARGIN_L + plot_w / 2:.1f}" y="{_HEIGHT - 10}" text-anchor="middle">'
+        f"{_esc(fig.xlabel)}</text>"
+    )
+    parts.append(
+        f'<text x="16" y="{_MARGIN_T + plot_h / 2:.1f}" text-anchor="middle" '
+        f'transform="rotate(-90 16 {_MARGIN_T + plot_h / 2:.1f})">{_esc(fig.ylabel)}</text>'
+    )
+
+    # Series.
+    for idx, (label, s) in enumerate(fig.series.items()):
+        if len(s) == 0:
+            continue
+        color = _PALETTE[idx % len(_PALETTE)]
+        pts = sorted(zip(s.x, s.mean, s.std))
+        path = " ".join(f"{sx(x):.1f},{sy(m):.1f}" for x, m, _ in pts)
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" stroke-width="1.8"/>'
+        )
+        for x, m, sd in pts:
+            cx, cy = sx(x), sy(m)
+            if sd > 0:
+                parts.append(
+                    f'<line x1="{cx:.1f}" y1="{sy(m - sd):.1f}" x2="{cx:.1f}" '
+                    f'y2="{sy(m + sd):.1f}" stroke="{color}" stroke-width="1"/>'
+                )
+            parts.append(f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="3" fill="{color}"/>')
+        # Legend entry.
+        ly = _MARGIN_T + 16 * idx
+        lx = _MARGIN_L + plot_w + 14
+        parts.append(
+            f'<line x1="{lx}" y1="{ly + 5}" x2="{lx + 20}" y2="{ly + 5}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(f'<text x="{lx + 26}" y="{ly + 9}">{_esc(label)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(fig: FigureData, path: str) -> str:
+    """Render and write the figure; returns the path."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(render_svg(fig))
+    return path
+
+
+def _esc(text: str) -> str:
+    return str(text).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")

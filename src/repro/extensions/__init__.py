@@ -1,0 +1,26 @@
+"""Extensions beyond the paper's evaluation.
+
+The paper's conclusion names the obvious next step: "extending this work to
+regular dense linear algebra kernels such as Cholesky or QR factorizations".
+This package implements that step and more:
+
+* :mod:`repro.extensions.dagsched` — a generic dependency-aware
+  demand-driven engine with a write-invalidate tile-cache model and
+  random / locality scheduling policies;
+* :mod:`repro.extensions.cholesky` — blocked Cholesky
+  (POTRF/TRSM/SYRK/GEMM) with numerical replay vs ``numpy``;
+* :mod:`repro.extensions.qr` — flat-tree tiled QR
+  (GEQRT/UNMQR/TSQRT/TSMQR, multi-write tasks) verified via R-factor
+  invariants;
+* :mod:`repro.extensions.lu` — tiled pivot-free LU for diagonally
+  dominant matrices;
+* :mod:`repro.extensions.overlap` — the paper's out-of-scope
+  bandwidth/prefetch model, quantifying when the overlap assumption holds.
+
+These modules are *extensions*: they are not needed to reproduce any figure
+and their models make additional assumptions documented in their docstrings.
+"""
+
+from repro.extensions import cholesky, dagsched, lu, overlap, qr
+
+__all__ = ["cholesky", "qr", "lu", "dagsched", "overlap"]

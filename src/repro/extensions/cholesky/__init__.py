@@ -1,0 +1,38 @@
+"""Blocked Cholesky factorization with dynamic data-aware scheduling.
+
+The right-looking blocked Cholesky of an ``n x n``-tile SPD matrix spawns
+the classical four task types (k is the panel index)::
+
+    POTRF(k)      : L[k,k]  = chol(A[k,k])
+    TRSM(i,k)     : L[i,k]  = A[i,k] @ inv(L[k,k])^T            (i > k)
+    SYRK(i,k)     : A[i,i] -= L[i,k] @ L[i,k]^T                 (i > k)
+    GEMM(i,j,k)   : A[i,j] -= L[i,k] @ L[j,k]^T                 (i > j > k)
+
+Unlike the paper's kernels these tasks carry *precedence dependencies*, so
+the demand-driven engine here tracks a ready set that grows as tasks
+complete, and workers can legitimately idle.  Communication follows a
+write-invalidate tile-cache model: a task fetches every input tile its
+worker does not hold a valid copy of (one block each), and writing a tile
+invalidates all other copies.
+"""
+
+from repro.extensions.cholesky.dag import CholeskyDag, Task, TaskType, task_counts
+from repro.extensions.cholesky.numerics import replay_cholesky
+from repro.extensions.cholesky.scheduler import (
+    CholeskyResult,
+    LocalityScheduler,
+    RandomScheduler,
+    simulate_cholesky,
+)
+
+__all__ = [
+    "CholeskyDag",
+    "Task",
+    "TaskType",
+    "task_counts",
+    "simulate_cholesky",
+    "RandomScheduler",
+    "LocalityScheduler",
+    "CholeskyResult",
+    "replay_cholesky",
+]

@@ -1,0 +1,160 @@
+"""The blocked-Cholesky task DAG.
+
+Dependencies of the right-looking variant (all on the same tile versions):
+
+* ``POTRF(k)`` waits for every ``SYRK(k, k') with k' < k``;
+* ``TRSM(i, k)`` waits for ``POTRF(k)`` and every ``GEMM(i, k, k') with k' < k``;
+* ``SYRK(i, k)`` waits for ``TRSM(i, k)``;
+* ``GEMM(i, j, k)`` waits for ``TRSM(i, k)`` and ``TRSM(j, k)``.
+
+Task counts for ``n`` tiles: ``n`` POTRF, ``n(n-1)/2`` TRSM, ``n(n-1)/2``
+SYRK and ``n(n-1)(n-2)/6`` GEMM.
+
+Each task declares the tiles it reads and the single tile it writes, which
+is what the scheduler's cache model consumes; per-task *work* is the
+classical flop weight so heterogeneous speeds stay meaningful (POTRF 1/3,
+TRSM 1, SYRK 1, GEMM 2 block-flops).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["TaskType", "Task", "CholeskyDag", "task_counts"]
+
+Tile = Tuple[int, int]
+
+
+class TaskType(enum.Enum):
+    POTRF = "potrf"
+    TRSM = "trsm"
+    SYRK = "syrk"
+    GEMM = "gemm"
+
+
+# Relative flop weights of the four kernels on l x l tiles.
+_WORK = {TaskType.POTRF: 1.0 / 3.0, TaskType.TRSM: 1.0, TaskType.SYRK: 1.0, TaskType.GEMM: 2.0}
+
+
+@dataclass(frozen=True)
+class Task:
+    """One block task of the factorization."""
+
+    kind: TaskType
+    i: int
+    j: int
+    k: int
+    reads: Tuple[Tile, ...]
+    writes: Tile
+    work: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}({self.i},{self.j},{self.k})"
+
+
+def task_counts(n: int) -> Dict[TaskType, int]:
+    """Closed-form task counts for an ``n``-tile factorization."""
+    n = check_positive_int("n", n)
+    return {
+        TaskType.POTRF: n,
+        TaskType.TRSM: n * (n - 1) // 2,
+        TaskType.SYRK: n * (n - 1) // 2,
+        TaskType.GEMM: n * (n - 1) * (n - 2) // 6,
+    }
+
+
+class CholeskyDag:
+    """Tasks, dependency edges and critical-path priorities for ``n`` tiles."""
+
+    def __init__(self, n: int) -> None:
+        self.n = check_positive_int("n", n)
+        self.tasks: List[Task] = []
+        self._index: Dict[Tuple[TaskType, int, int, int], int] = {}
+        self._build_tasks()
+        self.successors: List[List[int]] = [[] for _ in self.tasks]
+        self.n_deps: List[int] = [0] * len(self.tasks)
+        self._build_edges()
+        self.priority = self._critical_path_lengths()
+
+    # -- construction ------------------------------------------------------
+
+    def _add(self, kind: TaskType, i: int, j: int, k: int, reads, writes) -> None:
+        self._index[(kind, i, j, k)] = len(self.tasks)
+        self.tasks.append(
+            Task(kind=kind, i=i, j=j, k=k, reads=tuple(reads), writes=writes, work=_WORK[kind])
+        )
+
+    def _build_tasks(self) -> None:
+        n = self.n
+        for k in range(n):
+            self._add(TaskType.POTRF, k, k, k, [(k, k)], (k, k))
+            for i in range(k + 1, n):
+                self._add(TaskType.TRSM, i, k, k, [(k, k), (i, k)], (i, k))
+            for i in range(k + 1, n):
+                self._add(TaskType.SYRK, i, i, k, [(i, k), (i, i)], (i, i))
+                for j in range(k + 1, i):
+                    self._add(TaskType.GEMM, i, j, k, [(i, k), (j, k), (i, j)], (i, j))
+
+    def _edge(self, src_key, dst_key) -> None:
+        src = self._index[src_key]
+        dst = self._index[dst_key]
+        self.successors[src].append(dst)
+        self.n_deps[dst] += 1
+
+    def _build_edges(self) -> None:
+        n = self.n
+        for k in range(n):
+            for kp in range(k):
+                self._edge((TaskType.SYRK, k, k, kp), (TaskType.POTRF, k, k, k))
+            for i in range(k + 1, n):
+                self._edge((TaskType.POTRF, k, k, k), (TaskType.TRSM, i, k, k))
+                for kp in range(k):
+                    self._edge((TaskType.GEMM, i, k, kp), (TaskType.TRSM, i, k, k))
+                self._edge((TaskType.TRSM, i, k, k), (TaskType.SYRK, i, i, k))
+                for j in range(k + 1, i):
+                    self._edge((TaskType.TRSM, i, k, k), (TaskType.GEMM, i, j, k))
+                    self._edge((TaskType.TRSM, j, k, k), (TaskType.GEMM, i, j, k))
+
+    def _critical_path_lengths(self) -> List[float]:
+        """Longest work-weighted path from each task to a sink (HEFT-style
+        upward rank with uniform speeds); used as the tie-break priority."""
+        order = self._topological_order()
+        rank = [0.0] * len(self.tasks)
+        for t in reversed(order):
+            best = 0.0
+            for s in self.successors[t]:
+                best = max(best, rank[s])
+            rank[t] = self.tasks[t].work + best
+        return rank
+
+    def _topological_order(self) -> List[int]:
+        indeg = list(self.n_deps)
+        stack = [t for t, d in enumerate(indeg) if d == 0]
+        order: List[int] = []
+        while stack:
+            t = stack.pop()
+            order.append(t)
+            for s in self.successors[t]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    stack.append(s)
+        if len(order) != len(self.tasks):  # pragma: no cover - structural bug guard
+            raise RuntimeError("Cholesky DAG contains a cycle")
+        return order
+
+    # -- accessors ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def task_id(self, kind: TaskType, i: int, j: int, k: int) -> int:
+        return self._index[(kind, i, j, k)]
+
+    def initial_ready(self) -> List[int]:
+        """Tasks with no dependencies (just ``POTRF(0)`` for n >= 1... plus
+        any independent first-panel TRSMs once POTRF(0) completes)."""
+        return [t for t, d in enumerate(self.n_deps) if d == 0]

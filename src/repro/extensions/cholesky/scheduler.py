@@ -1,0 +1,53 @@
+"""Cholesky front-end over the generic DAG engine.
+
+The engine and policies live in :mod:`repro.extensions.dagsched`; this
+module builds the Cholesky DAG, names the policies after the kernel and
+re-exports the result type under its historical name.
+"""
+
+from __future__ import annotations
+
+from repro.extensions.cholesky.dag import CholeskyDag
+from repro.extensions.dagsched.engine import (
+    DagSchedulingResult,
+    LocalityScheduler as _LocalityScheduler,
+    RandomScheduler as _RandomScheduler,
+    simulate_dag,
+)
+from repro.platform.platform import Platform
+from repro.utils.rng import SeedLike
+
+__all__ = ["RandomScheduler", "LocalityScheduler", "CholeskyResult", "simulate_cholesky"]
+
+# Historical alias: the result shape is the generic DAG one.
+CholeskyResult = DagSchedulingResult
+
+
+class RandomScheduler(_RandomScheduler):
+    """Uniformly random ready-task selection."""
+
+    name = "RandomCholesky"
+
+
+class LocalityScheduler(_LocalityScheduler):
+    """Fewest-missing-tiles selection with critical-path tie-break."""
+
+    name = "LocalityCholesky"
+
+
+def simulate_cholesky(
+    n: int,
+    platform: Platform,
+    scheduler=None,
+    *,
+    rng: SeedLike = None,
+) -> DagSchedulingResult:
+    """Simulate a blocked Cholesky factorization of ``n x n`` tiles.
+
+    Returns communication (blocks fetched under write-invalidate caching),
+    makespan, idle time and the full (start, worker, task) schedule — a
+    valid topological order consumed by
+    :func:`~repro.extensions.cholesky.numerics.replay_cholesky`.
+    """
+    policy = scheduler if scheduler is not None else LocalityScheduler()
+    return simulate_dag(CholeskyDag(n), platform, policy, rng=rng)

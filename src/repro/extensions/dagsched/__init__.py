@@ -1,0 +1,32 @@
+"""Generic dependency-aware demand-driven DAG scheduling.
+
+Factored out of the Cholesky extension so any tiled-factorization DAG
+(Cholesky, QR, LU, ...) can reuse the same engine and policies.  A *DAG*
+object must expose:
+
+* ``tasks`` — list of task objects with ``reads`` (tuple of tile ids),
+  ``writes`` (one tile id) and ``work`` (float weight);
+* ``successors`` — adjacency list (list of lists of task indices);
+* ``n_deps`` — in-degree per task;
+* ``priority`` — a scheduling priority per task (larger = more urgent),
+  e.g. the HEFT-style upward rank;
+* ``initial_ready()`` — indices of zero-in-degree tasks.
+
+The engine (:func:`simulate_dag`) is demand-driven with a write-invalidate
+tile-cache communication model; see
+:mod:`repro.extensions.cholesky` for the modelling discussion.
+"""
+
+from repro.extensions.dagsched.engine import (
+    DagSchedulingResult,
+    LocalityScheduler,
+    RandomScheduler,
+    simulate_dag,
+)
+
+__all__ = [
+    "simulate_dag",
+    "DagSchedulingResult",
+    "RandomScheduler",
+    "LocalityScheduler",
+]

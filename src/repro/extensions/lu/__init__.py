@@ -1,0 +1,38 @@
+"""Tiled LU factorization (no pivoting) with dynamic data-aware scheduling.
+
+Completes the dense-factorization trio on the generic DAG engine
+(:mod:`repro.extensions.dagsched`).  Right-looking tiled LU of an
+``n x n``-tile matrix (assumed to admit an LU factorization without
+pivoting, e.g. diagonally dominant)::
+
+    GETRF(k)      : A[k,k]  = L[k,k] U[k,k]           (in place)
+    TRSM_U(k,j)   : U[k,j]  = inv(L[k,k]) @ A[k,j]    (j > k)
+    TRSM_L(i,k)   : L[i,k]  = A[i,k] @ inv(U[k,k])    (i > k)
+    GEMM(i,j,k)   : A[i,j] -= L[i,k] @ U[k,j]         (i, j > k)
+
+Pivot-free LU is numerically safe only for restricted matrix classes; the
+replay helper :func:`~repro.extensions.lu.numerics.random_dd` generates
+diagonally dominant inputs for which it is well-conditioned.
+"""
+
+from repro.extensions.lu.dag import LuDag, LuTask, LuTaskType, lu_task_counts
+from repro.extensions.lu.numerics import random_dd, replay_lu
+from repro.extensions.lu.scheduler import (
+    LocalityScheduler,
+    LuResult,
+    RandomScheduler,
+    simulate_lu,
+)
+
+__all__ = [
+    "LuDag",
+    "LuTask",
+    "LuTaskType",
+    "lu_task_counts",
+    "simulate_lu",
+    "RandomScheduler",
+    "LocalityScheduler",
+    "LuResult",
+    "replay_lu",
+    "random_dd",
+]

@@ -1,0 +1,157 @@
+"""The tiled-LU (no pivoting) task DAG.
+
+Dependencies of the right-looking variant:
+
+* ``GETRF(k)`` waits for ``GEMM(k, k, k-1)`` when ``k >= 1``;
+* ``TRSM_U(k, j)`` waits for ``GETRF(k)`` and ``GEMM(k, j, k-1)``;
+* ``TRSM_L(i, k)`` waits for ``GETRF(k)`` and ``GEMM(i, k, k-1)``;
+* ``GEMM(i, j, k)`` waits for ``TRSM_L(i, k)``, ``TRSM_U(k, j)`` and
+  ``GEMM(i, j, k-1)``.
+
+Counts for ``n`` tiles: ``n`` GETRF, ``n(n-1)/2`` each TRSM flavour and
+``n(n-1)(2n-1)/6``... no — GEMM(i, j, k) ranges over ``i, j > k``:
+``sum_k (n-1-k)^2 = (n-1)n(2n-1)/6``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["LuTaskType", "LuTask", "LuDag", "lu_task_counts"]
+
+Tile = Tuple[int, int]
+
+
+class LuTaskType(enum.Enum):
+    GETRF = "getrf"
+    TRSM_U = "trsm_u"  # row update: U[k, j]
+    TRSM_L = "trsm_l"  # column update: L[i, k]
+    GEMM = "gemm"
+
+
+_WORK = {
+    LuTaskType.GETRF: 2.0 / 3.0,
+    LuTaskType.TRSM_U: 1.0,
+    LuTaskType.TRSM_L: 1.0,
+    LuTaskType.GEMM: 2.0,
+}
+
+
+@dataclass(frozen=True)
+class LuTask:
+    kind: LuTaskType
+    i: int
+    j: int
+    k: int
+    reads: Tuple[Tile, ...]
+    writes: Tile
+    work: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}({self.i},{self.j},{self.k})"
+
+
+def lu_task_counts(n: int) -> Dict[LuTaskType, int]:
+    """Closed-form task counts for an ``n``-tile factorization."""
+    n = check_positive_int("n", n)
+    return {
+        LuTaskType.GETRF: n,
+        LuTaskType.TRSM_U: n * (n - 1) // 2,
+        LuTaskType.TRSM_L: n * (n - 1) // 2,
+        LuTaskType.GEMM: (n - 1) * n * (2 * n - 1) // 6,
+    }
+
+
+class LuDag:
+    """Tasks, dependency edges and priorities for ``n`` tiles."""
+
+    def __init__(self, n: int) -> None:
+        self.n = check_positive_int("n", n)
+        self.tasks: List[LuTask] = []
+        self._index: Dict[Tuple[LuTaskType, int, int, int], int] = {}
+        self._build_tasks()
+        self.successors: List[List[int]] = [[] for _ in self.tasks]
+        self.n_deps: List[int] = [0] * len(self.tasks)
+        self._build_edges()
+        self.priority = self._upward_ranks()
+
+    def _add(self, kind: LuTaskType, i: int, j: int, k: int, reads, writes) -> None:
+        self._index[(kind, i, j, k)] = len(self.tasks)
+        self.tasks.append(
+            LuTask(kind=kind, i=i, j=j, k=k, reads=tuple(reads), writes=writes, work=_WORK[kind])
+        )
+
+    def _build_tasks(self) -> None:
+        n = self.n
+        for k in range(n):
+            self._add(LuTaskType.GETRF, k, k, k, [(k, k)], (k, k))
+            for j in range(k + 1, n):
+                self._add(LuTaskType.TRSM_U, k, j, k, [(k, k), (k, j)], (k, j))
+            for i in range(k + 1, n):
+                self._add(LuTaskType.TRSM_L, i, k, k, [(k, k), (i, k)], (i, k))
+                for j in range(k + 1, n):
+                    self._add(LuTaskType.GEMM, i, j, k, [(i, k), (k, j), (i, j)], (i, j))
+
+    def _edge(self, src_key, dst_key) -> None:
+        src = self._index[src_key]
+        dst = self._index[dst_key]
+        self.successors[src].append(dst)
+        self.n_deps[dst] += 1
+
+    def _build_edges(self) -> None:
+        n = self.n
+        T = LuTaskType
+        for k in range(n):
+            if k >= 1:
+                self._edge((T.GEMM, k, k, k - 1), (T.GETRF, k, k, k))
+            for j in range(k + 1, n):
+                self._edge((T.GETRF, k, k, k), (T.TRSM_U, k, j, k))
+                if k >= 1:
+                    self._edge((T.GEMM, k, j, k - 1), (T.TRSM_U, k, j, k))
+            for i in range(k + 1, n):
+                self._edge((T.GETRF, k, k, k), (T.TRSM_L, i, k, k))
+                if k >= 1:
+                    self._edge((T.GEMM, i, k, k - 1), (T.TRSM_L, i, k, k))
+                for j in range(k + 1, n):
+                    self._edge((T.TRSM_L, i, k, k), (T.GEMM, i, j, k))
+                    self._edge((T.TRSM_U, k, j, k), (T.GEMM, i, j, k))
+                    if k >= 1:
+                        self._edge((T.GEMM, i, j, k - 1), (T.GEMM, i, j, k))
+
+    def _upward_ranks(self) -> List[float]:
+        order = self._topological_order()
+        rank = [0.0] * len(self.tasks)
+        for t in reversed(order):
+            best = 0.0
+            for s in self.successors[t]:
+                best = max(best, rank[s])
+            rank[t] = self.tasks[t].work + best
+        return rank
+
+    def _topological_order(self) -> List[int]:
+        indeg = list(self.n_deps)
+        stack = [t for t, d in enumerate(indeg) if d == 0]
+        order: List[int] = []
+        while stack:
+            t = stack.pop()
+            order.append(t)
+            for s in self.successors[t]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    stack.append(s)
+        if len(order) != len(self.tasks):  # pragma: no cover - structural guard
+            raise RuntimeError("LU DAG contains a cycle")
+        return order
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def task_id(self, kind: LuTaskType, i: int, j: int, k: int) -> int:
+        return self._index[(kind, i, j, k)]
+
+    def initial_ready(self) -> List[int]:
+        return [t for t, d in enumerate(self.n_deps) if d == 0]

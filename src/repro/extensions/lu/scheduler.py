@@ -1,0 +1,41 @@
+"""LU front-end over the generic DAG engine."""
+
+from __future__ import annotations
+
+from repro.extensions.dagsched.engine import (
+    DagSchedulingResult,
+    LocalityScheduler as _LocalityScheduler,
+    RandomScheduler as _RandomScheduler,
+    simulate_dag,
+)
+from repro.extensions.lu.dag import LuDag
+from repro.platform.platform import Platform
+from repro.utils.rng import SeedLike
+
+__all__ = ["RandomScheduler", "LocalityScheduler", "LuResult", "simulate_lu"]
+
+LuResult = DagSchedulingResult
+
+
+class RandomScheduler(_RandomScheduler):
+    """Uniformly random ready-task selection."""
+
+    name = "RandomLU"
+
+
+class LocalityScheduler(_LocalityScheduler):
+    """Fewest-missing-tiles selection with critical-path tie-break."""
+
+    name = "LocalityLU"
+
+
+def simulate_lu(
+    n: int,
+    platform: Platform,
+    scheduler=None,
+    *,
+    rng: SeedLike = None,
+) -> DagSchedulingResult:
+    """Simulate a tiled LU factorization (no pivoting) of ``n x n`` tiles."""
+    policy = scheduler if scheduler is not None else LocalityScheduler()
+    return simulate_dag(LuDag(n), platform, policy, rng=rng)

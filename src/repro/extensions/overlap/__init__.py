@@ -1,0 +1,30 @@
+"""Bandwidth-limited execution: when does the overlap assumption hold?
+
+The paper's analysis counts communication *volume* and assumes transfers
+are fully overlapped with computation — "determining this threshold would
+require to introduce a communication model and a topology, what is out of
+the scope of this paper.  [...] a rigorous algorithm to estimate it is
+still missing" (Section 3.1).  This extension supplies the missing model:
+
+* the master serves transfers over a single FIFO uplink of bandwidth ``B``
+  blocks per time unit;
+* a worker *requests ahead*: it asks for a new assignment whenever its
+  queued task count drops below a prefetch threshold θ;
+* an assignment's blocks must fully arrive before its tasks can start.
+
+The resulting simulator measures makespan and idle time as functions of
+``B`` and θ, quantifying (a) the critical bandwidth below which overlap is
+impossible, and (b) how small a prefetch depth suffices above it — the
+paper's "the number of tasks required to ensure a good overlap has been
+observed to be small".
+"""
+
+from repro.extensions.overlap.engine import OverlapResult, simulate_with_bandwidth
+from repro.extensions.overlap.study import critical_bandwidth, overlap_study
+
+__all__ = [
+    "simulate_with_bandwidth",
+    "OverlapResult",
+    "critical_bandwidth",
+    "overlap_study",
+]

@@ -1,0 +1,72 @@
+"""Prefetch-depth and bandwidth studies on the overlap engine.
+
+Two quantities the paper leaves open:
+
+* the **critical bandwidth** ``B* = V / T_ideal`` — the link rate below
+  which the run is necessarily communication-bound (the total volume ``V``
+  cannot fit into the compute-bound makespan ``T_ideal``);
+* the **prefetch depth** θ needed to actually achieve overlap when
+  ``B > B*`` — the paper reports it "has been observed to be small";
+  :func:`overlap_study` measures it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.strategies.base import Strategy
+from repro.extensions.overlap.engine import OverlapResult, simulate_with_bandwidth
+from repro.platform.platform import Platform
+from repro.simulator.engine import simulate
+from repro.utils.rng import SeedLike
+
+__all__ = ["critical_bandwidth", "overlap_study"]
+
+
+def critical_bandwidth(
+    strategy_factory: Callable[[], Strategy],
+    platform: Platform,
+    *,
+    rng: SeedLike = 0,
+) -> float:
+    """Estimate ``B* = V / T_ideal`` from one volume-only simulation.
+
+    Below ``B*`` even perfect pipelining cannot hide the transfers; above
+    it, overlap is possible in principle and the residual slowdown is a
+    scheduling/prefetch question.
+    """
+    strategy = strategy_factory()
+    result = simulate(strategy, platform, rng=rng)
+    ideal = result.total_tasks / platform.total_speed
+    return result.total_blocks / ideal
+
+
+def overlap_study(
+    strategy_factory: Callable[[], Strategy],
+    platform: Platform,
+    *,
+    bandwidth_factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    prefetch_depths: Sequence[int] = (0, 1, 2, 4, 8, 16),
+    rng: SeedLike = 0,
+) -> Dict[float, List[OverlapResult]]:
+    """Sweep link bandwidth (as multiples of ``B*``) and prefetch depth.
+
+    Returns ``{bandwidth_factor: [OverlapResult per prefetch depth]}``;
+    each result's :attr:`~OverlapResult.slowdown` is makespan over the
+    compute-bound ideal.
+    """
+    b_star = critical_bandwidth(strategy_factory, platform, rng=rng)
+    out: Dict[float, List[OverlapResult]] = {}
+    for factor in bandwidth_factors:
+        row: List[OverlapResult] = []
+        for depth in prefetch_depths:
+            result = simulate_with_bandwidth(
+                strategy_factory(),
+                platform,
+                bandwidth=factor * b_star,
+                prefetch_tasks=depth,
+                rng=rng,
+            )
+            row.append(result)
+        out[factor] = row
+    return out

@@ -1,0 +1,37 @@
+"""Tiled QR factorization with dynamic data-aware scheduling (extension).
+
+The second kernel named in the paper's conclusion.  Flat-tree tiled
+Householder QR of an ``n x n``-tile matrix spawns four task types::
+
+    GEQRT(k)      : QR-factor the diagonal tile A[k,k] -> V[k,k], R[k,k]
+    UNMQR(k,j)    : apply Q[k,k]^T to A[k,j]                    (j > k)
+    TSQRT(i,k)    : QR-factor the stacked [R[k,k]; A[i,k]]      (i > k)
+    TSMQR(i,k,j)  : apply the TSQRT(i,k) reflector to
+                    the stacked [A[k,j]; A[i,j]]                (i, j > k)
+
+TSQRT and TSMQR *write two tiles each* (the panel tile and the row-k tile
+above it), exercising the generic engine's multi-write support.  The
+scheduling model is identical to the Cholesky extension
+(:mod:`repro.extensions.dagsched`).
+"""
+
+from repro.extensions.qr.dag import QrDag, QrTask, QrTaskType, qr_task_counts
+from repro.extensions.qr.numerics import replay_qr
+from repro.extensions.qr.scheduler import (
+    LocalityScheduler,
+    QrResult,
+    RandomScheduler,
+    simulate_qr,
+)
+
+__all__ = [
+    "QrDag",
+    "QrTask",
+    "QrTaskType",
+    "qr_task_counts",
+    "simulate_qr",
+    "RandomScheduler",
+    "LocalityScheduler",
+    "QrResult",
+    "replay_qr",
+]

@@ -1,0 +1,192 @@
+"""The flat-tree tiled-QR task DAG.
+
+Dependencies (flat reduction tree, sequential panel chain):
+
+* ``GEQRT(k)`` waits for ``TSMQR(k, k-1, k)`` when ``k >= 1`` (the last
+  update of tile ``(k, k)`` by the previous panel);
+* ``UNMQR(k, j)`` waits for ``GEQRT(k)`` and ``TSMQR(k, k-1, j)``;
+* ``TSQRT(i, k)`` waits for ``GEQRT(k)`` when ``i = k+1``, else
+  ``TSQRT(i-1, k)`` (the R tile chains down the panel), plus
+  ``TSMQR(i, k-1, k)``;
+* ``TSMQR(i, k, j)`` waits for ``TSQRT(i, k)``; for ``UNMQR(k, j)`` when
+  ``i = k+1``, else ``TSMQR(i-1, k, j)``; plus ``TSMQR(i, k-1, j)``.
+
+Task counts for ``n`` tiles: ``n`` GEQRT, ``n(n-1)/2`` each of UNMQR and
+TSQRT, and ``(n-1)n(2n-1)/6`` TSMQR.
+
+Work weights are the classical tile-flop ratios (GEQRT 4/3, UNMQR 2,
+TSQRT 2, TSMQR 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["QrTaskType", "QrTask", "QrDag", "qr_task_counts"]
+
+Tile = Tuple[int, int]
+
+
+class QrTaskType(enum.Enum):
+    GEQRT = "geqrt"
+    UNMQR = "unmqr"
+    TSQRT = "tsqrt"
+    TSMQR = "tsmqr"
+
+
+_WORK = {
+    QrTaskType.GEQRT: 4.0 / 3.0,
+    QrTaskType.UNMQR: 2.0,
+    QrTaskType.TSQRT: 2.0,
+    QrTaskType.TSMQR: 4.0,
+}
+
+
+@dataclass(frozen=True)
+class QrTask:
+    """One block task; TSQRT/TSMQR carry a second written tile."""
+
+    kind: QrTaskType
+    i: int
+    j: int
+    k: int
+    reads: Tuple[Tile, ...]
+    writes: Tile
+    extra_writes: Tuple[Tile, ...]
+    work: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}({self.i},{self.j},{self.k})"
+
+
+def qr_task_counts(n: int) -> Dict[QrTaskType, int]:
+    """Closed-form task counts for an ``n``-tile factorization."""
+    n = check_positive_int("n", n)
+    return {
+        QrTaskType.GEQRT: n,
+        QrTaskType.UNMQR: n * (n - 1) // 2,
+        QrTaskType.TSQRT: n * (n - 1) // 2,
+        QrTaskType.TSMQR: (n - 1) * n * (2 * n - 1) // 6,
+    }
+
+
+class QrDag:
+    """Tasks, dependency edges and priorities for ``n`` tiles."""
+
+    def __init__(self, n: int) -> None:
+        self.n = check_positive_int("n", n)
+        self.tasks: List[QrTask] = []
+        self._index: Dict[Tuple[QrTaskType, int, int, int], int] = {}
+        self._build_tasks()
+        self.successors: List[List[int]] = [[] for _ in self.tasks]
+        self.n_deps: List[int] = [0] * len(self.tasks)
+        self._build_edges()
+        self.priority = self._upward_ranks()
+
+    # -- construction ------------------------------------------------------
+
+    def _add(self, kind: QrTaskType, i: int, j: int, k: int, reads, writes, extra=()) -> None:
+        self._index[(kind, i, j, k)] = len(self.tasks)
+        self.tasks.append(
+            QrTask(
+                kind=kind,
+                i=i,
+                j=j,
+                k=k,
+                reads=tuple(reads),
+                writes=writes,
+                extra_writes=tuple(extra),
+                work=_WORK[kind],
+            )
+        )
+
+    def _build_tasks(self) -> None:
+        n = self.n
+        for k in range(n):
+            self._add(QrTaskType.GEQRT, k, k, k, [(k, k)], (k, k))
+            for j in range(k + 1, n):
+                self._add(QrTaskType.UNMQR, k, j, k, [(k, k), (k, j)], (k, j))
+            for i in range(k + 1, n):
+                self._add(QrTaskType.TSQRT, i, k, k, [(k, k), (i, k)], (i, k), [(k, k)])
+                for j in range(k + 1, n):
+                    self._add(
+                        QrTaskType.TSMQR,
+                        i,
+                        j,
+                        k,
+                        [(i, k), (k, j), (i, j)],
+                        (i, j),
+                        [(k, j)],
+                    )
+
+    def _edge(self, src_key, dst_key) -> None:
+        src = self._index[src_key]
+        dst = self._index[dst_key]
+        self.successors[src].append(dst)
+        self.n_deps[dst] += 1
+
+    def _build_edges(self) -> None:
+        n = self.n
+        T = QrTaskType
+        for k in range(n):
+            if k >= 1:
+                self._edge((T.TSMQR, k, k, k - 1), (T.GEQRT, k, k, k))
+            for j in range(k + 1, n):
+                self._edge((T.GEQRT, k, k, k), (T.UNMQR, k, j, k))
+                if k >= 1:
+                    self._edge((T.TSMQR, k, j, k - 1), (T.UNMQR, k, j, k))
+            for i in range(k + 1, n):
+                if i == k + 1:
+                    self._edge((T.GEQRT, k, k, k), (T.TSQRT, i, k, k))
+                else:
+                    self._edge((T.TSQRT, i - 1, k, k), (T.TSQRT, i, k, k))
+                if k >= 1:
+                    self._edge((T.TSMQR, i, k, k - 1), (T.TSQRT, i, k, k))
+                for j in range(k + 1, n):
+                    self._edge((T.TSQRT, i, k, k), (T.TSMQR, i, j, k))
+                    if i == k + 1:
+                        self._edge((T.UNMQR, k, j, k), (T.TSMQR, i, j, k))
+                    else:
+                        self._edge((T.TSMQR, i - 1, j, k), (T.TSMQR, i, j, k))
+                    if k >= 1:
+                        self._edge((T.TSMQR, i, j, k - 1), (T.TSMQR, i, j, k))
+
+    def _upward_ranks(self) -> List[float]:
+        order = self._topological_order()
+        rank = [0.0] * len(self.tasks)
+        for t in reversed(order):
+            best = 0.0
+            for s in self.successors[t]:
+                best = max(best, rank[s])
+            rank[t] = self.tasks[t].work + best
+        return rank
+
+    def _topological_order(self) -> List[int]:
+        indeg = list(self.n_deps)
+        stack = [t for t, d in enumerate(indeg) if d == 0]
+        order: List[int] = []
+        while stack:
+            t = stack.pop()
+            order.append(t)
+            for s in self.successors[t]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    stack.append(s)
+        if len(order) != len(self.tasks):  # pragma: no cover - structural guard
+            raise RuntimeError("QR DAG contains a cycle")
+        return order
+
+    # -- accessors ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def task_id(self, kind: QrTaskType, i: int, j: int, k: int) -> int:
+        return self._index[(kind, i, j, k)]
+
+    def initial_ready(self) -> List[int]:
+        return [t for t, d in enumerate(self.n_deps) if d == 0]

@@ -1,0 +1,41 @@
+"""QR front-end over the generic DAG engine."""
+
+from __future__ import annotations
+
+from repro.extensions.dagsched.engine import (
+    DagSchedulingResult,
+    LocalityScheduler as _LocalityScheduler,
+    RandomScheduler as _RandomScheduler,
+    simulate_dag,
+)
+from repro.extensions.qr.dag import QrDag
+from repro.platform.platform import Platform
+from repro.utils.rng import SeedLike
+
+__all__ = ["RandomScheduler", "LocalityScheduler", "QrResult", "simulate_qr"]
+
+QrResult = DagSchedulingResult
+
+
+class RandomScheduler(_RandomScheduler):
+    """Uniformly random ready-task selection."""
+
+    name = "RandomQR"
+
+
+class LocalityScheduler(_LocalityScheduler):
+    """Fewest-missing-tiles selection with critical-path tie-break."""
+
+    name = "LocalityQR"
+
+
+def simulate_qr(
+    n: int,
+    platform: Platform,
+    scheduler=None,
+    *,
+    rng: SeedLike = None,
+) -> DagSchedulingResult:
+    """Simulate a flat-tree tiled QR factorization of ``n x n`` tiles."""
+    policy = scheduler if scheduler is not None else LocalityScheduler()
+    return simulate_dag(QrDag(n), platform, policy, rng=rng)

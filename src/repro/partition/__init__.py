@@ -1,0 +1,27 @@
+"""Static partitioning baselines.
+
+The paper's static comparison point is the column-based partition of the
+unit square into rectangles proportional to processor speeds — the
+7/4-approximation of Beaumont, Boudet, Rastello, Robert, *"Partitioning a
+square into rectangles: NP-completeness and approximation algorithms"*,
+Algorithmica 34(3), 2002 (the paper's reference [2]).  We implement it from
+scratch (:mod:`~repro.partition.column`) together with a 3-D cuboid
+analogue for matmul (:mod:`~repro.partition.cuboid`, an extension beyond
+the paper used for ablations).
+
+These baselines require *complete knowledge of all relative speeds* — the
+very assumption the dynamic strategies avoid — and serve as the "what a
+fully static scheduler could do" yardstick.
+"""
+
+from repro.partition.column import ColumnPartition, Rect, partition_square
+from repro.partition.cuboid import Cuboid, CuboidPartition, partition_cube
+
+__all__ = [
+    "Rect",
+    "ColumnPartition",
+    "partition_square",
+    "Cuboid",
+    "CuboidPartition",
+    "partition_cube",
+]

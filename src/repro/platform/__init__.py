@@ -1,0 +1,35 @@
+"""Heterogeneous master–worker platform model.
+
+A :class:`~repro.platform.platform.Platform` is a set of workers with
+strictly positive speeds (tasks per unit time); the master is implicit (it
+only ships blocks and never computes).  Speed *distributions* reproduce the
+paper's experimental settings (uniform ranges, discrete speed classes, the
+heterogeneity parameter ``h`` of Figure 7) and speed *models* add the
+dynamic per-task perturbations of the ``dyn.5`` / ``dyn.20`` scenarios of
+Figure 8.
+"""
+
+from repro.platform.platform import Platform, Processor
+from repro.platform.speeds import (
+    SCENARIO_NAMES,
+    DynamicSpeedModel,
+    SpeedModel,
+    StaticSpeedModel,
+    heterogeneity_speeds,
+    make_scenario,
+    set_speeds,
+    uniform_speeds,
+)
+
+__all__ = [
+    "Platform",
+    "Processor",
+    "SpeedModel",
+    "StaticSpeedModel",
+    "DynamicSpeedModel",
+    "uniform_speeds",
+    "heterogeneity_speeds",
+    "set_speeds",
+    "make_scenario",
+    "SCENARIO_NAMES",
+]

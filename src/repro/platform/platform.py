@@ -1,0 +1,90 @@
+"""Processors and platforms.
+
+The paper's model (Section 3.1): ``p`` workers, worker ``P_k`` performs
+``s_k`` block tasks per time unit; its *relative speed* is
+``rs_k = s_k / sum_i s_i``.  The randomized strategies are agnostic to the
+speeds, but being demand-driven, a twice-faster worker requests work twice
+as often — the simulator realizes exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Union
+
+import numpy as np
+
+from repro.utils.validation import check_speeds
+
+__all__ = ["Processor", "Platform"]
+
+
+@dataclass(frozen=True)
+class Processor:
+    """One worker: an id and a base speed (block tasks per time unit)."""
+
+    pid: int
+    speed: float
+
+    def __post_init__(self) -> None:
+        if self.pid < 0:
+            raise ValueError(f"pid must be non-negative, got {self.pid}")
+        if not np.isfinite(self.speed) or self.speed <= 0:
+            raise ValueError(f"speed must be positive and finite, got {self.speed}")
+
+
+class Platform:
+    """An immutable collection of workers with derived speed statistics."""
+
+    __slots__ = ("_speeds", "_total", "_relative")
+
+    def __init__(self, speeds: Union[Sequence[float], np.ndarray]) -> None:
+        self._speeds = check_speeds(speeds)
+        self._speeds.flags.writeable = False
+        self._total = float(self._speeds.sum())
+        rel = self._speeds / self._total
+        rel.flags.writeable = False
+        self._relative = rel
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def homogeneous(cls, p: int, speed: float = 1.0) -> "Platform":
+        """A platform of *p* identical workers."""
+        if p <= 0:
+            raise ValueError(f"p must be positive, got {p}")
+        return cls(np.full(p, float(speed)))
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def p(self) -> int:
+        """Number of workers."""
+        return int(self._speeds.size)
+
+    @property
+    def speeds(self) -> np.ndarray:
+        """Base speeds ``s_k`` (read-only array)."""
+        return self._speeds
+
+    @property
+    def total_speed(self) -> float:
+        """Aggregate speed ``sum_i s_i``."""
+        return self._total
+
+    @property
+    def relative_speeds(self) -> np.ndarray:
+        """Relative speeds ``rs_k = s_k / sum_i s_i`` (read-only array)."""
+        return self._relative
+
+    def processor(self, pid: int) -> Processor:
+        return Processor(pid, float(self._speeds[pid]))
+
+    def __len__(self) -> int:
+        return self.p
+
+    def __iter__(self) -> Iterator[Processor]:
+        return (self.processor(k) for k in range(self.p))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Platform(p={self.p}, total_speed={self._total:.4g})"

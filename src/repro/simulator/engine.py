@@ -1,0 +1,142 @@
+"""The demand-driven simulation loop.
+
+The engine realizes the paper's execution model:
+
+* every worker requests work the instant it becomes idle (time 0 at start);
+* the master answers immediately with an :class:`~repro.core.strategies.base.Assignment`;
+* communication is fully overlapped, so shipping blocks costs volume but no
+  time; an assignment of ``m`` tasks occupies the worker for
+  ``m / speed`` time units (or the dynamic-speed equivalent);
+* the run ends when the strategy has allocated every task.
+
+Zero-task assignments (the master ships blocks whose whole cross is already
+processed) legitimately occur near the end of a Dynamic* run; they re-enter
+the queue at the same timestamp.  Termination is still guaranteed because
+each such assignment strictly grows the worker's knowledge, and a worker
+with complete knowledge absorbs the whole remainder — but a defensive
+livelock guard turns any strategy bug into a loud :class:`LivelockError`
+instead of a hang.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.strategies.base import Strategy
+from repro.platform.platform import Platform
+from repro.platform.speeds import SpeedModel, StaticSpeedModel
+from repro.simulator.events import EventQueue
+from repro.simulator.results import SimulationResult
+from repro.simulator.trace import AssignmentRecord, Trace
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["simulate", "LivelockError"]
+
+
+class LivelockError(RuntimeError):
+    """Raised when the run exceeds the zero-progress assignment budget."""
+
+
+def _zero_budget(strategy: Strategy, platform: Platform) -> int:
+    # A worker can receive at most ~3n index blocks before its knowledge is
+    # complete, so across p workers the number of zero-task assignments is
+    # bounded by O(n * p); anything far beyond that is a strategy bug.
+    return 4 * (3 * strategy.n + 2) * platform.p + 1024
+
+
+def simulate(
+    strategy: Strategy,
+    platform: Platform,
+    *,
+    rng: SeedLike = None,
+    speed_model: Optional[SpeedModel] = None,
+    collect_trace: bool = False,
+) -> SimulationResult:
+    """Run *strategy* on *platform* and return the communication accounting.
+
+    Parameters
+    ----------
+    strategy:
+        Any :class:`~repro.core.strategies.base.Strategy`; it is reset at
+        the start of the run, so the same instance can be reused.
+    platform:
+        The heterogeneous platform (worker speeds).
+    rng:
+        Seed or generator driving every random choice of the run (strategy
+        draws and dynamic-speed perturbations share this stream).
+    speed_model:
+        Defaults to :class:`~repro.platform.speeds.StaticSpeedModel`.
+    collect_trace:
+        Record one :class:`~repro.simulator.trace.AssignmentRecord` per
+        interaction (needed for execution replay and fine-grained tests).
+
+    Returns
+    -------
+    SimulationResult
+        Totals, per-worker breakdowns, makespan and the optional trace.
+    """
+    generator = as_generator(rng)
+    model = speed_model if speed_model is not None else StaticSpeedModel()
+    model.reset(platform, generator)
+    strategy.reset(platform, generator)
+
+    queue = EventQueue()
+    for w in range(platform.p):
+        queue.push(0.0, w)
+
+    p = platform.p
+    blocks = np.zeros(p, dtype=np.int64)
+    tasks = np.zeros(p, dtype=np.int64)
+    makespan = 0.0
+    n_assignments = 0
+    trace = Trace() if collect_trace else None
+
+    zero_streak = 0
+    zero_budget = _zero_budget(strategy, platform)
+
+    while not strategy.done:
+        if not queue:  # pragma: no cover - defensive; workers always requeue
+            raise LivelockError("event queue drained before all tasks were allocated")
+        now, worker = queue.pop()
+        assignment = strategy.assign(worker, now)
+        n_assignments += 1
+
+        blocks[worker] += assignment.blocks
+        tasks[worker] += assignment.tasks
+        duration = model.duration(worker, assignment.tasks)
+        finish = now + duration
+        if assignment.tasks > 0:
+            makespan = max(makespan, finish)
+            zero_streak = 0
+        else:
+            zero_streak += 1
+            if zero_streak > zero_budget:
+                raise LivelockError(
+                    f"{zero_streak} consecutive zero-task assignments "
+                    f"(strategy={strategy.name}, remaining tasks unallocated)"
+                )
+        if trace is not None:
+            trace.append(
+                AssignmentRecord(
+                    time=now,
+                    worker=worker,
+                    blocks=assignment.blocks,
+                    tasks=assignment.tasks,
+                    duration=duration,
+                    phase=assignment.phase,
+                    task_ids=assignment.task_ids,
+                )
+            )
+        queue.push(finish, worker)
+
+    return SimulationResult(
+        total_blocks=int(blocks.sum()),
+        per_worker_blocks=blocks,
+        per_worker_tasks=tasks,
+        makespan=makespan,
+        n_assignments=n_assignments,
+        strategy_name=strategy.name,
+        trace=trace,
+    )

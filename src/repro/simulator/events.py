@@ -1,0 +1,54 @@
+"""Deterministic event queue for the demand-driven simulation loop.
+
+Events are ``(time, worker)`` pairs meaning "worker becomes idle at *time*
+and requests new work".  A monotonically increasing sequence number breaks
+timestamp ties, making the pop order fully deterministic (FIFO among equal
+times) — essential for reproducible simulations and for the zero-duration
+assignments that the Dynamic* strategies can produce near the end of a run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Tuple
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Min-heap of ``(time, seq, worker)`` with deterministic tie-breaking."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, worker: int) -> None:
+        """Schedule *worker* to request work at *time*."""
+        if not math.isfinite(time) or time < 0:
+            raise ValueError(f"event time must be finite and >= 0, got {time}")
+        if worker < 0:
+            raise ValueError(f"worker id must be >= 0, got {worker}")
+        heapq.heappush(self._heap, (time, self._seq, worker))
+        self._seq += 1
+
+    def pop(self) -> Tuple[float, int]:
+        """Pop the earliest event; returns ``(time, worker)``."""
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        time, _seq, worker = heapq.heappop(self._heap)
+        return time, worker
+
+    def peek_time(self) -> float:
+        """Timestamp of the next event without popping it."""
+        if not self._heap:
+            raise IndexError("peek on an empty EventQueue")
+        return self._heap[0][0]

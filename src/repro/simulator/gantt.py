@@ -1,0 +1,97 @@
+"""Worker-occupancy analysis and ASCII Gantt rendering of traces.
+
+Turns a traced :class:`~repro.simulator.results.SimulationResult` into
+
+* per-worker busy intervals (:func:`worker_intervals`),
+* per-worker utilization over the makespan (:func:`utilization`),
+* a terminal Gantt chart (:func:`ascii_gantt`) where each worker row shows
+  computing time as ``#`` (phase 1) / ``=`` (phase 2) and idling as
+  spaces — the quickest way to *see* demand-driven load balancing and the
+  two-phase switch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.simulator.results import SimulationResult
+
+__all__ = ["worker_intervals", "utilization", "ascii_gantt"]
+
+Interval = Tuple[float, float, int]  # (start, end, phase)
+
+
+def _require_trace(result: SimulationResult) -> None:
+    if result.trace is None:
+        raise ValueError("result has no trace; simulate with collect_trace=True")
+
+
+def worker_intervals(result: SimulationResult) -> Dict[int, List[Interval]]:
+    """Busy intervals per worker: ``(start, end, phase)`` per assignment.
+
+    Zero-duration assignments (pure data shipments) are skipped.
+    """
+    _require_trace(result)
+    out: Dict[int, List[Interval]] = {}
+    for rec in result.trace:
+        if rec.duration <= 0:
+            continue
+        out.setdefault(rec.worker, []).append((rec.time, rec.time + rec.duration, rec.phase))
+    return out
+
+
+def utilization(result: SimulationResult) -> np.ndarray:
+    """Fraction of the makespan each worker spends computing."""
+    _require_trace(result)
+    p = result.per_worker_blocks.size
+    busy = np.zeros(p)
+    for rec in result.trace:
+        busy[rec.worker] += rec.duration
+    if result.makespan <= 0:
+        return np.zeros(p)
+    return busy / result.makespan
+
+
+def ascii_gantt(result: SimulationResult, *, width: int = 72) -> str:
+    """Render the trace as a terminal Gantt chart.
+
+    Each worker gets one row of *width* character cells spanning the
+    makespan; a cell is ``#`` when mostly phase-1 compute, ``=`` for
+    phase-2, and space when idle.
+    """
+    _require_trace(result)
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    span = result.makespan or 1.0
+    p = result.per_worker_blocks.size
+    # Accumulate per-cell busy time, per phase.
+    busy = np.zeros((p, width, 2))
+    for rec in result.trace:
+        if rec.duration <= 0:
+            continue
+        lo = rec.time / span * width
+        hi = (rec.time + rec.duration) / span * width
+        first, last = int(lo), min(int(np.ceil(hi)), width)
+        for cell in range(first, last):
+            overlap = min(hi, cell + 1) - max(lo, cell)
+            if overlap > 0:
+                busy[rec.worker, cell, rec.phase - 1] += overlap
+
+    util = utilization(result)
+    lines = [f"Gantt ({result.strategy_name}, makespan {result.makespan:.4g})"]
+    for w in range(p):
+        cells = []
+        for c in range(width):
+            p1, p2 = busy[w, c]
+            total = p1 + p2
+            if total < 0.5:
+                cells.append(" ")
+            elif p2 > p1:
+                cells.append("=")
+            else:
+                cells.append("#")
+        lines.append(f"P{w:<3d}|{''.join(cells)}| {100 * util[w]:5.1f}%")
+    lines.append(f"    0{' ' * (width - 8)}{span:.4g}")
+    return "\n".join(lines)

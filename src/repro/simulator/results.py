@@ -1,0 +1,73 @@
+"""Aggregate outcome of one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.simulator.trace import Trace
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """What one run of :func:`repro.simulator.simulate` produced.
+
+    Attributes
+    ----------
+    total_blocks:
+        Total communication volume in blocks (the paper's metric).
+    per_worker_blocks:
+        Blocks shipped to each worker.
+    per_worker_tasks:
+        Block tasks processed by each worker.
+    makespan:
+        Time at which the last task completes.
+    n_assignments:
+        Number of master/worker interactions.
+    strategy_name:
+        Name of the strategy that produced the run.
+    trace:
+        Full assignment trace when requested, else ``None``.
+    """
+
+    total_blocks: int
+    per_worker_blocks: np.ndarray
+    per_worker_tasks: np.ndarray
+    makespan: float
+    n_assignments: int
+    strategy_name: str
+    trace: Optional[Trace] = None
+
+    @property
+    def total_tasks(self) -> int:
+        """Total number of block tasks processed."""
+        return int(self.per_worker_tasks.sum())
+
+    def normalized(self, lower_bound: float) -> float:
+        """Communication volume divided by a lower bound (paper's y-axis)."""
+        if lower_bound <= 0:
+            raise ValueError(f"lower bound must be positive, got {lower_bound}")
+        return self.total_blocks / lower_bound
+
+    def load_imbalance(self, relative_speeds: np.ndarray) -> float:
+        """Max relative deviation of per-worker work from the speed-ideal.
+
+        Demand-driven allocation should keep every worker busy until (close
+        to) the end; this measures how far the realized task shares are from
+        the relative speeds.
+        """
+        rel = np.asarray(relative_speeds, dtype=float)
+        ideal = rel * self.total_tasks
+        with np.errstate(divide="ignore", invalid="ignore"):
+            dev = np.abs(self.per_worker_tasks - ideal) / np.maximum(ideal, 1.0)
+        return float(dev.max())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationResult({self.strategy_name}: blocks={self.total_blocks}, "
+            f"tasks={self.total_tasks}, makespan={self.makespan:.4g})"
+        )

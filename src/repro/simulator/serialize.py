@@ -1,0 +1,92 @@
+"""JSON (de)serialization of simulation results and traces.
+
+Lets a simulation be archived and re-analyzed (or replayed by
+:mod:`repro.execution`) without re-running it.  The format is plain JSON:
+arrays become lists, the optional per-record ``task_ids`` are preserved.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+import numpy as np
+
+from repro.simulator.results import SimulationResult
+from repro.simulator.trace import AssignmentRecord, Trace
+
+__all__ = ["result_to_json", "result_from_json", "save_result", "load_result"]
+
+_FORMAT = "repro.simulation/1"
+
+
+def result_to_json(result: SimulationResult) -> str:
+    """Serialize a :class:`SimulationResult` (with any trace) to JSON."""
+    payload = {
+        "format": _FORMAT,
+        "strategy": result.strategy_name,
+        "total_blocks": result.total_blocks,
+        "per_worker_blocks": result.per_worker_blocks.tolist(),
+        "per_worker_tasks": result.per_worker_tasks.tolist(),
+        "makespan": result.makespan,
+        "n_assignments": result.n_assignments,
+        "trace": None,
+    }
+    if result.trace is not None:
+        payload["trace"] = [
+            {
+                "time": r.time,
+                "worker": r.worker,
+                "blocks": r.blocks,
+                "tasks": r.tasks,
+                "duration": r.duration,
+                "phase": r.phase,
+                "task_ids": None if r.task_ids is None else r.task_ids.tolist(),
+            }
+            for r in result.trace
+        ]
+    return json.dumps(payload)
+
+
+def result_from_json(text: str) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`result_to_json` output."""
+    payload = json.loads(text)
+    if payload.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} document (format={payload.get('format')!r})")
+    trace: Optional[Trace] = None
+    if payload["trace"] is not None:
+        trace = Trace()
+        for r in payload["trace"]:
+            trace.append(
+                AssignmentRecord(
+                    time=r["time"],
+                    worker=r["worker"],
+                    blocks=r["blocks"],
+                    tasks=r["tasks"],
+                    duration=r["duration"],
+                    phase=r["phase"],
+                    task_ids=None if r["task_ids"] is None else np.asarray(r["task_ids"], dtype=np.int64),
+                )
+            )
+    return SimulationResult(
+        total_blocks=payload["total_blocks"],
+        per_worker_blocks=np.asarray(payload["per_worker_blocks"], dtype=np.int64),
+        per_worker_tasks=np.asarray(payload["per_worker_tasks"], dtype=np.int64),
+        makespan=payload["makespan"],
+        n_assignments=payload["n_assignments"],
+        strategy_name=payload["strategy"],
+        trace=trace,
+    )
+
+
+def save_result(result: SimulationResult, path: str) -> str:
+    """Write the result to *path* as JSON; returns the path."""
+    with open(path, "w") as fh:
+        fh.write(result_to_json(result))
+    return path
+
+
+def load_result(path: str) -> SimulationResult:
+    """Read a result previously written by :func:`save_result`."""
+    with open(path) as fh:
+        return result_from_json(fh.read())

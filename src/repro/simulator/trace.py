@@ -1,0 +1,91 @@
+"""Optional per-assignment trace of a simulation run.
+
+When enabled, :func:`repro.simulator.simulate` records one
+:class:`AssignmentRecord` per master/worker interaction.  The trace is what
+the execution-replay engine (:mod:`repro.execution`) consumes to re-run a
+schedule on real NumPy blocks, and what tests use to verify fine-grained
+invariants (e.g. monotone per-worker timestamps, exactly-once processing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+__all__ = ["AssignmentRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class AssignmentRecord:
+    """One answer of the master to one worker request.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the request.
+    worker:
+        Requesting worker id.
+    blocks:
+        Number of data blocks shipped with this assignment.
+    tasks:
+        Number of block tasks allocated.
+    duration:
+        Compute time of the assignment on this worker.
+    phase:
+        Strategy phase that produced the assignment (1 or 2; plain
+        strategies always report 1).
+    task_ids:
+        Flat ids of the allocated tasks, present only when the strategy's
+        pool was created with ``collect_ids=True``.
+    """
+
+    time: float
+    worker: int
+    blocks: int
+    tasks: int
+    duration: float
+    phase: int = 1
+    task_ids: Optional[np.ndarray] = None
+
+
+@dataclass
+class Trace:
+    """Chronological list of assignment records of one run."""
+
+    records: List[AssignmentRecord] = field(default_factory=list)
+
+    def append(self, record: AssignmentRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[AssignmentRecord]:
+        return iter(self.records)
+
+    def for_worker(self, worker: int) -> List[AssignmentRecord]:
+        """All records of one worker, in chronological order."""
+        return [r for r in self.records if r.worker == worker]
+
+    def total_blocks(self) -> int:
+        return sum(r.blocks for r in self.records)
+
+    def total_tasks(self) -> int:
+        return sum(r.tasks for r in self.records)
+
+    def phase_blocks(self, phase: int) -> int:
+        """Blocks shipped by assignments of the given phase."""
+        return sum(r.blocks for r in self.records if r.phase == phase)
+
+    def phase_tasks(self, phase: int) -> int:
+        """Tasks allocated by assignments of the given phase."""
+        return sum(r.tasks for r in self.records if r.phase == phase)
+
+    def all_task_ids(self) -> np.ndarray:
+        """Concatenate task ids across records (requires ``collect_ids``)."""
+        chunks = [r.task_ids for r in self.records if r.task_ids is not None and r.task_ids.size]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)

@@ -1,0 +1,208 @@
+"""Per-worker knowledge of input/output blocks.
+
+Two representations coexist, mirroring the two families of strategies in the
+paper:
+
+* the *data-aware* strategies (DynamicOuter / DynamicMatrix) maintain, for
+  each worker, **index sets**: the rows of ``a`` / columns of ``b`` (outer
+  product) or the sets ``I, J, K`` (matmul) it has received.  A worker then
+  owns the full cross/cube of blocks over those sets.
+  :class:`IndexKnowledge` tracks one such index dimension with O(1) "draw a
+  uniformly random unknown index".
+
+* the *random* strategies (RandomOuter / RandomMatrix and phase 2 of the
+  two-phase strategies) ship **individual blocks**; a worker's cache is then
+  an arbitrary subset of blocks, tracked by the bitmap :class:`BlockCache`.
+
+:class:`VectorKnowledge` and :class:`CubeKnowledge` bundle two and three
+:class:`IndexKnowledge` dimensions for the outer product and matmul cases.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.taskpool.sample_set import SampleSet
+from repro.utils.validation import check_positive_int
+
+__all__ = ["IndexKnowledge", "VectorKnowledge", "CubeKnowledge", "BlockCache"]
+
+
+class IndexKnowledge:
+    """Track which indices of one dimension (size *n*) a worker knows.
+
+    Provides the three operations the Dynamic* strategies need:
+
+    * ``known_indices()`` — the known set, as a contiguous array view, for
+      vectorized crossing against the processed bitmap;
+    * ``draw_unknown(rng)`` — pick a uniformly random *unknown* index and
+      mark it known (the "choose i not in I uniformly at random" step);
+    * ``add(i)`` — mark a specific index known (phase-2 block shipping).
+    """
+
+    __slots__ = ("_n", "_known", "_order", "_count", "_unknown")
+
+    def __init__(self, n: int) -> None:
+        self._n = check_positive_int("n", n)
+        self._known = np.zeros(self._n, dtype=bool)
+        self._order = np.empty(self._n, dtype=np.int64)
+        self._count = 0
+        self._unknown = SampleSet(self._n)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def count(self) -> int:
+        """Number of known indices."""
+        return self._count
+
+    @property
+    def complete(self) -> bool:
+        """True when every index of the dimension is known."""
+        return self._count == self._n
+
+    def knows(self, i: int) -> bool:
+        return bool(self._known[i])
+
+    def known_indices(self) -> np.ndarray:
+        """Known indices in insertion order (read-only view, no copy)."""
+        view = self._order[: self._count]
+        view.flags.writeable = False
+        return view
+
+    def add(self, i: int) -> bool:
+        """Mark index *i* known; returns ``True`` if it was new."""
+        i = int(i)
+        if not 0 <= i < self._n:
+            raise ValueError(f"index {i} outside [0, {self._n})")
+        if self._known[i]:
+            return False
+        self._known[i] = True
+        self._order[self._count] = i
+        self._count += 1
+        self._unknown.discard(i)
+        return True
+
+    def draw_unknown(self, rng: np.random.Generator) -> int:
+        """Pick a uniformly random unknown index, mark it known, return it."""
+        i = self._unknown.draw(rng)
+        self._known[i] = True
+        self._order[self._count] = i
+        self._count += 1
+        return i
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IndexKnowledge(n={self._n}, known={self._count})"
+
+
+class VectorKnowledge:
+    """Worker knowledge for the outer product: rows of ``a``, columns of ``b``.
+
+    The paper's DynamicOuter keeps ``|I| == |J|`` by always shipping one new
+    ``a`` block and one new ``b`` block per request; this class does not
+    enforce the equality so that edge cases (one dimension exhausted before
+    the other) remain representable.
+    """
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, n: int) -> None:
+        self.a = IndexKnowledge(n)
+        self.b = IndexKnowledge(n)
+
+    @property
+    def complete(self) -> bool:
+        """True when the worker owns every block of both input vectors."""
+        return self.a.complete and self.b.complete
+
+
+class CubeKnowledge:
+    """Worker knowledge for matmul: the index sets ``I``, ``J``, ``K``.
+
+    A worker owning ``I, J, K`` holds blocks ``A[I x K]``, ``B[K x J]`` and
+    ``C[I x J]`` and can process any task in ``I x J x K``.
+    """
+
+    __slots__ = ("i", "j", "k")
+
+    def __init__(self, n: int) -> None:
+        self.i = IndexKnowledge(n)
+        self.j = IndexKnowledge(n)
+        self.k = IndexKnowledge(n)
+
+    @property
+    def complete(self) -> bool:
+        return self.i.complete and self.j.complete and self.k.complete
+
+    def dims(self) -> Tuple[IndexKnowledge, IndexKnowledge, IndexKnowledge]:
+        return (self.i, self.j, self.k)
+
+
+class BlockCache:
+    """Bitmap over individual blocks of one matrix/vector operand.
+
+    Used by the random strategies (and phase 2 of the two-phase strategies)
+    where a worker's holdings are not a Cartesian product.  ``add`` returns
+    whether the block was newly received, which is exactly the per-block
+    communication cost.
+    """
+
+    __slots__ = ("_have", "_count")
+
+    def __init__(self, shape) -> None:
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        shape = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"shape must be positive, got {shape}")
+        self._have = np.zeros(shape, dtype=bool)
+        self._count = 0
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._have.shape
+
+    @property
+    def count(self) -> int:
+        """Number of distinct blocks held."""
+        return self._count
+
+    def has(self, *idx: int) -> bool:
+        return bool(self._have[idx])
+
+    def add(self, *idx: int) -> bool:
+        """Record block *idx* as held; returns ``True`` if it was new."""
+        if self._have[idx]:
+            return False
+        self._have[idx] = True
+        self._count += 1
+        return True
+
+    def add_product(self, rows: np.ndarray, cols: np.ndarray) -> int:
+        """Mark the full Cartesian product ``rows x cols`` held (2-D caches).
+
+        Used when seeding phase 2 from a Dynamic* worker's index sets.
+        Returns the number of newly-held blocks.
+        """
+        if self._have.ndim != 2:
+            raise ValueError("add_product requires a 2-D cache")
+        sub = self._have[np.ix_(np.asarray(rows), np.asarray(cols))]
+        newly = int(sub.size - np.count_nonzero(sub))
+        self._have[np.ix_(np.asarray(rows), np.asarray(cols))] = True
+        self._count += newly
+        return newly
+
+    def add_indices(self, idx: np.ndarray) -> int:
+        """Mark a set of indices held (1-D caches); returns newly-held count."""
+        if self._have.ndim != 1:
+            raise ValueError("add_indices requires a 1-D cache")
+        idx = np.asarray(idx)
+        sub = self._have[idx]
+        newly = int(idx.size - np.count_nonzero(sub))
+        self._have[idx] = True
+        self._count += newly
+        return newly

@@ -1,0 +1,26 @@
+"""Shared utilities: seeded RNG handling, argument validation, statistics.
+
+These helpers are deliberately dependency-light; every other subpackage of
+:mod:`repro` builds on them.
+"""
+
+from repro.utils.rng import as_generator, spawn_rngs
+from repro.utils.stats import RunningStats, Summary, summarize
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_speeds,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_rngs",
+    "RunningStats",
+    "Summary",
+    "summarize",
+    "check_fraction",
+    "check_positive",
+    "check_positive_int",
+    "check_speeds",
+]

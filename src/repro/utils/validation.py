@@ -1,0 +1,75 @@
+"""Argument validation helpers with consistent error messages.
+
+The simulator is driven by user-provided sizes, speeds and fractions; these
+checks turn silent misuse (negative speeds, empty platforms, out-of-range
+thresholds) into immediate, descriptive :class:`ValueError`/
+:class:`TypeError` exceptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive_int",
+    "check_positive",
+    "check_fraction",
+    "check_speeds",
+]
+
+
+def check_positive_int(name: str, value: object) -> int:
+    """Validate that *value* is a positive integer and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_positive(name: str, value: object) -> float:
+    """Validate that *value* is a positive finite real and return it as ``float``."""
+    try:
+        value = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a real number") from exc
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be positive and finite, got {value}")
+    return value
+
+
+def check_fraction(name: str, value: object, *, inclusive: bool = True) -> float:
+    """Validate that *value* lies in ``[0, 1]`` (or ``(0, 1)`` if not inclusive)."""
+    try:
+        value = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a real number") from exc
+    if inclusive:
+        ok = 0.0 <= value <= 1.0
+    else:
+        ok = 0.0 < value < 1.0
+    if not np.isfinite(value) or not ok:
+        bounds = "[0, 1]" if inclusive else "(0, 1)"
+        raise ValueError(f"{name} must lie in {bounds}, got {value}")
+    return value
+
+
+def check_speeds(speeds: object) -> np.ndarray:
+    """Validate a vector of processor speeds.
+
+    Returns a 1-D ``float64`` copy.  Speeds must be finite, strictly positive
+    and non-empty: the paper's demand-driven model breaks down for a
+    zero-speed processor (it would never request work) and for an empty
+    platform (no one to do the work).
+    """
+    arr = np.asarray(speeds, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"speeds must be a 1-D array, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError("speeds must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("speeds must be finite")
+    if np.any(arr <= 0):
+        raise ValueError("speeds must be strictly positive")
+    return arr.copy()

@@ -1,0 +1,72 @@
+"""Tests for repro.core.analysis.beta — Section 3.6 speed agnosticism."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis.beta import agnostic_beta, beta_deviation
+from repro.platform import uniform_speeds
+
+
+def draws(p, count, lo=10, hi=100):
+    out = []
+    for s in range(count):
+        v = uniform_speeds(p, lo, hi, rng=s)
+        out.append(v / v.sum())
+    return out
+
+
+class TestAgnosticBeta:
+    def test_outer_matches_homogeneous_optimum(self):
+        beta = agnostic_beta("outer", 20, 100, "first_order")
+        assert beta == pytest.approx(4.1705, abs=0.01)
+
+    def test_matrix(self):
+        beta = agnostic_beta("matrix", 100, 40)
+        assert 2.0 < beta < 4.0
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            agnostic_beta("scalar", 10, 10)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            agnostic_beta("outer", 0, 10)
+
+
+class TestBetaDeviation:
+    def test_small_deviation_outer(self):
+        """The paper's claim: beta_hom within ~5% of heterogeneous optima."""
+        report = beta_deviation("outer", draws(20, 10), 100)
+        assert report["max_beta_rel_dev"] < 0.07
+
+    def test_tiny_volume_error(self):
+        """Using beta_hom costs < 0.5% predicted volume (paper: 0.1%)."""
+        report = beta_deviation("outer", draws(20, 10), 100)
+        assert report["max_volume_rel_error"] < 0.005
+
+    def test_matrix_kernel(self):
+        report = beta_deviation("matrix", draws(50, 5), 40)
+        assert report["max_beta_rel_dev"] < 0.08
+
+    def test_report_fields(self):
+        report = beta_deviation("outer", draws(10, 3), 50)
+        assert set(report) == {
+            "beta_hom",
+            "betas_het",
+            "max_beta_rel_dev",
+            "mean_beta_het",
+            "max_volume_rel_error",
+        }
+        assert report["betas_het"].shape == (3,)
+
+    def test_empty_draws(self):
+        with pytest.raises(ValueError):
+            beta_deviation("outer", [], 50)
+
+    def test_mismatched_p(self):
+        with pytest.raises(ValueError):
+            beta_deviation("outer", [np.full(5, 0.2), np.full(4, 0.25)], 50)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            beta_deviation("conv", draws(5, 2), 50)

@@ -1,0 +1,52 @@
+"""The optimizer's validity cap: beta* <= 1 / max(rs_k).
+
+Beyond that boundary the Lemma-3 expansion stops being monotone and the
+exact objective degenerates (it would predict near-zero communication).
+These tests pin the capped behaviour, especially for small p.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis.matrix import optimal_matrix_beta
+from repro.core.analysis.outer import optimal_outer_beta, outer_total_ratio
+from repro.core.strategies import OuterTwoPhase
+from repro.platform import Platform, uniform_speeds
+from repro.simulator import simulate
+
+
+class TestCap:
+    def test_beta_never_exceeds_validity_bound(self):
+        for p in (4, 10, 30):
+            rel = np.full(p, 1.0 / p)
+            assert optimal_outer_beta(rel, 100) <= p + 1e-9
+            assert optimal_matrix_beta(rel, 40) <= p + 1e-9
+
+    def test_heterogeneous_cap_uses_fastest(self):
+        rel = np.array([0.5, 0.3, 0.2])
+        assert optimal_outer_beta(rel, 100) <= 2.0 + 1e-9  # 1 / 0.5
+
+    def test_degenerate_range_returns_cap(self):
+        rel = np.array([0.9, 0.1])
+        beta = optimal_outer_beta(rel, 100, beta_range=(2.0, 15.0))
+        assert beta == pytest.approx(1.0 / 0.9)
+
+    def test_large_p_unaffected(self):
+        """For realistic p the cap is far above the optimum."""
+        rel = np.full(100, 0.01)
+        b_default = optimal_outer_beta(rel, 100)
+        b_wide = optimal_outer_beta(rel, 100, beta_range=(1e-3, 50.0))
+        assert b_default == pytest.approx(b_wide, abs=1e-3)
+
+    def test_small_p_prediction_tracks_simulation(self):
+        """The motivating regression: at p=10 the capped beta* yields a
+        prediction within a few percent of the simulated volume."""
+        n = 100
+        pf = Platform(uniform_speeds(10, 10, 100, rng=0))
+        rel = pf.relative_speeds
+        beta = optimal_outer_beta(rel, n)
+        from repro.core.analysis import outer_lower_bound
+
+        lb = outer_lower_bound(rel, n)
+        sims = [simulate(OuterTwoPhase(n, beta=beta), pf, rng=s).normalized(lb) for s in range(5)]
+        assert outer_total_ratio(beta, rel, n) == pytest.approx(np.mean(sims), rel=0.05)

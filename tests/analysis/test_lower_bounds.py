@@ -1,0 +1,72 @@
+"""Tests for repro.core.analysis.lower_bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis.lower_bounds import lower_bound, matrix_lower_bound, outer_lower_bound
+
+
+class TestOuterLowerBound:
+    def test_single_worker(self):
+        # One worker must receive both vectors: 2n blocks.
+        assert outer_lower_bound(np.array([1.0]), 100) == pytest.approx(200.0)
+
+    def test_homogeneous_formula(self):
+        p, n = 16, 100
+        rel = np.full(p, 1.0 / p)
+        # 2 n p / sqrt(p) = 2 n sqrt(p)
+        assert outer_lower_bound(rel, n) == pytest.approx(2 * n * np.sqrt(p))
+
+    def test_grows_with_p(self):
+        n = 50
+        lbs = [outer_lower_bound(np.full(p, 1.0 / p), n) for p in (1, 4, 16, 64)]
+        assert lbs == sorted(lbs)
+
+    def test_concavity_prefers_heterogeneity(self):
+        """sqrt is concave: an imbalanced platform has a *smaller* bound."""
+        lb_even = outer_lower_bound(np.array([0.5, 0.5]), 10)
+        lb_skew = outer_lower_bound(np.array([0.9, 0.1]), 10)
+        assert lb_skew < lb_even
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            outer_lower_bound(np.array([0.5, 0.6]), 10)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            outer_lower_bound(np.array([1.5, -0.5]), 10)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            outer_lower_bound(np.array([1.0]), 0)
+
+
+class TestMatrixLowerBound:
+    def test_single_worker(self):
+        # One worker needs all of A, B and C: 3 n^2 blocks.
+        assert matrix_lower_bound(np.array([1.0]), 10) == pytest.approx(300.0)
+
+    def test_homogeneous_formula(self):
+        p, n = 27, 30
+        rel = np.full(p, 1.0 / p)
+        # 3 n^2 p^(1/3)
+        assert matrix_lower_bound(rel, n) == pytest.approx(3 * n * n * p ** (1 / 3))
+
+    def test_grows_with_p(self):
+        n = 20
+        lbs = [matrix_lower_bound(np.full(p, 1.0 / p), n) for p in (1, 8, 27, 64)]
+        assert lbs == sorted(lbs)
+
+
+class TestDispatch:
+    def test_outer(self):
+        rel = np.array([0.5, 0.5])
+        assert lower_bound("outer", rel, 10) == outer_lower_bound(rel, 10)
+
+    def test_matrix(self):
+        rel = np.array([0.5, 0.5])
+        assert lower_bound("matrix", rel, 10) == matrix_lower_bound(rel, 10)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            lower_bound("tensor", np.array([1.0]), 10)

@@ -1,0 +1,101 @@
+"""Tests for repro.core.analysis.matrix — the Section 4.2 analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis.matrix import (
+    matrix_phase1_ratio,
+    matrix_phase2_ratio,
+    matrix_total_ratio,
+    optimal_matrix_beta,
+)
+from repro.platform import uniform_speeds
+
+
+def rel_uniform(p, seed=0):
+    s = uniform_speeds(p, 10, 100, rng=seed)
+    return s / s.sum()
+
+
+class TestPhase1Ratio:
+    def test_zero_beta(self):
+        assert matrix_phase1_ratio(0.0, rel_uniform(20)) == 0.0
+
+    def test_increasing_in_beta(self):
+        rel = rel_uniform(50)
+        betas = np.linspace(0.0, 6.0, 25)
+        vals = [matrix_phase1_ratio(b, rel) for b in betas]
+        assert all(np.diff(vals) >= 0)
+
+    def test_homogeneous_closed_form(self):
+        p, beta = 100, 2.0
+        rel = np.full(p, 1.0 / p)
+        x2 = (beta / p - beta**2 / (2 * p * p)) ** (2 / 3)
+        expected = p * x2 / (p * (1.0 / p) ** (2 / 3))
+        assert matrix_phase1_ratio(beta, rel) == pytest.approx(expected)
+
+    def test_first_order_close_to_exact(self):
+        rel = np.full(200, 1.0 / 200)
+        for beta in (1.0, 3.0):
+            exact = matrix_phase1_ratio(beta, rel, "exact")
+            fo = matrix_phase1_ratio(beta, rel, "first_order")
+            assert fo == pytest.approx(exact, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            matrix_phase1_ratio(-0.1, rel_uniform(5))
+        with pytest.raises(ValueError):
+            matrix_phase1_ratio(1.0, rel_uniform(5), "bogus")
+
+
+class TestPhase2Ratio:
+    def test_decreasing_in_beta(self):
+        rel = rel_uniform(50)
+        betas = np.linspace(0.5, 8.0, 20)
+        vals = [matrix_phase2_ratio(b, rel, 40) for b in betas]
+        assert all(np.diff(vals) <= 0)
+
+    def test_beta_zero_cold_cache_cost(self):
+        """beta=0: n^3 tasks at 3 blocks each over LB = 3 n^2 sum rs^(2/3)."""
+        rel = rel_uniform(20)
+        n = 40
+        expected = 3 * n**3 / (3 * n * n * np.sum(rel ** (2 / 3)))
+        assert matrix_phase2_ratio(0.0, rel, n) == pytest.approx(expected)
+
+    def test_scales_with_n(self):
+        rel = rel_uniform(20)
+        assert matrix_phase2_ratio(2.0, rel, 80) == pytest.approx(
+            2 * matrix_phase2_ratio(2.0, rel, 40), rel=1e-9
+        )
+
+
+class TestTotalRatioAndOptimum:
+    def test_total_is_sum(self):
+        rel = rel_uniform(30)
+        assert matrix_total_ratio(2.5, rel, 40) == pytest.approx(
+            matrix_phase1_ratio(2.5, rel) + matrix_phase2_ratio(2.5, rel, 40)
+        )
+
+    def test_paper_beta_value(self):
+        """Paper Fig. 11: homogeneous beta ~ 2.92, heterogeneous ~ 2.95
+        for p=100, n=40; our derivation lands within a few percent."""
+        rel = np.full(100, 1.0 / 100)
+        beta = optimal_matrix_beta(rel, 40)
+        assert beta == pytest.approx(2.92, abs=0.15)
+
+    def test_optimum_is_minimum(self):
+        rel = rel_uniform(100, seed=2)
+        n = 40
+        b_star = optimal_matrix_beta(rel, n)
+        v_star = matrix_total_ratio(b_star, rel, n)
+        for b in (1.0, b_star - 0.4, b_star + 0.4, 7.0):
+            if b > 0:
+                assert v_star <= matrix_total_ratio(b, rel, n) + 1e-12
+
+    def test_beta_grows_with_n(self):
+        rel = np.full(50, 1.0 / 50)
+        assert optimal_matrix_beta(rel, 100) > optimal_matrix_beta(rel, 40)
+
+    def test_speed_agnosticism(self):
+        betas = [optimal_matrix_beta(rel_uniform(100, seed=s), 40) for s in range(8)]
+        assert (max(betas) - min(betas)) / np.mean(betas) < 0.05

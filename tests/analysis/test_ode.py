@@ -1,0 +1,156 @@
+"""Tests for repro.core.analysis.ode — the Lemma 1/2/3/7/8 primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis.ode import (
+    alpha_of,
+    stolen_tasks,
+    switch_fraction,
+    time_to_knowledge,
+    unprocessed_fraction,
+)
+
+
+class TestAlpha:
+    def test_homogeneous(self):
+        # p equal workers: alpha = p - 1.
+        assert alpha_of(1.0 / 10.0) == pytest.approx(9.0)
+
+    def test_vectorized(self):
+        rs = np.array([0.5, 0.25, 0.25])
+        assert np.allclose(alpha_of(rs), [1.0, 3.0, 3.0])
+
+    def test_single_processor(self):
+        assert alpha_of(1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            alpha_of(0.0)
+        with pytest.raises(ValueError):
+            alpha_of(1.5)
+
+
+class TestUnprocessedFraction:
+    def test_boundary_values(self):
+        assert unprocessed_fraction(0.0, 5.0) == 1.0  # g(0) = 1
+        assert unprocessed_fraction(1.0, 5.0) == 0.0  # g(1) = 0
+
+    def test_alpha_zero_single_worker(self):
+        # A lone worker: nothing is ever stolen, g == 1 for x < 1.
+        assert unprocessed_fraction(0.7, 0.0) == 1.0
+
+    def test_outer_formula(self):
+        x, a = 0.3, 4.0
+        assert unprocessed_fraction(x, a, d=2) == pytest.approx((1 - 0.09) ** 4)
+
+    def test_matrix_formula(self):
+        x, a = 0.3, 4.0
+        assert unprocessed_fraction(x, a, d=3) == pytest.approx((1 - 0.027) ** 4)
+
+    def test_monotone_decreasing_in_x(self):
+        xs = np.linspace(0, 1, 50)
+        g = unprocessed_fraction(xs, 7.0)
+        assert np.all(np.diff(g) <= 0)
+
+    def test_monotone_decreasing_in_alpha(self):
+        # More competition (bigger alpha) -> more tasks stolen.
+        assert unprocessed_fraction(0.5, 10.0) < unprocessed_fraction(0.5, 2.0)
+
+    def test_bad_dimension(self):
+        with pytest.raises(ValueError):
+            unprocessed_fraction(0.5, 1.0, d=4)
+
+    def test_bad_x(self):
+        with pytest.raises(ValueError):
+            unprocessed_fraction(1.5, 1.0)
+        with pytest.raises(ValueError):
+            unprocessed_fraction(-0.1, 1.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(0, 1), st.floats(0, 500), st.sampled_from([2, 3]))
+    def test_range(self, x, alpha, d):
+        g = unprocessed_fraction(x, alpha, d)
+        assert 0.0 <= g <= 1.0
+
+
+class TestStolenTasks:
+    def test_zero_at_origin(self):
+        assert stolen_tasks(0.0, 5.0, n=100) == 0.0
+
+    def test_single_worker_nothing_stolen(self):
+        assert stolen_tasks(0.8, 0.0, n=50, d=2) == pytest.approx(0.0, abs=1e-9)
+
+    def test_monotone_in_x(self):
+        xs = np.linspace(0, 1, 30)
+        h = stolen_tasks(xs, 3.0, n=10)
+        assert np.all(np.diff(h) >= -1e-9)
+
+    def test_bounded_by_owned_domain(self):
+        """h_k(x) <= x^d n^d: others cannot steal more than Pk's domain."""
+        for x in np.linspace(0, 1, 11):
+            h = stolen_tasks(x, 6.0, n=20, d=2)
+            assert h <= (x**2) * 400 + 1e-9
+
+
+class TestTimeToKnowledge:
+    def test_zero_at_origin(self):
+        assert time_to_knowledge(0.0, 3.0, n=10) == 0.0
+
+    def test_full_knowledge_total_work(self):
+        """At x=1, all n^d tasks have been processed (t * sum s = n^d)."""
+        assert time_to_knowledge(1.0, 3.0, n=10, d=2) == pytest.approx(100.0)
+        assert time_to_knowledge(1.0, 3.0, n=10, d=3) == pytest.approx(1000.0)
+
+    def test_consistency_with_h_and_g(self):
+        """x^d n^d = h_k(x) + t_k(x) s_k (the Lemma-2 bookkeeping identity).
+
+        With t_k s_k = t_k sum(s) / (alpha+1).
+        """
+        n, alpha = 50, 7.0
+        for x in (0.1, 0.4, 0.8):
+            lhs = (x**2) * n**2
+            t_norm = time_to_knowledge(x, alpha, n=n, d=2)
+            rhs = stolen_tasks(x, alpha, n=n, d=2) + t_norm / (alpha + 1.0)
+            assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_monotone_in_x(self):
+        xs = np.linspace(0, 1, 40)
+        t = time_to_knowledge(xs, 5.0, n=10)
+        assert np.all(np.diff(t) >= 0)
+
+
+class TestSwitchFraction:
+    def test_lemma3_time_independent_of_k(self):
+        """t_k(x_k) * sum(s) ~ n^d (1 - e^-beta) for every worker."""
+        rng = np.random.default_rng(0)
+        rel = rng.uniform(10, 100, size=50)
+        rel = rel / rel.sum()
+        beta = 4.0
+        n = 1000
+        alphas = alpha_of(rel)
+        xs = switch_fraction(beta, rel, d=2)
+        times = time_to_knowledge(xs, alphas, n=n, d=2)
+        expected = n**2 * (1.0 - np.exp(-beta))
+        assert np.allclose(times, expected, rtol=0.02)
+
+    def test_matrix_variant(self):
+        rel = np.full(100, 0.01)
+        xs = switch_fraction(3.0, rel, d=3)
+        expected = (3.0 * 0.01 - 4.5 * 0.0001) ** (1 / 3)
+        assert np.allclose(xs, expected)
+
+    def test_clipping(self):
+        # beta*rs - beta^2/2 rs^2 < 0 for beta = 3, rs = 1: clipped to 0.
+        assert switch_fraction(3.0, np.array([1.0]))[0] == 0.0
+
+    def test_beta_zero(self):
+        assert np.all(switch_fraction(0.0, np.array([0.1, 0.5])) == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            switch_fraction(-1.0, np.array([0.5]))
+        with pytest.raises(ValueError):
+            switch_fraction(1.0, np.array([0.0]))

@@ -1,0 +1,119 @@
+"""Tests for repro.core.analysis.outer — Lemmas 4-5, Theorem 6, optimal β."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis.outer import (
+    optimal_outer_beta,
+    outer_phase1_ratio,
+    outer_phase2_ratio,
+    outer_total_ratio,
+)
+from repro.platform import uniform_speeds
+
+
+def rel_uniform(p, seed=0):
+    s = uniform_speeds(p, 10, 100, rng=seed)
+    return s / s.sum()
+
+
+class TestPhase1Ratio:
+    def test_zero_beta_no_phase1(self):
+        rel = rel_uniform(20)
+        assert outer_phase1_ratio(0.0, rel) == 0.0
+
+    def test_increasing_in_beta(self):
+        rel = rel_uniform(20)
+        betas = np.linspace(0.0, 6.0, 25)
+        vals = [outer_phase1_ratio(b, rel) for b in betas]
+        assert all(np.diff(vals) >= 0)
+
+    def test_first_order_close_to_exact_small_rs(self):
+        rel = np.full(200, 1.0 / 200)
+        for beta in (1.0, 3.0, 5.0):
+            exact = outer_phase1_ratio(beta, rel, "exact")
+            fo = outer_phase1_ratio(beta, rel, "first_order")
+            assert fo == pytest.approx(exact, rel=0.01)
+
+    def test_homogeneous_closed_form(self):
+        """Homogeneous: ratio = sum x_k / sum sqrt(rs) with x = sqrt(b/p - b^2/2p^2)."""
+        p, beta = 50, 2.0
+        rel = np.full(p, 1.0 / p)
+        x = np.sqrt(beta / p - beta**2 / (2 * p * p))
+        expected = p * x / (p * np.sqrt(1.0 / p))
+        assert outer_phase1_ratio(beta, rel) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            outer_phase1_ratio(-1.0, rel_uniform(5))
+        with pytest.raises(ValueError):
+            outer_phase1_ratio(1.0, rel_uniform(5), "quadratic")
+
+
+class TestPhase2Ratio:
+    def test_decreasing_in_beta(self):
+        rel = rel_uniform(20)
+        betas = np.linspace(0.5, 8.0, 25)
+        vals = [outer_phase2_ratio(b, rel, 100) for b in betas]
+        assert all(np.diff(vals) <= 0)
+
+    def test_beta_zero_pure_random_cost(self):
+        """beta=0: all n^2 tasks in phase 2 at 2 blocks each (cold caches)."""
+        rel = rel_uniform(20)
+        n = 100
+        lb = 2 * n * np.sum(np.sqrt(rel))
+        expected = 2 * n * n / lb
+        assert outer_phase2_ratio(0.0, rel, n) == pytest.approx(expected)
+
+    def test_scales_with_n(self):
+        rel = rel_uniform(20)
+        r100 = outer_phase2_ratio(3.0, rel, 100)
+        r1000 = outer_phase2_ratio(3.0, rel, 1000)
+        assert r1000 == pytest.approx(10 * r100, rel=1e-9)
+
+    def test_first_order_close_to_exact(self):
+        rel = np.full(100, 0.01)
+        for beta in (2.0, 4.0):
+            exact = outer_phase2_ratio(beta, rel, 100, "exact")
+            fo = outer_phase2_ratio(beta, rel, 100, "first_order")
+            assert fo == pytest.approx(exact, rel=0.05)
+
+
+class TestTotalRatioAndOptimum:
+    def test_total_is_sum(self):
+        rel = rel_uniform(20)
+        t = outer_total_ratio(3.0, rel, 100)
+        assert t == pytest.approx(outer_phase1_ratio(3.0, rel) + outer_phase2_ratio(3.0, rel, 100))
+
+    def test_paper_beta_value_homogeneous(self):
+        """Paper Section 3.6: first-order beta for p=20, n=100 is 4.1705."""
+        rel = np.full(20, 1.0 / 20)
+        beta = optimal_outer_beta(rel, 100, "first_order")
+        assert beta == pytest.approx(4.1705, abs=0.01)
+
+    def test_optimum_is_minimum(self):
+        rel = rel_uniform(20, seed=3)
+        n = 100
+        b_star = optimal_outer_beta(rel, n)
+        v_star = outer_total_ratio(b_star, rel, n)
+        for b in (b_star - 0.5, b_star + 0.5, 1.0, 8.0):
+            if b > 0:
+                assert v_star <= outer_total_ratio(b, rel, n) + 1e-12
+
+    def test_beta_grows_with_n(self):
+        """Larger problems keep phase 1 longer (more tasks to amortize)."""
+        rel = np.full(20, 1.0 / 20)
+        b100 = optimal_outer_beta(rel, 100)
+        b1000 = optimal_outer_beta(rel, 1000)
+        assert b1000 > b100
+
+    def test_section36_small_speed_sensitivity(self):
+        """beta varies little across speed draws (Section 3.6)."""
+        n = 100
+        betas = [optimal_outer_beta(rel_uniform(20, seed=s), n) for s in range(10)]
+        assert (max(betas) - min(betas)) / np.mean(betas) < 0.05
+
+    def test_range_validation(self):
+        rel = rel_uniform(5)
+        with pytest.raises(ValueError):
+            optimal_outer_beta(rel, 100, beta_range=(5.0, 1.0))

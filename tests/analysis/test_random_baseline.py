@@ -1,0 +1,68 @@
+"""Tests for the coupon-collector analysis of the Random* baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis.random_baseline import (
+    expected_random_matrix_volume,
+    expected_random_outer_volume,
+)
+from repro.core.strategies import MatrixRandom, OuterRandom
+from repro.platform import Platform, uniform_speeds
+from repro.simulator import simulate
+
+
+def rel(p, seed=0):
+    s = uniform_speeds(p, 10, 100, rng=seed)
+    return s / s.sum()
+
+
+class TestOuterFormula:
+    def test_matches_simulation(self):
+        n, p = 80, 30
+        pf = Platform(uniform_speeds(p, 10, 100, rng=3))
+        sims = [simulate(OuterRandom(n), pf, rng=s).total_blocks for s in range(5)]
+        predicted = expected_random_outer_volume(pf.relative_speeds, n)
+        assert predicted == pytest.approx(np.mean(sims), rel=0.03)
+
+    def test_replication_limit_small_share(self):
+        """Many workers, few tasks each: ~2 blocks per task."""
+        p, n = 5000, 20
+        r = np.full(p, 1.0 / p)
+        v = expected_random_outer_volume(r, n)
+        assert v == pytest.approx(2 * n * n, rel=0.05)
+
+    def test_capacity_limit_single_worker(self):
+        """One worker processing everything ends up with both vectors."""
+        v = expected_random_outer_volume(np.array([1.0]), 50)
+        assert v == pytest.approx(2 * 50, rel=1e-6)
+
+    def test_monotone_in_p(self):
+        n = 40
+        vols = [expected_random_outer_volume(np.full(p, 1.0 / p), n) for p in (1, 4, 16, 64)]
+        assert vols == sorted(vols)
+
+
+class TestMatrixFormula:
+    def test_matches_simulation(self):
+        n, p = 16, 20
+        pf = Platform(uniform_speeds(p, 10, 100, rng=4))
+        sims = [simulate(MatrixRandom(n), pf, rng=s).total_blocks for s in range(4)]
+        predicted = expected_random_matrix_volume(pf.relative_speeds, n)
+        assert predicted == pytest.approx(np.mean(sims), rel=0.03)
+
+    def test_replication_limit(self):
+        p, n = 10000, 6
+        v = expected_random_matrix_volume(np.full(p, 1.0 / p), n)
+        assert v == pytest.approx(3 * n**3, rel=0.05)
+
+    def test_capacity_limit(self):
+        n = 12
+        v = expected_random_matrix_volume(np.array([1.0]), n)
+        assert v == pytest.approx(3 * n * n, rel=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_random_outer_volume(np.array([0.5, 0.6]), 10)
+        with pytest.raises(ValueError):
+            expected_random_matrix_volume(np.array([1.0]), 0)

@@ -1,0 +1,89 @@
+"""Tests for repro.diagnostics — the ODE model validated at lemma level."""
+
+import numpy as np
+import pytest
+
+from repro.diagnostics import (
+    measure_matrix_knowledge_curves,
+    measure_outer_knowledge_curves,
+)
+from repro.platform import Platform, uniform_speeds
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return Platform(uniform_speeds(30, 10, 100, rng=3))
+
+
+@pytest.fixture(scope="module")
+def outer_curves(platform):
+    return measure_outer_knowledge_curves(150, platform, rng=5)
+
+
+@pytest.fixture(scope="module")
+def matrix_curves(platform):
+    return measure_matrix_knowledge_curves(24, platform, rng=5)
+
+
+class TestCurveStructure:
+    def test_one_curve_per_active_worker(self, outer_curves, platform):
+        assert 1 <= len(outer_curves) <= platform.p
+
+    def test_x_monotone_nondecreasing(self, outer_curves):
+        for c in outer_curves:
+            assert np.all(np.diff(c.x) >= -1e-12)
+
+    def test_t_monotone_nondecreasing(self, outer_curves):
+        for c in outer_curves:
+            assert np.all(np.diff(c.t) >= -1e-12)
+
+    def test_x_in_unit_interval(self, outer_curves):
+        for c in outer_curves:
+            assert c.x.min() >= 0.0
+            assert c.x.max() <= 1.0 + 1e-12
+
+    def test_fresh_fraction_in_unit_interval(self, outer_curves):
+        for c in outer_curves:
+            g = c.g[~np.isnan(c.g)]
+            assert np.all((g >= 0.0) & (g <= 1.0 + 1e-12))
+
+    def test_alpha_matches_platform(self, outer_curves, platform):
+        total = platform.speeds.sum()
+        for c in outer_curves:
+            expected = (total - platform.speeds[c.worker]) / platform.speeds[c.worker]
+            assert c.alpha == pytest.approx(expected)
+
+
+class TestLemma1Validation:
+    """Empirical g_k(x) follows (1 - x^2)^alpha_k (Lemma 1)."""
+
+    def test_outer_g_rmse_small(self, outer_curves):
+        rmses = [c.g_rmse(0.8) for c in outer_curves]
+        assert np.nanmedian(rmses) < 0.12
+
+    def test_matrix_g_rmse_small(self, matrix_curves):
+        rmses = [c.g_rmse(0.8) for c in matrix_curves]
+        assert np.nanmedian(rmses) < 0.15
+
+    def test_predicted_g_decreases(self, outer_curves):
+        c = outer_curves[0]
+        pred = c.predicted_g()
+        order = np.argsort(c.x)
+        assert np.all(np.diff(pred[order]) <= 1e-12)
+
+
+class TestLemma2Validation:
+    """Empirical t_k(x) follows n^d (1-(1-x^d)^(a+1)) / sum(s) (Lemma 2/8)."""
+
+    def test_outer_t_error_small(self, outer_curves, platform):
+        errs = [c.t_relative_error(platform.total_speed, 0.8) for c in outer_curves]
+        assert np.nanmedian(errs) < 0.15
+
+    def test_matrix_t_error_small(self, matrix_curves, platform):
+        errs = [c.t_relative_error(platform.total_speed, 0.8) for c in matrix_curves]
+        assert np.nanmedian(errs) < 0.20
+
+    def test_empty_mask_gives_nan(self, outer_curves, platform):
+        c = outer_curves[0]
+        assert np.isnan(c.t_relative_error(platform.total_speed, x_max=-1.0))
+        assert np.isnan(c.g_rmse(x_max=-1.0))

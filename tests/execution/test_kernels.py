@@ -1,0 +1,81 @@
+"""Tests for repro.execution.kernels."""
+
+import numpy as np
+import pytest
+
+from repro.execution.kernels import (
+    assemble_outer,
+    block_gemm_update,
+    block_outer,
+    reference_matmul,
+    reference_outer,
+    split_into_blocks,
+)
+
+
+class TestBlockOuter:
+    def test_matches_numpy(self, rng):
+        a = rng.normal(size=4)
+        b = rng.normal(size=4)
+        assert np.array_equal(block_outer(a, b), np.outer(a, b))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            block_outer(np.ones((2, 2)), np.ones(2))
+
+
+class TestBlockGemm:
+    def test_inplace_update(self, rng):
+        a = rng.normal(size=(3, 3))
+        b = rng.normal(size=(3, 3))
+        c = np.ones((3, 3))
+        block_gemm_update(c, a, b)
+        assert np.allclose(c, 1.0 + a @ b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            block_gemm_update(np.zeros((2, 2)), np.zeros((3, 3)), np.zeros((3, 3)))
+
+
+class TestSplitAssemble:
+    def test_split(self):
+        v = np.arange(12.0)
+        blocks = split_into_blocks(v, 4)
+        assert blocks.shape == (4, 3)
+        assert np.array_equal(blocks[1], [3.0, 4.0, 5.0])
+
+    def test_split_indivisible(self):
+        with pytest.raises(ValueError):
+            split_into_blocks(np.arange(10.0), 4)
+
+    def test_split_rejects_2d(self):
+        with pytest.raises(ValueError):
+            split_into_blocks(np.ones((2, 2)), 2)
+
+    def test_assemble_roundtrip(self, rng):
+        n, l = 3, 2
+        a = rng.normal(size=n * l)
+        b = rng.normal(size=n * l)
+        ab = split_into_blocks(a, n)
+        bb = split_into_blocks(b, n)
+        tiles = np.empty((n, n, l, l))
+        for i in range(n):
+            for j in range(n):
+                tiles[i, j] = np.outer(ab[i], bb[j])
+        assert np.allclose(assemble_outer(tiles), reference_outer(a, b))
+
+    def test_assemble_bad_shape(self):
+        with pytest.raises(ValueError):
+            assemble_outer(np.zeros((2, 3, 2, 2)))
+        with pytest.raises(ValueError):
+            assemble_outer(np.zeros((2, 2, 2)))
+
+
+class TestReferences:
+    def test_reference_outer(self):
+        assert np.array_equal(reference_outer([1, 2], [3, 4]), [[3, 4], [6, 8]])
+
+    def test_reference_matmul(self, rng):
+        a = rng.normal(size=(5, 5))
+        b = rng.normal(size=(5, 5))
+        assert np.allclose(reference_matmul(a, b), a @ b)

@@ -1,0 +1,94 @@
+"""Tests for the live threaded runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import MatrixDynamic, OuterDynamic
+from repro.execution.live import run_matrix_live, run_outer_live
+
+
+class TestOuterLive:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_correct_result(self, workers, rng):
+        n, l = 10, 4
+        a = rng.normal(size=n * l)
+        b = rng.normal(size=n * l)
+        report = run_outer_live(a, b, n, n_workers=workers, rng=0)
+        assert report.max_abs_error == 0.0
+        assert np.allclose(report.result, np.outer(a, b))
+        assert report.total_tasks == n * n
+        assert report.n_workers == workers
+
+    @pytest.mark.parametrize(
+        "name", ["RandomOuter", "SortedOuter", "DynamicOuter", "DynamicOuter2Phases", "MapReduceOuter"]
+    )
+    def test_all_strategies(self, name, rng):
+        n, l = 6, 3
+        a = rng.normal(size=n * l)
+        b = rng.normal(size=n * l)
+        report = run_outer_live(a, b, n, n_workers=3, strategy=name, rng=1)
+        assert report.max_abs_error == 0.0
+        assert report.strategy_name == name
+
+    def test_wall_time_positive(self, rng):
+        a = rng.normal(size=20)
+        b = rng.normal(size=20)
+        report = run_outer_live(a, b, 5, n_workers=2, rng=0)
+        assert report.wall_time > 0
+
+    def test_task_conservation_on_large_runs(self, rng):
+        """Total work is conserved across threads.  (Whether every thread
+        gets a share depends on OS scheduling, so only the sum is exact.)"""
+        n, l = 24, 8
+        a = rng.normal(size=n * l)
+        b = rng.normal(size=n * l)
+        report = run_outer_live(a, b, n, n_workers=2, rng=0)
+        assert report.per_worker_tasks.sum() == n * n
+        assert np.all(report.per_worker_tasks >= 0)
+
+    def test_requires_collect_ids(self, rng):
+        a = rng.normal(size=12)
+        b = rng.normal(size=12)
+        with pytest.raises(ValueError, match="collect_ids"):
+            run_outer_live(a, b, 4, strategy=OuterDynamic(4), rng=0)
+
+    def test_wrong_kernel(self, rng):
+        a = rng.normal(size=12)
+        b = rng.normal(size=12)
+        with pytest.raises(ValueError, match="matrix strategy"):
+            run_outer_live(a, b, 4, strategy="DynamicMatrix", rng=0)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            run_outer_live(rng.normal(size=8), rng.normal(size=12), 4, rng=0)
+
+
+class TestMatrixLive:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_correct_result(self, workers, rng):
+        n, l = 6, 4
+        a = rng.normal(size=(n * l, n * l))
+        b = rng.normal(size=(n * l, n * l))
+        report = run_matrix_live(a, b, n, n_workers=workers, rng=0)
+        assert report.max_abs_error < 1e-10
+        assert np.allclose(report.result, a @ b)
+        assert report.total_tasks == n**3
+
+    @pytest.mark.parametrize("name", ["RandomMatrix", "DynamicMatrix", "DynamicMatrix2Phases"])
+    def test_all_strategies(self, name, rng):
+        n, l = 4, 3
+        a = rng.normal(size=(n * l, n * l))
+        b = rng.normal(size=(n * l, n * l))
+        report = run_matrix_live(a, b, n, n_workers=2, strategy=name, rng=2)
+        assert np.allclose(report.result, a @ b)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            run_matrix_live(rng.normal(size=(6, 6)), rng.normal(size=(8, 8)), 2, rng=0)
+        with pytest.raises(ValueError):
+            run_matrix_live(rng.normal(size=(7, 7)), rng.normal(size=(7, 7)), 2, rng=0)
+
+    def test_requires_collect_ids(self, rng):
+        m = rng.normal(size=(8, 8))
+        with pytest.raises(ValueError):
+            run_matrix_live(m, m, 4, strategy=MatrixDynamic(4), rng=0)

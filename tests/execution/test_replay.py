@@ -1,0 +1,107 @@
+"""Tests for repro.execution.replay — schedules compute the right answer."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import OuterDynamic, OuterTwoPhase
+from repro.execution.replay import execute_matrix, execute_outer
+from repro.platform import Platform
+
+
+@pytest.fixture
+def data(rng):
+    n, l = 8, 3
+    a = rng.normal(size=n * l)
+    b = rng.normal(size=n * l)
+    return n, a, b
+
+
+class TestExecuteOuter:
+    @pytest.mark.parametrize(
+        "name", ["RandomOuter", "SortedOuter", "DynamicOuter", "DynamicOuter2Phases"]
+    )
+    def test_all_strategies_exact(self, name, data, small_platform):
+        n, a, b = data
+        report = execute_outer(a, b, n, small_platform, name, rng=0)
+        assert report.tasks_executed == n * n
+        assert report.max_abs_error == 0.0  # sums of identical products
+        assert report.exact
+        assert np.allclose(report.result, np.outer(a, b))
+
+    def test_per_worker_totals(self, data, small_platform):
+        n, a, b = data
+        report = execute_outer(a, b, n, small_platform, "DynamicOuter", rng=1)
+        assert report.per_worker_tasks.sum() == n * n
+        assert np.array_equal(report.per_worker_tasks, report.simulation.per_worker_tasks)
+
+    def test_prebuilt_strategy(self, data, small_platform):
+        n, a, b = data
+        s = OuterTwoPhase(n, beta=2.0, collect_ids=True)
+        report = execute_outer(a, b, n, small_platform, s, rng=0)
+        assert report.exact
+
+    def test_requires_collect_ids(self, data, small_platform):
+        n, a, b = data
+        with pytest.raises(ValueError, match="collect_ids"):
+            execute_outer(a, b, n, small_platform, OuterDynamic(n), rng=0)
+
+    def test_wrong_kernel_rejected(self, data, small_platform):
+        n, a, b = data
+        with pytest.raises(ValueError, match="matrix strategy"):
+            execute_outer(a, b, n, small_platform, "DynamicMatrix", rng=0)
+
+    def test_wrong_n_rejected(self, data, small_platform):
+        n, a, b = data
+        s = OuterDynamic(n + 1, collect_ids=True)
+        with pytest.raises(ValueError, match="n="):
+            execute_outer(a, b, n, small_platform, s, rng=0)
+
+    def test_length_mismatch(self, small_platform, rng):
+        a = rng.normal(size=8)
+        b = rng.normal(size=12)
+        with pytest.raises(ValueError):
+            execute_outer(a, b, 4, small_platform, rng=0)
+
+    def test_integer_data_exact(self, small_platform):
+        n, l = 5, 2
+        a = np.arange(n * l, dtype=np.int64)
+        b = np.arange(n * l, dtype=np.int64) + 3
+        report = execute_outer(a, b, n, small_platform, "DynamicOuter", rng=0)
+        assert np.array_equal(report.result, np.outer(a, b))
+
+
+class TestExecuteMatrix:
+    @pytest.mark.parametrize(
+        "name", ["RandomMatrix", "SortedMatrix", "DynamicMatrix", "DynamicMatrix2Phases"]
+    )
+    def test_all_strategies_correct(self, name, small_platform, rng):
+        n, l = 5, 2
+        a = rng.normal(size=(n * l, n * l))
+        b = rng.normal(size=(n * l, n * l))
+        report = execute_matrix(a, b, n, small_platform, name, rng=0)
+        assert report.tasks_executed == n**3
+        # Summation order differs from np.matmul: allow fp associativity.
+        assert report.max_abs_error < 1e-10
+        assert np.allclose(report.result, a @ b)
+
+    def test_integer_data_bit_exact(self, small_platform, rng):
+        n, l = 4, 2
+        a = rng.integers(-5, 5, size=(n * l, n * l))
+        b = rng.integers(-5, 5, size=(n * l, n * l))
+        report = execute_matrix(a, b, n, small_platform, "DynamicMatrix", rng=0)
+        assert np.array_equal(report.result, a @ b)
+        assert report.exact
+
+    def test_shape_validation(self, small_platform, rng):
+        with pytest.raises(ValueError):
+            execute_matrix(rng.normal(size=(6, 6)), rng.normal(size=(8, 8)), 3, small_platform, rng=0)
+        with pytest.raises(ValueError):
+            execute_matrix(rng.normal(size=(7, 7)), rng.normal(size=(7, 7)), 3, small_platform, rng=0)
+
+    def test_single_worker(self, rng):
+        pf = Platform([1.0])
+        n, l = 4, 2
+        a = rng.normal(size=(n * l, n * l))
+        b = rng.normal(size=(n * l, n * l))
+        report = execute_matrix(a, b, n, pf, "DynamicMatrix", rng=0)
+        assert np.allclose(report.result, a @ b)

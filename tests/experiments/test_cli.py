@@ -1,0 +1,122 @@
+"""Tests for the repro-experiments CLI."""
+
+import os
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig01"])
+        assert args.figures == ["fig01"]
+        assert args.scale == "ci"
+        assert args.seed == 0
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig01", "fig02", "--scale", "medium", "--seed", "9", "--outdir", "out"]
+        )
+        assert args.figures == ["fig01", "fig02"]
+        assert args.scale == "medium"
+        assert args.seed == 9
+        assert args.outdir == "out"
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig01", "--scale", "huge"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "sec36" in out
+
+    def test_run_writes_csv(self, tmp_path, capsys):
+        rc = main(["run", "fig01", "--scale", "ci", "--outdir", str(tmp_path), "--quiet"])
+        assert rc == 0
+        assert os.path.exists(tmp_path / "fig01_ci.csv")
+
+    def test_run_renders(self, capsys):
+        assert main(["run", "fig01", "--scale", "ci"]) == 0
+        out = capsys.readouterr().out
+        assert "RandomOuter" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_svg_output(self, tmp_path):
+        rc = main(["run", "fig01", "--scale", "ci", "--outdir", str(tmp_path), "--svg", "--quiet"])
+        assert rc == 0
+        assert (tmp_path / "fig01_ci.svg").exists()
+
+
+class TestGantt:
+    def test_gantt_command(self, capsys):
+        rc = main(["gantt", "DynamicOuter2Phases", "-n", "12", "-p", "4", "--width", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Gantt (DynamicOuter2Phases" in out
+        assert "lower bound" in out
+        assert out.count("P") >= 4  # one row per worker
+
+    def test_gantt_matrix_strategy(self, capsys):
+        rc = main(["gantt", "DynamicMatrix", "-n", "6", "-p", "3"])
+        assert rc == 0
+        assert "DynamicMatrix" in capsys.readouterr().out
+
+    def test_gantt_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            main(["gantt", "NoSuchStrategy"])
+
+
+class TestBeta:
+    def test_agnostic_outer(self, capsys):
+        rc = main(["beta", "outer", "-n", "100", "-p", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "beta* = 4.39" in out
+        assert "speed-agnostic" in out
+
+    def test_with_speeds(self, capsys):
+        rc = main(["beta", "outer", "-n", "50", "-p", "3", "--speeds", "10", "20", "30"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tuned to the given speeds" in out
+
+    def test_speed_count_mismatch(self):
+        with pytest.raises(SystemExit):
+            main(["beta", "outer", "-n", "50", "-p", "3", "--speeds", "10", "20"])
+
+    def test_matrix_kernel(self, capsys):
+        rc = main(["beta", "matrix", "-n", "40", "-p", "100"])
+        assert rc == 0
+        assert "x lower bound" in capsys.readouterr().out
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(SystemExit):
+            main(["beta", "conv", "-n", "10", "-p", "5"])
+
+
+class TestReport:
+    def test_report_stdout(self, tmp_path, capsys):
+        main(["run", "fig01", "--scale", "ci", "--outdir", str(tmp_path), "--quiet"])
+        capsys.readouterr()
+        rc = main(["report", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# Results summary" in out
+        assert "fig01" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        main(["run", "fig01", "--scale", "ci", "--outdir", str(tmp_path), "--quiet"])
+        rc = main(["report", str(tmp_path), "-o", str(tmp_path / "r.md")])
+        assert rc == 0
+        assert (tmp_path / "r.md").exists()

@@ -1,0 +1,44 @@
+"""Tests for repro.experiments.config."""
+
+import pytest
+
+from repro.experiments.config import FigureData, Series, check_scale
+
+
+class TestSeries:
+    def test_add_and_len(self):
+        s = Series("x")
+        s.add(1, 2.0, 0.1)
+        s.add(2, 3.0)
+        assert len(s) == 2
+        assert s.x == [1.0, 2.0]
+        assert s.mean == [2.0, 3.0]
+        assert s.std == [0.1, 0.0]
+
+
+class TestFigureData:
+    def test_new_series(self):
+        fig = FigureData("f", "t", "x", "y")
+        s = fig.new_series("a")
+        assert fig["a"] is s
+
+    def test_duplicate_series_rejected(self):
+        fig = FigureData("f", "t", "x", "y")
+        fig.new_series("a")
+        with pytest.raises(ValueError):
+            fig.new_series("a")
+
+    def test_missing_series(self):
+        fig = FigureData("f", "t", "x", "y")
+        with pytest.raises(KeyError):
+            fig["nope"]
+
+
+class TestCheckScale:
+    def test_valid(self):
+        for s in ("paper", "medium", "ci"):
+            assert check_scale(s) == s
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            check_scale("huge")

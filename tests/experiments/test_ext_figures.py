@@ -1,0 +1,64 @@
+"""Tests for the extension experiments ext01-ext03."""
+
+import pytest
+
+from repro.experiments.figures import generate
+
+
+@pytest.fixture(scope="module")
+def figures():
+    return {fid: generate(fid, scale="ci", seed=1) for fid in ("ext01", "ext02", "ext03")}
+
+
+class TestExt01:
+    def test_series(self, figures):
+        fig = figures["ext01"]
+        assert set(fig.series) == {
+            "RandomCholesky",
+            "LocalityCholesky",
+            "RandomQR",
+            "LocalityQR",
+            "RandomLU",
+            "LocalityLU",
+        }
+
+    def test_locality_wins_at_larger_tiles(self, figures):
+        fig = figures["ext01"]
+        # At the largest tile count locality must fetch fewer blocks/task.
+        assert fig["LocalityCholesky"].mean[-1] < fig["RandomCholesky"].mean[-1]
+        assert fig["LocalityQR"].mean[-1] < fig["RandomQR"].mean[-1]
+        assert fig["LocalityLU"].mean[-1] < fig["RandomLU"].mean[-1]
+
+    def test_blocks_per_task_bounded(self, figures):
+        fig = figures["ext01"]
+        for series in fig.series.values():
+            assert all(0 < v <= 3.0 for v in series.mean)
+
+
+class TestExt02:
+    def test_structure(self, figures):
+        fig = figures["ext02"]
+        assert "critical_bandwidth" in fig.meta
+        assert fig.meta["critical_bandwidth"] > 0
+        assert all(label.startswith("prefetch=") for label in fig.series)
+
+    def test_more_bandwidth_less_slowdown(self, figures):
+        fig = figures["ext02"]
+        for series in fig.series.values():
+            assert series.mean[-1] < series.mean[0]  # 2 B* beats B*/2
+
+    def test_slowdowns_at_least_one(self, figures):
+        fig = figures["ext02"]
+        for series in fig.series.values():
+            assert all(v >= 1.0 for v in series.mean)
+
+
+class TestExt03:
+    def test_formula_tracks_simulation(self, figures):
+        fig = figures["ext03"]
+        for sim_label, formula_label in (
+            ("RandomOuter", "OuterFormula"),
+            ("RandomMatrix", "MatrixFormula"),
+        ):
+            for sim, pred in zip(fig[sim_label].mean, fig[formula_label].mean):
+                assert pred == pytest.approx(sim, rel=0.06)

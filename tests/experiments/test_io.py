@@ -1,0 +1,52 @@
+"""Tests for repro.experiments.io."""
+
+import csv
+
+from repro.experiments.config import FigureData
+from repro.experiments.io import figure_to_rows, render_figure, write_csv
+
+
+def _figure():
+    fig = FigureData("figX", "A test figure", "p", "ratio")
+    s = fig.new_series("alpha")
+    s.add(10, 2.0, 0.1)
+    s.add(20, 3.0, 0.0)
+    t = fig.new_series("beta")
+    t.add(10, 1.5, 0.05)
+    return fig
+
+
+class TestRows:
+    def test_rows(self):
+        rows = figure_to_rows(_figure())
+        assert len(rows) == 3
+        assert rows[0] == ("figX", "alpha", 10.0, "", 2.0, 0.1)
+
+    def test_categorical_labels(self):
+        fig = FigureData("figY", "t", "x", "y", x_categories=["one", "two"])
+        fig.new_series("s").add(1, 5.0)
+        rows = figure_to_rows(fig)
+        assert rows[0][3] == "two"
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(_figure(), str(tmp_path / "sub" / "fig.csv"))
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["figure", "series", "x", "x_label", "mean", "std"]
+        assert len(rows) == 4
+        assert rows[1][1] == "alpha"
+
+
+class TestRender:
+    def test_contains_values(self):
+        text = render_figure(_figure())
+        assert "figX" in text
+        assert "alpha" in text and "beta" in text
+        assert "2.000" in text
+        assert "±" in text  # std shown when nonzero
+
+    def test_missing_points_dash(self):
+        text = render_figure(_figure())
+        assert "-" in text  # beta has no point at x=20

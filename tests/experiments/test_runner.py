@@ -1,0 +1,62 @@
+"""Tests for repro.experiments.runner."""
+
+import pytest
+
+from repro.core.strategies import OuterDynamic, OuterRandom
+from repro.experiments.runner import average_normalized_comm, mean_analysis_ratio
+from repro.platform import DynamicSpeedModel, Platform, uniform_speeds
+
+
+def factory(rng):
+    return Platform(uniform_speeds(10, 10, 100, rng=rng))
+
+
+class TestAverageNormalizedComm:
+    def test_basic(self):
+        summary = average_normalized_comm(lambda: OuterDynamic(12), factory, 12, reps=3, seed=0)
+        assert summary.n == 3
+        assert summary.mean >= 1.0
+
+    def test_reproducible(self):
+        a = average_normalized_comm(lambda: OuterRandom(10), factory, 10, reps=3, seed=5)
+        b = average_normalized_comm(lambda: OuterRandom(10), factory, 10, reps=3, seed=5)
+        assert a.mean == b.mean and a.std == b.std
+
+    def test_seed_matters(self):
+        a = average_normalized_comm(lambda: OuterRandom(10), factory, 10, reps=3, seed=1)
+        b = average_normalized_comm(lambda: OuterRandom(10), factory, 10, reps=3, seed=2)
+        assert a.mean != b.mean
+
+    def test_platform_with_speed_model(self):
+        def dyn_factory(rng):
+            return Platform(uniform_speeds(5, 80, 120, rng=rng)), DynamicSpeedModel(0.05)
+
+        summary = average_normalized_comm(lambda: OuterDynamic(10), dyn_factory, 10, reps=2, seed=0)
+        assert summary.mean >= 1.0
+
+    def test_invalid_reps(self):
+        with pytest.raises(ValueError):
+            average_normalized_comm(lambda: OuterDynamic(5), factory, 5, reps=0)
+
+
+class TestMeanAnalysisRatio:
+    def test_outer(self):
+        summary = mean_analysis_ratio("outer", factory, 50, reps=3, seed=0)
+        assert 1.0 <= summary.mean <= 5.0
+
+    def test_matrix(self):
+        summary = mean_analysis_ratio("matrix", factory, 20, reps=3, seed=0)
+        assert 1.0 <= summary.mean <= 6.0
+
+    def test_fixed_beta(self):
+        at_opt = mean_analysis_ratio("outer", factory, 50, reps=3, seed=0)
+        off_opt = mean_analysis_ratio("outer", factory, 50, reps=3, seed=0, beta=0.5)
+        assert at_opt.mean <= off_opt.mean
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            mean_analysis_ratio("conv", factory, 10, reps=1)
+
+    def test_invalid_reps(self):
+        with pytest.raises(ValueError):
+            mean_analysis_ratio("outer", factory, 10, reps=-1)

@@ -1,0 +1,120 @@
+"""Tests for the SVG figure renderer and the CSV round-trip."""
+
+import pytest
+
+from repro.experiments.config import FigureData
+from repro.experiments.io import read_csv, write_csv
+from repro.experiments.svgplot import _nice_ticks, render_svg, write_svg
+
+
+def _figure():
+    fig = FigureData("figT", "Test figure", "processors", "ratio")
+    s = fig.new_series("alpha")
+    s.add(10, 2.0, 0.1)
+    s.add(50, 3.0, 0.2)
+    s.add(100, 2.5, 0.0)
+    t = fig.new_series("beta")
+    t.add(10, 4.0)
+    t.add(100, 5.0)
+    return fig
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        assert ticks[0] <= 0.0 + 1e-9
+        assert ticks[-1] >= 10.0 - 2.0  # last tick near the top
+        assert ticks == sorted(ticks)
+
+    def test_small_range(self):
+        ticks = _nice_ticks(1.9, 2.1)
+        assert len(ticks) >= 2
+        assert all(1.8 <= t <= 2.2 for t in ticks)
+
+    def test_degenerate(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert len(ticks) >= 1
+
+
+class TestRenderSvg:
+    def test_valid_document(self):
+        svg = render_svg(_figure())
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<polyline") == 2  # one per series
+        assert "Test figure" in svg
+        assert "alpha" in svg and "beta" in svg
+
+    def test_error_whiskers_present(self):
+        svg = render_svg(_figure())
+        # Series alpha has nonzero std at two points -> two whisker lines
+        # beyond the grid/tick/legend lines; count markers instead.
+        assert svg.count("<circle") == 5  # 3 + 2 data points
+
+    def test_escaping(self):
+        fig = FigureData("figE", "a < b & c", "x", "y")
+        fig.new_series("s<1>").add(1, 1.0)
+        svg = render_svg(fig)
+        assert "a &lt; b &amp; c" in svg
+        assert "s&lt;1&gt;" in svg
+
+    def test_empty_figure_rejected(self):
+        fig = FigureData("figE", "t", "x", "y")
+        with pytest.raises(ValueError):
+            render_svg(fig)
+        fig.new_series("empty")
+        with pytest.raises(ValueError):
+            render_svg(fig)
+
+    def test_categorical_axis(self):
+        fig = FigureData("figC", "t", "scenario", "y", x_categories=["one", "two"])
+        s = fig.new_series("s")
+        s.add(0, 1.0)
+        s.add(1, 2.0)
+        svg = render_svg(fig)
+        assert "one" in svg and "two" in svg
+
+    def test_write_svg(self, tmp_path):
+        path = write_svg(_figure(), str(tmp_path / "sub" / "fig.svg"))
+        with open(path) as fh:
+            assert fh.read().startswith("<svg")
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip_preserves_data(self, tmp_path):
+        fig = _figure()
+        path = write_csv(fig, str(tmp_path / "fig.csv"))
+        back = read_csv(path)
+        assert back.figure_id == "figT"
+        assert set(back.series) == {"alpha", "beta"}
+        assert back["alpha"].x == fig["alpha"].x
+        assert back["alpha"].mean == fig["alpha"].mean
+        assert back["alpha"].std == fig["alpha"].std
+
+    def test_roundtrip_categories(self, tmp_path):
+        fig = FigureData("figC", "t", "x", "y", x_categories=["aa", "bb"])
+        s = fig.new_series("s")
+        s.add(0, 1.0)
+        s.add(1, 2.0)
+        path = write_csv(fig, str(tmp_path / "fig.csv"))
+        back = read_csv(path)
+        assert list(back.x_categories) == ["aa", "bb"]
+
+    def test_rejects_foreign_csv(self, tmp_path):
+        path = tmp_path / "other.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            read_csv(str(path))
+
+    def test_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("figure,series,x,x_label,mean,std\n")
+        with pytest.raises(ValueError):
+            read_csv(str(path))
+
+    def test_svg_from_roundtrip(self, tmp_path):
+        """The full pipeline: figure -> CSV -> FigureData -> SVG."""
+        fig = _figure()
+        path = write_csv(fig, str(tmp_path / "fig.csv"))
+        svg = render_svg(read_csv(path))
+        assert "<polyline" in svg

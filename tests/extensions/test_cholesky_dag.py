@@ -1,0 +1,84 @@
+"""Tests for the blocked-Cholesky task DAG."""
+
+import pytest
+
+from repro.extensions.cholesky.dag import CholeskyDag, TaskType, task_counts
+
+
+class TestTaskCounts:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 10])
+    def test_closed_forms(self, n):
+        counts = task_counts(n)
+        assert counts[TaskType.POTRF] == n
+        assert counts[TaskType.TRSM] == n * (n - 1) // 2
+        assert counts[TaskType.SYRK] == n * (n - 1) // 2
+        assert counts[TaskType.GEMM] == n * (n - 1) * (n - 2) // 6
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_dag_matches_counts(self, n):
+        dag = CholeskyDag(n)
+        counts = task_counts(n)
+        assert len(dag) == sum(counts.values())
+        by_kind = {}
+        for t in dag.tasks:
+            by_kind[t.kind] = by_kind.get(t.kind, 0) + 1
+        assert by_kind == {k: v for k, v in counts.items() if v > 0}
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            task_counts(0)
+        with pytest.raises(ValueError):
+            CholeskyDag(-1)
+
+
+class TestStructure:
+    def test_n1_single_task(self):
+        dag = CholeskyDag(1)
+        assert len(dag) == 1
+        assert dag.tasks[0].kind is TaskType.POTRF
+        assert dag.initial_ready() == [0]
+
+    def test_only_first_potrf_initially_ready(self):
+        dag = CholeskyDag(6)
+        ready = dag.initial_ready()
+        assert len(ready) == 1
+        assert dag.tasks[ready[0]].kind is TaskType.POTRF
+        assert dag.tasks[ready[0]].k == 0
+
+    def test_dependency_counts_consistent(self):
+        dag = CholeskyDag(5)
+        # Total edges out == total in-degrees.
+        assert sum(len(s) for s in dag.successors) == sum(dag.n_deps)
+
+    def test_acyclic_topological_order(self):
+        dag = CholeskyDag(6)
+        order = dag._topological_order()
+        assert sorted(order) == list(range(len(dag)))
+        pos = {t: i for i, t in enumerate(order)}
+        for t, succs in enumerate(dag.successors):
+            for s in succs:
+                assert pos[t] < pos[s]
+
+    def test_trsm_depends_on_potrf(self):
+        dag = CholeskyDag(4)
+        potrf0 = dag.task_id(TaskType.POTRF, 0, 0, 0)
+        trsm = dag.task_id(TaskType.TRSM, 2, 0, 0)
+        assert trsm in dag.successors[potrf0]
+
+    def test_gemm_reads_and_writes(self):
+        dag = CholeskyDag(5)
+        t = dag.tasks[dag.task_id(TaskType.GEMM, 3, 2, 1)]
+        assert set(t.reads) == {(3, 1), (2, 1), (3, 2)}
+        assert t.writes == (3, 2)
+
+    def test_priorities_decrease_along_edges(self):
+        """Upward ranks must strictly decrease from predecessor to successor."""
+        dag = CholeskyDag(5)
+        for t, succs in enumerate(dag.successors):
+            for s in succs:
+                assert dag.priority[t] > dag.priority[s]
+
+    def test_first_potrf_on_critical_path(self):
+        dag = CholeskyDag(6)
+        first = dag.task_id(TaskType.POTRF, 0, 0, 0)
+        assert dag.priority[first] == max(dag.priority)

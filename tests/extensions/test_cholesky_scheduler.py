@@ -1,0 +1,115 @@
+"""Tests for the dependency-aware Cholesky simulator and its schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.cholesky import (
+    CholeskyDag,
+    LocalityScheduler,
+    RandomScheduler,
+    replay_cholesky,
+    simulate_cholesky,
+    task_counts,
+)
+from repro.extensions.cholesky.numerics import random_spd
+from repro.platform import Platform
+
+
+@pytest.fixture
+def platform():
+    return Platform([10.0, 20.0, 30.0, 40.0])
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("scheduler", [RandomScheduler(), LocalityScheduler()])
+    def test_all_tasks_complete(self, platform, scheduler):
+        n = 8
+        result = simulate_cholesky(n, platform, scheduler, rng=0)
+        assert result.total_tasks == sum(task_counts(n).values())
+
+    def test_n1(self, platform):
+        result = simulate_cholesky(1, platform, rng=0)
+        assert result.total_tasks == 1
+        assert result.total_blocks == 1  # the single tile reaches one worker
+
+    def test_schedule_is_topological(self, platform):
+        n = 7
+        result = simulate_cholesky(n, platform, rng=1)
+        dag = CholeskyDag(n)
+        pos = {tid: i for i, (_, _, tid) in enumerate(result.schedule)}
+        assert len(pos) == len(dag)
+        for t, succs in enumerate(dag.successors):
+            for s in succs:
+                assert pos[t] < pos[s]
+
+    def test_schedule_times_nondecreasing(self, platform):
+        result = simulate_cholesky(6, platform, rng=1)
+        times = [s[0] for s in result.schedule]
+        assert times == sorted(times)
+
+    def test_deterministic(self, platform):
+        a = simulate_cholesky(8, platform, rng=3)
+        b = simulate_cholesky(8, platform, rng=3)
+        assert a.total_blocks == b.total_blocks
+        assert a.makespan == b.makespan
+        assert a.schedule == b.schedule
+
+    def test_makespan_at_least_critical_path(self, platform):
+        """Makespan >= critical path work / fastest speed."""
+        n = 8
+        result = simulate_cholesky(n, platform, rng=0)
+        dag = CholeskyDag(n)
+        cp = max(dag.priority)
+        assert result.makespan >= cp / platform.speeds.max() - 1e-9
+
+    def test_idle_time_nonnegative(self, platform):
+        result = simulate_cholesky(8, platform, rng=0)
+        assert result.idle_time >= 0.0
+
+    def test_comm_lower_bound(self, platform):
+        """Every lower-triangular tile must be fetched at least once."""
+        n = 8
+        result = simulate_cholesky(n, platform, rng=0)
+        n_tiles = n * (n + 1) // 2
+        assert result.total_blocks >= n_tiles
+
+
+class TestSchedulerComparison:
+    def test_locality_reduces_communication(self, platform):
+        n = 12
+        rnd = np.mean(
+            [simulate_cholesky(n, platform, RandomScheduler(), rng=s).total_blocks for s in range(3)]
+        )
+        loc = np.mean(
+            [simulate_cholesky(n, platform, LocalityScheduler(), rng=s).total_blocks for s in range(3)]
+        )
+        assert loc < rnd
+
+    def test_single_worker_minimal_comm(self):
+        """One worker fetches each tile exactly once: n(n+1)/2 blocks."""
+        pf = Platform([5.0])
+        n = 6
+        result = simulate_cholesky(n, pf, LocalityScheduler(), rng=0)
+        assert result.total_blocks == n * (n + 1) // 2
+
+
+class TestNumericalReplay:
+    @pytest.mark.parametrize("scheduler", [RandomScheduler(), LocalityScheduler()])
+    def test_factorization_correct(self, platform, scheduler):
+        n, l = 6, 4
+        a = random_spd(n * l, rng=7)
+        replay = replay_cholesky(a, n, platform, scheduler, rng=1)
+        assert replay.max_abs_error < 1e-8
+        assert replay.max_factor_error < 1e-8
+        assert np.allclose(replay.factor @ replay.factor.T, a)
+
+    def test_factor_lower_triangular(self, platform):
+        a = random_spd(24, rng=8)
+        replay = replay_cholesky(a, 4, platform, rng=0)
+        assert np.allclose(replay.factor, np.tril(replay.factor))
+
+    def test_shape_validation(self, platform):
+        with pytest.raises(ValueError):
+            replay_cholesky(np.eye(10), 3, platform)  # 10 not divisible by 3
+        with pytest.raises(ValueError):
+            replay_cholesky(np.ones((4, 5)), 2, platform)

@@ -1,0 +1,124 @@
+"""Tests for the tiled-LU extension."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.lu import (
+    LocalityScheduler,
+    LuDag,
+    LuTaskType,
+    RandomScheduler,
+    lu_task_counts,
+    random_dd,
+    replay_lu,
+    simulate_lu,
+)
+from repro.platform import Platform
+
+
+@pytest.fixture
+def platform():
+    return Platform([15.0, 30.0, 45.0])
+
+
+class TestDag:
+    @pytest.mark.parametrize("n", [1, 2, 3, 6])
+    def test_counts(self, n):
+        counts = lu_task_counts(n)
+        assert counts[LuTaskType.GETRF] == n
+        assert counts[LuTaskType.TRSM_U] == n * (n - 1) // 2
+        assert counts[LuTaskType.TRSM_L] == n * (n - 1) // 2
+        assert counts[LuTaskType.GEMM] == (n - 1) * n * (2 * n - 1) // 6
+        assert len(LuDag(n)) == sum(counts.values())
+
+    def test_n1(self):
+        dag = LuDag(1)
+        assert len(dag) == 1
+        assert dag.tasks[0].kind is LuTaskType.GETRF
+
+    def test_only_first_getrf_ready(self):
+        dag = LuDag(5)
+        ready = dag.initial_ready()
+        assert len(ready) == 1
+        assert dag.tasks[ready[0]].kind is LuTaskType.GETRF
+
+    def test_acyclic(self):
+        dag = LuDag(5)
+        order = dag._topological_order()
+        assert sorted(order) == list(range(len(dag)))
+
+    def test_gemm_chain_over_panels(self):
+        dag = LuDag(4)
+        g1 = dag.task_id(LuTaskType.GEMM, 3, 2, 0)
+        g2 = dag.task_id(LuTaskType.GEMM, 3, 2, 1)
+        assert g2 in dag.successors[g1]
+
+    def test_priorities_decrease_along_edges(self):
+        dag = LuDag(5)
+        for t, succs in enumerate(dag.successors):
+            for s in succs:
+                assert dag.priority[t] > dag.priority[s]
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("scheduler", [RandomScheduler(), LocalityScheduler()])
+    def test_all_tasks_complete(self, platform, scheduler):
+        n = 7
+        result = simulate_lu(n, platform, scheduler, rng=0)
+        assert result.total_tasks == sum(lu_task_counts(n).values())
+
+    def test_schedule_is_topological(self, platform):
+        n = 6
+        result = simulate_lu(n, platform, rng=1)
+        dag = LuDag(n)
+        pos = {tid: i for i, (_, _, tid) in enumerate(result.schedule)}
+        for t, succs in enumerate(dag.successors):
+            for s in succs:
+                assert pos[t] < pos[s]
+
+    def test_locality_reduces_communication(self, platform):
+        n = 10
+        rnd = np.mean([simulate_lu(n, platform, RandomScheduler(), rng=s).total_blocks for s in range(3)])
+        loc = np.mean([simulate_lu(n, platform, LocalityScheduler(), rng=s).total_blocks for s in range(3)])
+        assert loc < rnd
+
+    def test_single_worker_minimal_comm(self):
+        pf = Platform([2.0])
+        n = 5
+        result = simulate_lu(n, pf, LocalityScheduler(), rng=0)
+        assert result.total_blocks == n * n
+
+
+class TestNumericalReplay:
+    @pytest.mark.parametrize("scheduler", [RandomScheduler(), LocalityScheduler()])
+    def test_factorization_correct(self, platform, scheduler):
+        n, l = 6, 4
+        a = random_dd(n * l, rng=5)
+        replay = replay_lu(a, n, platform, scheduler, rng=1)
+        assert replay.max_abs_error < 1e-10
+        assert np.allclose(replay.l_factor @ replay.u_factor, a)
+
+    def test_factor_shapes(self, platform):
+        a = random_dd(24, rng=6)
+        replay = replay_lu(a, 4, platform, rng=0)
+        assert np.allclose(np.diag(replay.l_factor), 1.0)
+        assert np.allclose(replay.l_factor, np.tril(replay.l_factor))
+        assert np.allclose(replay.u_factor, np.triu(replay.u_factor))
+
+    def test_matches_scipy_lu(self, platform):
+        """For DD matrices partial pivoting is a no-op, so the factors
+        must match scipy's (up to its permutation being identity)."""
+        from scipy import linalg as sla
+
+        a = random_dd(20, rng=7)
+        replay = replay_lu(a, 4, platform, rng=0)
+        p, l_ref, u_ref = sla.lu(a)
+        if np.allclose(p, np.eye(20)):
+            assert np.allclose(replay.l_factor, l_ref)
+            assert np.allclose(replay.u_factor, u_ref)
+
+    def test_shape_validation(self, platform):
+        with pytest.raises(ValueError):
+            replay_lu(np.eye(10), 3, platform)
+        with pytest.raises(ValueError):
+            replay_lu(np.ones((3, 5)), 1, platform)

@@ -1,0 +1,175 @@
+"""Tests for the bandwidth-limited overlap extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import OuterDynamic, OuterRandom, OuterTwoPhase
+from repro.extensions.overlap import (
+    critical_bandwidth,
+    overlap_study,
+    simulate_with_bandwidth,
+)
+from repro.platform import Platform, uniform_speeds
+from repro.simulator import simulate
+
+
+@pytest.fixture
+def platform():
+    return Platform(uniform_speeds(10, 10, 100, rng=0))
+
+
+class TestEngineBasics:
+    def test_all_tasks_processed(self, platform):
+        n = 20
+        r = simulate_with_bandwidth(OuterDynamic(n), platform, bandwidth=50.0, rng=1)
+        assert r.total_tasks == n * n
+        assert r.per_worker_tasks.sum() == n * n
+
+    def test_infinite_bandwidth_volume_matches_paper_engine(self, platform):
+        """With B = inf the shipped volume equals the volume-only engine's
+        (same strategy dynamics; only event interleaving differs)."""
+        n = 24
+        vol = simulate(OuterRandom(n), platform, rng=2).total_blocks
+        ovl = simulate_with_bandwidth(OuterRandom(n), platform, bandwidth=math.inf, rng=2).total_blocks
+        # RandomOuter totals depend on who processes what; allow small drift.
+        assert ovl == pytest.approx(vol, rel=0.10)
+
+    def test_deterministic(self, platform):
+        a = simulate_with_bandwidth(OuterDynamic(16), platform, bandwidth=30.0, rng=5)
+        b = simulate_with_bandwidth(OuterDynamic(16), platform, bandwidth=30.0, rng=5)
+        assert a.total_blocks == b.total_blocks
+        assert a.makespan == b.makespan
+
+    def test_makespan_at_least_ideal(self, platform):
+        r = simulate_with_bandwidth(OuterDynamic(16), platform, bandwidth=10.0, rng=0)
+        assert r.makespan >= r.ideal_makespan - 1e-9
+        assert r.slowdown >= 1.0
+
+    def test_link_busy_time_accounting(self, platform):
+        b = 25.0
+        r = simulate_with_bandwidth(OuterDynamic(16), platform, bandwidth=b, rng=0)
+        assert r.link_busy_time == pytest.approx(r.total_blocks / b)
+
+    def test_makespan_at_least_transfer_time(self, platform):
+        """The serial link is a hard floor: makespan >= V / B."""
+        b = 5.0
+        r = simulate_with_bandwidth(OuterDynamic(16), platform, bandwidth=b, rng=0)
+        assert r.makespan >= r.total_blocks / b - 1e-9
+
+    def test_idle_fraction_bounds(self, platform):
+        r = simulate_with_bandwidth(OuterDynamic(16), platform, bandwidth=20.0, rng=0)
+        assert 0.0 <= r.mean_idle_fraction <= 1.0
+
+    def test_validation(self, platform):
+        with pytest.raises(ValueError):
+            simulate_with_bandwidth(OuterDynamic(4), platform, bandwidth=0.0)
+        with pytest.raises(ValueError):
+            simulate_with_bandwidth(OuterDynamic(4), platform, bandwidth=-1.0)
+        with pytest.raises(ValueError):
+            simulate_with_bandwidth(OuterDynamic(4), platform, bandwidth=1.0, prefetch_tasks=-1)
+
+
+class TestBandwidthRegimes:
+    def test_communication_bound_below_critical(self, platform):
+        """At B = B*/2 the run must be ~2x slower than the compute ideal."""
+        n = 40
+        b_star = critical_bandwidth(lambda: OuterTwoPhase(n), platform, rng=1)
+        r = simulate_with_bandwidth(
+            OuterTwoPhase(n), platform, bandwidth=0.5 * b_star, prefetch_tasks=2, rng=1
+        )
+        assert r.slowdown >= 1.8
+
+    def test_overlap_achievable_above_critical(self, platform):
+        """At B = 4 B* with a small prefetch, slowdown is close to the
+        volume-only engine's own tail (< ~1.4)."""
+        n = 40
+        b_star = critical_bandwidth(lambda: OuterTwoPhase(n), platform, rng=1)
+        r = simulate_with_bandwidth(
+            OuterTwoPhase(n), platform, bandwidth=4.0 * b_star, prefetch_tasks=2, rng=1
+        )
+        assert r.slowdown < 1.5
+
+    def test_small_prefetch_suffices(self, platform):
+        """The paper's observation: going beyond a tiny prefetch depth buys
+        nothing once bandwidth is adequate."""
+        n = 40
+        b_star = critical_bandwidth(lambda: OuterTwoPhase(n), platform, rng=1)
+        run = lambda depth: simulate_with_bandwidth(  # noqa: E731
+            OuterTwoPhase(n), platform, bandwidth=2.0 * b_star, prefetch_tasks=depth, rng=1
+        ).slowdown
+        assert run(2) <= run(0) * 1.25
+        # Over-prefetching commits work too early and hurts the tail.
+        assert run(64) >= run(2) * 0.9
+
+
+class TestStarTopology:
+    def test_slow_downlink_slows_run(self, platform):
+        """One crippled worker downlink must not speed anything up."""
+        n = 24
+        uniform = simulate_with_bandwidth(OuterDynamic(n), platform, bandwidth=100.0, rng=3)
+        slow = np.full(platform.p, 1e9)
+        slow[0] = 1.0  # worker 0 nearly cut off
+        star = simulate_with_bandwidth(
+            OuterDynamic(n), platform, bandwidth=100.0, worker_bandwidths=slow, rng=3
+        )
+        assert star.makespan >= uniform.makespan * 0.99
+
+    def test_fast_downlinks_equivalent_to_bus(self, platform):
+        """Downlinks faster than the NIC change nothing."""
+        n = 20
+        bus = simulate_with_bandwidth(OuterDynamic(n), platform, bandwidth=50.0, rng=4)
+        star = simulate_with_bandwidth(
+            OuterDynamic(n),
+            platform,
+            bandwidth=50.0,
+            worker_bandwidths=np.full(platform.p, 1e12),
+            rng=4,
+        )
+        assert star.makespan == pytest.approx(bus.makespan)
+        assert star.total_blocks == bus.total_blocks
+
+    def test_validation(self, platform):
+        with pytest.raises(ValueError, match="one entry per worker"):
+            simulate_with_bandwidth(
+                OuterDynamic(4), platform, bandwidth=1.0, worker_bandwidths=np.ones(3)
+            )
+        with pytest.raises(ValueError, match="positive"):
+            simulate_with_bandwidth(
+                OuterDynamic(4),
+                platform,
+                bandwidth=1.0,
+                worker_bandwidths=np.zeros(platform.p),
+            )
+
+
+class TestStudy:
+    def test_critical_bandwidth_positive(self, platform):
+        assert critical_bandwidth(lambda: OuterDynamic(16), platform, rng=0) > 0
+
+    def test_study_structure(self, platform):
+        study = overlap_study(
+            lambda: OuterDynamic(16),
+            platform,
+            bandwidth_factors=(1.0, 2.0),
+            prefetch_depths=(0, 2),
+            rng=0,
+        )
+        assert set(study) == {1.0, 2.0}
+        for row in study.values():
+            assert len(row) == 2
+            assert all(r.total_tasks == 256 for r in row)
+
+    def test_study_bandwidth_ordering(self, platform):
+        """More bandwidth never makes the best-over-depths slowdown worse."""
+        study = overlap_study(
+            lambda: OuterTwoPhase(30),
+            platform,
+            bandwidth_factors=(0.5, 4.0),
+            prefetch_depths=(0, 2, 4),
+            rng=3,
+        )
+        best_low = min(r.slowdown for r in study[0.5])
+        best_high = min(r.slowdown for r in study[4.0])
+        assert best_high <= best_low

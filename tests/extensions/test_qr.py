@@ -1,0 +1,128 @@
+"""Tests for the tiled-QR extension."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.qr import (
+    LocalityScheduler,
+    QrDag,
+    QrTaskType,
+    RandomScheduler,
+    qr_task_counts,
+    replay_qr,
+    simulate_qr,
+)
+from repro.platform import Platform
+
+
+@pytest.fixture
+def platform():
+    return Platform([10.0, 25.0, 40.0, 55.0])
+
+
+class TestDag:
+    @pytest.mark.parametrize("n", [1, 2, 3, 6])
+    def test_counts(self, n):
+        counts = qr_task_counts(n)
+        assert counts[QrTaskType.GEQRT] == n
+        assert counts[QrTaskType.UNMQR] == n * (n - 1) // 2
+        assert counts[QrTaskType.TSQRT] == n * (n - 1) // 2
+        assert counts[QrTaskType.TSMQR] == (n - 1) * n * (2 * n - 1) // 6
+        assert len(QrDag(n)) == sum(counts.values())
+
+    def test_n1(self):
+        dag = QrDag(1)
+        assert len(dag) == 1
+        assert dag.tasks[0].kind is QrTaskType.GEQRT
+
+    def test_only_first_geqrt_ready(self):
+        dag = QrDag(5)
+        ready = dag.initial_ready()
+        assert len(ready) == 1
+        assert dag.tasks[ready[0]].kind is QrTaskType.GEQRT
+        assert dag.tasks[ready[0]].k == 0
+
+    def test_acyclic_and_edges_consistent(self):
+        dag = QrDag(5)
+        order = dag._topological_order()
+        assert sorted(order) == list(range(len(dag)))
+        assert sum(len(s) for s in dag.successors) == sum(dag.n_deps)
+
+    def test_tsqrt_writes_two_tiles(self):
+        dag = QrDag(4)
+        t = dag.tasks[dag.task_id(QrTaskType.TSQRT, 2, 0, 0)]
+        assert t.writes == (2, 0)
+        assert t.extra_writes == ((0, 0),)
+
+    def test_tsmqr_reads_and_writes(self):
+        dag = QrDag(5)
+        t = dag.tasks[dag.task_id(QrTaskType.TSMQR, 3, 2, 1)]
+        assert set(t.reads) == {(3, 1), (1, 2), (3, 2)}
+        assert t.writes == (3, 2)
+        assert t.extra_writes == ((1, 2),)
+
+    def test_priorities_decrease_along_edges(self):
+        dag = QrDag(5)
+        for t, succs in enumerate(dag.successors):
+            for s in succs:
+                assert dag.priority[t] > dag.priority[s]
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("scheduler", [RandomScheduler(), LocalityScheduler()])
+    def test_all_tasks_complete(self, platform, scheduler):
+        n = 7
+        result = simulate_qr(n, platform, scheduler, rng=0)
+        assert result.total_tasks == sum(qr_task_counts(n).values())
+
+    def test_schedule_is_topological(self, platform):
+        n = 6
+        result = simulate_qr(n, platform, rng=1)
+        dag = QrDag(n)
+        pos = {tid: i for i, (_, _, tid) in enumerate(result.schedule)}
+        for t, succs in enumerate(dag.successors):
+            for s in succs:
+                assert pos[t] < pos[s]
+
+    def test_deterministic(self, platform):
+        a = simulate_qr(6, platform, rng=4)
+        b = simulate_qr(6, platform, rng=4)
+        assert a.total_blocks == b.total_blocks
+        assert a.schedule == b.schedule
+
+    def test_locality_reduces_communication(self, platform):
+        n = 10
+        rnd = np.mean([simulate_qr(n, platform, RandomScheduler(), rng=s).total_blocks for s in range(3)])
+        loc = np.mean([simulate_qr(n, platform, LocalityScheduler(), rng=s).total_blocks for s in range(3)])
+        assert loc < rnd
+
+    def test_single_worker_minimal_comm(self):
+        """One worker fetches each of the n^2 tiles exactly once."""
+        pf = Platform([3.0])
+        n = 5
+        result = simulate_qr(n, pf, LocalityScheduler(), rng=0)
+        assert result.total_blocks == n * n
+
+
+class TestNumericalReplay:
+    @pytest.mark.parametrize("scheduler", [RandomScheduler(), LocalityScheduler()])
+    def test_factorization_correct(self, platform, scheduler):
+        n, l = 6, 4
+        a = np.random.default_rng(9).normal(size=(n * l, n * l))
+        replay = replay_qr(a, n, platform, scheduler, rng=1)
+        assert replay.gram_error < 1e-12
+        assert replay.triangularity_error < 1e-12
+        assert replay.r_match_error < 1e-10
+
+    def test_r_matches_reference_up_to_signs(self, platform):
+        n, l = 4, 3
+        a = np.random.default_rng(10).normal(size=(n * l, n * l))
+        replay = replay_qr(a, n, platform, rng=0)
+        r_ref = np.linalg.qr(a, mode="reduced")[1]
+        assert np.allclose(np.abs(np.triu(replay.r_factor)), np.abs(r_ref))
+
+    def test_shape_validation(self, platform):
+        with pytest.raises(ValueError):
+            replay_qr(np.eye(10), 3, platform)
+        with pytest.raises(ValueError):
+            replay_qr(np.ones((4, 6)), 2, platform)

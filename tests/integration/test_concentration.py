@@ -1,0 +1,49 @@
+"""The paper's concentration claim, tested directly.
+
+Section 3.2: "Each point in this figure and the following ones is the
+average over 10 or more simulations.  The standard deviation is always
+very small, typically smaller than 0.1 for any point, and never impacts
+the ranking of the strategies."
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import outer_lower_bound
+from repro.core.strategies import make_strategy, strategies_for_kernel
+from repro.platform import Platform, uniform_speeds
+from repro.simulator import simulate
+
+
+class TestConcentration:
+    @pytest.mark.parametrize("name", ["RandomOuter", "DynamicOuter", "DynamicOuter2Phases"])
+    def test_std_below_point_one(self, name):
+        """Normalized-communication std over re-runs stays below ~0.1."""
+        n, p = 100, 50
+        pf = Platform(uniform_speeds(p, 10, 100, rng=0))
+        lb = outer_lower_bound(pf.relative_speeds, n)
+        values = [simulate(make_strategy(name, n), pf, rng=s).normalized(lb) for s in range(10)]
+        assert np.std(values) < 0.12
+
+    def test_ranking_never_flips(self):
+        """Across 10 independent platform draws the ordering is invariant."""
+        n, p = 60, 30
+        for seed in range(10):
+            pf = Platform(uniform_speeds(p, 10, 100, rng=100 + seed))
+            lb = outer_lower_bound(pf.relative_speeds, n)
+            vals = {
+                name: simulate(make_strategy(name, n), pf, rng=seed).normalized(lb)
+                for name in ("RandomOuter", "DynamicOuter", "DynamicOuter2Phases")
+            }
+            assert vals["DynamicOuter2Phases"] < vals["RandomOuter"]
+            assert vals["DynamicOuter"] < vals["RandomOuter"]
+
+    def test_all_outer_strategies_concentrate(self):
+        """Weaker bound across every outer strategy incl. baselines."""
+        n, p = 60, 30
+        pf = Platform(uniform_speeds(p, 10, 100, rng=5))
+        lb = outer_lower_bound(pf.relative_speeds, n)
+        for name in strategies_for_kernel("outer"):
+            values = [simulate(make_strategy(name, n), pf, rng=s).normalized(lb) for s in range(6)]
+            mean = np.mean(values)
+            assert np.std(values) < 0.05 * mean + 0.1

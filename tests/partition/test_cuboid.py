@@ -1,0 +1,71 @@
+"""Tests for repro.partition.cuboid — the 3-D static extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.cuboid import partition_cube
+
+
+class TestBasics:
+    def test_single_processor(self):
+        part = partition_cube([2.0])
+        assert len(part.cuboids) == 1
+        c = part.cuboids[0]
+        assert c.volume == pytest.approx(1.0)
+        assert c.face_sum == pytest.approx(3.0)
+
+    def test_volumes_proportional(self):
+        speeds = np.array([1.0, 2.0, 3.0])
+        part = partition_cube(speeds)
+        rel = speeds / speeds.sum()
+        for c in part.cuboids:
+            assert c.volume == pytest.approx(rel[c.owner], abs=1e-12)
+
+    def test_total_volume_one(self):
+        part = partition_cube(np.arange(1, 11, dtype=float))
+        assert sum(c.volume for c in part.cuboids) == pytest.approx(1.0)
+
+    def test_owner_permutation(self):
+        part = partition_cube([3.0, 1.0, 2.0, 5.0])
+        assert sorted(c.owner for c in part.cuboids) == [0, 1, 2, 3]
+
+    def test_eight_equal_is_2x2x2(self):
+        part = partition_cube(np.full(8, 1.0))
+        # Perfect 2x2x2 grid: each cuboid is a 1/2-cube, face sum 3/4.
+        assert part.face_sum_total == pytest.approx(8 * 0.75)
+        assert part.approximation_ratio() == pytest.approx(1.0)
+
+
+class TestQuality:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0.1, 20.0), min_size=1, max_size=16))
+    def test_above_lower_bound(self, volumes):
+        part = partition_cube(volumes)
+        assert part.approximation_ratio() >= 1.0 - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0.2, 5.0), min_size=1, max_size=12))
+    def test_heuristic_not_terrible(self, volumes):
+        """Stay within 2.5x of the cube lower bound on mild heterogeneity."""
+        part = partition_cube(volumes)
+        assert part.approximation_ratio() <= 2.5
+
+    def test_communication_volume_scaling(self):
+        part = partition_cube([1.0, 1.0])
+        assert part.communication_volume(10) == pytest.approx(100 * part.face_sum_total)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            partition_cube([1.0]).communication_volume(-1)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            partition_cube([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            partition_cube([0.0, 1.0])

@@ -1,0 +1,81 @@
+"""Tests for repro.platform.platform."""
+
+import numpy as np
+import pytest
+
+from repro.platform import Platform, Processor
+
+
+class TestProcessor:
+    def test_fields(self):
+        p = Processor(3, 2.5)
+        assert p.pid == 3
+        assert p.speed == 2.5
+
+    def test_negative_pid(self):
+        with pytest.raises(ValueError):
+            Processor(-1, 1.0)
+
+    def test_nonpositive_speed(self):
+        with pytest.raises(ValueError):
+            Processor(0, 0.0)
+        with pytest.raises(ValueError):
+            Processor(0, -3.0)
+
+    def test_frozen(self):
+        p = Processor(0, 1.0)
+        with pytest.raises(AttributeError):
+            p.speed = 2.0
+
+
+class TestPlatform:
+    def test_basic(self):
+        pf = Platform([1.0, 3.0])
+        assert pf.p == 2
+        assert len(pf) == 2
+        assert pf.total_speed == 4.0
+        assert np.allclose(pf.relative_speeds, [0.25, 0.75])
+
+    def test_relative_speeds_sum_to_one(self, paper_platform):
+        assert paper_platform.relative_speeds.sum() == pytest.approx(1.0)
+
+    def test_immutability(self):
+        pf = Platform([1.0, 2.0])
+        with pytest.raises(ValueError):
+            pf.speeds[0] = 5.0
+        with pytest.raises(ValueError):
+            pf.relative_speeds[0] = 0.9
+
+    def test_source_mutation_does_not_leak(self):
+        src = np.array([1.0, 2.0])
+        pf = Platform(src)
+        src[0] = 100.0
+        assert pf.speeds[0] == 1.0
+
+    def test_homogeneous(self):
+        pf = Platform.homogeneous(5, speed=3.0)
+        assert pf.p == 5
+        assert np.allclose(pf.speeds, 3.0)
+        assert np.allclose(pf.relative_speeds, 0.2)
+
+    def test_homogeneous_invalid_p(self):
+        with pytest.raises(ValueError):
+            Platform.homogeneous(0)
+
+    def test_processor_accessor(self):
+        pf = Platform([1.0, 2.0])
+        proc = pf.processor(1)
+        assert proc.pid == 1
+        assert proc.speed == 2.0
+
+    def test_iteration(self):
+        pf = Platform([1.0, 2.0, 3.0])
+        procs = list(pf)
+        assert [q.pid for q in procs] == [0, 1, 2]
+        assert [q.speed for q in procs] == [1.0, 2.0, 3.0]
+
+    def test_rejects_bad_speeds(self):
+        with pytest.raises(ValueError):
+            Platform([])
+        with pytest.raises(ValueError):
+            Platform([1.0, 0.0])

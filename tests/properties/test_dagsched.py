@@ -1,0 +1,136 @@
+"""Property-based tests of the generic DAG engine on random DAGs.
+
+Hypothesis generates arbitrary small DAGs (random forward edges, random
+tile footprints); every schedule must:
+
+* complete every task exactly once,
+* respect the dependency order,
+* fetch at least one block per distinct tile (someone must receive it),
+* never exceed the trivial per-task fetch bound,
+* be deterministic per seed.
+"""
+
+from typing import List, Tuple
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.dagsched import LocalityScheduler, RandomScheduler, simulate_dag
+from repro.platform import Platform
+
+
+class SyntheticTask:
+    __slots__ = ("reads", "writes", "extra_writes", "work")
+
+    def __init__(self, reads, writes, work):
+        self.reads = tuple(reads)
+        self.writes = writes
+        self.extra_writes = ()
+        self.work = work
+
+
+class SyntheticDag:
+    """A DAG built from an explicit edge list (topological by index)."""
+
+    def __init__(self, tasks: List[SyntheticTask], edges: List[Tuple[int, int]]):
+        self.tasks = tasks
+        self.successors: List[List[int]] = [[] for _ in tasks]
+        self.n_deps = [0] * len(tasks)
+        for src, dst in edges:
+            self.successors[src].append(dst)
+            self.n_deps[dst] += 1
+        # Upward ranks as priorities.
+        rank = [0.0] * len(tasks)
+        for t in reversed(range(len(tasks))):
+            best = max((rank[s] for s in self.successors[t]), default=0.0)
+            rank[t] = tasks[t].work + best
+        self.priority = rank
+
+    def initial_ready(self):
+        return [t for t, d in enumerate(self.n_deps) if d == 0]
+
+
+@st.composite
+def dag_case(draw):
+    n_tasks = draw(st.integers(1, 25))
+    n_tiles = draw(st.integers(1, 10))
+    tasks = []
+    for _ in range(n_tasks):
+        n_reads = draw(st.integers(0, 3))
+        reads = [(draw(st.integers(0, n_tiles - 1)),) for _ in range(n_reads)]
+        writes = (draw(st.integers(0, n_tiles - 1)),)
+        work = draw(st.floats(0.1, 5.0))
+        tasks.append(SyntheticTask(reads, writes, work))
+    edges = []
+    for dst in range(1, n_tasks):
+        for src in range(dst):
+            if draw(st.booleans()) and len(edges) < 3 * n_tasks:
+                if draw(st.integers(0, 3)) == 0:  # sparsify
+                    edges.append((src, dst))
+    speeds = draw(st.lists(st.floats(1.0, 20.0), min_size=1, max_size=6))
+    seed = draw(st.integers(0, 2**31))
+    policy = draw(st.sampled_from(["random", "locality"]))
+    return SyntheticDag(tasks, edges), speeds, seed, policy
+
+
+def _make_policy(name):
+    return RandomScheduler() if name == "random" else LocalityScheduler()
+
+
+COMMON = dict(deadline=None, max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestRandomDags:
+    @settings(**COMMON)
+    @given(dag_case())
+    def test_completes_all_tasks(self, case):
+        dag, speeds, seed, policy = case
+        result = simulate_dag(dag, Platform(speeds), _make_policy(policy), rng=seed)
+        assert result.total_tasks == len(dag.tasks)
+        assert len(result.schedule) == len(dag.tasks)
+        assert len({tid for _, _, tid in result.schedule}) == len(dag.tasks)
+
+    @settings(**COMMON)
+    @given(dag_case())
+    def test_schedule_respects_dependencies(self, case):
+        dag, speeds, seed, policy = case
+        result = simulate_dag(dag, Platform(speeds), _make_policy(policy), rng=seed)
+        pos = {tid: i for i, (_, _, tid) in enumerate(result.schedule)}
+        for src, succs in enumerate(dag.successors):
+            for dst in succs:
+                assert pos[src] < pos[dst]
+
+    @settings(**COMMON)
+    @given(dag_case())
+    def test_communication_bounds(self, case):
+        dag, speeds, seed, policy = case
+        result = simulate_dag(dag, Platform(speeds), _make_policy(policy), rng=seed)
+        touched = set()
+        per_task_touch = 0
+        for t in dag.tasks:
+            tiles = set(t.reads) | {t.writes}
+            touched |= tiles
+            per_task_touch += len(tiles)
+        assert result.total_blocks >= len(touched)
+        assert result.total_blocks <= per_task_touch
+
+    @settings(**COMMON)
+    @given(dag_case())
+    def test_deterministic(self, case):
+        dag, speeds, seed, policy = case
+        a = simulate_dag(dag, Platform(speeds), _make_policy(policy), rng=seed)
+        b = simulate_dag(dag, Platform(speeds), _make_policy(policy), rng=seed)
+        assert a.schedule == b.schedule
+        assert a.total_blocks == b.total_blocks
+
+    @settings(**COMMON)
+    @given(dag_case())
+    def test_makespan_bounds(self, case):
+        dag, speeds, seed, policy = case
+        pf = Platform(speeds)
+        result = simulate_dag(dag, pf, _make_policy(policy), rng=seed)
+        total_work = sum(t.work for t in dag.tasks)
+        # Lower bound: all work on the fastest machine in parallel heaven.
+        assert result.makespan >= total_work / (pf.speeds.max() * pf.p) - 1e-9
+        # Upper bound: everything serialized on the slowest machine.
+        assert result.makespan <= total_work / pf.speeds.min() + 1e-9

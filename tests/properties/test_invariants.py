@@ -1,0 +1,167 @@
+"""Property-based tests of system-wide invariants (hypothesis).
+
+Random platforms, sizes and strategies — every run must satisfy:
+
+* completeness: every task allocated exactly once;
+* communication sanity: within the per-strategy hard bounds;
+* conservation: per-worker tasks sum to the total;
+* determinism: same seed, same outcome.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import lower_bound
+from repro.core.strategies import make_strategy, strategies_for_kernel
+from repro.platform import Platform
+from repro.simulator import simulate
+
+SPEEDS = st.lists(st.floats(1.0, 100.0), min_size=1, max_size=12)
+COMMON = dict(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def outer_case(draw):
+    name = draw(st.sampled_from(strategies_for_kernel("outer")))
+    n = draw(st.integers(1, 14))
+    speeds = draw(SPEEDS)
+    seed = draw(st.integers(0, 2**31))
+    return name, n, speeds, seed
+
+
+@st.composite
+def matrix_case(draw):
+    name = draw(st.sampled_from(strategies_for_kernel("matrix")))
+    n = draw(st.integers(1, 7))
+    speeds = draw(SPEEDS)
+    seed = draw(st.integers(0, 2**31))
+    return name, n, speeds, seed
+
+
+class TestOuterInvariants:
+    @settings(**COMMON)
+    @given(outer_case())
+    def test_exactly_once_and_conservation(self, case):
+        name, n, speeds, seed = case
+        pf = Platform(speeds)
+        strategy = make_strategy(name, n, collect_ids=True)
+        result = simulate(strategy, pf, rng=seed, collect_trace=True)
+        ids = result.trace.all_task_ids()
+        assert ids.size == n * n
+        assert np.unique(ids).size == n * n
+        assert result.per_worker_tasks.sum() == n * n
+        assert result.per_worker_blocks.sum() == result.total_blocks
+
+    @settings(**COMMON)
+    @given(outer_case())
+    def test_communication_bounds(self, case):
+        name, n, speeds, seed = case
+        pf = Platform(speeds)
+        result = simulate(make_strategy(name, n), pf, rng=seed)
+        if name == "MapReduceOuter":
+            # Stateless full replication: exactly 2 blocks per task.
+            assert result.total_blocks == 2 * n * n
+            return
+        # Hard per-worker capacity: nobody can receive more than both
+        # input vectors (blocks are never re-sent to a holder).
+        assert np.all(result.per_worker_blocks <= 2 * n)
+        # Hard lower bound: the inputs must reach at least one worker.
+        assert result.total_blocks >= 2 * n
+        # The paper's lower bound assumes perfect load balancing; it only
+        # truly bounds the volume when tasks vastly outnumber workers
+        # (integrality effects can shave a block or two otherwise).
+        if n * n >= 8 * pf.p:
+            lb = lower_bound("outer", pf.relative_speeds, n)
+            assert result.total_blocks >= 0.98 * lb
+
+    @settings(**COMMON)
+    @given(outer_case())
+    def test_determinism(self, case):
+        name, n, speeds, seed = case
+        pf = Platform(speeds)
+        r1 = simulate(make_strategy(name, n), pf, rng=seed)
+        r2 = simulate(make_strategy(name, n), pf, rng=seed)
+        assert r1.total_blocks == r2.total_blocks
+        assert np.array_equal(r1.per_worker_blocks, r2.per_worker_blocks)
+        assert r1.makespan == r2.makespan
+
+    @settings(**COMMON)
+    @given(outer_case())
+    def test_makespan_at_least_ideal(self, case):
+        name, n, speeds, seed = case
+        pf = Platform(speeds)
+        result = simulate(make_strategy(name, n), pf, rng=seed)
+        ideal = n * n / pf.total_speed
+        assert result.makespan >= ideal - 1e-9
+
+
+class TestMatrixInvariants:
+    @settings(**COMMON)
+    @given(matrix_case())
+    def test_exactly_once_and_conservation(self, case):
+        name, n, speeds, seed = case
+        pf = Platform(speeds)
+        strategy = make_strategy(name, n, collect_ids=True)
+        result = simulate(strategy, pf, rng=seed, collect_trace=True)
+        ids = result.trace.all_task_ids()
+        assert ids.size == n**3
+        assert np.unique(ids).size == n**3
+        assert result.per_worker_tasks.sum() == n**3
+
+    @settings(**COMMON)
+    @given(matrix_case())
+    def test_communication_bounds(self, case):
+        name, n, speeds, seed = case
+        pf = Platform(speeds)
+        result = simulate(make_strategy(name, n), pf, rng=seed)
+        if name == "MapReduceMatrix":
+            assert result.total_blocks == 3 * n**3
+            return
+        # Hard per-worker capacity: all of A, B and C.
+        assert np.all(result.per_worker_blocks <= 3 * n * n)
+        if n**3 >= 8 * pf.p:
+            lb = lower_bound("matrix", pf.relative_speeds, n)
+            assert result.total_blocks >= 0.98 * lb
+
+    @settings(**COMMON)
+    @given(matrix_case())
+    def test_determinism(self, case):
+        name, n, speeds, seed = case
+        pf = Platform(speeds)
+        r1 = simulate(make_strategy(name, n), pf, rng=seed)
+        r2 = simulate(make_strategy(name, n), pf, rng=seed)
+        assert r1.total_blocks == r2.total_blocks
+        assert r1.n_assignments == r2.n_assignments
+
+
+class TestTwoPhaseThresholdProperty:
+    @settings(**COMMON)
+    @given(
+        st.integers(2, 16),
+        st.floats(0.0, 8.0),
+        st.lists(st.floats(1.0, 50.0), min_size=2, max_size=8),
+        st.integers(0, 2**31),
+    )
+    def test_any_beta_completes(self, n, beta, speeds, seed):
+        pf = Platform(speeds)
+        strategy = make_strategy("DynamicOuter2Phases", n, beta=beta)
+        result = simulate(strategy, pf, rng=seed)
+        assert result.total_tasks == n * n
+
+    @settings(**COMMON)
+    @given(
+        st.integers(2, 12),
+        st.floats(0.0, 1.0),
+        st.lists(st.floats(1.0, 50.0), min_size=2, max_size=8),
+        st.integers(0, 2**31),
+    )
+    def test_any_fraction_completes(self, n, fraction, speeds, seed):
+        pf = Platform(speeds)
+        strategy = make_strategy("DynamicOuter2Phases", n, phase1_fraction=fraction)
+        result = simulate(strategy, pf, rng=seed)
+        assert result.total_tasks == n * n

@@ -1,0 +1,155 @@
+"""Tests for repro.simulator.engine — the demand-driven loop itself."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import OuterDynamic, OuterRandom
+from repro.core.strategies.base import Assignment, Strategy
+from repro.platform import DynamicSpeedModel, Platform
+from repro.simulator import LivelockError, simulate
+
+
+class FixedBatchStrategy(Strategy):
+    """Test double: hands out batches of `batch` tasks until `total` is gone."""
+
+    name = "FixedBatch"
+    kernel = "outer"
+
+    def __init__(self, n=4, total=12, batch=2, blocks_per=3):
+        super().__init__(n)
+        self._total = total
+        self._batch = batch
+        self._blocks_per = blocks_per
+
+    def _setup(self):
+        self._left = self._total
+
+    @property
+    def total_tasks(self):
+        return self._total
+
+    @property
+    def done(self):
+        return self._left == 0
+
+    def assign(self, worker, now):
+        take = min(self._batch, self._left)
+        self._left -= take
+        return Assignment(blocks=self._blocks_per, tasks=take)
+
+
+class StarvingStrategy(Strategy):
+    """Test double: never allocates anything -> must trip the livelock guard."""
+
+    name = "Starving"
+    kernel = "outer"
+
+    def __init__(self):
+        super().__init__(2)
+
+    def _setup(self):
+        pass
+
+    @property
+    def total_tasks(self):
+        return 4
+
+    @property
+    def done(self):
+        return False
+
+    def assign(self, worker, now):
+        return Assignment(blocks=0, tasks=0)
+
+
+class TestEngineBasics:
+    def test_all_tasks_processed(self, small_platform):
+        s = FixedBatchStrategy(total=12, batch=2)
+        r = simulate(s, small_platform, rng=0)
+        assert r.total_tasks == 12
+        assert r.per_worker_tasks.sum() == 12
+
+    def test_blocks_accounted(self, small_platform):
+        s = FixedBatchStrategy(total=12, batch=2, blocks_per=3)
+        r = simulate(s, small_platform, rng=0)
+        assert r.total_blocks == 6 * 3  # 6 assignments x 3 blocks
+        assert r.n_assignments == 6
+
+    def test_faster_workers_get_more_tasks(self):
+        pf = Platform([1.0, 9.0])
+        s = FixedBatchStrategy(total=100, batch=1, blocks_per=0)
+        r = simulate(s, pf, rng=0)
+        # Worker 1 is 9x faster; with demand-driven allocation it should
+        # take roughly 90% of the tasks.
+        assert r.per_worker_tasks[1] > 80
+
+    def test_makespan_single_worker(self):
+        pf = Platform([2.0])
+        s = FixedBatchStrategy(total=10, batch=5)
+        r = simulate(s, pf, rng=0)
+        assert r.makespan == pytest.approx(5.0)  # 10 tasks at speed 2
+
+    def test_deterministic_given_seed(self, paper_platform):
+        r1 = simulate(OuterRandom(12), paper_platform, rng=42)
+        r2 = simulate(OuterRandom(12), paper_platform, rng=42)
+        assert r1.total_blocks == r2.total_blocks
+        assert np.array_equal(r1.per_worker_tasks, r2.per_worker_tasks)
+        assert r1.makespan == r2.makespan
+
+    def test_strategy_reusable_across_runs(self, paper_platform):
+        s = OuterDynamic(10)
+        r1 = simulate(s, paper_platform, rng=0)
+        r2 = simulate(s, paper_platform, rng=0)
+        assert r1.total_tasks == r2.total_tasks == 100
+
+    def test_trace_collection(self, small_platform):
+        s = FixedBatchStrategy(total=6, batch=2)
+        r = simulate(s, small_platform, rng=0, collect_trace=True)
+        assert r.trace is not None
+        assert len(r.trace) == r.n_assignments
+        assert r.trace.total_tasks() == 6
+
+    def test_no_trace_by_default(self, small_platform):
+        r = simulate(FixedBatchStrategy(), small_platform, rng=0)
+        assert r.trace is None
+
+    def test_trace_times_monotone_per_worker(self, paper_platform):
+        r = simulate(OuterDynamic(15), paper_platform, rng=3, collect_trace=True)
+        for w in range(paper_platform.p):
+            times = [rec.time for rec in r.trace.for_worker(w)]
+            assert times == sorted(times)
+
+    def test_livelock_guard(self, small_platform):
+        with pytest.raises(LivelockError):
+            simulate(StarvingStrategy(), small_platform, rng=0)
+
+    def test_dynamic_speed_model(self, small_platform):
+        s = FixedBatchStrategy(total=40, batch=4)
+        r = simulate(s, small_platform, rng=0, speed_model=DynamicSpeedModel(0.05))
+        assert r.total_tasks == 40
+        assert r.makespan > 0
+
+
+class TestResultInvariants:
+    def test_normalized(self, small_platform):
+        r = simulate(FixedBatchStrategy(total=8, batch=2, blocks_per=5), small_platform, rng=0)
+        assert r.normalized(10.0) == pytest.approx(r.total_blocks / 10.0)
+        with pytest.raises(ValueError):
+            r.normalized(0.0)
+
+    def test_load_imbalance_small_for_many_tasks(self, paper_platform):
+        r = simulate(OuterDynamic(40), paper_platform, rng=1)
+        # Demand-driven: each worker's share tracks its speed closely.
+        assert r.load_imbalance(paper_platform.relative_speeds) < 0.25
+
+    def test_makespan_close_to_ideal(self, paper_platform):
+        """All workers busy until the end => makespan ~ total/sum(s).
+
+        The ideal is a hard lower bound; the upper slack covers the tail
+        effect where the last cross batches many tasks onto one worker.
+        """
+        n = 40
+        r = simulate(OuterDynamic(n), paper_platform, rng=1)
+        ideal = n * n / paper_platform.total_speed
+        assert ideal <= r.makespan * (1 + 1e-12)
+        assert r.makespan <= 1.4 * ideal

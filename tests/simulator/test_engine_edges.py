@@ -1,0 +1,94 @@
+"""Additional engine edge cases."""
+
+import pytest
+
+from repro.core.strategies.base import Assignment, Strategy
+from repro.platform import Platform
+from repro.simulator import simulate
+
+
+class PreDoneStrategy(Strategy):
+    """Degenerate: done before the first assignment."""
+
+    name = "PreDone"
+    kernel = "outer"
+
+    def __init__(self):
+        super().__init__(1)
+
+    def _setup(self):
+        pass
+
+    @property
+    def total_tasks(self):
+        return 0
+
+    @property
+    def done(self):
+        return True
+
+    def assign(self, worker, now):  # pragma: no cover - must never be called
+        raise AssertionError("assign called on a done strategy")
+
+
+class ZeroThenBatchStrategy(Strategy):
+    """Emits zero-task assignments before finally handing out the batch."""
+
+    name = "ZeroThenBatch"
+    kernel = "outer"
+
+    def __init__(self, zeros=5, batch=4):
+        super().__init__(2)
+        self._zeros_cfg = zeros
+        self._batch = batch
+
+    def _setup(self):
+        self._zeros = self._zeros_cfg
+        self._left = self._batch
+
+    @property
+    def total_tasks(self):
+        return self._batch
+
+    @property
+    def done(self):
+        return self._left == 0
+
+    def assign(self, worker, now):
+        if self._zeros > 0:
+            self._zeros -= 1
+            return Assignment(blocks=1, tasks=0)
+        take = self._left
+        self._left = 0
+        return Assignment(blocks=0, tasks=take)
+
+
+class TestEngineEdges:
+    def test_pre_done_strategy(self, small_platform):
+        result = simulate(PreDoneStrategy(), small_platform, rng=0)
+        assert result.total_tasks == 0
+        assert result.total_blocks == 0
+        assert result.makespan == 0.0
+        assert result.n_assignments == 0
+
+    def test_zero_task_assignments_tolerated(self, small_platform):
+        result = simulate(ZeroThenBatchStrategy(zeros=5, batch=4), small_platform, rng=0)
+        assert result.total_tasks == 4
+        assert result.total_blocks == 5  # the zero-task shipments
+        assert result.makespan > 0
+
+    def test_zero_task_assignments_in_trace(self, small_platform):
+        result = simulate(
+            ZeroThenBatchStrategy(zeros=3, batch=2), small_platform, rng=0, collect_trace=True
+        )
+        zero_recs = [r for r in result.trace if r.tasks == 0]
+        assert len(zero_recs) == 3
+        assert all(r.duration == 0.0 for r in zero_recs)
+
+    def test_single_worker_single_task(self):
+        from repro.core.strategies import OuterRandom
+
+        pf = Platform([1.0])
+        result = simulate(OuterRandom(1), pf, rng=0)
+        assert result.total_tasks == 1
+        assert result.makespan == pytest.approx(1.0)

@@ -1,0 +1,63 @@
+"""Tests for repro.simulator.events."""
+
+import pytest
+
+from repro.simulator.events import EventQueue
+
+
+class TestEventQueue:
+    def test_empty(self):
+        q = EventQueue()
+        assert len(q) == 0
+        assert not q
+        with pytest.raises(IndexError):
+            q.pop()
+        with pytest.raises(IndexError):
+            q.peek_time()
+
+    def test_ordering_by_time(self):
+        q = EventQueue()
+        q.push(3.0, 0)
+        q.push(1.0, 1)
+        q.push(2.0, 2)
+        assert q.pop() == (1.0, 1)
+        assert q.pop() == (2.0, 2)
+        assert q.pop() == (3.0, 0)
+
+    def test_fifo_among_ties(self):
+        q = EventQueue()
+        for w in (5, 3, 9, 1):
+            q.push(1.0, w)
+        assert [q.pop()[1] for _ in range(4)] == [5, 3, 9, 1]
+
+    def test_peek_does_not_pop(self):
+        q = EventQueue()
+        q.push(2.0, 0)
+        assert q.peek_time() == 2.0
+        assert len(q) == 1
+
+    def test_rejects_negative_time(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(-1.0, 0)
+
+    def test_rejects_nan_inf(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(float("nan"), 0)
+        with pytest.raises(ValueError):
+            q.push(float("inf"), 0)
+
+    def test_rejects_negative_worker(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(0.0, -1)
+
+    def test_interleaved_push_pop(self):
+        q = EventQueue()
+        q.push(1.0, 0)
+        q.push(5.0, 1)
+        assert q.pop() == (1.0, 0)
+        q.push(2.0, 2)
+        assert q.pop() == (2.0, 2)
+        assert q.pop() == (5.0, 1)

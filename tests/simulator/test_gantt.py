@@ -1,0 +1,67 @@
+"""Tests for occupancy analysis and the ASCII Gantt renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import OuterDynamic, OuterTwoPhase
+from repro.simulator import ascii_gantt, simulate, utilization, worker_intervals
+
+
+@pytest.fixture
+def traced(paper_platform):
+    return simulate(OuterTwoPhase(20, beta=3.0), paper_platform, rng=2, collect_trace=True)
+
+
+class TestWorkerIntervals:
+    def test_intervals_within_makespan(self, traced):
+        for intervals in worker_intervals(traced).values():
+            for start, end, phase in intervals:
+                assert 0 <= start < end <= traced.makespan + 1e-9
+                assert phase in (1, 2)
+
+    def test_intervals_non_overlapping_per_worker(self, traced):
+        for intervals in worker_intervals(traced).values():
+            ordered = sorted(intervals)
+            for (s1, e1, _), (s2, _, _) in zip(ordered, ordered[1:]):
+                assert e1 <= s2 + 1e-9
+
+    def test_requires_trace(self, paper_platform):
+        r = simulate(OuterDynamic(8), paper_platform, rng=0)
+        with pytest.raises(ValueError, match="trace"):
+            worker_intervals(r)
+
+
+class TestUtilization:
+    def test_range(self, traced, paper_platform):
+        u = utilization(traced)
+        assert u.shape == (paper_platform.p,)
+        assert np.all(u >= 0) and np.all(u <= 1 + 1e-9)
+
+    def test_demand_driven_high_utilization(self, paper_platform):
+        """Demand-driven workers stay busy nearly to the end (larger n —
+        at tiny sizes the last-batch tail dominates the makespan)."""
+        r = simulate(OuterTwoPhase(60, beta=4.0), paper_platform, rng=2, collect_trace=True)
+        assert utilization(r).mean() > 0.8
+
+
+class TestAsciiGantt:
+    def test_structure(self, traced, paper_platform):
+        art = ascii_gantt(traced, width=40)
+        lines = art.splitlines()
+        assert len(lines) == paper_platform.p + 2  # header + rows + axis
+        assert "DynamicOuter2Phases" in lines[0]
+        for line in lines[1 : 1 + paper_platform.p]:
+            assert line.startswith("P")
+            assert "%" in line
+
+    def test_busy_cells_present(self, traced):
+        art = ascii_gantt(traced, width=40)
+        assert "#" in art  # phase-1 compute visible
+
+    def test_phase2_cells_present(self, paper_platform):
+        r = simulate(OuterTwoPhase(20, beta=1.0), paper_platform, rng=2, collect_trace=True)
+        assert "=" in ascii_gantt(r, width=40)
+
+    def test_width_validation(self, traced):
+        with pytest.raises(ValueError):
+            ascii_gantt(traced, width=5)

@@ -1,0 +1,57 @@
+"""Tests for repro.simulator.trace."""
+
+import numpy as np
+
+from repro.simulator.trace import AssignmentRecord, Trace
+
+
+def _rec(time=0.0, worker=0, blocks=1, tasks=1, duration=1.0, phase=1, task_ids=None):
+    return AssignmentRecord(
+        time=time, worker=worker, blocks=blocks, tasks=tasks, duration=duration, phase=phase, task_ids=task_ids
+    )
+
+
+class TestTrace:
+    def test_append_len_iter(self):
+        t = Trace()
+        t.append(_rec())
+        t.append(_rec(worker=1))
+        assert len(t) == 2
+        assert [r.worker for r in t] == [0, 1]
+
+    def test_for_worker(self):
+        t = Trace()
+        t.append(_rec(worker=0, time=0.0))
+        t.append(_rec(worker=1, time=1.0))
+        t.append(_rec(worker=0, time=2.0))
+        recs = t.for_worker(0)
+        assert [r.time for r in recs] == [0.0, 2.0]
+
+    def test_totals(self):
+        t = Trace()
+        t.append(_rec(blocks=2, tasks=3))
+        t.append(_rec(blocks=1, tasks=5))
+        assert t.total_blocks() == 3
+        assert t.total_tasks() == 8
+
+    def test_phase_breakdown(self):
+        t = Trace()
+        t.append(_rec(blocks=2, tasks=3, phase=1))
+        t.append(_rec(blocks=4, tasks=1, phase=2))
+        t.append(_rec(blocks=1, tasks=1, phase=2))
+        assert t.phase_blocks(1) == 2
+        assert t.phase_blocks(2) == 5
+        assert t.phase_tasks(1) == 3
+        assert t.phase_tasks(2) == 2
+
+    def test_all_task_ids(self):
+        t = Trace()
+        t.append(_rec(task_ids=np.array([1, 2], dtype=np.int64)))
+        t.append(_rec(task_ids=np.array([7], dtype=np.int64)))
+        t.append(_rec(task_ids=None))
+        t.append(_rec(task_ids=np.empty(0, dtype=np.int64)))
+        assert sorted(t.all_task_ids().tolist()) == [1, 2, 7]
+
+    def test_all_task_ids_empty(self):
+        t = Trace()
+        assert t.all_task_ids().size == 0

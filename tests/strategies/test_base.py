@@ -1,0 +1,102 @@
+"""Tests for repro.core.strategies.base and the registry."""
+
+import pytest
+
+from repro.core.strategies import (
+    STRATEGIES,
+    Assignment,
+    OuterDynamic,
+    make_strategy,
+    strategies_for_kernel,
+    strategy_names,
+)
+
+
+class TestAssignment:
+    def test_fields(self):
+        a = Assignment(blocks=2, tasks=5)
+        assert a.blocks == 2
+        assert a.tasks == 5
+        assert a.phase == 1
+        assert a.task_ids is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Assignment(blocks=-1, tasks=0)
+        with pytest.raises(ValueError):
+            Assignment(blocks=0, tasks=-1)
+        with pytest.raises(ValueError):
+            Assignment(blocks=0, tasks=0, phase=3)
+
+    def test_frozen(self):
+        a = Assignment(blocks=0, tasks=0)
+        with pytest.raises(AttributeError):
+            a.blocks = 5
+
+
+class TestStrategyLifecycle:
+    def test_use_before_reset(self):
+        s = OuterDynamic(5)
+        with pytest.raises(RuntimeError):
+            _ = s.platform
+        with pytest.raises(RuntimeError):
+            _ = s.rng
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            OuterDynamic(0)
+        with pytest.raises(TypeError):
+            OuterDynamic(2.5)
+
+    def test_reset_binds(self, small_platform, rng):
+        s = OuterDynamic(5)
+        s.reset(small_platform, rng)
+        assert s.platform is small_platform
+        assert s.rng is rng
+        assert not s.done
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert len(STRATEGIES) == 10
+        assert set(strategy_names()) == {
+            "RandomOuter",
+            "SortedOuter",
+            "DynamicOuter",
+            "DynamicOuter2Phases",
+            "MapReduceOuter",
+            "RandomMatrix",
+            "SortedMatrix",
+            "DynamicMatrix",
+            "DynamicMatrix2Phases",
+            "MapReduceMatrix",
+        }
+
+    def test_kernel_split(self):
+        outer = strategies_for_kernel("outer")
+        matrix = strategies_for_kernel("matrix")
+        assert len(outer) == 5 and len(matrix) == 5
+        assert all("Outer" in n for n in outer)
+        assert all("Matrix" in n for n in matrix)
+
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            strategies_for_kernel("vector")
+
+    def test_make_strategy(self):
+        s = make_strategy("DynamicOuter", 10)
+        assert isinstance(s, OuterDynamic)
+        assert s.n == 10
+
+    def test_make_strategy_kwargs(self):
+        s = make_strategy("DynamicOuter2Phases", 10, beta=3.0)
+        assert s._beta == 3.0
+
+    def test_make_strategy_unknown(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_strategy("FancyPants", 10)
+
+    def test_names_match_classes(self):
+        for name, cls in STRATEGIES.items():
+            assert cls.name == name
+            assert cls.kernel in ("outer", "matrix")

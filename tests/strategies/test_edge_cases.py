@@ -1,0 +1,117 @@
+"""Edge-case tests across strategies and results."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    MatrixTwoPhase,
+    OuterDynamic,
+    OuterRandom,
+    OuterTwoPhase,
+)
+from repro.platform import Platform
+from repro.simulator import simulate
+
+
+class TestStrategyReuse:
+    def test_reset_across_platform_sizes(self, rng):
+        """One instance must be reusable across platforms of different p."""
+        s = OuterDynamic(8)
+        small = Platform([1.0, 2.0])
+        large = Platform(np.full(10, 3.0))
+        r1 = simulate(s, small, rng=0)
+        r2 = simulate(s, large, rng=0)
+        assert r1.total_tasks == r2.total_tasks == 64
+        assert r2.per_worker_tasks.size == 10
+
+    def test_assign_after_done_raises(self, small_platform, rng):
+        s = OuterRandom(1)
+        s.reset(small_platform, rng)
+        s.assign(0, 0.0)
+        with pytest.raises(RuntimeError):
+            s.assign(0, 0.0)
+
+    def test_dynamic_assign_after_done_raises(self, small_platform, rng):
+        s = OuterDynamic(1)
+        s.reset(small_platform, rng)
+        s.assign(0, 0.0)
+        assert s.done
+        with pytest.raises(RuntimeError):
+            s.assign(0, 0.0)
+
+
+class TestTwoPhaseBoundaries:
+    def test_beta_zero_is_all_random(self, paper_platform):
+        """e^0 = 1: the threshold equals the total, phase 1 never runs."""
+        n = 10
+        r = simulate(OuterTwoPhase(n, beta=0.0), paper_platform, rng=0, collect_trace=True)
+        assert all(rec.phase == 2 for rec in r.trace)
+
+    def test_huge_beta_is_all_dynamic(self, paper_platform):
+        n = 10
+        r = simulate(OuterTwoPhase(n, beta=50.0), paper_platform, rng=0, collect_trace=True)
+        assert all(rec.phase == 1 for rec in r.trace)
+
+    def test_threshold_one_task(self, paper_platform):
+        """Switching with a single task left must still terminate cleanly."""
+        n = 10
+        r = simulate(OuterTwoPhase(n, threshold_tasks=1), paper_platform, rng=0, collect_trace=True)
+        assert r.total_tasks == 100
+        assert r.trace.phase_tasks(2) <= 1
+
+    def test_matrix_beta_property_before_resolution(self):
+        s = MatrixTwoPhase(5, beta=2.5)
+        assert s.beta == 2.5
+        s2 = MatrixTwoPhase(5)
+        assert s2.beta is None
+
+    def test_matrix_threshold_before_reset(self):
+        with pytest.raises(RuntimeError):
+            _ = MatrixTwoPhase(5, beta=1.0).threshold
+
+    def test_matrix_agnostic_close_to_tuned(self, paper_platform, rng):
+        tuned = MatrixTwoPhase(10)
+        tuned.reset(paper_platform, rng)
+        agnostic = MatrixTwoPhase(10, agnostic=True)
+        agnostic.reset(paper_platform, rng)
+        assert agnostic.beta == pytest.approx(tuned.beta, rel=0.10)
+
+    def test_phase_property_transitions(self, paper_platform, rng):
+        s = OuterTwoPhase(6, threshold_tasks=30)
+        s.reset(paper_platform, rng)
+        assert s.phase == 1
+        while not s.done:
+            s.assign(0, 0.0)
+        assert s.phase == 2
+
+
+class TestResultAccessors:
+    def test_total_tasks(self, small_platform):
+        r = simulate(OuterRandom(4), small_platform, rng=0)
+        assert r.total_tasks == 16
+
+    def test_load_imbalance_zero_for_exact_split(self):
+        from repro.simulator.results import SimulationResult
+
+        r = SimulationResult(
+            total_blocks=0,
+            per_worker_blocks=np.zeros(2, dtype=np.int64),
+            per_worker_tasks=np.array([30, 10], dtype=np.int64),
+            makespan=1.0,
+            n_assignments=40,
+            strategy_name="x",
+        )
+        assert r.load_imbalance(np.array([0.75, 0.25])) == pytest.approx(0.0)
+
+    def test_load_imbalance_detects_skew(self):
+        from repro.simulator.results import SimulationResult
+
+        r = SimulationResult(
+            total_blocks=0,
+            per_worker_blocks=np.zeros(2, dtype=np.int64),
+            per_worker_tasks=np.array([40, 0], dtype=np.int64),
+            makespan=1.0,
+            n_assignments=40,
+            strategy_name="x",
+        )
+        assert r.load_imbalance(np.array([0.5, 0.5])) == pytest.approx(1.0)

@@ -1,0 +1,59 @@
+"""Tests for the MapReduce full-replication baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    MatrixMapReduce,
+    OuterMapReduce,
+    OuterRandom,
+)
+from repro.simulator import simulate
+
+
+class TestOuterMapReduce:
+    def test_exact_replication_volume(self, paper_platform):
+        """Stateless workers: exactly 2 blocks per task, always."""
+        n = 15
+        r = simulate(OuterMapReduce(n), paper_platform, rng=0)
+        assert r.total_blocks == 2 * n * n
+        assert r.total_tasks == n * n
+
+    def test_every_task_once(self, paper_platform):
+        n = 8
+        r = simulate(OuterMapReduce(n, collect_ids=True), paper_platform, rng=0, collect_trace=True)
+        ids = r.trace.all_task_ids()
+        assert np.unique(ids).size == n * n
+
+    def test_worse_than_cached_random(self, paper_platform):
+        """The intro's point: caching alone (RandomOuter) already beats
+        full replication once tasks-per-worker ~ blocks-per-vector."""
+        n = 30
+        mr = simulate(OuterMapReduce(n), paper_platform, rng=1)
+        rnd = simulate(OuterRandom(n), paper_platform, rng=1)
+        assert rnd.total_blocks < mr.total_blocks
+
+    def test_assign_after_done_raises(self, small_platform, rng):
+        s = OuterMapReduce(1)
+        s.reset(small_platform, rng)
+        s.assign(0, 0.0)
+        with pytest.raises(RuntimeError):
+            s.assign(0, 0.0)
+
+
+class TestMatrixMapReduce:
+    def test_exact_replication_volume(self, paper_platform):
+        n = 6
+        r = simulate(MatrixMapReduce(n), paper_platform, rng=0)
+        assert r.total_blocks == 3 * n**3
+        assert r.total_tasks == n**3
+
+    def test_replication_factor_vs_lower_bound(self, paper_platform):
+        """Replication factor grows linearly in n against the lower bound."""
+        from repro.core.analysis import matrix_lower_bound
+
+        rel = paper_platform.relative_speeds
+        n1, n2 = 6, 12
+        f1 = 3 * n1**3 / matrix_lower_bound(rel, n1)
+        f2 = 3 * n2**3 / matrix_lower_bound(rel, n2)
+        assert f2 == pytest.approx(2 * f1, rel=1e-9)

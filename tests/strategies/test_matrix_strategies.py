@@ -1,0 +1,179 @@
+"""Behavioural tests of the four matrix-multiplication strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import matrix_lower_bound
+from repro.core.strategies import MatrixDynamic, MatrixRandom, MatrixSorted, MatrixTwoPhase
+from repro.platform import Platform
+from repro.simulator import simulate
+
+ALL_MATRIX = [MatrixRandom, MatrixSorted, MatrixDynamic]
+
+
+def run(strategy, platform, seed=0, **kw):
+    return simulate(strategy, platform, rng=seed, **kw)
+
+
+class TestCompletion:
+    @pytest.mark.parametrize("cls", ALL_MATRIX + [MatrixTwoPhase])
+    def test_all_tasks_done(self, cls, paper_platform):
+        n = 6
+        r = run(cls(n), paper_platform)
+        assert r.total_tasks == n**3
+
+    @pytest.mark.parametrize("cls", ALL_MATRIX + [MatrixTwoPhase])
+    def test_single_worker(self, cls):
+        pf = Platform([2.0])
+        r = run(cls(4), pf)
+        assert r.total_tasks == 64
+
+    @pytest.mark.parametrize("cls", ALL_MATRIX + [MatrixTwoPhase])
+    def test_n_equals_one(self, cls, small_platform):
+        r = run(cls(1), small_platform)
+        assert r.total_tasks == 1
+        assert r.total_blocks == 3  # A, B and C blocks all needed
+
+    @pytest.mark.parametrize("cls", ALL_MATRIX)
+    def test_more_workers_than_tasks(self, cls):
+        pf = Platform(np.full(40, 1.0))
+        r = run(cls(2), pf)  # 8 tasks, 40 workers
+        assert r.total_tasks == 8
+
+
+class TestExactlyOnce:
+    @pytest.mark.parametrize("cls", ALL_MATRIX + [MatrixTwoPhase])
+    def test_every_task_exactly_once(self, cls, paper_platform):
+        n = 5
+        r = run(cls(n, collect_ids=True), paper_platform, collect_trace=True)
+        ids = r.trace.all_task_ids()
+        assert ids.size == n**3
+        assert np.unique(ids).size == n**3
+
+
+class TestCommunicationAccounting:
+    def test_random_blocks_bounded(self, paper_platform):
+        r = run(MatrixRandom(5), paper_platform, collect_trace=True)
+        for rec in r.trace:
+            assert 0 <= rec.blocks <= 3
+            assert rec.tasks == 1
+
+    def test_single_worker_dynamic_minimal(self):
+        """One worker ends up owning all of A, B, C: 3 n^2 blocks."""
+        pf = Platform([1.0])
+        n = 5
+        r = run(MatrixDynamic(n), pf)
+        assert r.total_blocks == 3 * n * n
+
+    def test_dynamic_block_count_formula(self, small_platform):
+        """Each full growth step from size y ships 3(2y+1) blocks."""
+        r = run(MatrixDynamic(8), small_platform, collect_trace=True)
+        for rec in r.trace:
+            if rec.blocks > 0:
+                # blocks = 3(2y+1) for some y >= 0 when all dims grow.
+                assert rec.blocks % 3 == 0
+                q = rec.blocks // 3
+                assert q % 2 == 1  # 2y+1 is odd
+
+    def test_dynamic_comm_bounded_by_capacity(self, paper_platform):
+        n = 6
+        r = run(MatrixDynamic(n), paper_platform)
+        assert np.all(r.per_worker_blocks <= 3 * n * n)
+
+
+class TestRanking:
+    def test_dynamic_beats_random(self, paper_platform):
+        n = 12
+        rnd = run(MatrixRandom(n), paper_platform, seed=1)
+        dyn = run(MatrixDynamic(n), paper_platform, seed=1)
+        assert dyn.total_blocks < rnd.total_blocks
+
+    def test_two_phases_beats_dynamic(self, paper_platform):
+        n = 12
+        lb = matrix_lower_bound(paper_platform.relative_speeds, n)
+        dyn = np.mean([run(MatrixDynamic(n), paper_platform, seed=s).normalized(lb) for s in range(5)])
+        two = np.mean([run(MatrixTwoPhase(n), paper_platform, seed=s).normalized(lb) for s in range(5)])
+        assert two < dyn
+
+    def test_normalized_above_one(self, paper_platform):
+        n = 8
+        lb = matrix_lower_bound(paper_platform.relative_speeds, n)
+        for cls in ALL_MATRIX + [MatrixTwoPhase]:
+            r = run(cls(n), paper_platform)
+            assert r.normalized(lb) >= 1.0
+
+
+class TestDynamicKnowledge:
+    def test_knowledge_balanced_across_dims(self, paper_platform):
+        s = MatrixDynamic(8)
+        run(s, paper_platform)
+        for w in range(paper_platform.p):
+            kn = s.knowledge_of(w)
+            counts = [kn.i.count, kn.j.count, kn.k.count]
+            assert max(counts) - min(counts) <= 1
+
+
+class TestTwoPhase:
+    def test_threshold_from_beta(self, paper_platform, rng):
+        n = 8
+        s = MatrixTwoPhase(n, beta=2.0)
+        s.reset(paper_platform, rng)
+        assert s.threshold == round(np.exp(-2.0) * n**3)
+
+    def test_auto_beta(self, paper_platform, rng):
+        s = MatrixTwoPhase(10)
+        s.reset(paper_platform, rng)
+        assert 0.5 < s.beta < 10
+
+    def test_mutually_exclusive_options(self):
+        with pytest.raises(ValueError):
+            MatrixTwoPhase(5, beta=1.0, threshold_tasks=3)
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            MatrixTwoPhase(5, beta=-0.5)
+        with pytest.raises(ValueError):
+            MatrixTwoPhase(5, phase1_fraction=-0.2)
+
+    def test_phases_ordered(self, paper_platform):
+        r = run(MatrixTwoPhase(8, beta=2.5), paper_platform, collect_trace=True)
+        seen2 = False
+        for rec in r.trace:
+            if rec.phase == 2:
+                seen2 = True
+            elif seen2:
+                pytest.fail("phase-1 record after phase 2 started")
+        assert seen2
+
+    def test_phase2_ships_at_most_three(self, paper_platform):
+        r = run(MatrixTwoPhase(8, beta=2.0), paper_platform, collect_trace=True)
+        for rec in r.trace:
+            if rec.phase == 2:
+                assert 0 <= rec.blocks <= 3
+                assert rec.tasks == 1
+
+    def test_zero_threshold_is_pure_dynamic(self, paper_platform):
+        n = 7
+        r_two = run(MatrixTwoPhase(n, threshold_tasks=0), paper_platform, seed=4, collect_trace=True)
+        assert all(rec.phase == 1 for rec in r_two.trace)
+        r_dyn = run(MatrixDynamic(n), paper_platform, seed=4)
+        assert r_two.total_blocks == r_dyn.total_blocks
+
+    def test_full_threshold_is_pure_random(self, paper_platform):
+        n = 7
+        r_two = run(MatrixTwoPhase(n, phase1_fraction=0.0), paper_platform, seed=4, collect_trace=True)
+        assert all(rec.phase == 2 for rec in r_two.trace)
+        r_rnd = run(MatrixRandom(n), paper_platform, seed=4)
+        assert r_two.total_blocks == r_rnd.total_blocks
+
+    def test_phase2_cache_seeded_from_phase1(self, paper_platform):
+        """Phase-2 comm must benefit from phase-1 rectangles.
+
+        With a fairly early switch, phase-2 per-task cost must be clearly
+        below the cold-cache cost of 3 blocks/task.
+        """
+        n = 10
+        r = run(MatrixTwoPhase(n, beta=1.0), paper_platform, collect_trace=True)
+        p2 = [rec.blocks for rec in r.trace if rec.phase == 2]
+        assert len(p2) > 0
+        assert np.mean(p2) < 3.0

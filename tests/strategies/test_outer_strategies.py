@@ -1,0 +1,242 @@
+"""Behavioural tests of the four outer-product strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import outer_lower_bound
+from repro.core.strategies import OuterDynamic, OuterRandom, OuterSorted, OuterTwoPhase
+from repro.platform import Platform
+from repro.simulator import simulate
+
+ALL_OUTER = [OuterRandom, OuterSorted, OuterDynamic]
+
+
+def run(strategy, platform, seed=0, **kw):
+    return simulate(strategy, platform, rng=seed, **kw)
+
+
+class TestCompletion:
+    @pytest.mark.parametrize("cls", ALL_OUTER + [OuterTwoPhase])
+    def test_all_tasks_done(self, cls, paper_platform):
+        n = 12
+        r = run(cls(n), paper_platform)
+        assert r.total_tasks == n * n
+
+    @pytest.mark.parametrize("cls", ALL_OUTER + [OuterTwoPhase])
+    def test_single_worker(self, cls):
+        pf = Platform([3.0])
+        n = 6
+        r = run(cls(n), pf)
+        assert r.total_tasks == n * n
+
+    @pytest.mark.parametrize("cls", ALL_OUTER + [OuterTwoPhase])
+    def test_n_equals_one(self, cls, small_platform):
+        r = run(cls(1), small_platform)
+        assert r.total_tasks == 1
+        # One task needs both its blocks.
+        assert r.total_blocks == 2
+
+    @pytest.mark.parametrize("cls", ALL_OUTER)
+    def test_more_workers_than_tasks(self, cls):
+        pf = Platform(np.full(30, 1.0))
+        r = run(cls(3), pf)  # 9 tasks, 30 workers
+        assert r.total_tasks == 9
+
+
+class TestExactlyOnce:
+    @pytest.mark.parametrize("cls", ALL_OUTER + [OuterTwoPhase])
+    def test_every_task_exactly_once(self, cls, paper_platform):
+        n = 10
+        r = run(cls(n, collect_ids=True), paper_platform, collect_trace=True)
+        ids = r.trace.all_task_ids()
+        assert ids.size == n * n
+        assert np.unique(ids).size == n * n
+        assert ids.min() == 0 and ids.max() == n * n - 1
+
+
+class TestCommunicationAccounting:
+    def test_random_blocks_bounded(self, paper_platform):
+        """Each task ships at most 2 blocks and >= 1 for a new worker."""
+        n = 10
+        r = run(OuterRandom(n), paper_platform, collect_trace=True)
+        for rec in r.trace:
+            assert 0 <= rec.blocks <= 2
+            assert rec.tasks == 1
+
+    def test_random_comm_upper_bound(self, paper_platform):
+        n = 10
+        r = run(OuterRandom(n), paper_platform)
+        assert r.total_blocks <= 2 * n * n
+
+    def test_comm_at_least_lower_bound_heuristic(self, paper_platform):
+        """Total communication can never be below 2n (someone must see all data)."""
+        n = 10
+        for cls in ALL_OUTER:
+            r = run(cls(n), paper_platform)
+            assert r.total_blocks >= 2 * n
+
+    def test_dynamic_ships_two_blocks_per_request(self, paper_platform):
+        n = 10
+        r = run(OuterDynamic(n), paper_platform, collect_trace=True)
+        for rec in r.trace:
+            assert rec.blocks in (0, 1, 2)
+
+    def test_dynamic_comm_bounded_by_knowledge_capacity(self, paper_platform):
+        """No worker can receive more than 2n blocks total."""
+        n = 10
+        r = run(OuterDynamic(n), paper_platform)
+        assert np.all(r.per_worker_blocks <= 2 * n)
+
+    def test_sorted_single_worker_comm(self):
+        """One worker, sorted order: a_i sent once per row, b_j once per col."""
+        pf = Platform([1.0])
+        n = 5
+        r = run(OuterSorted(n), pf)
+        assert r.total_blocks == 2 * n
+
+    def test_single_worker_dynamic_comm_minimal(self):
+        """One worker must receive each block exactly once: 2n total."""
+        pf = Platform([1.0])
+        n = 7
+        r = run(OuterDynamic(n), pf)
+        assert r.total_blocks == 2 * n
+
+
+class TestRanking:
+    def test_dynamic_beats_random(self, paper_platform):
+        """The paper's headline ordering on a mid-size instance (Fig. 1)."""
+        n = 50
+        random_r = run(OuterRandom(n), paper_platform, seed=1)
+        dynamic_r = run(OuterDynamic(n), paper_platform, seed=1)
+        assert dynamic_r.total_blocks < random_r.total_blocks
+
+    def test_two_phases_beats_dynamic(self, paper_platform):
+        n = 50
+        lb = outer_lower_bound(paper_platform.relative_speeds, n)
+        dyn = np.mean([run(OuterDynamic(n), paper_platform, seed=s).normalized(lb) for s in range(5)])
+        two = np.mean([run(OuterTwoPhase(n), paper_platform, seed=s).normalized(lb) for s in range(5)])
+        assert two < dyn
+
+    def test_normalized_above_one(self, paper_platform):
+        """No strategy can beat the lower bound."""
+        n = 30
+        lb = outer_lower_bound(paper_platform.relative_speeds, n)
+        for cls in ALL_OUTER + [OuterTwoPhase]:
+            r = run(cls(n), paper_platform)
+            assert r.normalized(lb) >= 1.0
+
+
+class TestDynamicKnowledge:
+    def test_knowledge_grows_balanced(self, paper_platform):
+        s = OuterDynamic(20)
+        run(s, paper_platform)
+        for w in range(paper_platform.p):
+            kn = s.knowledge_of(w)
+            # DynamicOuter ships one a and one b per request: |I| ~ |J|.
+            assert abs(kn.a.count - kn.b.count) <= 1
+
+    def test_faster_worker_knows_more(self):
+        pf = Platform([1.0, 20.0])
+        s = OuterDynamic(30)
+        run(s, pf, seed=2)
+        assert s.knowledge_of(1).a.count > s.knowledge_of(0).a.count
+
+
+class TestTwoPhaseConfiguration:
+    def test_threshold_from_beta(self, paper_platform, rng):
+        n = 20
+        s = OuterTwoPhase(n, beta=2.0)
+        s.reset(paper_platform, rng)
+        assert s.threshold == round(np.exp(-2.0) * n * n)
+        assert s.beta == 2.0
+
+    def test_threshold_from_fraction(self, paper_platform, rng):
+        n = 20
+        s = OuterTwoPhase(n, phase1_fraction=0.9)
+        s.reset(paper_platform, rng)
+        assert s.threshold == round(0.1 * n * n)
+
+    def test_threshold_from_tasks(self, paper_platform, rng):
+        s = OuterTwoPhase(20, threshold_tasks=37)
+        s.reset(paper_platform, rng)
+        assert s.threshold == 37
+
+    def test_threshold_capped_at_total(self, paper_platform, rng):
+        s = OuterTwoPhase(5, threshold_tasks=10**6)
+        s.reset(paper_platform, rng)
+        assert s.threshold == 25
+
+    def test_auto_beta_resolved(self, paper_platform, rng):
+        s = OuterTwoPhase(30)
+        s.reset(paper_platform, rng)
+        assert s.beta is not None and 0.5 < s.beta < 10
+
+    def test_agnostic_beta(self, paper_platform, rng):
+        s = OuterTwoPhase(30, agnostic=True)
+        s.reset(paper_platform, rng)
+        het = OuterTwoPhase(30)
+        het.reset(paper_platform, rng)
+        # Section 3.6: homogeneous beta within ~5% of the heterogeneous one.
+        assert s.beta == pytest.approx(het.beta, rel=0.10)
+
+    def test_mutually_exclusive_options(self):
+        with pytest.raises(ValueError):
+            OuterTwoPhase(10, beta=2.0, phase1_fraction=0.5)
+        with pytest.raises(ValueError):
+            OuterTwoPhase(10, beta=2.0, threshold_tasks=5)
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            OuterTwoPhase(10, beta=-1.0)
+        with pytest.raises(ValueError):
+            OuterTwoPhase(10, phase1_fraction=1.5)
+        with pytest.raises(ValueError):
+            OuterTwoPhase(10, threshold_tasks=-1)
+
+    def test_threshold_before_reset_raises(self):
+        with pytest.raises(RuntimeError):
+            _ = OuterTwoPhase(10, beta=1.0).threshold
+
+
+class TestTwoPhaseBehaviour:
+    def test_phases_in_trace(self, paper_platform):
+        n = 30
+        r = run(OuterTwoPhase(n, beta=3.0), paper_platform, collect_trace=True)
+        phases = {rec.phase for rec in r.trace}
+        assert phases == {1, 2}
+        # Phase-2 records come last.
+        seen2 = False
+        for rec in r.trace:
+            if rec.phase == 2:
+                seen2 = True
+            elif seen2:
+                pytest.fail("phase-1 record after phase 2 started")
+
+    def test_phase2_task_count_near_threshold(self, paper_platform):
+        n = 30
+        beta = 3.0
+        r = run(OuterTwoPhase(n, beta=beta), paper_platform, collect_trace=True)
+        expected = round(np.exp(-beta) * n * n)
+        # Phase 1 overshoots by at most one cross worth of tasks.
+        assert expected - 2 * n <= r.trace.phase_tasks(2) <= expected
+
+    def test_zero_threshold_is_pure_dynamic(self, paper_platform):
+        n = 20
+        r_two = run(OuterTwoPhase(n, threshold_tasks=0), paper_platform, seed=3, collect_trace=True)
+        assert all(rec.phase == 1 for rec in r_two.trace)
+        r_dyn = run(OuterDynamic(n), paper_platform, seed=3)
+        assert r_two.total_blocks == r_dyn.total_blocks
+
+    def test_full_threshold_is_pure_random(self, paper_platform):
+        n = 20
+        r_two = run(OuterTwoPhase(n, phase1_fraction=0.0), paper_platform, seed=3, collect_trace=True)
+        assert all(rec.phase == 2 for rec in r_two.trace)
+        r_rnd = run(OuterRandom(n), paper_platform, seed=3)
+        assert r_two.total_blocks == r_rnd.total_blocks
+
+    def test_phase2_ships_at_most_two(self, paper_platform):
+        r = run(OuterTwoPhase(25, beta=2.0), paper_platform, collect_trace=True)
+        for rec in r.trace:
+            if rec.phase == 2:
+                assert 0 <= rec.blocks <= 2
+                assert rec.tasks == 1

@@ -1,0 +1,163 @@
+"""Tests for repro.taskpool.knowledge."""
+
+import numpy as np
+import pytest
+
+from repro.taskpool.knowledge import BlockCache, CubeKnowledge, IndexKnowledge, VectorKnowledge
+
+
+class TestIndexKnowledge:
+    def test_starts_empty(self):
+        k = IndexKnowledge(5)
+        assert k.count == 0
+        assert not k.complete
+        assert k.known_indices().size == 0
+
+    def test_add(self):
+        k = IndexKnowledge(5)
+        assert k.add(2) is True
+        assert k.knows(2)
+        assert k.count == 1
+        assert k.add(2) is False
+
+    def test_add_out_of_range(self):
+        k = IndexKnowledge(5)
+        with pytest.raises(ValueError):
+            k.add(5)
+        with pytest.raises(ValueError):
+            k.add(-1)
+
+    def test_draw_unknown_never_repeats(self, rng):
+        k = IndexKnowledge(10)
+        drawn = [k.draw_unknown(rng) for _ in range(10)]
+        assert sorted(drawn) == list(range(10))
+        assert k.complete
+
+    def test_draw_unknown_respects_adds(self, rng):
+        k = IndexKnowledge(4)
+        k.add(1)
+        k.add(3)
+        drawn = {k.draw_unknown(rng) for _ in range(2)}
+        assert drawn == {0, 2}
+
+    def test_draw_exhausted_raises(self, rng):
+        k = IndexKnowledge(2)
+        k.add(0)
+        k.add(1)
+        with pytest.raises(IndexError):
+            k.draw_unknown(rng)
+
+    def test_known_indices_insertion_order(self, rng):
+        k = IndexKnowledge(6)
+        k.add(4)
+        k.add(1)
+        k.add(5)
+        assert k.known_indices().tolist() == [4, 1, 5]
+
+    def test_known_indices_view_stable_across_growth(self, rng):
+        """The captured view must keep its length when knowledge grows.
+
+        DynamicOuter relies on this: it captures I and J, then draws the new
+        indices, then crosses against the *old* sets.
+        """
+        k = IndexKnowledge(6)
+        k.add(2)
+        k.add(0)
+        view = k.known_indices()
+        k.add(5)
+        assert view.tolist() == [2, 0]
+
+    def test_view_read_only(self):
+        k = IndexKnowledge(3)
+        k.add(1)
+        view = k.known_indices()
+        with pytest.raises(ValueError):
+            view[0] = 2
+
+
+class TestVectorKnowledge:
+    def test_complete_requires_both(self):
+        vk = VectorKnowledge(2)
+        for i in range(2):
+            vk.a.add(i)
+        assert not vk.complete
+        for j in range(2):
+            vk.b.add(j)
+        assert vk.complete
+
+    def test_independent_dimensions(self):
+        vk = VectorKnowledge(3)
+        vk.a.add(1)
+        assert not vk.b.knows(1)
+
+
+class TestCubeKnowledge:
+    def test_complete_requires_all_three(self):
+        ck = CubeKnowledge(2)
+        for dim in (ck.i, ck.j):
+            dim.add(0)
+            dim.add(1)
+        assert not ck.complete
+        ck.k.add(0)
+        ck.k.add(1)
+        assert ck.complete
+
+    def test_dims_tuple(self):
+        ck = CubeKnowledge(2)
+        assert ck.dims() == (ck.i, ck.j, ck.k)
+
+
+class TestBlockCache:
+    def test_1d(self):
+        c = BlockCache(4)
+        assert c.count == 0
+        assert c.add(2) is True
+        assert c.has(2)
+        assert c.add(2) is False
+        assert c.count == 1
+
+    def test_2d(self):
+        c = BlockCache((3, 3))
+        assert c.add(1, 2) is True
+        assert c.has(1, 2)
+        assert not c.has(2, 1)
+        assert c.count == 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BlockCache((0, 3))
+        with pytest.raises(ValueError):
+            BlockCache(-1)
+
+    def test_add_product(self):
+        c = BlockCache((4, 4))
+        newly = c.add_product(np.array([0, 1]), np.array([2, 3]))
+        assert newly == 4
+        assert c.count == 4
+        assert c.has(0, 2) and c.has(1, 3)
+        # Overlapping product only counts fresh cells.
+        newly = c.add_product(np.array([1, 2]), np.array([3]))
+        assert newly == 1
+        assert c.count == 5
+
+    def test_add_product_requires_2d(self):
+        c = BlockCache(4)
+        with pytest.raises(ValueError):
+            c.add_product(np.array([0]), np.array([1]))
+
+    def test_add_indices(self):
+        c = BlockCache(5)
+        newly = c.add_indices(np.array([0, 2, 4]))
+        assert newly == 3
+        newly = c.add_indices(np.array([2, 3]))
+        assert newly == 1
+        assert c.count == 4
+
+    def test_add_indices_requires_1d(self):
+        c = BlockCache((2, 2))
+        with pytest.raises(ValueError):
+            c.add_indices(np.array([0]))
+
+    def test_add_indices_empty(self):
+        c = BlockCache(5)
+        assert c.add_indices(np.empty(0, dtype=np.int64)) == 0

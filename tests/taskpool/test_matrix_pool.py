@@ -1,0 +1,152 @@
+"""Tests for repro.taskpool.matrix_pool."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.taskpool.matrix_pool import MatrixTaskPool
+
+
+def _empty():
+    return np.empty(0, dtype=np.int64)
+
+
+def _flat(n, i, j, k):
+    return (i * n + j) * n + k
+
+
+class TestBasics:
+    def test_initial_state(self):
+        pool = MatrixTaskPool(3)
+        assert pool.total == 27
+        assert pool.remaining == 27
+        assert not pool.done
+
+    def test_mark_task(self):
+        pool = MatrixTaskPool(3)
+        assert pool.mark_task(0, 1, 2) is True
+        assert pool.is_processed(0, 1, 2)
+        assert pool.remaining == 26
+        assert pool.mark_task(0, 1, 2) is False
+
+    def test_unprocessed_ids_flat_layout(self):
+        pool = MatrixTaskPool(2)
+        pool.mark_task(1, 0, 1)
+        ids = pool.unprocessed_ids()
+        assert _flat(2, 1, 0, 1) not in ids.tolist()
+        assert ids.size == 7
+
+    def test_mark_all(self):
+        pool = MatrixTaskPool(2)
+        pool.mark_task(0, 0, 0)
+        count, _ = pool.mark_all()
+        assert count == 7
+        assert pool.done
+
+
+class TestMarkShell:
+    def test_first_shell_single_task(self):
+        pool = MatrixTaskPool(4)
+        count, _ = pool.mark_shell(1, 2, 3, _empty(), _empty(), _empty())
+        assert count == 1
+        assert pool.is_processed(1, 2, 3)
+
+    def test_shell_growth_from_unit_cube(self):
+        """Growing a 1-cube to a 2-cube allocates its 7-task shell."""
+        pool = MatrixTaskPool(4)
+        pool.mark_shell(0, 0, 0, _empty(), _empty(), _empty())
+        count, _ = pool.mark_shell(
+            1, 1, 1, np.array([0]), np.array([0]), np.array([0])
+        )
+        # The 2x2x2 cube has 8 tasks; (0,0,0) was processed: shell = 7.
+        assert count == 7
+        for i in (0, 1):
+            for j in (0, 1):
+                for k in (0, 1):
+                    assert pool.is_processed(i, j, k)
+
+    def test_shell_excludes_interior(self):
+        """Tasks strictly inside the old cube are never re-marked."""
+        pool = MatrixTaskPool(5)
+        # Manually build a known 2-cube with all tasks processed.
+        rows = np.array([0, 1])
+        for i in rows:
+            for j in rows:
+                for k in rows:
+                    pool.mark_task(i, j, k)
+        before = pool.remaining
+        count, _ = pool.mark_shell(2, 2, 2, rows, rows, rows)
+        # Grown cube is 3^3 = 27; interior 2^3 = 8 already done: shell = 19.
+        assert count == 19
+        assert pool.remaining == before - 19
+
+    def test_shell_skips_processed(self):
+        pool = MatrixTaskPool(4)
+        pool.mark_task(1, 0, 0)  # a task another worker already did
+        count, _ = pool.mark_shell(
+            1, 1, 1, np.array([0]), np.array([0]), np.array([0])
+        )
+        # 2-cube shell of 7 tasks minus the stolen (1,0,0).
+        assert count == 6
+
+    def test_partial_growth_missing_i(self):
+        pool = MatrixTaskPool(3)
+        rows = np.array([0, 1, 2])  # I complete
+        count, _ = pool.mark_shell(None, 1, 1, rows, np.array([0]), np.array([0]))
+        # Tasks with j'=1: I x {1} x {0,1} = 6; plus k'=1 (j' != 1): I x {0} x {1} = 3.
+        assert count == 9
+
+    def test_partial_growth_only_k(self):
+        pool = MatrixTaskPool(3)
+        rows = np.array([0, 1])
+        cols = np.array([2])
+        count, _ = pool.mark_shell(None, None, 2, rows, cols, np.array([0]))
+        # I x J x {2} = 2 * 1 = 2 tasks.
+        assert count == 2
+        assert pool.is_processed(0, 2, 2)
+        assert pool.is_processed(1, 2, 2)
+
+    def test_collect_ids_match_marks(self):
+        pool = MatrixTaskPool(4, collect_ids=True)
+        pool.mark_task(1, 0, 0)
+        count, ids = pool.mark_shell(
+            1, 1, 1, np.array([0]), np.array([0]), np.array([0])
+        )
+        assert ids is not None
+        assert ids.size == count == 6
+        n = 4
+        decoded = {(f // (n * n), (f // n) % n, f % n) for f in ids.tolist()}
+        assert (1, 0, 0) not in decoded
+        assert (1, 1, 1) in decoded
+
+    def test_remaining_consistent_with_bitmap(self):
+        pool = MatrixTaskPool(4)
+        pool.mark_shell(0, 1, 2, _empty(), _empty(), _empty())
+        pool.mark_shell(1, 0, 3, np.array([0]), np.array([1]), np.array([2]))
+        assert pool.remaining == np.count_nonzero(~pool.processed_view())
+
+
+class TestPropertyExactlyOnce:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 6), st.integers(0, 2**32 - 1))
+    def test_random_shells_never_double_count(self, n, seed):
+        """Counting stays consistent with the bitmap under random shells."""
+        rng = np.random.default_rng(seed)
+        pool = MatrixTaskPool(n)
+        total = 0
+        for _ in range(n + 2):
+            def pick():
+                # A new index plus a known set that excludes it, mirroring
+                # the invariant the Dynamic* strategies maintain.
+                new = int(rng.integers(n))
+                others = np.setdiff1d(np.arange(n), [new])
+                size = int(rng.integers(0, others.size + 1))
+                return new, rng.choice(others, size=size, replace=False).astype(np.int64)
+
+            i, rows = pick()
+            j, cols = pick()
+            k, deps = pick()
+            count, _ = pool.mark_shell(i, j, k, rows, cols, deps)
+            total += count
+            assert pool.remaining == pool.total - total
+        assert np.count_nonzero(pool.processed_view()) == total

@@ -1,0 +1,42 @@
+"""The public API surface: everything advertised in ``repro.__all__`` works."""
+
+import numpy as np
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} advertised but missing"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_docstring_quickstart(self):
+        """The README/module-docstring quickstart must run as written."""
+        platform = repro.Platform(repro.uniform_speeds(20, 10, 100, rng=0))
+        strategy = repro.OuterTwoPhase(100)
+        result = repro.simulate(strategy, platform, rng=1)
+        lb = repro.outer_lower_bound(platform.relative_speeds, 100)
+        value = result.normalized(lb)
+        assert 1.0 < value < 4.0
+        assert strategy.beta is not None
+
+    def test_strategy_names_roundtrip(self):
+        for name in repro.strategy_names():
+            s = repro.make_strategy(name, 4)
+            assert s.name == name
+
+    def test_lower_bound_dispatch(self):
+        rel = np.array([0.5, 0.5])
+        assert repro.lower_bound("outer", rel, 10) == repro.outer_lower_bound(rel, 10)
+        assert repro.lower_bound("matrix", rel, 10) == repro.matrix_lower_bound(rel, 10)
+
+    def test_total_ratio_functions(self):
+        rel = np.full(20, 0.05)
+        assert repro.outer_total_ratio(4.0, rel, 100) > 1.0
+        assert repro.matrix_total_ratio(3.0, rel, 40) > 1.0
+
+    def test_agnostic_beta(self):
+        assert 1.0 < repro.agnostic_beta("outer", 20, 100) < 8.0

@@ -1,0 +1,63 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_rngs
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 2**31, size=20)
+        b = as_generator(2).integers(0, 2**31, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence(self):
+        ss = np.random.SeedSequence(99)
+        g = as_generator(ss)
+        assert isinstance(g, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero(self):
+        assert len(spawn_rngs(0, 0)) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_streams_independent(self):
+        rngs = spawn_rngs(7, 3)
+        draws = [g.integers(0, 2**31, size=10) for g in rngs]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_reproducible_from_seed(self):
+        a = [g.integers(0, 2**31, size=5) for g in spawn_rngs(3, 2)]
+        b = [g.integers(0, 2**31, size=5) for g in spawn_rngs(3, 2)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(0)
+        rngs = spawn_rngs(g, 2)
+        assert len(rngs) == 2
+
+    def test_spawn_from_seed_sequence(self):
+        rngs = spawn_rngs(np.random.SeedSequence(5), 4)
+        assert len(rngs) == 4

@@ -1,0 +1,78 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import RunningStats, summarize
+
+
+class TestRunningStats:
+    def test_single_value(self):
+        rs = RunningStats()
+        rs.add(4.0)
+        assert rs.n == 1
+        assert rs.mean == 4.0
+        assert rs.variance == 0.0
+        assert rs.std == 0.0
+        assert rs.min == 4.0 and rs.max == 4.0
+
+    def test_known_sample(self):
+        rs = RunningStats()
+        rs.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert rs.mean == pytest.approx(5.0)
+        assert rs.variance == pytest.approx(32.0 / 7.0)
+
+    def test_empty_raises(self):
+        rs = RunningStats()
+        with pytest.raises(ValueError):
+            _ = rs.mean
+        with pytest.raises(ValueError):
+            _ = rs.std
+        with pytest.raises(ValueError):
+            _ = rs.min
+
+    def test_nan_rejected(self):
+        rs = RunningStats()
+        with pytest.raises(ValueError):
+            rs.add(float("nan"))
+
+    def test_summary_snapshot(self):
+        rs = RunningStats()
+        rs.extend([1.0, 3.0])
+        s = rs.summary()
+        rs.add(100.0)
+        assert s.n == 2
+        assert s.mean == 2.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    def test_matches_numpy(self, values):
+        rs = RunningStats()
+        rs.extend(values)
+        assert rs.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+        assert rs.variance == pytest.approx(np.var(values, ddof=1), rel=1e-6, abs=1e-6)
+        assert rs.min == min(values)
+        assert rs.max == max(values)
+
+    @given(st.lists(st.floats(-1e9, 1e9), min_size=1, max_size=50))
+    def test_variance_nonnegative(self, values):
+        rs = RunningStats()
+        rs.extend(values)
+        assert rs.variance >= 0.0
+        assert not math.isnan(rs.std)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == 2.0
+        assert s.min == 1.0
+        assert s.max == 3.0
+
+    def test_str_contains_fields(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "mean" in text and "n=2" in text

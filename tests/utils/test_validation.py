@@ -1,0 +1,128 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_speeds,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int("x", 3) == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int("x", np.int64(7)) == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive_int("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int("x", -2)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int("x", 3.0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int("x", True)
+
+    def test_error_mentions_name(self):
+        with pytest.raises(ValueError, match="myparam"):
+            check_positive_int("myparam", -1)
+
+
+class TestCheckPositive:
+    def test_accepts_float(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_accepts_int(self):
+        assert check_positive("x", 2) == 2.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -0.1)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive("x", np.inf)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive("x", np.nan)
+
+    def test_rejects_string(self):
+        with pytest.raises((TypeError, ValueError)):
+            check_positive("x", "fast")
+
+
+class TestCheckFraction:
+    def test_bounds_inclusive(self):
+        assert check_fraction("f", 0.0) == 0.0
+        assert check_fraction("f", 1.0) == 1.0
+
+    def test_bounds_exclusive(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0, inclusive=False)
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.0, inclusive=False)
+        assert check_fraction("f", 0.5, inclusive=False) == 0.5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.5)
+        with pytest.raises(ValueError):
+            check_fraction("f", -0.1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", float("nan"))
+
+
+class TestCheckSpeeds:
+    def test_returns_float_copy(self):
+        src = [1, 2, 3]
+        out = check_speeds(src)
+        assert out.dtype == np.float64
+        assert np.array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_copy_is_independent(self):
+        src = np.array([1.0, 2.0])
+        out = check_speeds(src)
+        src[0] = 99.0
+        assert out[0] == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_speeds([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_speeds([[1.0, 2.0]])
+
+    def test_rejects_zero_speed(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_speeds([1.0, 0.0])
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ValueError):
+            check_speeds([1.0, -1.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_speeds([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_speeds([np.inf])
