@@ -20,13 +20,14 @@ a 7/4-approximation — see :mod:`repro.partition`.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.utils.validation import check_positive_int
 
 __all__ = ["outer_lower_bound", "matrix_lower_bound", "lower_bound"]
 
 
-def _check_rel(rel_speeds) -> np.ndarray:
+def _check_rel(rel_speeds: npt.ArrayLike) -> np.ndarray:
     rel = np.asarray(rel_speeds, dtype=float)
     if rel.ndim != 1 or rel.size == 0:
         raise ValueError("relative speeds must be a non-empty 1-D array")
@@ -37,21 +38,21 @@ def _check_rel(rel_speeds) -> np.ndarray:
     return rel
 
 
-def outer_lower_bound(rel_speeds, n: int) -> float:
+def outer_lower_bound(rel_speeds: npt.ArrayLike, n: int) -> float:
     """``2 n sum_k sqrt(rs_k)`` — blocks, for vectors of *n* blocks."""
     rel = _check_rel(rel_speeds)
     n = check_positive_int("n", n)
     return float(2.0 * n * np.sum(np.sqrt(rel)))
 
 
-def matrix_lower_bound(rel_speeds, n: int) -> float:
+def matrix_lower_bound(rel_speeds: npt.ArrayLike, n: int) -> float:
     """``3 n^2 sum_k rs_k^(2/3)`` — blocks, for matrices of *n x n* blocks."""
     rel = _check_rel(rel_speeds)
     n = check_positive_int("n", n)
     return float(3.0 * n * n * np.sum(rel ** (2.0 / 3.0)))
 
 
-def lower_bound(kernel: str, rel_speeds, n: int) -> float:
+def lower_bound(kernel: str, rel_speeds: npt.ArrayLike, n: int) -> float:
     """Dispatch on kernel name (``"outer"`` or ``"matrix"``)."""
     if kernel == "outer":
         return outer_lower_bound(rel_speeds, n)

@@ -21,6 +21,7 @@ All ratios are relative to ``LB = 3 n^2 sum_k rs_k^(2/3)``.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 from scipy import optimize
 
 from repro.core.analysis.lower_bounds import _check_rel, matrix_lower_bound
@@ -43,7 +44,7 @@ def _check_variant(variant: str) -> str:
     return variant
 
 
-def matrix_phase1_ratio(beta: float, rel_speeds, variant: str = "exact") -> float:
+def matrix_phase1_ratio(beta: float, rel_speeds: npt.ArrayLike, variant: str = "exact") -> float:
     """Phase-1 volume over the lower bound: ``sum_k x_k^2 / sum_k rs_k^{2/3}``."""
     _check_variant(variant)
     if beta < 0:
@@ -57,7 +58,7 @@ def matrix_phase1_ratio(beta: float, rel_speeds, variant: str = "exact") -> floa
     return float(beta ** (2.0 / 3.0) - beta ** (5.0 / 3.0) * s53 / (3.0 * denom))
 
 
-def matrix_phase2_ratio(beta: float, rel_speeds, n: int, variant: str = "exact") -> float:
+def matrix_phase2_ratio(beta: float, rel_speeds: npt.ArrayLike, n: int, variant: str = "exact") -> float:
     """Phase-2 volume over the lower bound.
 
     ``e^{-beta} n^3`` tasks remain; worker ``k`` processes an ``rs_k`` share
@@ -79,17 +80,17 @@ def matrix_phase2_ratio(beta: float, rel_speeds, n: int, variant: str = "exact")
     return float(np.exp(-beta) * n * (1.0 - beta ** (2.0 / 3.0) * s53) / s23)
 
 
-def matrix_total_ratio(beta: float, rel_speeds, n: int, variant: str = "exact") -> float:
+def matrix_total_ratio(beta: float, rel_speeds: npt.ArrayLike, n: int, variant: str = "exact") -> float:
     """Total predicted communication over the lower bound (Section 4.2)."""
     return matrix_phase1_ratio(beta, rel_speeds, variant) + matrix_phase2_ratio(beta, rel_speeds, n, variant)
 
 
 def optimal_matrix_beta(
-    rel_speeds,
+    rel_speeds: npt.ArrayLike,
     n: int,
     variant: str = "exact",
     *,
-    beta_range: tuple = (1e-3, 15.0),
+    beta_range: tuple[float, float] = (1e-3, 15.0),
 ) -> float:
     """β minimizing the Section-4.2 total ratio (grid scan + Brent polish).
 

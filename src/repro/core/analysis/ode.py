@@ -33,6 +33,7 @@ All functions are NumPy-vectorized over ``x`` and/or ``alpha``.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
     "alpha_of",
@@ -49,7 +50,7 @@ def _check_dim(d: int) -> int:
     return d
 
 
-def alpha_of(rel_speed):
+def alpha_of(rel_speed: npt.ArrayLike) -> np.ndarray:
     """``alpha_k = (1 - rs_k) / rs_k``, vectorized over relative speeds."""
     rs = np.asarray(rel_speed, dtype=float)
     if np.any(rs <= 0) or np.any(rs > 1):
@@ -57,7 +58,7 @@ def alpha_of(rel_speed):
     return (1.0 - rs) / rs
 
 
-def unprocessed_fraction(x, alpha, d: int = 2):
+def unprocessed_fraction(x: npt.ArrayLike, alpha: npt.ArrayLike, d: int = 2) -> np.ndarray:
     """Lemma 1 / 7: ``g_k(x) = (1 - x^d)^alpha``.
 
     *x* is the worker's known fraction of each input dimension, *alpha* its
@@ -73,7 +74,7 @@ def unprocessed_fraction(x, alpha, d: int = 2):
     return (1.0 - x**d) ** alpha
 
 
-def stolen_tasks(x, alpha, n: int, d: int = 2):
+def stolen_tasks(x: npt.ArrayLike, alpha: npt.ArrayLike, n: int, d: int = 2) -> np.ndarray:
     """Tasks computable by ``P_k`` but processed by others, ``h_k(x)``.
 
     Derived in the proof of Lemma 2:
@@ -88,7 +89,7 @@ def stolen_tasks(x, alpha, n: int, d: int = 2):
     return (n**d) * (xd + ((1.0 - xd) ** (alpha + 1.0) - 1.0) / (alpha + 1.0))
 
 
-def time_to_knowledge(x, alpha, n: int, d: int = 2):
+def time_to_knowledge(x: npt.ArrayLike, alpha: npt.ArrayLike, n: int, d: int = 2) -> np.ndarray:
     """Lemma 2 / 8: speed-normalized time ``t_k(x) * sum_i s_i``.
 
     Returns ``n^d * (1 - (1 - x^d)^(alpha + 1))`` — divide by the platform's
@@ -102,7 +103,7 @@ def time_to_knowledge(x, alpha, n: int, d: int = 2):
     return (n**d) * (1.0 - (1.0 - x**d) ** (alpha + 1.0))
 
 
-def switch_fraction(beta: float, rel_speed, d: int = 2):
+def switch_fraction(beta: float, rel_speed: npt.ArrayLike, d: int = 2) -> np.ndarray:
     """Lemma 3's simultaneous switch point ``x_k``.
 
     ``x_k = (beta * rs_k - beta^2 / 2 * rs_k^2) ** (1/d)``, clipped into

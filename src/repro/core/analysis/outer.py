@@ -24,6 +24,7 @@ All ratios are relative to ``LB = 2 n sum_k sqrt(rs_k)``.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 from scipy import optimize
 
 from repro.core.analysis.lower_bounds import _check_rel, outer_lower_bound
@@ -46,7 +47,7 @@ def _check_variant(variant: str) -> str:
     return variant
 
 
-def outer_phase1_ratio(beta: float, rel_speeds, variant: str = "exact") -> float:
+def outer_phase1_ratio(beta: float, rel_speeds: npt.ArrayLike, variant: str = "exact") -> float:
     """Lemma 4: phase-1 communication volume over the lower bound.
 
     Worker ``k`` ends phase 1 knowing ``x_k n`` blocks of each vector, so
@@ -65,7 +66,7 @@ def outer_phase1_ratio(beta: float, rel_speeds, variant: str = "exact") -> float
     return float(np.sqrt(beta) - beta**1.5 * s32 / (4.0 * denom))
 
 
-def outer_phase2_ratio(beta: float, rel_speeds, n: int, variant: str = "exact") -> float:
+def outer_phase2_ratio(beta: float, rel_speeds: npt.ArrayLike, n: int, variant: str = "exact") -> float:
     """Lemma 5: phase-2 communication volume over the lower bound.
 
     ``e^{-beta} n^2`` tasks remain; worker ``k`` processes an ``rs_k`` share
@@ -88,17 +89,17 @@ def outer_phase2_ratio(beta: float, rel_speeds, n: int, variant: str = "exact") 
     return float(np.exp(-beta) * n * (1.0 - np.sqrt(beta) * s32) / s12)
 
 
-def outer_total_ratio(beta: float, rel_speeds, n: int, variant: str = "exact") -> float:
+def outer_total_ratio(beta: float, rel_speeds: npt.ArrayLike, n: int, variant: str = "exact") -> float:
     """Theorem 6: total predicted communication over the lower bound."""
     return outer_phase1_ratio(beta, rel_speeds, variant) + outer_phase2_ratio(beta, rel_speeds, n, variant)
 
 
 def optimal_outer_beta(
-    rel_speeds,
+    rel_speeds: npt.ArrayLike,
     n: int,
     variant: str = "exact",
     *,
-    beta_range: tuple = (1e-3, 15.0),
+    beta_range: tuple[float, float] = (1e-3, 15.0),
 ) -> float:
     """β minimizing the Theorem-6 total ratio.
 

@@ -27,6 +27,7 @@ over at large p.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.analysis.lower_bounds import _check_rel
 from repro.utils.validation import check_positive_int
@@ -34,7 +35,7 @@ from repro.utils.validation import check_positive_int
 __all__ = ["expected_random_outer_volume", "expected_random_matrix_volume"]
 
 
-def expected_random_outer_volume(rel_speeds, n: int) -> float:
+def expected_random_outer_volume(rel_speeds: npt.ArrayLike, n: int) -> float:
     """Expected RandomOuter communication volume in blocks."""
     rel = _check_rel(rel_speeds)
     n = check_positive_int("n", n)
@@ -42,7 +43,7 @@ def expected_random_outer_volume(rel_speeds, n: int) -> float:
     return float(np.sum(2.0 * n * (1.0 - (1.0 - 1.0 / n) ** tasks)))
 
 
-def expected_random_matrix_volume(rel_speeds, n: int) -> float:
+def expected_random_matrix_volume(rel_speeds: npt.ArrayLike, n: int) -> float:
     """Expected RandomMatrix communication volume in blocks."""
     rel = _check_rel(rel_speeds)
     n = check_positive_int("n", n)

@@ -20,7 +20,7 @@ from typing import ClassVar, Optional
 import numpy as np
 
 from repro.platform.platform import Platform
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_nonnegative_int, check_positive_int
 
 __all__ = ["Assignment", "Strategy"]
 
@@ -42,10 +42,8 @@ class Assignment:
     task_ids: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
-        if self.blocks < 0:
-            raise ValueError(f"blocks must be >= 0, got {self.blocks}")
-        if self.tasks < 0:
-            raise ValueError(f"tasks must be >= 0, got {self.tasks}")
+        check_nonnegative_int("blocks", self.blocks)
+        check_nonnegative_int("tasks", self.tasks)
         if self.phase not in (1, 2):
             raise ValueError(f"phase must be 1 or 2, got {self.phase}")
 

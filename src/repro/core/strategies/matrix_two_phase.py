@@ -21,6 +21,7 @@ from repro.core.strategies.base import Assignment
 from repro.core.strategies.matrix_dynamic import MatrixDynamic
 from repro.taskpool.knowledge import BlockCache
 from repro.taskpool.sample_set import SampleSet
+from repro.utils.validation import check_fraction, check_nonnegative, check_nonnegative_int
 
 __all__ = ["MatrixTwoPhase"]
 
@@ -45,12 +46,12 @@ class MatrixTwoPhase(MatrixDynamic):
         given = [beta is not None, phase1_fraction is not None, threshold_tasks is not None]
         if sum(given) > 1:
             raise ValueError("give at most one of beta / phase1_fraction / threshold_tasks")
-        if beta is not None and beta < 0:
-            raise ValueError(f"beta must be >= 0, got {beta}")
-        if phase1_fraction is not None and not 0.0 <= phase1_fraction <= 1.0:
-            raise ValueError(f"phase1_fraction must lie in [0, 1], got {phase1_fraction}")
-        if threshold_tasks is not None and threshold_tasks < 0:
-            raise ValueError(f"threshold_tasks must be >= 0, got {threshold_tasks}")
+        if beta is not None:
+            beta = check_nonnegative("beta", beta)
+        if phase1_fraction is not None:
+            phase1_fraction = check_fraction("phase1_fraction", phase1_fraction)
+        if threshold_tasks is not None:
+            threshold_tasks = check_nonnegative_int("threshold_tasks", threshold_tasks)
         self._beta = beta
         self._phase1_fraction = phase1_fraction
         self._threshold_tasks = threshold_tasks

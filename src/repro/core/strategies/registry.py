@@ -6,7 +6,7 @@ and the CLI can be configured with plain strings.
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+from typing import Any, Dict, List, Type
 
 from repro.core.strategies.base import Strategy
 from repro.core.strategies.mapreduce import MatrixMapReduce, OuterMapReduce
@@ -38,7 +38,7 @@ STRATEGIES: Dict[str, Type[Strategy]] = {
 }
 
 
-def make_strategy(name: str, n: int, **kwargs) -> Strategy:
+def make_strategy(name: str, n: int, **kwargs: Any) -> Strategy:
     """Instantiate a strategy by its paper name (e.g. ``"DynamicOuter"``).
 
     Extra keyword arguments are forwarded to the constructor (``beta``,

@@ -20,6 +20,7 @@ from typing import List
 import numpy as np
 
 from repro.core.analysis.ode import time_to_knowledge, unprocessed_fraction
+from repro.core.strategies.base import Assignment
 from repro.core.strategies.matrix_dynamic import MatrixDynamic
 from repro.core.strategies.outer_dynamic import OuterDynamic
 from repro.platform.platform import Platform
@@ -88,7 +89,7 @@ class _InstrumentedOuter(OuterDynamic):
         super()._setup()
         self.samples: List[List[tuple]] = [[] for _ in range(self.platform.p)]
 
-    def assign(self, worker, now):
+    def assign(self, worker: int, now: float) -> Assignment:
         kn = self._knowledge[worker]
         # Knowledge fraction *at the time of the request* — this is the x
         # of Lemmas 1-2 (the step then takes it to x + 1/n).
@@ -119,7 +120,7 @@ class _InstrumentedMatrix(MatrixDynamic):
         super()._setup()
         self.samples: List[List[tuple]] = [[] for _ in range(self.platform.p)]
 
-    def assign(self, worker, now):
+    def assign(self, worker: int, now: float) -> Assignment:
         kn = self._knowledge[worker]
         before = (kn.i.count, kn.j.count, kn.k.count)
         x = (before[0] + before[1] + before[2]) / (3.0 * self.n)
@@ -134,7 +135,7 @@ class _InstrumentedMatrix(MatrixDynamic):
         return assignment
 
 
-def _curves_from(strategy, platform: Platform, d: int, n: int) -> List[KnowledgeCurve]:
+def _curves_from(strategy: "_InstrumentedOuter | _InstrumentedMatrix", platform: Platform, d: int, n: int) -> List[KnowledgeCurve]:
     total = platform.speeds.sum()
     curves = []
     for w in range(platform.p):

@@ -50,7 +50,7 @@ class ExecutionReport:
         return self.max_abs_error == 0.0
 
 
-def _make_traced_strategy(strategy, kernel: str, n: int) -> Strategy:
+def _make_traced_strategy(strategy: "Strategy | str", kernel: str, n: int) -> Strategy:
     if isinstance(strategy, str):
         strategy = make_strategy(strategy, n, collect_ids=True)
     if strategy.kernel != kernel:
@@ -67,7 +67,7 @@ def execute_outer(
     b: np.ndarray,
     n: int,
     platform: Platform,
-    strategy="DynamicOuter",
+    strategy: "Strategy | str" = "DynamicOuter",
     *,
     rng: SeedLike = None,
 ) -> ExecutionReport:
@@ -125,7 +125,7 @@ def execute_matrix(
     b: np.ndarray,
     n: int,
     platform: Platform,
-    strategy="DynamicMatrix",
+    strategy: "Strategy | str" = "DynamicMatrix",
     *,
     rng: SeedLike = None,
 ) -> ExecutionReport:

@@ -77,7 +77,7 @@ def _resolve_figures(requested: List[str]) -> List[str]:
     return requested
 
 
-def _run_gantt(args) -> int:
+def _run_gantt(args: argparse.Namespace) -> int:
     from repro.core.analysis.lower_bounds import lower_bound
     from repro.core.strategies.registry import make_strategy
     from repro.platform.platform import Platform
@@ -94,7 +94,7 @@ def _run_gantt(args) -> int:
     return 0
 
 
-def _run_beta(args) -> int:
+def _run_beta(args: argparse.Namespace) -> int:
     import math
 
     import numpy as np

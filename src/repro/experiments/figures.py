@@ -45,7 +45,24 @@ from repro.platform.speeds import (
 )
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["FIGURES", "generate"] + [f"fig{i:02d}" for i in (1, 2, 4, 5, 6, 7, 8, 9, 10, 11)] + ["sec36"]
+__all__ = [
+    "FIGURES",
+    "MATRIX_BASELINES",
+    "NORMALIZED_YLABEL",
+    "OUTER_BASELINES",
+    "fig01",
+    "fig02",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "generate",
+    "sec36",
+]
 
 OUTER_BASELINES = ("RandomOuter", "SortedOuter", "DynamicOuter")
 MATRIX_BASELINES = ("RandomMatrix", "SortedMatrix", "DynamicMatrix")

@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import io
 import os
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.config import FigureData
 
@@ -78,7 +78,7 @@ def read_csv(path: str) -> FigureData:
     return fig
 
 
-def _format_point(x: float, categories) -> str:
+def _format_point(x: float, categories: Optional[Sequence[str]]) -> str:
     if categories is not None:
         idx = int(x)
         if 0 <= idx < len(categories):

@@ -36,7 +36,7 @@ PlatformFactory = Callable[[np.random.Generator], "Platform | tuple[Platform, Sp
 StrategyFactory = Callable[[], Strategy]
 
 
-def _unpack(made) -> "tuple[Platform, Optional[SpeedModel]]":
+def _unpack(made: "Platform | tuple[Platform, SpeedModel]") -> "tuple[Platform, Optional[SpeedModel]]":
     if isinstance(made, tuple):
         platform, model = made
         return platform, model

@@ -20,11 +20,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.utils.validation import check_positive_int
 
-__all__ = ["TaskType", "Task", "CholeskyDag", "task_counts"]
+__all__ = ["TaskType", "Task", "Tile", "CholeskyDag", "task_counts"]
 
 Tile = Tuple[int, int]
 
@@ -82,7 +82,7 @@ class CholeskyDag:
 
     # -- construction ------------------------------------------------------
 
-    def _add(self, kind: TaskType, i: int, j: int, k: int, reads, writes) -> None:
+    def _add(self, kind: TaskType, i: int, j: int, k: int, reads: Iterable[Tile], writes: Tile) -> None:
         self._index[(kind, i, j, k)] = len(self.tasks)
         self.tasks.append(
             Task(kind=kind, i=i, j=j, k=k, reads=tuple(reads), writes=writes, work=_WORK[kind])
@@ -99,7 +99,7 @@ class CholeskyDag:
                 for j in range(k + 1, i):
                     self._add(TaskType.GEMM, i, j, k, [(i, k), (j, k), (i, j)], (i, j))
 
-    def _edge(self, src_key, dst_key) -> None:
+    def _edge(self, src_key: Tuple[TaskType, int, int, int], dst_key: Tuple[TaskType, int, int, int]) -> None:
         src = self._index[src_key]
         dst = self._index[dst_key]
         self.successors[src].append(dst)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Any
+
 import numpy as np
 from scipy import linalg as sla
 
@@ -41,7 +43,7 @@ def replay_cholesky(
     a: np.ndarray,
     n: int,
     platform: Platform,
-    scheduler=None,
+    scheduler: Any = None,
     *,
     rng: SeedLike = None,
 ) -> CholeskyReplay:

@@ -7,6 +7,8 @@ re-exports the result type under its historical name.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.extensions.cholesky.dag import CholeskyDag
 from repro.extensions.dagsched.engine import (
     DagSchedulingResult,
@@ -38,7 +40,7 @@ class LocalityScheduler(_LocalityScheduler):
 def simulate_cholesky(
     n: int,
     platform: Platform,
-    scheduler=None,
+    scheduler: Any = None,
     *,
     rng: SeedLike = None,
 ) -> DagSchedulingResult:

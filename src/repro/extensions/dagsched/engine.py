@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from repro.utils.rng import SeedLike, as_generator
 __all__ = ["RandomScheduler", "LocalityScheduler", "DagSchedulingResult", "simulate_dag"]
 
 
-def _written_tiles(task) -> tuple:
+def _written_tiles(task: Any) -> tuple:
     """The tiles a task writes: ``writes`` plus optional ``extra_writes``.
 
     Most kernels update one tile; tiled-QR's TSQRT/TSMQR update two (the
@@ -34,7 +34,7 @@ def _written_tiles(task) -> tuple:
     return (task.writes,) + tuple(getattr(task, "extra_writes", ()))
 
 
-def _touched_tiles(task) -> set:
+def _touched_tiles(task: Any) -> set:
     """All tiles a task needs resident on its worker (reads and writes)."""
     return set(task.reads) | set(_written_tiles(task))
 
@@ -44,7 +44,7 @@ class RandomScheduler:
 
     name = "RandomDag"
 
-    def pick(self, worker: int, ready: List[int], dag, holders, rng) -> int:
+    def pick(self, worker: int, ready: List[int], dag: Any, holders: Any, rng: np.random.Generator) -> int:
         return ready[int(rng.integers(len(ready)))]
 
 
@@ -57,7 +57,7 @@ class LocalityScheduler:
 
     name = "LocalityDag"
 
-    def pick(self, worker: int, ready: List[int], dag, holders, rng) -> int:
+    def pick(self, worker: int, ready: List[int], dag: Any, holders: Any, rng: np.random.Generator) -> int:
         best: List[int] = []
         best_key: Optional[Tuple[float, float]] = None
         for t in ready:
@@ -99,9 +99,9 @@ class _State:
 
 
 def simulate_dag(
-    dag,
+    dag: Any,
     platform: Platform,
-    scheduler=None,
+    scheduler: Any = None,
     *,
     rng: SeedLike = None,
     prefer_finishing_worker: bool = False,

@@ -17,11 +17,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.utils.validation import check_positive_int
 
-__all__ = ["LuTaskType", "LuTask", "LuDag", "lu_task_counts"]
+__all__ = ["LuTaskType", "LuTask", "Tile", "LuDag", "lu_task_counts"]
 
 Tile = Tuple[int, int]
 
@@ -79,7 +79,7 @@ class LuDag:
         self._build_edges()
         self.priority = self._upward_ranks()
 
-    def _add(self, kind: LuTaskType, i: int, j: int, k: int, reads, writes) -> None:
+    def _add(self, kind: LuTaskType, i: int, j: int, k: int, reads: Iterable[Tile], writes: Tile) -> None:
         self._index[(kind, i, j, k)] = len(self.tasks)
         self.tasks.append(
             LuTask(kind=kind, i=i, j=j, k=k, reads=tuple(reads), writes=writes, work=_WORK[kind])
@@ -96,7 +96,7 @@ class LuDag:
                 for j in range(k + 1, n):
                     self._add(LuTaskType.GEMM, i, j, k, [(i, k), (k, j), (i, j)], (i, j))
 
-    def _edge(self, src_key, dst_key) -> None:
+    def _edge(self, src_key: Tuple[LuTaskType, int, int, int], dst_key: Tuple[LuTaskType, int, int, int]) -> None:
         src = self._index[src_key]
         dst = self._index[dst_key]
         self.successors[src].append(dst)

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Any, Tuple
+
 import numpy as np
 from scipy import linalg as sla
 
@@ -40,7 +42,7 @@ def replay_lu(
     a: np.ndarray,
     n: int,
     platform: Platform,
-    scheduler=None,
+    scheduler: Any = None,
     *,
     rng: SeedLike = None,
 ) -> LuReplay:
@@ -84,7 +86,7 @@ def replay_lu(
     return LuReplay(l_factor=l_factor, u_factor=u_factor, simulation=result, max_abs_error=err)
 
 
-def _doolittle(t: np.ndarray):
+def _doolittle(t: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Pivot-free Doolittle LU of a small tile (fallback path)."""
     m = t.shape[0]
     lo = np.eye(m)

@@ -30,10 +30,12 @@ from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.strategies.base import Strategy
 from repro.platform.platform import Platform
 from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_nonnegative_int
 
 __all__ = ["OverlapResult", "simulate_with_bandwidth"]
 
@@ -86,7 +88,7 @@ def simulate_with_bandwidth(
     *,
     bandwidth: float,
     prefetch_tasks: int = 0,
-    worker_bandwidths=None,
+    worker_bandwidths: Optional[npt.ArrayLike] = None,
     rng: SeedLike = None,
 ) -> OverlapResult:
     """Run *strategy* under a finite master-uplink bandwidth.
@@ -108,8 +110,7 @@ def simulate_with_bandwidth(
     """
     if not (bandwidth > 0):
         raise ValueError(f"bandwidth must be positive (or inf), got {bandwidth}")
-    if prefetch_tasks < 0:
-        raise ValueError(f"prefetch_tasks must be >= 0, got {prefetch_tasks}")
+    prefetch_tasks = check_nonnegative_int("prefetch_tasks", prefetch_tasks)
     if worker_bandwidths is not None:
         worker_bandwidths = np.asarray(worker_bandwidths, dtype=float)
         if worker_bandwidths.shape != (platform.p,):

@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.utils.validation import check_positive_int
 
-__all__ = ["QrTaskType", "QrTask", "QrDag", "qr_task_counts"]
+__all__ = ["QrTaskType", "QrTask", "Tile", "QrDag", "qr_task_counts"]
 
 Tile = Tuple[int, int]
 
@@ -89,7 +89,7 @@ class QrDag:
 
     # -- construction ------------------------------------------------------
 
-    def _add(self, kind: QrTaskType, i: int, j: int, k: int, reads, writes, extra=()) -> None:
+    def _add(self, kind: QrTaskType, i: int, j: int, k: int, reads: Iterable[Tile], writes: Tile, extra: Iterable[Tile] = ()) -> None:
         self._index[(kind, i, j, k)] = len(self.tasks)
         self.tasks.append(
             QrTask(
@@ -123,7 +123,7 @@ class QrDag:
                         [(k, j)],
                     )
 
-    def _edge(self, src_key, dst_key) -> None:
+    def _edge(self, src_key: Tuple[QrTaskType, int, int, int], dst_key: Tuple[QrTaskType, int, int, int]) -> None:
         src = self._index[src_key]
         dst = self._index[dst_key]
         self.successors[src].append(dst)

@@ -20,7 +20,7 @@ per-row sign freedom of Householder QR.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
@@ -47,7 +47,7 @@ def replay_qr(
     a: np.ndarray,
     n: int,
     platform: Platform,
-    scheduler=None,
+    scheduler: Any = None,
     *,
     rng: SeedLike = None,
 ) -> QrReplay:

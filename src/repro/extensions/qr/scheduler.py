@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.extensions.dagsched.engine import (
     DagSchedulingResult,
     LocalityScheduler as _LocalityScheduler,
@@ -32,7 +34,7 @@ class LocalityScheduler(_LocalityScheduler):
 def simulate_qr(
     n: int,
     platform: Platform,
-    scheduler=None,
+    scheduler: Any = None,
     *,
     rng: SeedLike = None,
 ) -> DagSchedulingResult:

@@ -1,0 +1,44 @@
+"""repro.lint — AST-based invariant linter for the scheduler codebase.
+
+The paper's claims are statistical: they only reproduce when every
+randomized path is seeded through one :class:`numpy.random.Generator` and
+every simulation is deterministic given ``(config, seed)``.  This package
+turns those conventions — previously enforced by docstring and review — into
+machine-checked rules (see :mod:`repro.lint.rules`), with a CLI
+(``repro-lint`` / ``python -m repro.lint``) and pytest integration
+(``tests/lint/``) that run them over ``src/`` as part of tier 1.
+
+Programmatic use::
+
+    from repro.lint import collect_modules, default_rules, run_lint
+
+    findings = run_lint(collect_modules(["src/repro"]), default_rules())
+    assert not findings
+"""
+
+from repro.lint.framework import (
+    Finding,
+    LintError,
+    ModuleInfo,
+    Rule,
+    Severity,
+    collect_modules,
+    run_lint,
+)
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import ALL_RULES, default_rules, select_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintError",
+    "ModuleInfo",
+    "Rule",
+    "Severity",
+    "collect_modules",
+    "default_rules",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "select_rules",
+]

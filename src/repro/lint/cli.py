@@ -1,0 +1,98 @@
+"""Command-line entry point: ``repro-lint`` / ``python -m repro.lint``.
+
+Exit codes: 0 when the tree is clean, 1 when findings were reported, 2 for
+usage or I/O errors — mirroring the convention of grep-like tools so CI can
+distinguish "violations" from "the linter itself broke".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.framework import LintError, collect_modules, run_lint
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import ALL_RULES, select_rules
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant linter for the repro scheduler codebase: "
+            "RNG discipline, determinism, validation-at-boundary, registry "
+            "and __all__ contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE-ID",
+        help="run only these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE-ID",
+        help="skip these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for cls in ALL_RULES:
+        lines.append(f"{cls.id:14s} [{cls.severity}] {cls.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        rules = select_rules(select=args.select, ignore=args.ignore)
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    paths: List[Path] = [Path(p) for p in args.paths]
+    try:
+        modules = collect_modules(paths)
+        findings = run_lint(modules, rules)
+    except LintError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0

@@ -1,0 +1,74 @@
+"""The repo-specific rule set, and helpers to select subsets of it.
+
+Rule ids are stable identifiers used on the command line
+(``--select``/``--ignore``) and in suppression comments
+(``# repro: noqa[R-DET]``); renaming one is an API break.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Type
+
+from repro.lint.framework import Rule
+from repro.lint.rules.all_consistency import AllNamesExist, PublicNamesExported
+from repro.lint.rules.determinism import SimulatedClockOnly
+from repro.lint.rules.exceptions import NoBareExcept, NoSilentExcept
+from repro.lint.rules.float_equality import NoFloatEquality
+from repro.lint.rules.registry_contract import StrategyRegistryComplete
+from repro.lint.rules.rng_discipline import (
+    ForbiddenGlobalRng,
+    RandomizedFunctionTakesRng,
+)
+from repro.lint.rules.validation_boundary import ConstructorsValidateInputs
+
+__all__ = ["ALL_RULES", "default_rules", "rule_index", "select_rules"]
+
+#: Every rule class, in reporting-priority order.
+ALL_RULES: List[Type[Rule]] = [
+    ForbiddenGlobalRng,
+    RandomizedFunctionTakesRng,
+    SimulatedClockOnly,
+    NoFloatEquality,
+    ConstructorsValidateInputs,
+    StrategyRegistryComplete,
+    AllNamesExist,
+    PublicNamesExported,
+    NoBareExcept,
+    NoSilentExcept,
+]
+
+
+def rule_index() -> Dict[str, Type[Rule]]:
+    """Map rule id to rule class (``R-ALL-MISSING`` shares R-ALL-EXPORT)."""
+    return {cls.id: cls for cls in ALL_RULES}
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of the full rule set."""
+    return [cls() for cls in ALL_RULES]
+
+
+def select_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Rule]:
+    """Instantiate the rule set filtered by id.
+
+    *select* keeps only the named rules; *ignore* drops the named rules.
+    Unknown ids raise ``ValueError`` so typos fail loudly.
+    """
+    index = rule_index()
+    chosen = list(index)
+    if select is not None:
+        wanted = [s.upper() for s in select]
+        unknown = sorted(set(wanted) - set(index))
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+        chosen = [rid for rid in chosen if rid in wanted]
+    if ignore is not None:
+        dropped = [s.upper() for s in ignore]
+        unknown = sorted(set(dropped) - set(index))
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+        chosen = [rid for rid in chosen if rid not in dropped]
+    return [index[rid]() for rid in chosen]

@@ -1,0 +1,129 @@
+"""``__all__`` consistency rules (R-ALL-EXISTS, R-ALL-EXPORT, R-ALL-MISSING).
+
+The API-doc generator (``tools/gen_api_docs.py``), the public-surface test
+(``tests/test_api.py``) and star-import hygiene all key off ``__all__``.
+Three invariants keep it truthful:
+
+* every name listed in ``__all__`` is actually bound at module top level;
+* every public top-level definition is either listed or renamed with a
+  leading underscore (no accidental API);
+* every module with public definitions declares an ``__all__`` at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence, Set
+
+from repro.lint.framework import Finding, ModuleInfo, Rule, Severity
+from repro.lint.rules._common import public_toplevel_names, toplevel_all
+
+__all__ = ["AllNamesExist", "PublicNamesExported"]
+
+#: Module basenames exempt from ``__all__`` bookkeeping.
+_EXEMPT_BASENAMES = frozenset({"__main__", "conftest", "setup"})
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module top level, including inside top-level
+    ``if``/``try`` blocks (the optional-dependency import idiom)."""
+
+    names: Set[str] = set()
+
+    def visit(body: Sequence[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    names.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    names.add(alias.asname or alias.name)
+            elif isinstance(node, ast.If):
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit(node.body)
+                visit(node.orelse)
+                visit(node.finalbody)
+                for handler in node.handlers:
+                    visit(handler.body)
+
+    visit(tree.body)
+    return names
+
+
+def _exempt(module: ModuleInfo) -> bool:
+    return module.name_parts[-1] in _EXEMPT_BASENAMES
+
+
+class AllNamesExist(Rule):
+    """Every ``__all__`` entry resolves to a top-level binding."""
+
+    id = "R-ALL-EXISTS"
+    description = "names listed in __all__ must be defined or imported"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package("repro") or _exempt(module):
+            return
+        listed = toplevel_all(module.tree)
+        if listed is None:
+            return
+        bound = _bound_names(module.tree)
+        for name in listed:
+            if name not in bound:
+                yield self.finding(
+                    module,
+                    module.tree.body[0] if module.tree.body else module.tree,
+                    f"__all__ lists {name!r} but the module never binds it",
+                )
+
+
+class PublicNamesExported(Rule):
+    """Public definitions are listed in ``__all__`` (which must exist)."""
+
+    id = "R-ALL-EXPORT"
+    severity = Severity.WARNING
+    description = (
+        "public top-level definitions must appear in __all__ or be "
+        "underscore-private; modules with public defs must declare __all__"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package("repro") or _exempt(module):
+            return
+        public = public_toplevel_names(module.tree)
+        listed = toplevel_all(module.tree)
+        if listed is None:
+            if public:
+                yield Finding(
+                    rule_id="R-ALL-MISSING",
+                    severity=Severity.ERROR,
+                    path=str(module.path),
+                    line=1,
+                    col=0,
+                    message=(
+                        f"module defines {len(public)} public name(s) but "
+                        "declares no __all__"
+                    ),
+                )
+            return
+        for name, node in public:
+            if name not in listed:
+                yield self.finding(
+                    module,
+                    node,
+                    f"public name {name!r} is not in __all__; list it or "
+                    "rename with a leading underscore",
+                )

@@ -1,0 +1,84 @@
+"""Determinism rule (R-DET): simulated time only in the hot core.
+
+The simulator, the scheduling strategies and the task pools must be pure
+functions of ``(config, seed)``: the engine owns *simulated* time, and any
+leak of wall-clock time, OS entropy or process identity into those modules
+makes runs non-replayable and the paper's figures non-reproducible.
+Wall-clock timing is fine in the CLI and benchmark layers, which is why the
+rule is scoped to the deterministic core packages only.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import Finding, ModuleInfo, Rule
+from repro.lint.rules._common import attr_chain
+
+__all__ = ["SimulatedClockOnly"]
+
+#: Packages that must be deterministic given (config, seed).
+_DETERMINISTIC_PACKAGES = (
+    "repro.simulator",
+    "repro.core.strategies",
+    "repro.taskpool",
+)
+
+#: Dotted call targets that read wall-clock time or OS entropy.
+_FORBIDDEN_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "os.urandom",
+        "os.getpid",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+    }
+)
+
+#: Bare names (from-imports) with the same meaning.
+_FORBIDDEN_BARE = frozenset({"perf_counter", "monotonic", "urandom", "uuid4"})
+
+
+class SimulatedClockOnly(Rule):
+    """Ban wall-clock/entropy calls inside the deterministic core."""
+
+    id = "R-DET"
+    description = (
+        "simulator/strategy/taskpool modules must use simulated clocks; "
+        "wall-clock time and OS entropy are banned there"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package(*_DETERMINISTIC_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None:
+                continue
+            if chain in _FORBIDDEN_CALLS or (
+                "." not in chain and chain in _FORBIDDEN_BARE
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"call to {chain} in a deterministic module; the "
+                    "simulation clock is the engine's event time, not the "
+                    "wall clock",
+                )

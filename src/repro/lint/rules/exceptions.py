@@ -1,0 +1,65 @@
+"""Exception-handling rules (R-EXCEPT, R-SILENT).
+
+A bare ``except:`` catches ``KeyboardInterrupt``/``SystemExit`` and masks
+engine bugs as scheduling noise; a handler whose whole body is ``pass``
+swallows the evidence entirely.  In a statistics-producing codebase either
+one can quietly turn a crash into a wrong number, which is worse than the
+crash.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.lint.framework import Finding, ModuleInfo, Rule
+
+__all__ = ["NoBareExcept", "NoSilentExcept"]
+
+
+def _is_silent(body: Sequence[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            # Docstrings / ellipsis placeholders are still silent.
+            continue
+        return False
+    return True
+
+
+class NoBareExcept(Rule):
+    """Ban ``except:`` with no exception type."""
+
+    id = "R-EXCEPT"
+    description = "bare except: catches SystemExit/KeyboardInterrupt; name the exception"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package("repro"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare 'except:'; catch a specific exception type",
+                )
+
+
+class NoSilentExcept(Rule):
+    """Ban handlers that swallow exceptions with a bare ``pass`` body."""
+
+    id = "R-SILENT"
+    description = "except handlers must not silently pass; log, re-raise or handle"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package("repro"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and _is_silent(node.body):
+                yield self.finding(
+                    module,
+                    node,
+                    "exception handler silently passes; handle the error "
+                    "or let it propagate",
+                )

@@ -1,0 +1,71 @@
+"""Float-equality rule (R-FLOATEQ): no ``==``/``!=`` on float expressions.
+
+The analysis layer integrates ODEs and evaluates closed-form ratios; exact
+equality between floating-point expressions there is almost always a latent
+bug (the β-threshold comparisons in particular must be tolerance-based, or
+the "constant factor of the lower bound" claim flips on rounding noise).
+The rule is heuristic — static analysis cannot fully type expressions — and
+flags ``==``/``!=`` comparisons in which either operand *syntactically*
+involves a float: a float literal, a ``float(...)`` call, or a division.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import Finding, ModuleInfo, Rule
+from repro.lint.rules._common import attr_chain
+
+__all__ = ["NoFloatEquality"]
+
+#: Packages where exact float comparison is treated as an error.
+_NUMERIC_PACKAGES = ("repro.core.analysis", "repro.extensions")
+
+#: Call targets that always produce floats.
+_FLOAT_CALLS = frozenset(
+    {"float", "math.sqrt", "math.exp", "math.log", "np.sqrt", "numpy.sqrt"}
+)
+
+
+def _is_floaty(node: ast.expr) -> bool:
+    """Heuristic: does this expression syntactically involve a float?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return True
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return True
+        if isinstance(sub, ast.Call):
+            chain = attr_chain(sub.func)
+            if chain in _FLOAT_CALLS:
+                return True
+    return False
+
+
+class NoFloatEquality(Rule):
+    """Flag exact equality between float-valued expressions."""
+
+    id = "R-FLOATEQ"
+    description = (
+        "analysis/extension code must not compare floats with ==/!=; use "
+        "math.isclose or an explicit tolerance"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package(*_NUMERIC_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floaty(left) or _is_floaty(right):
+                    yield self.finding(
+                        module,
+                        node,
+                        "exact ==/!= on a float-valued expression; use "
+                        "math.isclose or an explicit tolerance",
+                    )
+                    break

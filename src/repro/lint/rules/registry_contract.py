@@ -1,0 +1,140 @@
+"""Registry contract rule (R-REGISTRY).
+
+Experiments, benchmarks and the CLI construct strategies by paper name via
+``repro.core.strategies.registry.STRATEGIES``; the package ``__init__``
+re-exports every class for direct use.  A strategy that subclasses
+:class:`~repro.core.strategies.base.Strategy` but is missing from either
+place silently disappears from name-driven sweeps — exactly the kind of
+drift that made the original figures hard to regenerate.  This is a
+cross-file contract, so the rule runs at package granularity.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.lint.framework import Finding, ModuleInfo, Rule
+from repro.lint.rules._common import toplevel_all
+
+__all__ = ["StrategyRegistryComplete"]
+
+_PACKAGE = "repro.core.strategies"
+_ROOT_CLASS = "Strategy"
+
+
+def _class_defs(module: ModuleInfo) -> List[Tuple[str, List[str], ast.ClassDef]]:
+    """Top-level classes as ``(name, base_names, node)`` triples."""
+    out: List[Tuple[str, List[str], ast.ClassDef]] = []
+    for node in module.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases: List[str] = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                bases.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                bases.append(base.attr)
+        out.append((node.name, bases, node))
+    return out
+
+
+def _registered_names(registry: ModuleInfo) -> Set[str]:
+    """Every class name referenced inside the ``STRATEGIES`` assignment."""
+    names: Set[str] = set()
+    for node in registry.tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "STRATEGIES" for t in targets
+        ):
+            continue
+        if node.value is None:
+            continue
+        for sub in ast.walk(node.value):
+            if isinstance(sub, ast.Name):
+                names.add(sub.id)
+    return names
+
+
+class StrategyRegistryComplete(Rule):
+    """Every concrete Strategy subclass is registered and re-exported."""
+
+    id = "R-REGISTRY"
+    description = (
+        "Strategy subclasses in core/strategies must appear in "
+        "registry.STRATEGIES and the package __all__"
+    )
+
+    def check_package(self, modules: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        package = [m for m in modules if m.in_package(_PACKAGE)]
+        if not package:
+            return
+        registry = next(
+            (m for m in package if m.name == f"{_PACKAGE}.registry"), None
+        )
+        init = next((m for m in package if m.name == _PACKAGE), None)
+        if registry is None or init is None:
+            # Partial scan (e.g. a single file): the contract is undecidable.
+            return
+
+        # Transitive subclasses of Strategy across the package.
+        bases_of: Dict[str, List[str]] = {}
+        node_of: Dict[str, Tuple[ModuleInfo, ast.ClassDef]] = {}
+        for module in package:
+            for name, bases, node in _class_defs(module):
+                bases_of[name] = bases
+                node_of[name] = (module, node)
+
+        subclasses: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in bases_of.items():
+                if name in subclasses or name == _ROOT_CLASS:
+                    continue
+                if any(b == _ROOT_CLASS or b in subclasses for b in bases):
+                    subclasses.add(name)
+                    changed = True
+
+        registered = _registered_names(registry)
+        exported = set(toplevel_all(init.tree) or ())
+
+        for name in sorted(subclasses):
+            module, node = node_of[name]
+            if name.startswith("_"):
+                continue
+            # Abstract intermediates (explicit ABC/abstractmethod) are
+            # infrastructure, not schedulable strategies.
+            if _is_abstract(node):
+                continue
+            if name not in registered:
+                yield self.finding(
+                    module,
+                    node,
+                    f"strategy class {name} is not registered in "
+                    f"{_PACKAGE}.registry.STRATEGIES",
+                )
+            if name not in exported:
+                yield self.finding(
+                    module,
+                    node,
+                    f"strategy class {name} is not exported via "
+                    f"{_PACKAGE}.__all__",
+                )
+
+
+def _is_abstract(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        if isinstance(base, ast.Name) and base.id == "ABC":
+            return True
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for deco in sub.decorator_list:
+                name = deco.attr if isinstance(deco, ast.Attribute) else getattr(
+                    deco, "id", None
+                )
+                if name in ("abstractmethod", "abstractproperty"):
+                    return True
+    return False

@@ -1,0 +1,150 @@
+"""RNG discipline rules (R-RNG, R-RNG-PARAM).
+
+The paper's statistical claims (normalized makespan distributions, the
+two-phase β threshold) only reproduce when every random draw flows from one
+:class:`numpy.random.Generator` seeded at the top of a run.  Global RNG
+state (``np.random.seed``, the legacy ``np.random.*`` sampling functions,
+the stdlib ``random`` module) breaks that: draws become order-dependent and
+cross-test contamination silently changes the statistics.  The only module
+allowed to construct generators is :mod:`repro.utils.rng`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import Finding, ModuleInfo, Rule
+from repro.lint.rules._common import attr_chain, iter_functions, param_names
+
+__all__ = ["ForbiddenGlobalRng", "RandomizedFunctionTakesRng"]
+
+#: The one module allowed to touch ``np.random`` constructors directly.
+_RNG_MODULE = "repro.utils.rng"
+
+#: ``np.random`` attributes that create or mutate global/ad-hoc RNG state.
+_FORBIDDEN_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "exponential",
+        "poisson",
+        "get_state",
+        "set_state",
+    }
+)
+
+#: Parameter names that mark a function as explicitly seedable.
+_SEED_PARAMS = frozenset({"rng", "seed", "rngs", "seeds"})
+
+
+class ForbiddenGlobalRng(Rule):
+    """Ban global/ad-hoc NumPy RNG state and the stdlib ``random`` module."""
+
+    id = "R-RNG"
+    description = (
+        "only repro.utils.rng may construct numpy generators; the stdlib "
+        "random module and legacy np.random.* functions are banned"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.name == _RNG_MODULE or not module.in_package("repro"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "random":
+                        yield self.finding(
+                            module,
+                            node,
+                            "stdlib 'random' is banned; thread a "
+                            "numpy.random.Generator via repro.utils.rng",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None:
+                    continue
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        module,
+                        node,
+                        "stdlib 'random' is banned; thread a "
+                        "numpy.random.Generator via repro.utils.rng",
+                    )
+                elif node.module in ("numpy.random", "np.random"):
+                    for alias in node.names:
+                        if alias.name in _FORBIDDEN_NP_RANDOM:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"importing numpy.random.{alias.name} is "
+                                "banned outside repro.utils.rng; accept a "
+                                "rng/seed parameter instead",
+                            )
+            elif isinstance(node, ast.Attribute):
+                chain = attr_chain(node)
+                if chain is None:
+                    continue
+                parts = chain.split(".")
+                if (
+                    len(parts) == 3
+                    and parts[0] in ("np", "numpy")
+                    and parts[1] == "random"
+                    and parts[2] in _FORBIDDEN_NP_RANDOM
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{chain} is banned outside repro.utils.rng; "
+                        "accept a rng/seed parameter and use "
+                        "repro.utils.rng.as_generator",
+                    )
+
+
+class RandomizedFunctionTakesRng(Rule):
+    """Randomized functions must expose a ``rng``/``seed`` parameter.
+
+    A function that coerces a generator via
+    :func:`repro.utils.rng.as_generator` is by definition randomized; if it
+    does not accept the generator (or a seed) from its caller, the draw
+    cannot be reproduced from the experiment config.
+    """
+
+    id = "R-RNG-PARAM"
+    description = (
+        "functions calling as_generator must accept a rng/seed parameter"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.name == _RNG_MODULE or not module.in_package("repro"):
+            return
+        for func, _owner in iter_functions(module.tree):
+            params = set(param_names(func))
+            if params & _SEED_PARAMS:
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = attr_chain(node.func)
+                if chain is not None and chain.split(".")[-1] == "as_generator":
+                    yield self.finding(
+                        module,
+                        node,
+                        f"'{func.name}' calls as_generator but takes no "
+                        "rng/seed parameter; callers cannot reproduce its "
+                        "draws",
+                    )
+                    break

@@ -1,0 +1,95 @@
+"""Validation-at-boundary rule (R-VALIDATE).
+
+The simulator is driven by user-supplied sizes, speeds and fractions, and
+the repo's convention (see :mod:`repro.utils.validation`) is that *public
+constructors validate their numeric inputs* so misuse fails loudly at the
+boundary rather than corrupting a long simulation.  This rule flags public
+``__init__`` methods that accept size/speed/fraction-like parameters but
+contain no validation at all — no ``check_*`` helper call, no explicit
+``raise``, and no delegation to ``super().__init__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import Finding, ModuleInfo, Rule
+from repro.lint.rules._common import attr_chain, iter_functions, param_names
+
+__all__ = ["ConstructorsValidateInputs"]
+
+#: Parameter names that denote sizes, speeds or fractions.
+_WATCHED_PARAMS = frozenset(
+    {
+        "n",
+        "p",
+        "size",
+        "speeds",
+        "speed",
+        "beta",
+        "fraction",
+        "phase1_fraction",
+        "n_tasks",
+        "prefetch_tasks",
+        "reps",
+        "capacity",
+    }
+)
+
+
+def _validates(func: ast.AST) -> bool:
+    """Does this function body contain any recognizable validation?"""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Assert):
+            return True
+        if isinstance(node, ast.Call):
+            chain = attr_chain(node.func)
+            if chain is None:
+                # ``super().__init__(...)`` delegates validation upward.
+                inner = node.func
+                if (
+                    isinstance(inner, ast.Attribute)
+                    and inner.attr == "__init__"
+                    and isinstance(inner.value, ast.Call)
+                    and attr_chain(inner.value.func) == "super"
+                ):
+                    return True
+                continue
+            leaf = chain.split(".")[-1]
+            if leaf.startswith("check_"):
+                return True
+    return False
+
+
+class ConstructorsValidateInputs(Rule):
+    """Public constructors taking numeric config must validate it."""
+
+    id = "R-VALIDATE"
+    description = (
+        "public __init__ methods taking size/speed/fraction parameters must "
+        "validate them (repro.utils.validation helpers or an explicit raise)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package("repro") or module.in_package("repro.lint"):
+            return
+        for func, owner in iter_functions(module.tree):
+            if func.name != "__init__" or owner is None:
+                continue
+            if owner.name.startswith("_"):
+                continue
+            watched = sorted(set(param_names(func)) & _WATCHED_PARAMS)
+            if not watched:
+                continue
+            if _validates(func):
+                continue
+            yield self.finding(
+                module,
+                func,
+                f"{owner.name}.__init__ takes {', '.join(watched)} but "
+                "performs no validation; use repro.utils.validation "
+                "checkers at the boundary",
+            )

@@ -18,7 +18,7 @@ bounds the static optimum.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -128,7 +128,7 @@ def partition_cube(volumes: Sequence[float]) -> CuboidPartition:
     return best
 
 
-def _greedy_contiguous_groups(sorted_rel: np.ndarray, n_groups: int):
+def _greedy_contiguous_groups(sorted_rel: np.ndarray, n_groups: int) -> Optional[List[Tuple[int, int]]]:
     """Split the sorted sequence into contiguous groups of ~equal mass.
 
     Returns ``None`` when a group would be empty (more groups than items).

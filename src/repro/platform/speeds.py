@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.platform.platform import Platform
 from repro.utils.rng import SeedLike, as_generator
-from repro.utils.validation import check_positive, check_positive_int
+from repro.utils.validation import check_nonnegative_int, check_positive, check_positive_int
 
 __all__ = [
     "uniform_speeds",
@@ -115,8 +115,7 @@ class StaticSpeedModel(SpeedModel):
     def duration(self, worker: int, n_tasks: int) -> float:
         if self._speeds is None:
             raise RuntimeError("speed model used before reset()")
-        if n_tasks < 0:
-            raise ValueError(f"n_tasks must be >= 0, got {n_tasks}")
+        n_tasks = check_nonnegative_int("n_tasks", n_tasks)
         return n_tasks / float(self._speeds[worker])
 
     def current_speed(self, worker: int) -> float:
@@ -149,8 +148,7 @@ class DynamicSpeedModel(SpeedModel):
     def duration(self, worker: int, n_tasks: int) -> float:
         if self._speeds is None or self._rng is None:
             raise RuntimeError("speed model used before reset()")
-        if n_tasks < 0:
-            raise ValueError(f"n_tasks must be >= 0, got {n_tasks}")
+        n_tasks = check_nonnegative_int("n_tasks", n_tasks)
         if n_tasks == 0:
             return 0.0
         s0 = self._speeds[worker]

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import heapq
 import math
+
+from repro.utils.validation import check_nonnegative_int
 from typing import List, Tuple
 
 __all__ = ["EventQueue"]
@@ -35,8 +37,7 @@ class EventQueue:
         """Schedule *worker* to request work at *time*."""
         if not math.isfinite(time) or time < 0:
             raise ValueError(f"event time must be finite and >= 0, got {time}")
-        if worker < 0:
-            raise ValueError(f"worker id must be >= 0, got {worker}")
+        check_nonnegative_int("worker id", worker)
         heapq.heappush(self._heap, (time, self._seq, worker))
         self._seq += 1
 

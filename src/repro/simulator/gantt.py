@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.simulator.results import SimulationResult
 
-__all__ = ["worker_intervals", "utilization", "ascii_gantt"]
+__all__ = ["Interval", "worker_intervals", "utilization", "ascii_gantt"]
 
 Interval = Tuple[float, float, int]  # (start, end, phase)
 

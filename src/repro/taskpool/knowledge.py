@@ -111,6 +111,7 @@ class VectorKnowledge:
     __slots__ = ("a", "b")
 
     def __init__(self, n: int) -> None:
+        n = check_positive_int("n", n)
         self.a = IndexKnowledge(n)
         self.b = IndexKnowledge(n)
 
@@ -130,6 +131,7 @@ class CubeKnowledge:
     __slots__ = ("i", "j", "k")
 
     def __init__(self, n: int) -> None:
+        n = check_positive_int("n", n)
         self.i = IndexKnowledge(n)
         self.j = IndexKnowledge(n)
         self.k = IndexKnowledge(n)
@@ -153,7 +155,7 @@ class BlockCache:
 
     __slots__ = ("_have", "_count")
 
-    def __init__(self, shape) -> None:
+    def __init__(self, shape: "int | Tuple[int, ...]") -> None:
         if isinstance(shape, (int, np.integer)):
             shape = (int(shape),)
         shape = tuple(int(s) for s in shape)

@@ -9,7 +9,7 @@ are statistically independent rather than consecutively seeded.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import List, Union
 
 import numpy as np
 
@@ -30,12 +30,16 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed: SeedLike, n: int) -> Sequence[np.random.Generator]:
+def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
     """Derive *n* independent generators from a single seed.
 
     Used by the experiment runner to give each repetition of a simulation its
     own stream while remaining reproducible from one top-level seed.
+    Returns a concrete ``list`` so callers can index, slice and ``len()`` it.
     """
+    if isinstance(n, bool) or not isinstance(n, (int, np.integer)):
+        raise TypeError(f"n must be an integer, got {type(n).__name__}")
+    n = int(n)
     if n < 0:
         raise ValueError(f"cannot spawn a negative number of RNGs (got {n})")
     if isinstance(seed, np.random.Generator):

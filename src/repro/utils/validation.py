@@ -12,8 +12,11 @@ import numpy as np
 
 __all__ = [
     "check_positive_int",
+    "check_nonnegative_int",
     "check_positive",
+    "check_nonnegative",
     "check_fraction",
+    "check_probability",
     "check_speeds",
 ]
 
@@ -39,6 +42,27 @@ def check_positive(name: str, value: object) -> float:
     return value
 
 
+def check_nonnegative_int(name: str, value: object) -> int:
+    """Validate that *value* is an integer ``>= 0`` and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_nonnegative(name: str, value: object) -> float:
+    """Validate that *value* is a finite real ``>= 0`` and return it as ``float``."""
+    try:
+        value = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a real number") from exc
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be >= 0 and finite, got {value}")
+    return value
+
+
 def check_fraction(name: str, value: object, *, inclusive: bool = True) -> float:
     """Validate that *value* lies in ``[0, 1]`` (or ``(0, 1)`` if not inclusive)."""
     try:
@@ -53,6 +77,16 @@ def check_fraction(name: str, value: object, *, inclusive: bool = True) -> float
         bounds = "[0, 1]" if inclusive else "(0, 1)"
         raise ValueError(f"{name} must lie in {bounds}, got {value}")
     return value
+
+
+def check_probability(name: str, value: object) -> float:
+    """Validate that *value* is a probability in ``[0, 1]``.
+
+    Alias of :func:`check_fraction` with inclusive bounds, named for call
+    sites where the quantity semantically *is* a probability (acceptance
+    ratios, phase-switch thresholds) rather than a generic fraction.
+    """
+    return check_fraction(name, value, inclusive=True)
 
 
 def check_speeds(speeds: object) -> np.ndarray:

@@ -1,0 +1,21 @@
+"""Shared helpers for the linter's own test suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import collect_modules, default_rules, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+@pytest.fixture
+def lint_fixture():
+    """Run the full default rule set over one fixture tree by name."""
+
+    def run(name):
+        modules = collect_modules([FIXTURES / name])
+        return run_lint(modules, default_rules())
+
+    return run

@@ -1,0 +1,5 @@
+"""Fixture: public defs but no __all__ at all (R-ALL-MISSING)."""
+
+
+def orphan(rng=None):
+    return 3

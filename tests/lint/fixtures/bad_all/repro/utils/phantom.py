@@ -1,0 +1,7 @@
+"""Fixture: __all__ lists a name the module never binds (R-ALL-EXISTS)."""
+
+__all__ = ["exists", "phantom"]
+
+
+def exists(rng=None):
+    return 1

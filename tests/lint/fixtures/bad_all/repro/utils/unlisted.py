@@ -1,0 +1,11 @@
+"""Fixture: public def missing from __all__ (R-ALL-EXPORT)."""
+
+__all__ = ["listed"]
+
+
+def listed(rng=None):
+    return 1
+
+
+def unlisted(rng=None):
+    return 2

@@ -1,0 +1,14 @@
+"""Fixture: wall-clock and OS entropy in the deterministic core (R-DET)."""
+
+import os
+import time
+from datetime import datetime
+
+__all__ = ["stamp"]
+
+
+def stamp(rng=None):
+    started = time.time()
+    label = datetime.now()
+    token = os.urandom(8)
+    return started, label, token

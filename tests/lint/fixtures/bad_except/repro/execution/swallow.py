@@ -1,0 +1,17 @@
+"""Fixture: bare and silent exception handlers (R-EXCEPT, R-SILENT)."""
+
+__all__ = ["swallow", "quiet"]
+
+
+def swallow(fn, rng=None):
+    try:
+        return fn()
+    except:
+        pass
+
+
+def quiet(fn, rng=None):
+    try:
+        return fn()
+    except ValueError:
+        pass

@@ -1,0 +1,11 @@
+"""Fixture: exact float equality in analysis code (R-FLOATEQ)."""
+
+__all__ = ["converged", "ratio_is_unit"]
+
+
+def converged(x, rng=None):
+    return x == 1.0
+
+
+def ratio_is_unit(a, b, rng=None):
+    return a / b != 1

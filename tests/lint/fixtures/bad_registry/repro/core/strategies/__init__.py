@@ -1,0 +1,6 @@
+"""Fixture package init: RogueStrategy missing from __all__."""
+
+from repro.core.strategies.base import Strategy
+from repro.core.strategies.registry import STRATEGIES
+
+__all__ = ["STRATEGIES", "Strategy"]

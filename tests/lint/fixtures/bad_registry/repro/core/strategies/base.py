@@ -1,0 +1,7 @@
+"""Fixture base module: the Strategy root class."""
+
+__all__ = ["Strategy"]
+
+
+class Strategy:
+    name = "abstract"

@@ -1,0 +1,5 @@
+"""Fixture registry: empty STRATEGIES mapping."""
+
+__all__ = ["STRATEGIES"]
+
+STRATEGIES = {}

@@ -1,0 +1,9 @@
+"""Fixture: a concrete Strategy subclass nobody registered (R-REGISTRY)."""
+
+from repro.core.strategies.base import Strategy
+
+__all__ = ["RogueStrategy"]
+
+
+class RogueStrategy(Strategy):
+    name = "Rogue"

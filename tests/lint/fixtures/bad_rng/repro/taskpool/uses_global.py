@@ -1,0 +1,13 @@
+"""Fixture: global RNG state in a core module (R-RNG)."""
+
+import random
+
+import numpy as np
+
+__all__ = ["draw"]
+
+
+def draw(n, rng=None):
+    np.random.seed(0)
+    jitter = random.random()
+    return np.random.rand(n) + jitter

@@ -1,0 +1,10 @@
+"""Fixture: randomized function without a rng/seed parameter (R-RNG-PARAM)."""
+
+from repro.utils.rng import as_generator
+
+__all__ = ["draw_speeds"]
+
+
+def draw_speeds(p):
+    gen = as_generator(1234)
+    return gen.uniform(size=p)

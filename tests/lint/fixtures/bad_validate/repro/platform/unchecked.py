@@ -1,0 +1,9 @@
+"""Fixture: public constructor with unvalidated numeric config (R-VALIDATE)."""
+
+__all__ = ["Widget"]
+
+
+class Widget:
+    def __init__(self, n, beta):
+        self.n = n
+        self.beta = beta

@@ -1,0 +1,13 @@
+"""Fixture: violations silenced with repro: noqa comments."""
+
+import time
+
+__all__ = ["stamp", "stamp_any"]
+
+
+def stamp(rng=None):
+    return time.time()  # repro: noqa[R-DET]
+
+
+def stamp_any(rng=None):
+    return time.perf_counter()  # repro: noqa

@@ -1,0 +1,98 @@
+"""The repro-lint CLI: exit codes, reporters, rule selection."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.reporters import JSON_SCHEMA_VERSION
+
+HERE = Path(__file__).parent
+ROOT = HERE.resolve().parents[1]
+FIXTURES = HERE / "fixtures"
+
+
+def run_cli(*args):
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=str(ROOT),
+        timeout=120,
+        env=env,
+    )
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self):
+        proc = run_cli(str(ROOT / "src" / "repro"))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_fixture_violations_exit_one(self):
+        proc = run_cli(str(FIXTURES / "bad_det"))
+        assert proc.returncode == 1
+        assert "R-DET" in proc.stdout
+
+    def test_bad_path_exits_two(self):
+        proc = run_cli(str(FIXTURES / "no_such_dir"))
+        assert proc.returncode == 2
+        assert "repro-lint" in proc.stderr
+
+    def test_unknown_rule_id_exits_two(self):
+        proc = run_cli("--select", "R-NOPE", str(FIXTURES / "bad_det"))
+        assert proc.returncode == 2
+
+
+class TestReporters:
+    def test_text_report_lines_are_grep_friendly(self):
+        proc = run_cli(str(FIXTURES / "bad_except"))
+        lines = proc.stdout.strip().splitlines()
+        assert any(":" in line and "R-SILENT" in line for line in lines)
+        assert lines[-1].startswith("repro-lint:")
+
+    def test_json_report_schema(self):
+        proc = run_cli("--format", "json", str(FIXTURES / "bad_det"))
+        doc = json.loads(proc.stdout)
+        assert doc["version"] == JSON_SCHEMA_VERSION
+        assert doc["counts"].get("error", 0) >= 1
+        assert doc["findings"], "expected findings on the fixture tree"
+        for finding in doc["findings"]:
+            assert set(finding) == {
+                "rule",
+                "severity",
+                "path",
+                "line",
+                "col",
+                "message",
+            }
+
+    def test_json_on_clean_tree(self):
+        proc = run_cli("--format", "json", str(ROOT / "src" / "repro" / "lint"))
+        doc = json.loads(proc.stdout)
+        assert doc["findings"] == []
+        assert proc.returncode == 0
+
+
+class TestSelection:
+    def test_select_limits_rules(self):
+        proc = run_cli("--select", "R-EXCEPT", str(FIXTURES / "bad_except"))
+        assert proc.returncode == 1
+        assert "R-EXCEPT" in proc.stdout
+        assert "R-SILENT" not in proc.stdout
+
+    def test_ignore_drops_rules(self):
+        proc = run_cli(
+            "--ignore", "R-EXCEPT", "--ignore", "R-SILENT", str(FIXTURES / "bad_except")
+        )
+        assert proc.returncode == 0
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in ("R-RNG", "R-DET", "R-FLOATEQ", "R-VALIDATE", "R-REGISTRY"):
+            assert rule_id in proc.stdout

@@ -1,0 +1,101 @@
+"""Every rule fires on its fixture tree, and only where expected."""
+
+
+def ids(findings):
+    return {f.rule_id for f in findings}
+
+
+class TestRngDiscipline:
+    def test_global_rng_flagged(self, lint_fixture):
+        findings = [f for f in lint_fixture("bad_rng") if f.rule_id == "R-RNG"]
+        assert len(findings) >= 3  # import random, np.random.seed, np.random.rand
+        messages = " ".join(f.message for f in findings)
+        assert "random" in messages
+        assert all(f.severity == "error" for f in findings)
+
+    def test_randomized_function_needs_rng_param(self, lint_fixture):
+        findings = [
+            f for f in lint_fixture("bad_rng_param") if f.rule_id == "R-RNG-PARAM"
+        ]
+        assert len(findings) == 1
+        assert "draw_speeds" in findings[0].message
+
+    def test_positions_are_plausible(self, lint_fixture):
+        for f in lint_fixture("bad_rng"):
+            assert f.line >= 1
+            assert f.col >= 0
+            assert f.path.endswith("uses_global.py")
+
+
+class TestDeterminism:
+    def test_wall_clock_flagged(self, lint_fixture):
+        findings = [f for f in lint_fixture("bad_det") if f.rule_id == "R-DET"]
+        flagged = {f.message.split()[2] for f in findings}
+        assert "time.time" in flagged
+        assert "datetime.now" in flagged
+        assert "os.urandom" in flagged
+
+
+class TestFloatEquality:
+    def test_float_literal_comparison_flagged(self, lint_fixture):
+        findings = [
+            f for f in lint_fixture("bad_floateq") if f.rule_id == "R-FLOATEQ"
+        ]
+        assert len(findings) == 2  # == 1.0 and a/b != 1
+
+
+class TestValidationBoundary:
+    def test_unvalidated_constructor_flagged(self, lint_fixture):
+        findings = [
+            f for f in lint_fixture("bad_validate") if f.rule_id == "R-VALIDATE"
+        ]
+        assert len(findings) == 1
+        assert "Widget.__init__" in findings[0].message
+        assert "beta" in findings[0].message
+
+
+class TestRegistryContract:
+    def test_unregistered_strategy_flagged(self, lint_fixture):
+        findings = lint_fixture("bad_registry")
+        assert ids(findings) == {"R-REGISTRY"}
+        assert len(findings) == 2  # missing from STRATEGIES and from __all__
+        assert all("RogueStrategy" in f.message for f in findings)
+
+
+class TestAllConsistency:
+    def test_phantom_name_flagged(self, lint_fixture):
+        findings = lint_fixture("bad_all")
+        by_id = {f.rule_id: f for f in findings}
+        assert "R-ALL-EXISTS" in by_id
+        assert "phantom" in by_id["R-ALL-EXISTS"].message
+
+    def test_unlisted_public_def_is_warning(self, lint_fixture):
+        findings = [
+            f for f in lint_fixture("bad_all") if f.rule_id == "R-ALL-EXPORT"
+        ]
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+        assert "unlisted" in findings[0].message
+
+    def test_missing_all_flagged(self, lint_fixture):
+        findings = [
+            f for f in lint_fixture("bad_all") if f.rule_id == "R-ALL-MISSING"
+        ]
+        assert len(findings) == 1
+        assert findings[0].path.endswith("noall.py")
+        assert findings[0].severity == "error"
+
+
+class TestExceptions:
+    def test_bare_except_flagged(self, lint_fixture):
+        findings = [f for f in lint_fixture("bad_except") if f.rule_id == "R-EXCEPT"]
+        assert len(findings) == 1
+
+    def test_silent_handlers_flagged(self, lint_fixture):
+        findings = [f for f in lint_fixture("bad_except") if f.rule_id == "R-SILENT"]
+        assert len(findings) == 2
+
+
+class TestSuppression:
+    def test_noqa_comments_silence_findings(self, lint_fixture):
+        assert lint_fixture("suppressed") == []

@@ -1,0 +1,39 @@
+"""Tier-1 gate: the shipped source tree passes its own linter.
+
+This is the pytest integration the tentpole asks for — any commit that
+introduces a global RNG call, a wall-clock read in the simulator, an
+unvalidated constructor or an ``__all__`` drift fails the test suite, not
+just an optional CI step.
+"""
+
+from pathlib import Path
+
+from repro.lint import collect_modules, default_rules, run_lint
+
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_source_tree_is_lint_clean():
+    modules = collect_modules([SRC_REPRO])
+    findings = run_lint(modules, default_rules())
+    rendered = "\n".join(f.render() for f in findings)
+    assert not findings, f"src/repro has lint findings:\n{rendered}"
+
+
+def test_source_tree_scan_covers_the_whole_package():
+    modules = collect_modules([SRC_REPRO])
+    names = {m.name for m in modules}
+    # Spot-check every layer the rules are scoped to.
+    for expected in (
+        "repro",
+        "repro.simulator.engine",
+        "repro.core.strategies.registry",
+        "repro.taskpool.knowledge",
+        "repro.core.analysis.ode",
+        "repro.experiments.runner",
+        "repro.execution.live",
+        "repro.extensions.lu.scheduler",
+        "repro.lint.framework",
+    ):
+        assert expected in names, f"{expected} missing from the scan"
+    assert len(modules) > 60

@@ -1,0 +1,44 @@
+"""The strict-typing gate: ``mypy --strict src/repro`` must pass.
+
+The mypy configuration (including the checked-in per-module ignore
+baseline) lives in ``pyproject.toml``.  The test skips when mypy is not
+installed — the dev container ships without it — but runs the real gate
+wherever the ``dev`` extra is available (CI installs it).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_mypy_strict_passes():
+    pytest.importorskip("mypy", reason="mypy not installed (pip install -e .[dev])")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", str(ROOT / "src" / "repro")],
+        capture_output=True,
+        text=True,
+        cwd=str(ROOT),
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_ignore_baseline_is_bounded():
+    """The per-module ignore baseline may not silently grow past 5 modules."""
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python < 3.11
+        pytest.skip("tomllib unavailable")
+    config = tomllib.loads((ROOT / "pyproject.toml").read_text())
+    overrides = config.get("tool", {}).get("mypy", {}).get("overrides", [])
+    modules = []
+    for entry in overrides:
+        if not entry.get("ignore_errors", False):
+            continue
+        mod = entry.get("module", [])
+        modules.extend([mod] if isinstance(mod, str) else list(mod))
+    assert len(modules) <= 5, f"mypy ignore baseline grew to {modules}"

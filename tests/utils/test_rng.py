@@ -61,3 +61,36 @@ class TestSpawnRngs:
     def test_spawn_from_seed_sequence(self):
         rngs = spawn_rngs(np.random.SeedSequence(5), 4)
         assert len(rngs) == 4
+
+
+class TestSpawnRngsContract:
+    """PR 1 hardening: concrete list return, TypeError on non-int n."""
+
+    def test_returns_concrete_list(self):
+        out = spawn_rngs(0, 3)
+        assert type(out) is list
+        assert all(isinstance(g, np.random.Generator) for g in out)
+
+    def test_list_is_indexable_and_sliceable(self):
+        out = spawn_rngs(1, 4)
+        assert isinstance(out[1:3], list)
+        assert len(out[1:3]) == 2
+
+    def test_rejects_float_n(self):
+        with pytest.raises(TypeError, match="integer"):
+            spawn_rngs(0, 2.0)
+
+    def test_rejects_bool_n(self):
+        with pytest.raises(TypeError, match="integer"):
+            spawn_rngs(0, True)
+
+    def test_rejects_none_n(self):
+        with pytest.raises(TypeError):
+            spawn_rngs(0, None)
+
+    def test_accepts_numpy_int_n(self):
+        assert len(spawn_rngs(0, np.int64(2))) == 2
+
+    def test_negative_still_value_error(self):
+        with pytest.raises(ValueError, match="negative"):
+            spawn_rngs(0, -3)

@@ -5,8 +5,11 @@ import pytest
 
 from repro.utils.validation import (
     check_fraction,
+    check_nonnegative,
+    check_nonnegative_int,
     check_positive,
     check_positive_int,
+    check_probability,
     check_speeds,
 )
 
@@ -126,3 +129,71 @@ class TestCheckSpeeds:
     def test_rejects_inf(self):
         with pytest.raises(ValueError, match="finite"):
             check_speeds([np.inf])
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0) == 0.0
+
+    def test_accepts_positive(self):
+        assert check_nonnegative("x", 2.5) == 2.5
+
+    def test_returns_float(self):
+        assert isinstance(check_nonnegative("x", 3), float)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_nonnegative("x", -0.1)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", float("nan"))
+        with pytest.raises(ValueError):
+            check_nonnegative("x", float("inf"))
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_nonnegative("x", "fast")
+
+    def test_error_mentions_name(self):
+        with pytest.raises(ValueError, match="myparam"):
+            check_nonnegative("myparam", -1)
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int("x", 0) == 0
+
+    def test_accepts_numpy_int(self):
+        assert check_nonnegative_int("x", np.int64(4)) == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_nonnegative_int("x", -1)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError, match="integer"):
+            check_nonnegative_int("x", 1.0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_nonnegative_int("x", False)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability("p", 0) == 0.0
+        assert check_probability("p", 1) == 1.0
+
+    def test_accepts_interior(self):
+        assert check_probability("p", 0.25) == 0.25
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+        with pytest.raises(ValueError):
+            check_probability("p", -0.5)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_probability("p", object())

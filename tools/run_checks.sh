@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# One-shot local gate: tier-1 tests, the invariant linter, and (when
+# installed) the strict typing gate — the same three jobs CI runs.
+#
+#   ./tools/run_checks.sh
+#
+# Exits non-zero on the first failing check.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+failures=0
+
+run() {
+    echo
+    echo "== $*"
+    if "$@"; then
+        echo "-- ok"
+    else
+        echo "-- FAILED: $*"
+        failures=$((failures + 1))
+    fi
+}
+
+run python -m pytest -x -q
+run python -m repro.lint src/repro
+
+if python -c "import mypy" >/dev/null 2>&1; then
+    run python -m mypy --strict src/repro
+else
+    echo
+    echo "== mypy --strict src/repro"
+    echo "-- skipped (mypy not installed; pip install -e .[dev])"
+fi
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "run_checks: $failures check(s) failed"
+    exit 1
+fi
+echo "run_checks: all checks passed"
