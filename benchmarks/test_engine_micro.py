@@ -11,12 +11,35 @@ import pytest
 from repro.core.strategies import MatrixDynamic, OuterDynamic, OuterRandom, OuterTwoPhase
 from repro.platform import Platform, uniform_speeds
 from repro.simulator import simulate
+from repro.simulator.events import EventQueue
 from repro.taskpool import OuterTaskPool, SampleSet
 
 
 @pytest.fixture(scope="module")
 def platform():
     return Platform(uniform_speeds(50, 10, 100, rng=0))
+
+
+class TestEventQueueMicro:
+    def test_event_queue_churn(self, benchmark):
+        """200k push/pop cycles through the heap.
+
+        Guards the hot-loop contract: the engine validates worker ids once
+        and re-queues through the internal fast push, so per-event overhead
+        must stay at heap cost, not validation cost.
+        """
+
+        def churn():
+            queue = EventQueue()
+            for w in range(8):
+                queue.push(float(w), w)
+            for _ in range(200_000):
+                t, w = queue.pop()
+                queue._push(t + 1.0, w)
+            return queue
+
+        result = benchmark(churn)
+        assert len(result) == 8
 
 
 class TestSamplerMicro:

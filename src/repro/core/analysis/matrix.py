@@ -85,6 +85,29 @@ def matrix_total_ratio(beta: float, rel_speeds: npt.ArrayLike, n: int, variant: 
     return matrix_phase1_ratio(beta, rel_speeds, variant) + matrix_phase2_ratio(beta, rel_speeds, n, variant)
 
 
+def _total_ratio_grid(betas: np.ndarray, rel: np.ndarray, n: int, variant: str) -> np.ndarray:
+    """Vectorized :func:`matrix_total_ratio` over an array of betas.
+
+    Inputs are pre-validated by :func:`optimal_matrix_beta`.  Mirrors the
+    scalar ratio functions operation for operation (betas broadcast along a
+    leading axis) so the grid scan stays bit-identical; see the outer-product
+    counterpart :func:`repro.core.analysis.outer._total_ratio_grid`.
+    """
+    denom = np.sum(rel ** (2.0 / 3.0))
+    if variant == "exact":
+        b = betas[:, np.newaxis]
+        x = np.clip(b * rel - 0.5 * b**2 * rel**2, 0.0, 1.0) ** (1.0 / 3)
+        phase1 = np.sum(x**2, axis=1) / denom
+        lb = 3.0 * n * n * denom
+        remaining = np.exp(-betas) * n**3
+        phase2 = remaining * np.sum(rel * 3.0 * (1.0 - x**2), axis=1) / lb
+        return np.asarray(phase1 + phase2)
+    s53 = np.sum(rel ** (5.0 / 3.0))
+    phase1 = betas ** (2.0 / 3.0) - betas ** (5.0 / 3.0) * s53 / (3.0 * denom)
+    phase2 = np.exp(-betas) * n * (1.0 - betas ** (2.0 / 3.0) * s53) / denom
+    return np.asarray(phase1 + phase2)
+
+
 def optimal_matrix_beta(
     rel_speeds: npt.ArrayLike,
     n: int,
@@ -109,7 +132,7 @@ def optimal_matrix_beta(
 
     objective = lambda b: matrix_total_ratio(b, rel, n, variant)  # noqa: E731
     grid = np.linspace(lo, hi, 200)
-    values = [objective(b) for b in grid]
+    values = _total_ratio_grid(grid, rel, n, variant)
     best = int(np.argmin(values))
     left = grid[max(best - 1, 0)]
     right = grid[min(best + 1, grid.size - 1)]

@@ -14,18 +14,21 @@ them to a platform and RNG at the start of each run.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
 from typing import ClassVar, Optional
 
 import numpy as np
 
 from repro.platform.platform import Platform
-from repro.utils.validation import check_nonnegative_int, check_positive_int
+from repro.utils.validation import check_positive_int
 
 __all__ = ["Assignment", "Strategy"]
 
+# Bound once at import: resolving ``object.__setattr__`` inside
+# ``Assignment.__init__`` costs two attribute lookups per instance, and one
+# Assignment is built per simulated event.
+_set_field = object.__setattr__
 
-@dataclass(frozen=True)
+
 class Assignment:
     """The master's answer to one work request.
 
@@ -34,18 +37,66 @@ class Assignment:
     phases of the *2Phases strategies for tracing.  ``task_ids`` carries the
     allocated tasks' flat ids when the strategy was built with
     ``collect_ids=True``.
+
+    Immutable and ``__slots__``-backed: one instance is created per
+    master/worker interaction (~10^6 per large run), so the per-instance
+    ``__dict__`` a plain dataclass would carry is measurable in both time
+    and memory.
     """
+
+    __slots__ = ("blocks", "tasks", "phase", "task_ids")
 
     blocks: int
     tasks: int
-    phase: int = 1
-    task_ids: Optional[np.ndarray] = None
+    phase: int
+    task_ids: Optional[np.ndarray]
 
-    def __post_init__(self) -> None:
-        check_nonnegative_int("blocks", self.blocks)
-        check_nonnegative_int("tasks", self.tasks)
-        if self.phase not in (1, 2):
-            raise ValueError(f"phase must be 1 or 2, got {self.phase}")
+    def __init__(
+        self,
+        blocks: int,
+        tasks: int,
+        phase: int = 1,
+        task_ids: Optional[np.ndarray] = None,
+    ) -> None:
+        # Inline comparisons, not check_* helpers: one Assignment is built
+        # per master/worker interaction, and two extra function calls per
+        # event are measurable at 10^6 events.
+        if blocks < 0:
+            raise ValueError(f"blocks must be >= 0, got {blocks}")
+        if tasks < 0:
+            raise ValueError(f"tasks must be >= 0, got {tasks}")
+        if phase not in (1, 2):
+            raise ValueError(f"phase must be 1 or 2, got {phase}")
+        _set_field(self, "blocks", blocks)
+        _set_field(self, "tasks", tasks)
+        _set_field(self, "phase", phase)
+        _set_field(self, "task_ids", task_ids)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"Assignment is immutable; cannot set {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Assignment is immutable; cannot delete {name!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Assignment):
+            return NotImplemented
+        if (self.blocks, self.tasks, self.phase) != (other.blocks, other.tasks, other.phase):
+            return False
+        if self.task_ids is None or other.task_ids is None:
+            return self.task_ids is None and other.task_ids is None
+        return bool(np.array_equal(self.task_ids, other.task_ids))
+
+    def __hash__(self) -> int:
+        # ``task_ids`` is excluded (ndarrays are unhashable); equal
+        # assignments still hash equal, which is all the contract needs.
+        return hash((self.blocks, self.tasks, self.phase))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Assignment(blocks={self.blocks}, tasks={self.tasks}, "
+            f"phase={self.phase}, task_ids={self.task_ids!r})"
+        )
 
 
 class Strategy(ABC):

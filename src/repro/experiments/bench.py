@@ -1,0 +1,433 @@
+"""``repro-bench`` — a persistent benchmark harness for the simulator.
+
+The figure sweeps are dominated by the simulation engine's hot loop, so a
+perf regression there silently multiplies every experiment's runtime.  This
+module pins down a small fixed suite of workloads (engine runs at the
+paper's instance sizes, the event-queue and sampler micro-loops, and a
+serial-vs-parallel replicate sweep), times them with ``time.perf_counter``
+and writes a schema-versioned JSON record that can be committed next to the
+results it contextualizes.
+
+Usage::
+
+    repro-bench list
+    repro-bench run --quick --repeats 3 --outdir results
+    repro-bench run --json bench-current.json
+    repro-bench compare results/BENCH_old.json bench-current.json
+    repro-bench compare old.json new.json --threshold 0.1 --warn-only
+
+``compare`` exits non-zero when any shared workload's median regressed by
+more than ``--threshold`` (default 20%), unless ``--warn-only`` — which is
+how CI uses it: wall-clock on shared runners is noisy, so regressions warn
+there and gate only on dedicated machines.
+
+Timing records are only comparable on the same machine: every JSON embeds
+the interpreter/numpy/CPU fingerprint so ``compare`` can warn when two
+records come from different environments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform as platform_module
+import statistics
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.strategies.registry import make_strategy
+from repro.experiments.parallel import StrategySpec, UniformPlatformSpec
+from repro.experiments.runner import average_normalized_comm
+from repro.platform.platform import Platform
+from repro.platform.speeds import uniform_speeds
+from repro.simulator.engine import simulate
+from repro.simulator.events import EventQueue
+from repro.taskpool.sample_set import SampleSet
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "SCHEMA",
+    "SUITES",
+    "Workload",
+    "build_parser",
+    "build_suite",
+    "compare_results",
+    "main",
+    "run_suite",
+]
+
+#: Schema tag embedded in every record; bump on incompatible layout changes.
+SCHEMA = "repro-bench/1"
+
+SUITES = ("default", "quick")
+
+
+class Workload:
+    """A named, timed unit of the benchmark suite.
+
+    ``fn`` receives the top-level seed and must do the same deterministic
+    amount of work for a given seed — repeats then measure timing noise,
+    not workload variance.
+    """
+
+    __slots__ = ("name", "params", "fn")
+
+    def __init__(
+        self, name: str, params: Dict[str, Any], fn: Callable[[int], object]
+    ) -> None:
+        self.name = name
+        self.params = dict(params)
+        self.fn = fn
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Workload({self.name!r}, params={self.params!r})"
+
+
+# ---------------------------------------------------------------------------
+# Workload factories
+# ---------------------------------------------------------------------------
+
+
+def _engine_workload(strategy_name: str, n: int, p: int) -> Callable[[int], object]:
+    """Full simulation: *strategy_name* at size *n* on a p-worker platform."""
+
+    def run(seed: int) -> object:
+        platform = Platform(uniform_speeds(p, 10, 100, rng=seed))
+        return simulate(make_strategy(strategy_name, n), platform, rng=seed + 1)
+
+    return run
+
+
+def _event_queue_workload(events: int) -> Callable[[int], object]:
+    """Steady-state push/pop churn through the event heap."""
+
+    def run(seed: int) -> object:
+        queue = EventQueue()
+        for w in range(8):
+            queue.push(float(w), w)
+        for _ in range(events):
+            t, w = queue.pop()
+            queue.push(t + 1.0, w)
+        return queue
+
+    return run
+
+
+def _drain_sample_set(seed: int, size: int) -> SampleSet:
+    rng = as_generator(seed)
+    s = SampleSet(size)
+    while s:
+        s.draw(rng)
+    return s
+
+
+def _sample_drain_workload(size: int) -> Callable[[int], object]:
+    """Drain a full SampleSet one uniform draw at a time."""
+
+    def run(seed: int) -> object:
+        return _drain_sample_set(seed, size)
+
+    return run
+
+
+def _sweep_workload(n: int, p: int, reps: int, workers: int) -> Callable[[int], object]:
+    """Figure-9-style replicate sweep: RandomMatrix averaged over *reps*."""
+    strategy = StrategySpec("RandomMatrix", n)
+    platform_spec = UniformPlatformSpec(p)
+
+    def run(seed: int) -> object:
+        return average_normalized_comm(
+            strategy, platform_spec, n, reps, seed=seed, workers=workers
+        )
+
+    return run
+
+
+def build_suite(suite: str = "default") -> List[Workload]:
+    """The fixed workload list for *suite* (``"default"`` or ``"quick"``).
+
+    The default suite exercises the engine at the paper's instance sizes;
+    ``quick`` shrinks every workload to a few seconds total for CI smoke
+    runs.  Workload *names* are stable across suites so records remain
+    comparable within one suite.
+    """
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; choose from {SUITES}")
+    quick = suite == "quick"
+    n_rand = 60 if quick else 100
+    n_dyn = 150 if quick else 300
+    n_mat = 20 if quick else 40
+    events = 50_000 if quick else 200_000
+    drain = 30_000 if quick else 100_000
+    sweep_n = 20 if quick else 40
+    sweep_p = 40 if quick else 100
+    sweep_reps = 4 if quick else 8
+    p = 50
+    return [
+        Workload(
+            "engine_outer_random",
+            {"strategy": "RandomOuter", "n": n_rand, "p": p},
+            _engine_workload("RandomOuter", n_rand, p),
+        ),
+        Workload(
+            "engine_outer_dynamic",
+            {"strategy": "DynamicOuter", "n": n_dyn, "p": p},
+            _engine_workload("DynamicOuter", n_dyn, p),
+        ),
+        Workload(
+            "engine_matrix_dynamic",
+            {"strategy": "DynamicMatrix", "n": n_mat, "p": p},
+            _engine_workload("DynamicMatrix", n_mat, p),
+        ),
+        Workload(
+            "event_queue_churn",
+            {"events": events},
+            _event_queue_workload(events),
+        ),
+        Workload(
+            "sample_set_drain",
+            {"size": drain},
+            _sample_drain_workload(drain),
+        ),
+        Workload(
+            "replicate_sweep_serial",
+            {"strategy": "RandomMatrix", "n": sweep_n, "p": sweep_p, "reps": sweep_reps, "workers": 1},
+            _sweep_workload(sweep_n, sweep_p, sweep_reps, 1),
+        ),
+        Workload(
+            "replicate_sweep_parallel4",
+            {"strategy": "RandomMatrix", "n": sweep_n, "p": sweep_p, "reps": sweep_reps, "workers": 4},
+            _sweep_workload(sweep_n, sweep_p, sweep_reps, 4),
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Running and recording
+# ---------------------------------------------------------------------------
+
+
+def _machine_info() -> Dict[str, Any]:
+    return {
+        "platform": platform_module.platform(),
+        "python": platform_module.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def run_suite(
+    suite: str = "default",
+    *,
+    seed: int = 0,
+    repeats: int = 3,
+    echo: Optional[Callable[[str], object]] = None,
+) -> Dict[str, Any]:
+    """Time every workload of *suite* and return the JSON-ready record.
+
+    Each workload runs ``repeats`` times on the same seed (the work is
+    deterministic per seed, so spread across repeats is timing noise); the
+    record keeps the median, min and mean.  ``echo`` receives a progress
+    line per workload when given.
+    """
+    repeats = check_positive_int("repeats", repeats)
+    workloads = build_suite(suite)
+    entries: Dict[str, Any] = {}
+    for wl in workloads:
+        times: List[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            wl.fn(seed)
+            times.append(time.perf_counter() - start)
+        entries[wl.name] = {
+            "params": dict(wl.params),
+            "repeats": repeats,
+            "seconds": {
+                "median": statistics.median(times),
+                "min": min(times),
+                "mean": statistics.fmean(times),
+            },
+        }
+        if echo is not None:
+            echo(f"  {wl.name:28s} median {statistics.median(times):8.4f}s")
+    record: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "suite": suite,
+        "seed": seed,
+        "repeats": repeats,
+        "machine": _machine_info(),
+        "workloads": entries,
+    }
+    serial = entries.get("replicate_sweep_serial")
+    par = entries.get("replicate_sweep_parallel4")
+    if serial is not None and par is not None:
+        record["derived"] = {
+            "replicate_sweep_speedup": serial["seconds"]["median"] / par["seconds"]["median"]
+        }
+    return record
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+def compare_results(
+    old: Dict[str, Any], new: Dict[str, Any], threshold: float = 0.2
+) -> List[Dict[str, Any]]:
+    """Per-workload comparison rows between two bench records.
+
+    Each row has ``name``, ``status`` (``"regression"`` / ``"improved"`` /
+    ``"ok"`` / ``"new"`` / ``"removed"``) and, where both medians exist,
+    ``ratio`` (new over old).  A median more than ``threshold`` above the
+    old one is a regression.
+    """
+    if not 0 < threshold:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    old_wl: Dict[str, Any] = old.get("workloads", {})
+    new_wl: Dict[str, Any] = new.get("workloads", {})
+    rows: List[Dict[str, Any]] = []
+    for name, entry in new_wl.items():
+        base = old_wl.get(name)
+        if base is None:
+            rows.append({"name": name, "status": "new"})
+            continue
+        old_med = float(base["seconds"]["median"])
+        new_med = float(entry["seconds"]["median"])
+        ratio = new_med / old_med if old_med > 0 else float("inf")
+        if ratio > 1.0 + threshold:
+            status = "regression"
+        elif ratio < 1.0 - threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(
+            {
+                "name": name,
+                "status": status,
+                "ratio": ratio,
+                "old_median": old_med,
+                "new_median": new_med,
+            }
+        )
+    for name in old_wl:
+        if name not in new_wl:
+            rows.append({"name": name, "status": "removed"})
+    return rows
+
+
+def _render_rows(rows: List[Dict[str, Any]]) -> str:
+    lines = [f"{'workload':28s} {'old':>10s} {'new':>10s} {'ratio':>7s}  status"]
+    for row in rows:
+        if "ratio" in row:
+            lines.append(
+                f"{row['name']:28s} {row['old_median']:9.4f}s {row['new_median']:9.4f}s"
+                f" {row['ratio']:6.2f}x  {row['status']}"
+            )
+        else:
+            lines.append(f"{row['name']:28s} {'-':>10s} {'-':>10s} {'-':>7s}  {row['status']}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark the simulation engine and record/compare timings.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the workloads of each suite")
+
+    run = sub.add_parser("run", help="time the suite and write a JSON record")
+    run.add_argument("--quick", action="store_true", help="run the reduced CI suite")
+    run.add_argument("--repeats", type=int, default=3, help="timed repeats per workload (default: 3)")
+    run.add_argument("--seed", type=int, default=0, help="workload seed (default: 0)")
+    run.add_argument("--outdir", default="results", help="directory for BENCH_<timestamp>.json (default: results)")
+    run.add_argument("--json", dest="json_path", default=None, help="exact output path (overrides --outdir)")
+
+    cmp_ = sub.add_parser("compare", help="compare two bench records")
+    cmp_.add_argument("old", help="baseline JSON record")
+    cmp_.add_argument("new", help="candidate JSON record")
+    cmp_.add_argument("--threshold", type=float, default=0.2, help="relative regression threshold (default: 0.2)")
+    cmp_.add_argument("--warn-only", action="store_true", help="report regressions but exit 0")
+    return parser
+
+
+def _load_record(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    if not isinstance(record, dict) or record.get("schema") != SCHEMA:
+        raise SystemExit(f"{path}: not a {SCHEMA} record")
+    return record
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    suite = "quick" if args.quick else "default"
+    print(f"repro-bench: running suite '{suite}' ({args.repeats} repeats)")
+    record = run_suite(suite, seed=args.seed, repeats=args.repeats, echo=print)
+    if args.json_path:
+        path = args.json_path
+    else:
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        os.makedirs(args.outdir, exist_ok=True)
+        path = os.path.join(args.outdir, f"BENCH_{stamp}.json")
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    derived = record.get("derived", {})
+    if "replicate_sweep_speedup" in derived:
+        print(f"  replicate sweep speedup (4 workers): {derived['replicate_sweep_speedup']:.2f}x")
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    old = _load_record(args.old)
+    new = _load_record(args.new)
+    if old.get("suite") != new.get("suite"):
+        print(
+            f"warning: comparing different suites ({old.get('suite')} vs {new.get('suite')})",
+            file=sys.stderr,
+        )
+    if old.get("machine") != new.get("machine"):
+        print("warning: records come from different machines; timings may not be comparable",
+              file=sys.stderr)
+    rows = compare_results(old, new, threshold=args.threshold)
+    print(_render_rows(rows))
+    regressions = [r for r in rows if r["status"] == "regression"]
+    if regressions:
+        names = ", ".join(r["name"] for r in regressions)
+        print(f"regressions (> {100 * args.threshold:.0f}% over baseline): {names}", file=sys.stderr)
+        return 0 if args.warn_only else 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for suite in SUITES:
+            print(f"suite '{suite}':")
+            for wl in build_suite(suite):
+                params = ", ".join(f"{k}={v}" for k, v in sorted(wl.params.items()))
+                print(f"  {wl.name:28s} {params}")
+        return 0
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_compare(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

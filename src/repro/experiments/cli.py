@@ -39,6 +39,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--scale", choices=SCALES, default="ci", help="experiment scale (default: ci)")
     run.add_argument("--seed", type=int, default=0, help="top-level RNG seed (default: 0)")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the replicate sweeps: 1 = serial (default), 0 = one per CPU;"
+        " results are bit-identical for every worker count",
+    )
     run.add_argument("--outdir", default=None, help="write tidy CSVs into this directory")
     run.add_argument("--svg", action="store_true", help="also write an SVG chart per figure (needs --outdir)")
     run.add_argument("--quiet", action="store_true", help="suppress the terminal rendering")
@@ -151,7 +158,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     figure_ids = _resolve_figures(args.figures)
     for fid in figure_ids:
         start = time.time()
-        fig = generate(fid, scale=args.scale, seed=args.seed)
+        fig = generate(fid, scale=args.scale, seed=args.seed, workers=args.workers)
         elapsed = time.time() - start
         if not args.quiet:
             print(render_figure(fig))

@@ -7,6 +7,11 @@ ext01     factorization DAGs: random vs locality scheduling (Cholesky + QR)
 ext02     overlap model: slowdown vs bandwidth and prefetch depth
 ext03     Random baselines vs their coupon-collector closed form
 ========  ==================================================================
+
+The generators accept the driver-wide ``workers`` keyword for interface
+uniformity with :func:`repro.experiments.figures.generate`, but always run
+serially: they drive the extension engines directly rather than going
+through the replicate runner.
 """
 
 from __future__ import annotations
@@ -42,7 +47,7 @@ from repro.utils.stats import summarize
 __all__ = ["ext01", "ext02", "ext03"]
 
 
-def ext01(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
+def ext01(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
     """Extension: locality vs random scheduling on factorization DAGs."""
     check_scale(scale)
     p = {"paper": 16, "medium": 16, "ci": 6}[scale]
@@ -79,7 +84,7 @@ def ext01(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
     return fig
 
 
-def ext02(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
+def ext02(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
     """Extension: overlap slowdown vs bandwidth, one series per prefetch depth."""
     check_scale(scale)
     p = 20
@@ -110,7 +115,7 @@ def ext02(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
     return fig
 
 
-def ext03(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
+def ext03(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
     """Extension: Random baselines vs the coupon-collector prediction."""
     check_scale(scale)
     n_outer = {"paper": 100, "medium": 100, "ci": 30}[scale]

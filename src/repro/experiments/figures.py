@@ -103,6 +103,7 @@ def _sweep_vs_p(
     seed: SeedLike,
     *,
     include_analysis: bool,
+    workers: int = 1,
 ) -> FigureData:
     fig = FigureData(
         figure_id=figure_id,
@@ -125,6 +126,7 @@ def _sweep_vs_p(
                 n,
                 reps,
                 seed=seed,
+                workers=workers,
             )
             fig[name].add(p, summary.mean, summary.std)
         if include_analysis:
@@ -133,7 +135,7 @@ def _sweep_vs_p(
     return fig
 
 
-def fig01(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
+def fig01(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
     """Figure 1: random vs data-aware dynamic strategies for the outer product."""
     check_scale(scale)
     n = {"paper": 100, "medium": 100, "ci": 30}[scale]
@@ -147,10 +149,11 @@ def fig01(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
         _reps(scale),
         seed,
         include_analysis=False,
+        workers=workers,
     )
 
 
-def fig04(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
+def fig04(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
     """Figure 4: all outer-product strategies + analysis, n = 100 blocks."""
     check_scale(scale)
     n = {"paper": 100, "medium": 100, "ci": 30}[scale]
@@ -164,10 +167,11 @@ def fig04(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
         _reps(scale),
         seed,
         include_analysis=True,
+        workers=workers,
     )
 
 
-def fig05(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
+def fig05(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
     """Figure 5: all outer-product strategies + analysis, n = 1000 blocks."""
     check_scale(scale)
     n = {"paper": 1000, "medium": 300, "ci": 60}[scale]
@@ -181,10 +185,11 @@ def fig05(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
         _reps(scale),
         seed,
         include_analysis=True,
+        workers=workers,
     )
 
 
-def fig09(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
+def fig09(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
     """Figure 9: all matmul strategies + analysis, n = 40 blocks."""
     check_scale(scale)
     n = {"paper": 40, "medium": 40, "ci": 10}[scale]
@@ -198,10 +203,11 @@ def fig09(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
         _reps(scale),
         seed,
         include_analysis=True,
+        workers=workers,
     )
 
 
-def fig10(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
+def fig10(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
     """Figure 10: all matmul strategies + analysis, n = 100 blocks."""
     check_scale(scale)
     n = {"paper": 100, "medium": 60, "ci": 14}[scale]
@@ -215,6 +221,7 @@ def fig10(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
         _reps(scale),
         seed,
         include_analysis=True,
+        workers=workers,
     )
 
 
@@ -223,7 +230,7 @@ def fig10(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
 # ---------------------------------------------------------------------------
 
 
-def fig02(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
+def fig02(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
     """Figure 2: DynamicOuter2Phases vs percentage of tasks in phase 1.
 
     A single platform draw (p = 20) is reused across the sweep, as in the
@@ -257,11 +264,12 @@ def fig02(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
             n,
             reps,
             seed=seed,
+            workers=workers,
         )
         sweep.add(100.0 * frac, summary.mean, summary.std)
 
     for name in OUTER_BASELINES:
-        summary = average_normalized_comm(lambda name=name: make_strategy(name, n), factory, n, reps, seed=seed)
+        summary = average_normalized_comm(lambda name=name: make_strategy(name, n), factory, n, reps, seed=seed, workers=workers)
         flat = fig.new_series(name)
         for frac in (fractions[0], fractions[-1]):
             flat.add(100.0 * frac, summary.mean, summary.std)
@@ -282,6 +290,7 @@ def _beta_sweep(
     reps: int,
     seed: SeedLike,
     betas: Sequence[float],
+    workers: int = 1,
 ) -> FigureData:
     two_phase = "DynamicOuter2Phases" if kernel == "outer" else "DynamicMatrix2Phases"
     dynamic = "DynamicOuter" if kernel == "outer" else "DynamicMatrix"
@@ -315,18 +324,19 @@ def _beta_sweep(
             n,
             reps,
             seed=seed,
+            workers=workers,
         )
         sim_series.add(beta, summary.mean, summary.std)
         ana_series.add(beta, ratio(float(beta), rel, n))
 
-    dyn = average_normalized_comm(lambda: make_strategy(dynamic, n), factory, n, reps, seed=seed)
+    dyn = average_normalized_comm(lambda: make_strategy(dynamic, n), factory, n, reps, seed=seed, workers=workers)
     flat = fig.new_series(dynamic)
     for beta in (betas[0], betas[-1]):
         flat.add(beta, dyn.mean, dyn.std)
     return fig
 
 
-def fig06(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
+def fig06(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
     """Figure 6: outer-product communication vs β (p=20, n=100)."""
     check_scale(scale)
     n = {"paper": 100, "medium": 100, "ci": 30}[scale]
@@ -344,10 +354,11 @@ def fig06(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
         _reps(scale),
         seed,
         betas,
+        workers=workers,
     )
 
 
-def fig11(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
+def fig11(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
     """Figure 11: matmul communication vs β (p=100, n=40)."""
     check_scale(scale)
     p = {"paper": 100, "medium": 100, "ci": 30}[scale]
@@ -366,6 +377,7 @@ def fig11(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
         _reps(scale),
         seed,
         betas,
+        workers=workers,
     )
 
 
@@ -374,7 +386,7 @@ def fig11(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
 # ---------------------------------------------------------------------------
 
 
-def fig07(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
+def fig07(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
     """Figure 7: impact of the heterogeneity level h (speeds in [100-h, 100+h])."""
     check_scale(scale)
     p = 20
@@ -401,14 +413,14 @@ def fig07(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
     for h in hs:
         factory = lambda rng, h=h: Platform(heterogeneity_speeds(p, h, rng=rng))  # noqa: E731
         for name in names:
-            summary = average_normalized_comm(lambda name=name: make_strategy(name, n), factory, n, reps, seed=seed)
+            summary = average_normalized_comm(lambda name=name: make_strategy(name, n), factory, n, reps, seed=seed, workers=workers)
             fig[name].add(h, summary.mean, summary.std)
         summary = mean_analysis_ratio("outer", factory, n, reps, seed=seed)
         fig["Analysis"].add(h, summary.mean, summary.std)
     return fig
 
 
-def fig08(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
+def fig08(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
     """Figure 8: heterogeneity scenarios (unif.*, set.*, dyn.*)."""
     check_scale(scale)
     p = 20
@@ -432,7 +444,7 @@ def fig08(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
     for idx, scenario in enumerate(scenarios):
         factory = lambda rng, scenario=scenario: make_scenario(scenario, p, rng=rng)  # noqa: E731
         for name in names:
-            summary = average_normalized_comm(lambda name=name: make_strategy(name, n), factory, n, reps, seed=seed)
+            summary = average_normalized_comm(lambda name=name: make_strategy(name, n), factory, n, reps, seed=seed, workers=workers)
             fig[name].add(idx, summary.mean, summary.std)
         summary = mean_analysis_ratio("outer", factory, n, reps, seed=seed)
         fig["Analysis"].add(idx, summary.mean, summary.std)
@@ -444,7 +456,7 @@ def fig08(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
 # ---------------------------------------------------------------------------
 
 
-def sec36(scale: str = "ci", seed: SeedLike = 0) -> FigureData:
+def sec36(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
     """Section 3.6: β is effectively speed-agnostic.
 
     For a grid of (p, n), draws heterogeneous speed vectors (uniform in
@@ -513,7 +525,7 @@ FIGURES: Dict[str, Callable[..., FigureData]] = {
 
 
 
-def generate(figure_id: str, scale: str = "ci", seed: SeedLike = 0) -> FigureData:
+def generate(figure_id: str, scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
     """Generate one figure by id (``"fig01"`` ... ``"fig11"``, ``"sec36"``)."""
     try:
         fn = FIGURES[figure_id]

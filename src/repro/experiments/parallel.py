@@ -1,0 +1,412 @@
+"""Process-parallel replicate execution for the experiment runner.
+
+The paper's figures each average 10-50 independent simulations; the
+repetitions share nothing but a top-level seed, which makes the replicate
+dimension embarrassingly parallel.  This module distributes repetitions
+over a :class:`~concurrent.futures.ProcessPoolExecutor` while staying
+**bit-identical** to the serial loop in
+:func:`repro.experiments.runner.average_normalized_comm` for every worker
+count:
+
+* each repetition's RNG stream is pre-spawned in the parent via
+  :func:`repro.utils.rng.spawn_seed_sequences`, so the stream a repetition
+  consumes does not depend on which process runs it;
+* per-repetition values are collected back **in repetition order** and
+  folded through the same Welford accumulator the serial path uses, so the
+  floating-point aggregation order is identical too.
+
+Dispatch is chunked: repetitions are grouped into index chunks (about four
+per worker) so pool overhead amortizes while stragglers still balance.
+Two transports exist:
+
+* on ``fork`` platforms the :class:`RepJob` is published in a module
+  global before the pool is created, so forked workers inherit it and only
+  chunk indices cross the process boundary — this supports arbitrary
+  (closure) factories, like the ones the figure drivers build;
+* elsewhere the job is pickled per chunk, which requires picklable
+  factories — the ``*Spec`` classes below are picklable stand-ins for the
+  common strategy/platform factories.
+
+When neither transport is usable (no multiprocessing support, or a
+non-picklable job on a spawn-only platform) the call silently degrades to
+the serial path, preserving results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from itertools import repeat
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.strategies.base import Strategy
+from repro.core.strategies.registry import make_strategy
+from repro.experiments.runner import (
+    PlatformFactory,
+    StrategyFactory,
+    _rep_normalized_comm,
+)
+from repro.platform.platform import Platform
+from repro.platform.speeds import (
+    SCENARIO_NAMES,
+    SpeedModel,
+    heterogeneity_speeds,
+    make_scenario,
+    uniform_speeds,
+)
+from repro.utils.rng import SeedLike, as_generator, spawn_seed_sequences
+from repro.utils.stats import RunningStats, Summary
+from repro.utils.validation import check_positive_int, check_speeds
+
+__all__ = [
+    "FixedPlatformSpec",
+    "HeterogeneityPlatformSpec",
+    "RepJob",
+    "ScenarioPlatformSpec",
+    "StrategySpec",
+    "UniformPlatformSpec",
+    "parallel_average_normalized_comm",
+    "resolve_workers",
+]
+
+
+# ---------------------------------------------------------------------------
+# Picklable factory specs
+# ---------------------------------------------------------------------------
+
+
+class StrategySpec:
+    """Picklable :data:`~repro.experiments.runner.StrategyFactory`.
+
+    Calling the spec builds ``make_strategy(name, n, **kwargs)``; because it
+    carries only the registry name and plain arguments, it round-trips
+    through ``pickle`` and can therefore cross process boundaries on
+    spawn-only platforms where closures cannot.
+    """
+
+    __slots__ = ("name", "n", "kwargs")
+
+    def __init__(self, name: str, n: int, **kwargs: Any) -> None:
+        self.name = str(name)
+        self.n = check_positive_int("n", n)
+        self.kwargs: Dict[str, Any] = dict(kwargs)
+
+    def __call__(self) -> Strategy:
+        return make_strategy(self.name, self.n, **self.kwargs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StrategySpec):
+            return NotImplemented
+        return (self.name, self.n, self.kwargs) == (other.name, other.n, other.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        extra = "".join(f", {k}={v!r}" for k, v in sorted(self.kwargs.items()))
+        return f"StrategySpec({self.name!r}, {self.n}{extra})"
+
+
+class UniformPlatformSpec:
+    """Picklable platform factory: *p* speeds uniform in ``[low, high]``.
+
+    The paper's default platform draw (Figures 1, 4, 5, 9, 10 use
+    ``[10, 100]``).
+    """
+
+    __slots__ = ("p", "low", "high")
+
+    def __init__(self, p: int, low: float = 10.0, high: float = 100.0) -> None:
+        self.p = check_positive_int("p", p)
+        self.low = float(low)
+        self.high = float(high)
+
+    def __call__(self, rng: np.random.Generator) -> Platform:
+        return Platform(uniform_speeds(self.p, self.low, self.high, rng=rng))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UniformPlatformSpec):
+            return NotImplemented
+        return (self.p, self.low, self.high) == (other.p, other.low, other.high)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformPlatformSpec(p={self.p}, low={self.low}, high={self.high})"
+
+
+class FixedPlatformSpec:
+    """Picklable platform factory returning one fixed speed vector.
+
+    Mirrors the β sweeps (Figures 2, 6, 11), which reuse a single platform
+    draw across every repetition; only the simulation stream varies.
+    """
+
+    __slots__ = ("speeds",)
+
+    def __init__(self, speeds: Sequence[float]) -> None:
+        self.speeds: Tuple[float, ...] = tuple(float(s) for s in check_speeds(speeds))
+
+    def __call__(self, rng: np.random.Generator) -> Platform:
+        return Platform(np.asarray(self.speeds, dtype=np.float64))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FixedPlatformSpec):
+            return NotImplemented
+        return self.speeds == other.speeds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedPlatformSpec(p={len(self.speeds)})"
+
+
+class HeterogeneityPlatformSpec:
+    """Picklable platform factory for the Figure-7 heterogeneity sweep."""
+
+    __slots__ = ("p", "h")
+
+    def __init__(self, p: int, h: float) -> None:
+        self.p = check_positive_int("p", p)
+        h = float(h)
+        if not 0.0 <= h < 100.0:
+            raise ValueError(f"heterogeneity h must lie in [0, 100), got {h}")
+        self.h = h
+
+    def __call__(self, rng: np.random.Generator) -> Platform:
+        return Platform(heterogeneity_speeds(self.p, self.h, rng=rng))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HeterogeneityPlatformSpec):
+            return NotImplemented
+        return (self.p, self.h) == (other.p, other.h)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HeterogeneityPlatformSpec(p={self.p}, h={self.h})"
+
+
+class ScenarioPlatformSpec:
+    """Picklable platform factory for the named Figure-8 scenarios."""
+
+    __slots__ = ("scenario", "p")
+
+    def __init__(self, scenario: str, p: int) -> None:
+        if scenario not in SCENARIO_NAMES:
+            raise ValueError(
+                f"unknown scenario {scenario!r}; choose from {sorted(SCENARIO_NAMES)}"
+            )
+        self.scenario = scenario
+        self.p = check_positive_int("p", p)
+
+    def __call__(self, rng: np.random.Generator) -> Tuple[Platform, SpeedModel]:
+        return make_scenario(self.scenario, self.p, rng=rng)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScenarioPlatformSpec):
+            return NotImplemented
+        return (self.scenario, self.p) == (other.scenario, other.p)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScenarioPlatformSpec({self.scenario!r}, p={self.p})"
+
+
+# ---------------------------------------------------------------------------
+# The replicate job
+# ---------------------------------------------------------------------------
+
+
+def _rep_values(
+    seeds: Sequence[np.random.SeedSequence],
+    indices: Sequence[int],
+    strategy_factory: StrategyFactory,
+    platform_factory: PlatformFactory,
+    n: int,
+) -> List[float]:
+    """Run the repetitions *indices*, each from its own pre-spawned stream."""
+    return [
+        _rep_normalized_comm(as_generator(seeds[i]), strategy_factory, platform_factory, n)
+        for i in indices
+    ]
+
+
+class RepJob:
+    """Everything a worker process needs to run a batch of repetitions.
+
+    Holds the factories, the problem size and the **resolved** per-repetition
+    seed sequences — resolving them in the parent is what makes results
+    independent of the process a repetition lands on.  The job pickles iff
+    its factories do (the ``*Spec`` classes above always do); under fork
+    dispatch arbitrary closures work as well because nothing is pickled.
+    """
+
+    __slots__ = ("strategy_factory", "platform_factory", "n", "seeds")
+
+    def __init__(
+        self,
+        strategy_factory: StrategyFactory,
+        platform_factory: PlatformFactory,
+        n: int,
+        seeds: Sequence[np.random.SeedSequence],
+    ) -> None:
+        self.strategy_factory = strategy_factory
+        self.platform_factory = platform_factory
+        self.n = check_positive_int("n", n)
+        self.seeds: List[np.random.SeedSequence] = list(seeds)
+
+    def run(self, indices: Sequence[int]) -> List[float]:
+        """Normalized-communication values for the repetitions *indices*."""
+        return _rep_values(
+            self.seeds, indices, self.strategy_factory, self.platform_factory, self.n
+        )
+
+
+# ---------------------------------------------------------------------------
+# Dispatch machinery
+# ---------------------------------------------------------------------------
+
+#: Job published for fork-based workers (set around pool creation only).
+_FORK_JOB: Optional[RepJob] = None
+
+
+def _fork_chunk(indices: List[int]) -> List[float]:
+    job = _FORK_JOB
+    if job is None:  # pragma: no cover - defensive
+        raise RuntimeError("fork-dispatch chunk executed without a published job")
+    return job.run(indices)
+
+
+def _pickled_chunk(payload: bytes, indices: List[int]) -> List[float]:
+    job: RepJob = pickle.loads(payload)
+    return job.run(indices)
+
+
+def resolve_workers(workers: int) -> int:
+    """Resolve a ``workers`` option: ``0`` means one worker per CPU."""
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise TypeError(f"workers must be an integer, got {type(workers).__name__}")
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (0 = one per CPU), got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def _chunk_indices(reps: int, workers: int, chunk_size: Optional[int]) -> List[List[int]]:
+    """Split ``range(reps)`` into contiguous chunks (~4 per worker)."""
+    if chunk_size is None:
+        chunk_size = max(1, -(-reps // (4 * workers)))
+    else:
+        chunk_size = check_positive_int("chunk_size", chunk_size)
+    return [list(range(lo, min(lo + chunk_size, reps))) for lo in range(0, reps, chunk_size)]
+
+
+def _preferred_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The best available multiprocessing context, or ``None`` if none is."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    if "spawn" in methods:
+        return multiprocessing.get_context("spawn")
+    return None
+
+
+def _is_picklable(job: RepJob) -> bool:
+    try:
+        pickle.dumps(job)
+    except Exception:
+        return False
+    return True
+
+
+def _run_fork(
+    job: RepJob,
+    chunks: List[List[int]],
+    workers: int,
+    ctx: multiprocessing.context.BaseContext,
+) -> Optional[List[float]]:
+    """Fork transport: workers inherit the job from the module global."""
+    global _FORK_JOB
+    _FORK_JOB = job
+    try:
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        except OSError:
+            return None
+        with pool:
+            results = list(pool.map(_fork_chunk, chunks))
+    finally:
+        _FORK_JOB = None
+    return [value for chunk in results for value in chunk]
+
+
+def _run_pickled(
+    job: RepJob,
+    chunks: List[List[int]],
+    workers: int,
+    ctx: multiprocessing.context.BaseContext,
+) -> Optional[List[float]]:
+    """Pickle transport for spawn-only platforms (factories must pickle)."""
+    payload = pickle.dumps(job)
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+    except OSError:
+        return None
+    with pool:
+        results = list(pool.map(_pickled_chunk, repeat(payload), chunks))
+    return [value for chunk in results for value in chunk]
+
+
+def _dispatch(
+    job: RepJob, reps: int, workers: int, chunk_size: Optional[int]
+) -> List[float]:
+    """Run all repetitions, in parallel where possible, serial otherwise."""
+    all_indices = list(range(reps))
+    chunks = _chunk_indices(reps, workers, chunk_size)
+    if len(chunks) <= 1:
+        return job.run(all_indices)
+    ctx = _preferred_context()
+    if ctx is None:
+        return job.run(all_indices)
+    if ctx.get_start_method() == "fork":
+        values = _run_fork(job, chunks, workers, ctx)
+    elif _is_picklable(job):
+        values = _run_pickled(job, chunks, workers, ctx)
+    else:
+        return job.run(all_indices)
+    if values is None:
+        return job.run(all_indices)
+    return values
+
+
+# ---------------------------------------------------------------------------
+# Public entry point
+# ---------------------------------------------------------------------------
+
+
+def parallel_average_normalized_comm(
+    strategy_factory: StrategyFactory,
+    platform_factory: PlatformFactory,
+    n: int,
+    reps: int,
+    *,
+    seed: SeedLike = 0,
+    workers: int = 0,
+    chunk_size: Optional[int] = None,
+) -> Summary:
+    """Parallel drop-in for :func:`~repro.experiments.runner.average_normalized_comm`.
+
+    Distributes the *reps* repetitions over ``workers`` processes
+    (``0`` = one per CPU) and returns a :class:`~repro.utils.stats.Summary`
+    **bit-identical** to the serial path for any worker count: streams are
+    pre-spawned per repetition and aggregation runs in repetition order.
+    ``chunk_size`` overrides the dispatch granularity (mostly for tests).
+    """
+    if reps <= 0:
+        raise ValueError(f"reps must be positive, got {reps}")
+    nworkers = resolve_workers(workers)
+    job = RepJob(strategy_factory, platform_factory, n, spawn_seed_sequences(seed, reps))
+    if nworkers <= 1:
+        values = job.run(list(range(reps)))
+    else:
+        values = _dispatch(job, reps, nworkers, chunk_size)
+    stats = RunningStats()
+    for value in values:
+        stats.add(value)
+    return stats.summary()

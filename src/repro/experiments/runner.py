@@ -43,6 +43,25 @@ def _unpack(made: "Platform | tuple[Platform, SpeedModel]") -> "tuple[Platform, 
     return made, None
 
 
+def _rep_normalized_comm(
+    rng: np.random.Generator,
+    strategy_factory: StrategyFactory,
+    platform_factory: PlatformFactory,
+    n: int,
+) -> float:
+    """One repetition: draw a platform, simulate, normalize by the bound.
+
+    This is the unit of work both the serial loop below and the parallel
+    replicate runner (:mod:`repro.experiments.parallel`) execute — keeping
+    it in one place is what makes the two paths bit-identical.
+    """
+    platform, model = _unpack(platform_factory(rng))
+    strategy = strategy_factory()
+    result = simulate(strategy, platform, rng=rng, speed_model=model)
+    lb = lower_bound(strategy.kernel, platform.relative_speeds, n)
+    return result.normalized(lb)
+
+
 def average_normalized_comm(
     strategy_factory: StrategyFactory,
     platform_factory: PlatformFactory,
@@ -50,22 +69,32 @@ def average_normalized_comm(
     reps: int,
     *,
     seed: SeedLike = 0,
+    workers: int = 1,
 ) -> Summary:
     """Mean/std of normalized communication over *reps* simulations.
 
     Each repetition gets an independent RNG stream used for the platform
     draw, the strategy's choices and any dynamic speed perturbations —
     mirroring the paper's protocol of averaging over full re-runs.
+
+    ``workers`` distributes the repetitions over processes
+    (see :func:`repro.experiments.parallel.parallel_average_normalized_comm`):
+    ``1`` runs serially in-process, ``0`` uses one worker per CPU, and any
+    other positive count uses exactly that many processes.  Results are
+    bit-identical for every worker count because each repetition owns an
+    independent, pre-spawned RNG stream and the aggregation order is fixed.
     """
     if reps <= 0:
         raise ValueError(f"reps must be positive, got {reps}")
+    if workers != 1:
+        from repro.experiments.parallel import parallel_average_normalized_comm
+
+        return parallel_average_normalized_comm(
+            strategy_factory, platform_factory, n, reps, seed=seed, workers=workers
+        )
     stats = RunningStats()
     for rng in spawn_rngs(seed, reps):
-        platform, model = _unpack(platform_factory(rng))
-        strategy = strategy_factory()
-        result = simulate(strategy, platform, rng=rng, speed_model=model)
-        lb = lower_bound(strategy.kernel, platform.relative_speeds, n)
-        stats.add(result.normalized(lb))
+        stats.add(_rep_normalized_comm(rng, strategy_factory, platform_factory, n))
     return stats.summary()
 
 

@@ -34,10 +34,26 @@ class EventQueue:
         return bool(self._heap)
 
     def push(self, time: float, worker: int) -> None:
-        """Schedule *worker* to request work at *time*."""
+        """Schedule *worker* to request work at *time*.
+
+        This is the validating public entry point: worker ids and timestamps
+        are checked on every call.  The simulation loop validates its worker
+        ids once up front and then re-queues through :meth:`_push`, which
+        skips the per-event checks — at ~10^6 events per run the
+        ``math.isfinite`` + integer check pair is measurable.
+        """
         if not math.isfinite(time) or time < 0:
             raise ValueError(f"event time must be finite and >= 0, got {time}")
         check_nonnegative_int("worker id", worker)
+        heapq.heappush(self._heap, (time, self._seq, worker))
+        self._seq += 1
+
+    def _push(self, time: float, worker: int) -> None:
+        """Hot-path push: *time* and *worker* must already be validated.
+
+        Internal fast lane for the engine's event loop; callers outside
+        :mod:`repro.simulator` should use :meth:`push`.
+        """
         heapq.heappush(self._heap, (time, self._seq, worker))
         self._seq += 1
 

@@ -4,7 +4,9 @@ This package provides
 
 * :class:`~repro.taskpool.sample_set.SampleSet` — O(1) uniform sampling
   without replacement over a shrinking integer universe (swap-remove over a
-  contiguous NumPy buffer);
+  pre-sized buffer), with an opt-in batched fast path
+  (:class:`~repro.taskpool.sample_set.FastSampleSet`) that is
+  stream-compatible with single draws;
 * :class:`~repro.taskpool.outer_pool.OuterTaskPool` — the ``n x n`` domain of
   outer-product block tasks with vectorized cross marking;
 * :class:`~repro.taskpool.matrix_pool.MatrixTaskPool` — the ``n x n x n``
@@ -18,10 +20,12 @@ This package provides
 from repro.taskpool.knowledge import BlockCache, CubeKnowledge, VectorKnowledge
 from repro.taskpool.matrix_pool import MatrixTaskPool
 from repro.taskpool.outer_pool import OuterTaskPool
-from repro.taskpool.sample_set import SampleSet
+from repro.taskpool.sample_set import FastDrawMixin, FastSampleSet, SampleSet
 
 __all__ = [
     "SampleSet",
+    "FastDrawMixin",
+    "FastSampleSet",
     "OuterTaskPool",
     "MatrixTaskPool",
     "VectorKnowledge",

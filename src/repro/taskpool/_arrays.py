@@ -1,0 +1,19 @@
+"""Small shared array helpers for the task-pool bulk-marking primitives.
+
+Both :class:`~repro.taskpool.outer_pool.OuterTaskPool` and
+:class:`~repro.taskpool.matrix_pool.MatrixTaskPool` repeatedly need a
+one-element ``int64`` array to feed a single new index into their
+fancy-indexed marking slabs; keeping the constructor here avoids each pool
+re-defining a local lambda for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["single_index_array"]
+
+
+def single_index_array(value: int) -> np.ndarray:
+    """A one-element ``int64`` array holding *value* (for fancy indexing)."""
+    return np.array([value], dtype=np.int64)

@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.taskpool._arrays import single_index_array
 from repro.utils.validation import check_positive_int
 
 __all__ = ["MatrixTaskPool"]
@@ -96,7 +97,10 @@ class MatrixTaskPool:
         """Mark every unprocessed task in ``rows x cols x deps``; return count."""
         if rows.size == 0 or cols.size == 0 or deps.size == 0:
             return 0
-        grid = np.ix_(rows, cols, deps)
+        # Hand-built open mesh: equivalent to ``np.ix_(rows, cols, deps)``
+        # but without its per-call dtype introspection, which dominates at
+        # one shell (three slabs) per simulated event.
+        grid = (rows[:, None, None], cols[:, None], deps)
         sub = self._processed[grid]
         fresh = ~sub
         count = int(np.count_nonzero(fresh))
@@ -133,6 +137,10 @@ class MatrixTaskPool:
 
         Returns ``(count, ids)`` as in
         :meth:`~repro.taskpool.outer_pool.OuterTaskPool.mark_cross`.
+
+        This is the validating public entry point; DynamicMatrix, which
+        guarantees the precondition by construction, goes through
+        :meth:`_mark_shell` to skip the three ``np.any`` scans per event.
         """
         if i is not None and np.any(rows == i):
             raise ValueError(f"new index i={i} already in known rows")
@@ -140,21 +148,34 @@ class MatrixTaskPool:
             raise ValueError(f"new index j={j} already in known cols")
         if k is not None and np.any(deps == k):
             raise ValueError(f"new index k={k} already in known deps")
+        return self._mark_shell(i, j, k, rows, cols, deps)
+
+    def _mark_shell(
+        self,
+        i: Optional[int],
+        j: Optional[int],
+        k: Optional[int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        deps: np.ndarray,
+    ) -> Tuple[int, Optional[np.ndarray]]:
+        """Hot-path marking: the :meth:`mark_shell` precondition must hold."""
         ids: Optional[List[np.ndarray]] = [] if self.collect_ids else None
-        one = lambda v: np.array([v], dtype=np.int64)  # noqa: E731
-        grown_j = np.append(cols, j).astype(np.int64) if j is not None else cols
-        grown_k = np.append(deps, k).astype(np.int64) if k is not None else deps
+        grown_j = np.concatenate((cols, single_index_array(j))) if j is not None else cols
+        grown_k = np.concatenate((deps, single_index_array(k))) if k is not None else deps
 
         count = 0
         if i is not None:
-            count += self._mark_slab(one(i), grown_j, grown_k, ids)
+            count += self._mark_slab(single_index_array(i), grown_j, grown_k, ids)
         if j is not None:
-            count += self._mark_slab(np.asarray(rows, dtype=np.int64), one(j), grown_k, ids)
+            count += self._mark_slab(
+                np.asarray(rows, dtype=np.int64), single_index_array(j), grown_k, ids
+            )
         if k is not None:
             count += self._mark_slab(
                 np.asarray(rows, dtype=np.int64),
                 np.asarray(cols, dtype=np.int64),
-                one(k),
+                single_index_array(k),
                 ids,
             )
 

@@ -19,6 +19,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.taskpool._arrays import single_index_array
 from repro.utils.validation import check_positive_int
 
 __all__ = ["OuterTaskPool"]
@@ -116,11 +117,26 @@ class OuterTaskPool:
         Returns ``(count, ids)`` where *count* is the number of newly
         processed tasks and *ids* their flat ids (or ``None`` unless
         ``collect_ids``).
+
+        This is the validating public entry point; the Dynamic* strategies,
+        which guarantee the precondition by construction (new indices come
+        from the *unknown* sampler), go through :meth:`_mark_cross` — the
+        two ``np.any`` scans are measurable at one marking per event.
         """
         if i is not None and np.any(rows == i):
             raise ValueError(f"new index i={i} already in known rows")
         if j is not None and np.any(cols == j):
             raise ValueError(f"new index j={j} already in known cols")
+        return self._mark_cross(i, j, rows, cols)
+
+    def _mark_cross(
+        self,
+        i: Optional[int],
+        j: Optional[int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+    ) -> Tuple[int, Optional[np.ndarray]]:
+        """Hot-path marking: the :meth:`mark_cross` precondition must hold."""
         n = self._n
         proc = self._processed
         count = 0
@@ -130,7 +146,7 @@ class OuterTaskPool:
             proc[i, j] = True
             count += 1
             if ids is not None:
-                ids.append(np.array([i * n + j], dtype=np.int64))
+                ids.append(single_index_array(i * n + j))
 
         if i is not None and cols.size:
             hit = cols[~proc[i, cols]]

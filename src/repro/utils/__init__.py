@@ -4,7 +4,7 @@ These helpers are deliberately dependency-light; every other subpackage of
 :mod:`repro` builds on them.
 """
 
-from repro.utils.rng import as_generator, spawn_rngs
+from repro.utils.rng import as_generator, spawn_rngs, spawn_seed_sequences
 from repro.utils.stats import RunningStats, Summary, summarize
 from repro.utils.validation import (
     check_fraction,
@@ -16,6 +16,7 @@ from repro.utils.validation import (
 __all__ = [
     "as_generator",
     "spawn_rngs",
+    "spawn_seed_sequences",
     "RunningStats",
     "Summary",
     "summarize",

@@ -15,7 +15,7 @@ import numpy as np
 
 SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
 
-__all__ = ["as_generator", "spawn_rngs", "SeedLike"]
+__all__ = ["as_generator", "spawn_rngs", "spawn_seed_sequences", "SeedLike"]
 
 
 def as_generator(seed: SeedLike = None) -> np.random.Generator:
@@ -30,12 +30,15 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
-    """Derive *n* independent generators from a single seed.
+def spawn_seed_sequences(seed: SeedLike, n: int) -> List[np.random.SeedSequence]:
+    """Derive *n* independent child :class:`~numpy.random.SeedSequence`\\ s.
 
-    Used by the experiment runner to give each repetition of a simulation its
-    own stream while remaining reproducible from one top-level seed.
-    Returns a concrete ``list`` so callers can index, slice and ``len()`` it.
+    The resolved children fully determine the streams of
+    :func:`spawn_rngs` — ``as_generator(child)`` reproduces exactly the
+    generator that ``spawn_rngs(seed, n)[i]`` would return.  Seed sequences
+    (unlike generators) are cheap to pickle, so the parallel replicate
+    runner ships these to worker processes and rebuilds identical streams
+    there, guaranteeing bit-identical results to the serial path.
     """
     if isinstance(n, bool) or not isinstance(n, (int, np.integer)):
         raise TypeError(f"n must be an integer, got {type(n).__name__}")
@@ -44,9 +47,17 @@ def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
         raise ValueError(f"cannot spawn a negative number of RNGs (got {n})")
     if isinstance(seed, np.random.Generator):
         # Derive a seed sequence from the generator's own stream.
-        children = np.random.SeedSequence(seed.integers(0, 2**63)).spawn(n)
-    elif isinstance(seed, np.random.SeedSequence):
-        children = seed.spawn(n)
-    else:
-        children = np.random.SeedSequence(seed).spawn(n)
-    return [np.random.default_rng(c) for c in children]
+        return np.random.SeedSequence(seed.integers(0, 2**63)).spawn(n)
+    if isinstance(seed, np.random.SeedSequence):
+        return seed.spawn(n)
+    return np.random.SeedSequence(seed).spawn(n)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """Derive *n* independent generators from a single seed.
+
+    Used by the experiment runner to give each repetition of a simulation its
+    own stream while remaining reproducible from one top-level seed.
+    Returns a concrete ``list`` so callers can index, slice and ``len()`` it.
+    """
+    return [np.random.default_rng(c) for c in spawn_seed_sequences(seed, n)]

@@ -60,3 +60,11 @@ class TestMeanAnalysisRatio:
     def test_invalid_reps(self):
         with pytest.raises(ValueError):
             mean_analysis_ratio("outer", factory, 10, reps=-1)
+
+
+class TestWorkersOption:
+    def test_workers_param_delegates_and_matches_serial(self):
+        strategy = lambda: OuterRandom(10)  # noqa: E731
+        serial = average_normalized_comm(strategy, factory, 10, 4, seed=0, workers=1)
+        parallel = average_normalized_comm(strategy, factory, 10, 4, seed=0, workers=2)
+        assert parallel == serial
