@@ -56,7 +56,15 @@ from repro.platform import (
     set_speeds,
     uniform_speeds,
 )
-from repro.simulator import SimulationResult, Trace, simulate
+from repro.faults import (
+    FaultSchedule,
+    HeartbeatTimeout,
+    ReassignLost,
+    RecoveryPolicy,
+    ReplicateTail,
+    simulate_faulty,
+)
+from repro.simulator import FaultStats, SimulationResult, Trace, simulate
 
 __version__ = "1.0.0"
 
@@ -75,6 +83,14 @@ __all__ = [
     "simulate",
     "SimulationResult",
     "Trace",
+    # faults
+    "simulate_faulty",
+    "FaultSchedule",
+    "FaultStats",
+    "RecoveryPolicy",
+    "ReassignLost",
+    "HeartbeatTimeout",
+    "ReplicateTail",
     # strategies
     "Strategy",
     "Assignment",

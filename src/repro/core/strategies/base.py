@@ -157,6 +157,43 @@ class Strategy(ABC):
     def total_tasks(self) -> int:
         """Total number of block tasks of the kernel instance."""
 
+    # -- fault recovery ----------------------------------------------------
+
+    def release_tasks(self, task_ids: np.ndarray) -> None:
+        """Return allocated-but-unfinished tasks to the allocatable set.
+
+        Called by the fault-aware engine (:mod:`repro.faults`) when an
+        assignment is lost before completing: the tasks must become
+        allocatable again so a later request re-executes them.  Every
+        registered strategy implements this; custom strategies that never
+        run under :func:`repro.faults.simulate_faulty` may ignore it.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support fault recovery")
+
+    def forget_worker(self, worker: int) -> None:
+        """Drop everything the master believes *worker* holds.
+
+        Called when a worker crashes (its memory is gone): the master must
+        re-ship any block the worker needs from now on.  Implementations
+        reset the worker's knowledge/caches; they must not touch the task
+        pool (that is :meth:`release_tasks`'s job).
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support fault recovery")
+
+    def on_worker_lost(self, worker: int, task_ids: Optional[np.ndarray] = None) -> None:
+        """Fault hook: *worker* crashed with *task_ids* in flight.
+
+        The default composes :meth:`release_tasks` (the lost in-flight
+        tasks go back to the pool) with :meth:`forget_worker` (the worker's
+        cached blocks are gone) and is correct for every registered
+        strategy.  Override to react to churn — e.g. to rebalance remaining
+        work away from flaky workers — but keep the released tasks
+        allocatable or the run will never complete.
+        """
+        if task_ids is not None and task_ids.size:
+            self.release_tasks(task_ids)
+        self.forget_worker(worker)
+
     # -- accessors ---------------------------------------------------------
 
     @property

@@ -41,6 +41,14 @@ class OuterMapReduce(Strategy):
     def done(self) -> bool:
         return len(self._sampler) == 0
 
+    def release_tasks(self, task_ids: np.ndarray) -> None:
+        for t in np.asarray(task_ids, dtype=np.int64):
+            self._sampler.add(int(t))
+
+    def forget_worker(self, worker: int) -> None:
+        # Workers are stateless (full replication): nothing to forget.
+        pass
+
     def assign(self, worker: int, now: float) -> Assignment:
         if self.done:
             raise RuntimeError("assign() called after all tasks were allocated")
@@ -69,6 +77,14 @@ class MatrixMapReduce(Strategy):
     @property
     def done(self) -> bool:
         return len(self._sampler) == 0
+
+    def release_tasks(self, task_ids: np.ndarray) -> None:
+        for t in np.asarray(task_ids, dtype=np.int64):
+            self._sampler.add(int(t))
+
+    def forget_worker(self, worker: int) -> None:
+        # Workers are stateless (full replication): nothing to forget.
+        pass
 
     def assign(self, worker: int, now: float) -> Assignment:
         if self.done:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
 from repro.core.strategies.base import Assignment, Strategy
 from repro.taskpool.knowledge import CubeKnowledge
 from repro.taskpool.matrix_pool import MatrixTaskPool
@@ -61,6 +63,12 @@ class MatrixDynamic(Strategy):
     @property
     def done(self) -> bool:
         return self._pool.done
+
+    def release_tasks(self, task_ids: np.ndarray) -> None:
+        self._pool.release_tasks(task_ids)
+
+    def forget_worker(self, worker: int) -> None:
+        self._knowledge[worker] = CubeKnowledge(self.n)
 
     def assign(self, worker: int, now: float) -> Assignment:
         if self._pool.done:

@@ -32,6 +32,9 @@ class _MatrixTaskByTask(Strategy):
         self._cache_b: List[BlockCache] = [BlockCache((n, n)) for _ in range(p)]
         self._cache_c: List[BlockCache] = [BlockCache((n, n)) for _ in range(p)]
         self._remaining = n**3
+        # Tasks released by fault recovery; re-issued FIFO ahead of the
+        # regular order.  Empty (and never touched) in fault-free runs.
+        self._backlog: List[int] = []
         self._setup_order()
 
     def _setup_order(self) -> None:
@@ -48,10 +51,21 @@ class _MatrixTaskByTask(Strategy):
     def done(self) -> bool:
         return self._remaining == 0
 
+    def release_tasks(self, task_ids: np.ndarray) -> None:
+        released = np.asarray(task_ids, dtype=np.int64)
+        self._backlog.extend(int(t) for t in released)
+        self._remaining += int(released.size)
+
+    def forget_worker(self, worker: int) -> None:
+        n = self.n
+        self._cache_a[worker] = BlockCache((n, n))
+        self._cache_b[worker] = BlockCache((n, n))
+        self._cache_c[worker] = BlockCache((n, n))
+
     def assign(self, worker: int, now: float) -> Assignment:
         if self._remaining == 0:
             raise RuntimeError("assign() called after all tasks were allocated")
-        flat = self._next_task()
+        flat = self._backlog.pop(0) if self._backlog else self._next_task()
         self._remaining -= 1
         # Private attributes, not the validating properties: this runs once
         # per task (n^3 events per simulation).

@@ -123,6 +123,22 @@ class MatrixTwoPhase(MatrixDynamic):
             self._cache_b.append(cache_b)
             self._cache_c.append(cache_c)
 
+    # -- fault recovery ------------------------------------------------------
+
+    def release_tasks(self, task_ids: np.ndarray) -> None:
+        super().release_tasks(task_ids)
+        if self._phase2 and self._sampler is not None:
+            # Mirror the pool release into the frozen phase-2 sampler.
+            for t in np.asarray(task_ids, dtype=np.int64):
+                self._sampler.add(int(t))
+
+    def forget_worker(self, worker: int) -> None:
+        super().forget_worker(worker)
+        if self._phase2:
+            self._cache_a[worker] = BlockCache((self.n, self.n))
+            self._cache_b[worker] = BlockCache((self.n, self.n))
+            self._cache_c[worker] = BlockCache((self.n, self.n))
+
     # -- scheduling ----------------------------------------------------------
 
     def assign(self, worker: int, now: float) -> Assignment:

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from repro.core.strategies.base import Assignment, Strategy
 from repro.taskpool.knowledge import VectorKnowledge
 from repro.taskpool.outer_pool import OuterTaskPool
@@ -51,6 +53,15 @@ class OuterDynamic(Strategy):
     @property
     def done(self) -> bool:
         return self._pool.done
+
+    def release_tasks(self, task_ids: np.ndarray) -> None:
+        self._pool.release_tasks(task_ids)
+
+    def forget_worker(self, worker: int) -> None:
+        # A crashed worker restarts with empty memory; released tasks on its
+        # old cross are re-marked by future crosses (or a knowledge-complete
+        # worker's mark_all), so allocation stays exhaustive.
+        self._knowledge[worker] = VectorKnowledge(self.n)
 
     def assign(self, worker: int, now: float) -> Assignment:
         if self._pool.done:

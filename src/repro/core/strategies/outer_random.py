@@ -33,6 +33,9 @@ class _OuterTaskByTask(Strategy):
         self._cache_a: List[BlockCache] = [BlockCache(n) for _ in range(self.platform.p)]
         self._cache_b: List[BlockCache] = [BlockCache(n) for _ in range(self.platform.p)]
         self._remaining = n * n
+        # Tasks released by fault recovery; re-issued FIFO ahead of the
+        # regular order.  Empty (and never touched) in fault-free runs.
+        self._backlog: List[int] = []
         self._setup_order()
 
     def _setup_order(self) -> None:
@@ -50,10 +53,19 @@ class _OuterTaskByTask(Strategy):
     def done(self) -> bool:
         return self._remaining == 0
 
+    def release_tasks(self, task_ids: np.ndarray) -> None:
+        released = np.asarray(task_ids, dtype=np.int64)
+        self._backlog.extend(int(t) for t in released)
+        self._remaining += int(released.size)
+
+    def forget_worker(self, worker: int) -> None:
+        self._cache_a[worker] = BlockCache(self.n)
+        self._cache_b[worker] = BlockCache(self.n)
+
     def assign(self, worker: int, now: float) -> Assignment:
         if self._remaining == 0:
             raise RuntimeError("assign() called after all tasks were allocated")
-        flat = self._next_task()
+        flat = self._backlog.pop(0) if self._backlog else self._next_task()
         self._remaining -= 1
         # Private attributes, not the validating properties: this runs once
         # per task (n^2 events per simulation).

@@ -130,6 +130,23 @@ class OuterTwoPhase(OuterDynamic):
             self._cache_a.append(cache_a)
             self._cache_b.append(cache_b)
 
+    # -- fault recovery ------------------------------------------------------
+
+    def release_tasks(self, task_ids: np.ndarray) -> None:
+        super().release_tasks(task_ids)
+        if self._phase2 and self._sampler is not None:
+            # Phase 2 allocates from the frozen sampler, so released tasks
+            # must re-enter it as well as the pool bitmap (add() is a no-op
+            # for ids already present).
+            for t in np.asarray(task_ids, dtype=np.int64):
+                self._sampler.add(int(t))
+
+    def forget_worker(self, worker: int) -> None:
+        super().forget_worker(worker)
+        if self._phase2:
+            self._cache_a[worker] = BlockCache(self.n)
+            self._cache_b[worker] = BlockCache(self.n)
+
     # -- scheduling ----------------------------------------------------------
 
     def assign(self, worker: int, now: float) -> Assignment:

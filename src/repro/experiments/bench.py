@@ -103,6 +103,28 @@ def _engine_workload(strategy_name: str, n: int, p: int) -> Callable[[int], obje
     return run
 
 
+def _faulty_engine_workload(strategy_name: str, n: int, p: int) -> Callable[[int], object]:
+    """Fault-aware simulation: *strategy_name* under a drawn crash schedule."""
+
+    def run(seed: int) -> object:
+        from repro.faults.engine import simulate_faulty
+        from repro.faults.models import FaultSchedule
+
+        platform = Platform(uniform_speeds(p, 10, 100, rng=seed))
+        nominal = n * n / float(platform.speeds.sum())
+        schedule = FaultSchedule.draw(
+            p,
+            4.0 * nominal,
+            rng=seed + 2,
+            crash_rate=2.0 / nominal,
+            mean_downtime=0.1 * nominal,
+        )
+        strategy = make_strategy(strategy_name, n, collect_ids=True)
+        return simulate_faulty(strategy, platform, schedule=schedule, rng=seed + 1)
+
+    return run
+
+
 def _event_queue_workload(events: int) -> Callable[[int], object]:
     """Steady-state push/pop churn through the event heap."""
 
@@ -183,6 +205,11 @@ def build_suite(suite: str = "default") -> List[Workload]:
             "engine_matrix_dynamic",
             {"strategy": "DynamicMatrix", "n": n_mat, "p": p},
             _engine_workload("DynamicMatrix", n_mat, p),
+        ),
+        Workload(
+            "engine_outer_faulty",
+            {"strategy": "DynamicOuter", "n": n_rand, "p": p, "crashes_per_worker": 2},
+            _faulty_engine_workload("DynamicOuter", n_rand, p),
         ),
         Workload(
             "event_queue_churn",

@@ -72,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="summarize a results directory as markdown")
     report.add_argument("directory", help="directory holding figure CSVs")
     report.add_argument("-o", "--output", default=None, help="write the report here instead of stdout")
+
+    faults = sub.add_parser("faults", help="run the worker-churn sweep (figure flt01)")
+    faults.add_argument("--scale", choices=SCALES, default="ci", help="experiment scale (default: ci)")
+    faults.add_argument("--seed", type=int, default=0, help="top-level RNG seed (default: 0)")
+    faults.add_argument("--outdir", default=None, help="write CSV (and optional SVG/JSON) into this directory")
+    faults.add_argument("--svg", action="store_true", help="also write an SVG chart (needs --outdir)")
+    faults.add_argument("--json", action="store_true", help="also write a JSON summary (needs --outdir)")
+    faults.add_argument("--quiet", action="store_true", help="suppress the terminal rendering")
     return parser
 
 
@@ -131,6 +139,36 @@ def _run_beta(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.faults import churn_summary, flt01
+
+    start = time.time()
+    fig = flt01(scale=args.scale, seed=args.seed)
+    elapsed = time.time() - start
+    if not args.quiet:
+        print(render_figure(fig))
+        print(f"   [flt01 generated in {elapsed:.1f}s at scale={args.scale}]\n")
+    if args.outdir:
+        path = write_csv(fig, os.path.join(args.outdir, f"flt01_{args.scale}.csv"))
+        print(f"   wrote {path}")
+        if args.svg:
+            from repro.experiments.svgplot import write_svg
+
+            svg_path = write_svg(fig, os.path.join(args.outdir, f"flt01_{args.scale}.svg"))
+            print(f"   wrote {svg_path}")
+        if args.json:
+            json_path = os.path.join(args.outdir, f"flt01_{args.scale}.json")
+            with open(json_path, "w", encoding="utf-8") as fh:
+                json.dump(churn_summary(fig), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"   wrote {json_path}")
+    elif args.svg or args.json:
+        raise SystemExit("--svg/--json require --outdir")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -148,6 +186,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(summarize_results(args.directory))
         return 0
+
+    if args.command == "faults":
+        return _run_faults(args)
 
     if args.command == "list":
         for fid in sorted(FIGURES):

@@ -1,0 +1,161 @@
+"""Fault-injection experiments: scheduling under worker churn.
+
+The paper's figures assume workers never disappear; this extension asks how
+the communication advantage of the data-aware dynamic strategies holds up
+when they do.  The headline experiment, ``flt01``, sweeps the expected
+number of crashes per worker over one nominal run and plots the normalized
+communication amount per outer-product strategy — crashes destroy worker
+caches, so every strategy pays re-shipping costs, but the Dynamic*
+strategies additionally lose the carefully accumulated knowledge their
+block reuse depends on.
+
+Protocol per repetition: draw a fresh platform (speeds uniform in
+[10, 100], as in the paper), estimate the nominal makespan
+``n^2 / sum(speeds)``, pre-draw a :class:`~repro.faults.models.FaultSchedule`
+whose per-worker crash rate yields the target expected crash count over
+that nominal duration, and run :func:`~repro.faults.engine.simulate_faulty`
+with the default reassignment policy.  Everything derives from one seed per
+repetition, so the sweep is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence
+
+import numpy as np
+
+from repro.core.analysis.lower_bounds import lower_bound
+from repro.core.strategies.registry import make_strategy
+from repro.experiments.config import FigureData, check_scale
+from repro.faults.engine import simulate_faulty
+from repro.faults.models import FaultSchedule
+from repro.platform.platform import Platform
+from repro.platform.speeds import uniform_speeds
+from repro.utils.rng import SeedLike, spawn_rngs
+from repro.utils.stats import RunningStats
+
+__all__ = ["CHURN_STRATEGIES", "churn_summary", "flt01"]
+
+#: Strategies compared under churn: the outer-product cast of Figure 4.
+CHURN_STRATEGIES = ("RandomOuter", "SortedOuter", "DynamicOuter", "DynamicOuter2Phases")
+
+#: Mean downtime, as a fraction of the nominal (fault-free) makespan.
+_DOWNTIME_FRACTION = 0.1
+
+
+def _crash_grid(scale: str) -> Sequence[float]:
+    """Expected crashes per worker over one nominal run duration."""
+    return {
+        "paper": (0.0, 0.5, 1.0, 2.0, 4.0, 8.0),
+        "medium": (0.0, 1.0, 2.0, 4.0),
+        "ci": (0.0, 1.0, 2.0),
+    }[scale]
+
+
+def flt01(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+    """Churn sweep: normalized communication vs expected crashes per worker.
+
+    ``workers`` is accepted for interface parity with the other figure
+    generators but the sweep always runs serially: fault-aware runs are
+    dominated by per-task bookkeeping, not the replicate count.
+    """
+    check_scale(scale)
+    p = 20
+    n = {"paper": 100, "medium": 60, "ci": 16}[scale]
+    reps = {"paper": 10, "medium": 5, "ci": 2}[scale]
+
+    fig = FigureData(
+        figure_id="flt01",
+        title="Outer product under worker churn (p=20)",
+        xlabel="Expected crashes per worker (per nominal run)",
+        ylabel="Normalized communication amount",
+        meta={
+            "kernel": "outer",
+            "n": n,
+            "p": p,
+            "reps": reps,
+            "downtime_fraction": _DOWNTIME_FRACTION,
+            "policy": "ReassignLost",
+        },
+    )
+    for name in CHURN_STRATEGIES:
+        fig.new_series(name)
+    crash_stats = fig.new_series("crashes_observed")
+
+    for expected_crashes in _crash_grid(scale):
+        per_point: Dict[str, RunningStats] = {name: RunningStats() for name in CHURN_STRATEGIES}
+        observed = RunningStats()
+        for rng in spawn_rngs(seed, reps):
+            platform = Platform(uniform_speeds(p, 10, 100, rng=rng))
+            nominal = n * n / float(platform.speeds.sum())
+            if expected_crashes > 0.0:
+                # Crashes keep firing while recovery extends the run, so
+                # draw the schedule over a generous multiple of the nominal
+                # makespan; the rate is what fixes the expected count.
+                schedule = FaultSchedule.draw(
+                    p,
+                    4.0 * nominal,
+                    rng=rng,
+                    crash_rate=expected_crashes / nominal,
+                    mean_downtime=_DOWNTIME_FRACTION * nominal,
+                )
+            else:
+                schedule = FaultSchedule.empty()
+            lb = lower_bound("outer", platform.relative_speeds, n)
+            for name in CHURN_STRATEGIES:
+                strategy = make_strategy(name, n, collect_ids=True)
+                result = simulate_faulty(strategy, platform, schedule=schedule, rng=rng)
+                per_point[name].add(result.normalized(lb))
+                if name == CHURN_STRATEGIES[0]:
+                    assert result.faults is not None
+                    observed.add(float(result.faults.n_crashes) / p)
+        for name in CHURN_STRATEGIES:
+            summary = per_point[name].summary()
+            fig[name].add(expected_crashes, summary.mean, summary.std)
+        obs = observed.summary()
+        crash_stats.add(expected_crashes, obs.mean, obs.std)
+    return fig
+
+
+def churn_summary(fig: FigureData) -> Dict[str, Any]:
+    """JSON-ready summary of a ``flt01`` figure (for the CI artifact).
+
+    Reports, per strategy, the normalized communication at zero churn and at
+    the highest churn level, plus the relative degradation between the two —
+    the quantity the sweep exists to measure.
+    """
+    if fig.figure_id != "flt01":
+        raise ValueError(f"expected a flt01 figure, got {fig.figure_id!r}")
+    strategies: Dict[str, Any] = {}
+    for name in CHURN_STRATEGIES:
+        series = fig[name]
+        if len(series) == 0:
+            continue
+        baseline = series.mean[0]
+        worst = series.mean[-1]
+        strategies[name] = {
+            "x": list(series.x),
+            "mean": list(series.mean),
+            "std": list(series.std),
+            "baseline": baseline,
+            "at_max_churn": worst,
+            "degradation": (worst - baseline) / baseline if baseline > 0 else float("nan"),
+        }
+    return {
+        "figure": fig.figure_id,
+        "title": fig.title,
+        "meta": {k: _jsonable(v) for k, v in fig.meta.items()},
+        "strategies": strategies,
+        "crashes_observed": {
+            "x": list(fig["crashes_observed"].x),
+            "mean": list(fig["crashes_observed"].mean),
+        },
+    }
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value

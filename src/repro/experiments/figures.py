@@ -508,6 +508,13 @@ def _extension_figures() -> Dict[str, Callable[..., FigureData]]:
     return {"ext01": ext01, "ext02": ext02, "ext03": ext03}
 
 
+def _fault_figures() -> Dict[str, Callable[..., FigureData]]:
+    # Imported lazily, like _extension_figures: pulls in repro.faults.
+    from repro.experiments.faults import flt01
+
+    return {"flt01": flt01}
+
+
 FIGURES: Dict[str, Callable[..., FigureData]] = {
     "fig01": fig01,
     "fig02": fig02,
@@ -521,6 +528,7 @@ FIGURES: Dict[str, Callable[..., FigureData]] = {
     "fig11": fig11,
     "sec36": sec36,
     **_extension_figures(),
+    **_fault_figures(),
 }
 
 

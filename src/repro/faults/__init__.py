@@ -1,0 +1,38 @@
+"""Fault injection and recovery for dynamic schedulers on unreliable platforms.
+
+The paper evaluates dynamic scheduling under *speed* variability (Figure
+8); this subsystem adds the orthogonal *availability* axis — crashes,
+stragglers and lost messages — while keeping every run a pure function of
+``(config, seed)``:
+
+* :mod:`repro.faults.models` — deterministic, pre-drawn fault schedules
+  (:class:`WorkerCrash`, :class:`Slowdown`, :class:`AssignmentLoss`,
+  :class:`FaultSchedule`);
+* :mod:`repro.faults.policies` — recovery policies
+  (:class:`ReassignLost`, :class:`HeartbeatTimeout`, :class:`ReplicateTail`);
+* :mod:`repro.faults.engine` — :func:`simulate_faulty`, the fault-aware
+  event loop; bit-identical to :func:`repro.simulator.simulate` for an
+  empty schedule.
+"""
+
+from repro.faults.engine import FaultDeadlockError, simulate_faulty
+from repro.faults.models import AssignmentLoss, FaultSchedule, Slowdown, WorkerCrash
+from repro.faults.policies import (
+    HeartbeatTimeout,
+    ReassignLost,
+    RecoveryPolicy,
+    ReplicateTail,
+)
+
+__all__ = [
+    "simulate_faulty",
+    "FaultDeadlockError",
+    "FaultSchedule",
+    "WorkerCrash",
+    "Slowdown",
+    "AssignmentLoss",
+    "RecoveryPolicy",
+    "ReassignLost",
+    "HeartbeatTimeout",
+    "ReplicateTail",
+]

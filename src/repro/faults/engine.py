@@ -1,0 +1,458 @@
+"""The fault-aware simulation loop.
+
+:func:`simulate_faulty` wraps the demand-driven execution model of
+:func:`repro.simulator.simulate` with crash/restart, slowdown, lost-message
+and heartbeat-timeout events, all multiplexed through the *same*
+:class:`~repro.simulator.events.EventQueue`.  Four event kinds share the
+queue, encoded into the integer payload as ``kind + 4 * (worker + p * epoch)``:
+
+========  =====================================================
+``SELF``  worker becomes idle: complete its assignment, request
+``CRASH`` pre-drawn worker crash fires
+``RESTART`` crashed worker rejoins (cold cache) and requests
+``TIMEOUT`` a policy heartbeat deadline fires
+========  =====================================================
+
+``epoch`` is a per-worker monotone counter bumped on every crash and every
+assignment completion; events carrying a stale epoch are discarded on pop.
+This is what makes crash-at-completion races unambiguous: a crash at the
+exact timestamp of a finish invalidates the finish (FIFO pop order decides
+which fired first), and a completed assignment can never be re-released by
+its own late heartbeat.
+
+Correctness contract (verified by the property tests):
+
+* **exactly-once completion** — a first-completion bitmap guarantees every
+  task of the kernel is counted complete exactly once; re-executions and
+  replica finishes are tallied separately in
+  :class:`~repro.simulator.results.FaultStats`;
+* **fault-free reduction** — with an empty schedule and the default policy
+  the loop performs the same pops, the same strategy calls and the same RNG
+  draws as :func:`repro.simulator.simulate`, so results are bit-identical;
+* **termination** — releases only ever return tasks to the pool (knowledge
+  grows monotonically, so a knowledge-complete worker eventually absorbs
+  any remainder); if every worker is down or parked and no event is
+  pending, the loop raises :class:`FaultDeadlockError` instead of hanging.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.strategies.base import Strategy
+from repro.faults.models import FaultSchedule, Slowdown, WorkerCrash
+from repro.faults.policies import RecoveryPolicy, ReassignLost
+from repro.platform.platform import Platform
+from repro.platform.speeds import SpeedModel, StaticSpeedModel
+from repro.simulator.engine import LivelockError
+from repro.simulator.events import EventQueue
+from repro.simulator.results import FaultStats, SimulationResult
+from repro.simulator.trace import AssignmentRecord, FaultRecord, Trace
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["simulate_faulty", "FaultDeadlockError"]
+
+# Event kinds multiplexed into the queue's integer payload.
+_SELF, _CRASH, _RESTART, _TIMEOUT = 0, 1, 2, 3
+
+
+class FaultDeadlockError(RuntimeError):
+    """Raised when no event is pending but the computation is unfinished.
+
+    This happens only for schedules without eventual worker availability —
+    e.g. every worker crashed and none restarts — or for policies that park
+    workers while no straggler can ever finish.
+    """
+
+
+def _prepare(
+    schedule: FaultSchedule, p: int
+) -> Tuple[List[List[WorkerCrash]], List[List[Slowdown]], List[List[int]]]:
+    """Split the schedule into per-worker event lists (time-sorted)."""
+    crashes: List[List[WorkerCrash]] = [[] for _ in range(p)]
+    for crash in schedule.crashes:
+        crashes[crash.worker].append(crash)
+    slowdowns: List[List[Slowdown]] = [[] for _ in range(p)]
+    for window in schedule.slowdowns:
+        slowdowns[window.worker].append(window)
+    losses: List[List[int]] = [[] for _ in range(p)]
+    for loss in schedule.losses:
+        losses[loss.worker].append(loss.request_index)
+    return crashes, slowdowns, losses
+
+
+def simulate_faulty(
+    strategy: Strategy,
+    platform: Platform,
+    *,
+    schedule: FaultSchedule,
+    policy: Optional[RecoveryPolicy] = None,
+    rng: SeedLike = None,
+    speed_model: Optional[SpeedModel] = None,
+    collect_trace: bool = False,
+) -> SimulationResult:
+    """Run *strategy* on *platform* under the fault *schedule*.
+
+    Parameters mirror :func:`repro.simulator.simulate`, plus:
+
+    schedule:
+        A pre-drawn :class:`~repro.faults.models.FaultSchedule`.  An empty
+        schedule (with the default policy) reproduces the fault-free engine
+        bit for bit.
+    policy:
+        A :class:`~repro.faults.policies.RecoveryPolicy`; defaults to
+        :class:`~repro.faults.policies.ReassignLost`.  Crashed workers'
+        in-flight tasks are always released back to the pool regardless of
+        the policy.
+
+    The strategy must be built with ``collect_ids=True`` whenever the
+    schedule is non-empty or the policy needs per-task tracking
+    (heartbeats, replication): completions are deduplicated through a
+    first-completion bitmap over flat task ids.
+
+    Returns a :class:`~repro.simulator.results.SimulationResult` whose
+    ``faults`` field carries the :class:`~repro.simulator.results.FaultStats`
+    accounting; with ``collect_trace=True`` the trace additionally holds one
+    :class:`~repro.simulator.trace.FaultRecord` per fault/recovery event.
+    """
+    if not isinstance(schedule, FaultSchedule):
+        raise TypeError(f"schedule must be a FaultSchedule, got {type(schedule).__name__}")
+    if policy is None:
+        policy = ReassignLost()
+    p = platform.p
+    if schedule.max_worker >= p:
+        raise ValueError(
+            f"schedule references worker {schedule.max_worker} but the "
+            f"platform has only {p} workers"
+        )
+    needs_ids = (not schedule.is_empty) or policy.needs_task_ids
+    if needs_ids and not strategy.collect_ids:
+        raise ValueError(
+            "fault injection needs per-task completion tracking; build the "
+            "strategy with collect_ids=True"
+        )
+
+    generator = as_generator(rng)
+    model = speed_model if speed_model is not None else StaticSpeedModel()
+    model.reset(platform, generator)
+    strategy.reset(platform, generator)
+    policy.reset(strategy, platform)
+
+    total = strategy.total_tasks
+    track = strategy.collect_ids
+    per_task_blocks = 2 if strategy.kernel == "outer" else 3
+
+    queue = EventQueue()
+    # Initial requests, one per worker, validated once; the loop re-queues
+    # through the unchecked fast path (identically to the fault-free engine).
+    for w in range(p):
+        queue.push(0.0, _SELF + 4 * w)
+    crash_lists, slow_lists, lost_lists = _prepare(schedule, p)
+    crash_ptr = [0] * p
+    slow_ptr = [0] * p
+    lost_ptr = [0] * p
+    # Crash events are externally scheduled: push them all up front (the
+    # epoch part of the token is ignored for CRASH on pop).
+    for w, crash_list in enumerate(crash_lists):
+        for crash in crash_list:
+            queue.push(crash.time, _CRASH + 4 * w)
+
+    # -- per-worker state --------------------------------------------------
+    alive = [True] * p
+    parked = [False] * p
+    epoch = [0] * p
+    req_count = [0] * p
+    cache_blocks = [0] * p
+    inflight_ids: List[Optional[np.ndarray]] = [None] * p
+    inflight_blocks = [0] * p
+
+    # -- accounting --------------------------------------------------------
+    blocks = [0] * p
+    tasks = [0] * p
+    makespan = 0.0
+    n_assignments = 0
+    allocated_tasks = 0
+    trace = Trace() if collect_trace else None
+    stats_n_crashes = 0
+    stats_n_restarts = 0
+    stats_n_lost = 0
+    stats_n_timeouts = 0
+    stats_wasted_blocks = 0
+    stats_lost_cache = 0
+    stats_released = 0
+    stats_replicated = 0
+    stats_duplicates = 0
+
+    completed = np.zeros(total, dtype=bool) if track else None
+    completed_count = 0
+
+    zero_streak = 0
+    # Same budget as the fault-free engine, with slack per crash: every
+    # forget_worker resets knowledge, legitimately re-enabling up to ~3n
+    # zero-task (index-only) assignments for that worker.
+    zero_budget = 4 * (3 * strategy.n + 2) * p * (1 + len(schedule.crashes)) + 1024
+
+    queue_pop = queue.pop
+    queue_push = queue.push_unchecked
+    assign = strategy.assign
+
+    static_speeds: Optional[List[float]] = None
+    if type(model) is StaticSpeedModel:
+        static_speeds = [float(s) for s in platform.speeds]
+    model_duration = model.duration
+    base_speeds = [float(s) for s in platform.speeds]
+
+    def wake_parked(now: float) -> None:
+        """Re-queue every parked, alive worker (tasks became allocatable)."""
+        for u in range(p):
+            if parked[u] and alive[u]:
+                parked[u] = False
+                queue_push(now, _SELF + 4 * (u + p * epoch[u]))
+
+    def slow_factor(worker: int, now: float) -> float:
+        """Straggler factor of the window containing *now*, else 1.0."""
+        windows = slow_lists[worker]
+        ptr = slow_ptr[worker]
+        while ptr < len(windows) and windows[ptr].end <= now:
+            ptr += 1
+        slow_ptr[worker] = ptr
+        if ptr < len(windows) and windows[ptr].start <= now:
+            return windows[ptr].factor
+        return 1.0
+
+    def is_lost(worker: int, request_index: int) -> bool:
+        indices = lost_lists[worker]
+        ptr = lost_ptr[worker]
+        while ptr < len(indices) and indices[ptr] < request_index:
+            ptr += 1
+        lost_ptr[worker] = ptr
+        if ptr < len(indices) and indices[ptr] == request_index:
+            lost_ptr[worker] = ptr + 1
+            return True
+        return False
+
+    while True:
+        if (completed_count >= total) if track else strategy.done:
+            break
+        if not queue:
+            raise FaultDeadlockError(
+                f"no pending event but only {completed_count}/{total} tasks "
+                f"completed (strategy={strategy.name}); the schedule leaves "
+                "no worker available to finish the run"
+            )
+        now, token = queue_pop()
+        kind = token & 3
+        rest = token >> 2
+        worker = rest % p
+
+        if kind == _CRASH:
+            if not alive[worker]:
+                continue  # defensive: hand-made overlapping schedules
+            crash = crash_lists[worker][crash_ptr[worker]]
+            crash_ptr[worker] += 1
+            stats_n_crashes += 1
+            epoch[worker] += 1  # invalidates the worker's SELF/TIMEOUT events
+            alive[worker] = False
+            parked[worker] = False
+            lost_ids = inflight_ids[worker]
+            release_ids: Optional[np.ndarray] = None
+            if lost_ids is not None and lost_ids.size:
+                stats_wasted_blocks += inflight_blocks[worker]
+                # Only uncompleted copies need re-execution; a re-executed
+                # task whose original straggler already finished is done.
+                assert completed is not None
+                release_ids = lost_ids[~completed[lost_ids]]
+            n_released = 0 if release_ids is None else int(release_ids.size)
+            stats_released += n_released
+            strategy.on_worker_lost(worker, release_ids)
+            inflight_ids[worker] = None
+            inflight_blocks[worker] = 0
+            lost_cache = cache_blocks[worker]
+            stats_lost_cache += lost_cache
+            cache_blocks[worker] = 0
+            if trace is not None:
+                trace.append_fault(FaultRecord(now, "crash", worker, n_released, lost_cache))
+            queue_push(crash.restart_time, _RESTART + 4 * (worker + p * epoch[worker]))
+            if n_released:
+                wake_parked(now)
+            continue
+
+        if kind == _RESTART:
+            if alive[worker]:
+                continue  # defensive: cannot happen for drawn schedules
+            alive[worker] = True
+            stats_n_restarts += 1
+            if trace is not None:
+                trace.append_fault(FaultRecord(now, "restart", worker))
+            # The rejoined worker requests work immediately.
+            queue_push(now, _SELF + 4 * (worker + p * epoch[worker]))
+            continue
+
+        ev_epoch = rest // p
+
+        if kind == _TIMEOUT:
+            if ev_epoch != epoch[worker] or not alive[worker]:
+                continue  # assignment completed or worker crashed meanwhile
+            late_ids = inflight_ids[worker]
+            if late_ids is None or late_ids.size == 0:
+                continue
+            # Declare the assignment lost: its uncompleted tasks go back to
+            # the pool for re-execution while the straggler keeps computing
+            # its own copy (a late finish becomes a duplicate completion).
+            policy.register_timeout(worker)
+            stats_n_timeouts += 1
+            assert completed is not None
+            late_uncompleted = late_ids[~completed[late_ids]]
+            if trace is not None:
+                trace.append_fault(
+                    FaultRecord(now, "timeout", worker, int(late_uncompleted.size))
+                )
+            if late_uncompleted.size:
+                stats_released += int(late_uncompleted.size)
+                strategy.release_tasks(late_uncompleted)
+                wake_parked(now)
+            continue
+
+        # -- SELF: completion (if computing) then a new work request -------
+        if ev_epoch != epoch[worker] or not alive[worker]:
+            continue
+        if track:
+            done_ids = inflight_ids[worker]
+            if done_ids is not None:
+                epoch[worker] += 1  # retire any pending heartbeat deadline
+                if done_ids.size:
+                    assert completed is not None
+                    firsts = int(np.count_nonzero(~completed[done_ids]))
+                    stats_duplicates += int(done_ids.size) - firsts
+                    if firsts:
+                        completed[done_ids] = True
+                        completed_count += firsts
+                        if now > makespan:
+                            makespan = now
+                inflight_ids[worker] = None
+                inflight_blocks[worker] = 0
+
+        if strategy.done:
+            if track and completed_count < total:
+                assert completed is not None
+                replicas = policy.tail_replicas(
+                    worker, now, inflight_ids, completed, completed_count
+                )
+                if replicas is not None and replicas.size:
+                    n_rep = int(replicas.size)
+                    rep_blocks = n_rep * per_task_blocks
+                    stats_replicated += n_rep
+                    blocks[worker] += rep_blocks
+                    cache_blocks[worker] += rep_blocks
+                    tasks[worker] += n_rep
+                    n_assignments += 1
+                    if static_speeds is not None:
+                        duration = n_rep / static_speeds[worker]
+                    else:
+                        duration = model_duration(worker, n_rep)
+                    duration *= slow_factor(worker, now)
+                    inflight_ids[worker] = replicas
+                    inflight_blocks[worker] = rep_blocks
+                    if trace is not None:
+                        trace.append_fault(
+                            FaultRecord(now, "replicate", worker, n_rep, rep_blocks)
+                        )
+                        trace.append(
+                            AssignmentRecord(now, worker, rep_blocks, n_rep, duration, 1, replicas)
+                        )
+                    queue_push(now + duration, _SELF + 4 * (worker + p * epoch[worker]))
+                    continue
+            parked[worker] = True
+            continue
+
+        assignment = assign(worker, now)
+        n_assignments += 1
+        request_index = req_count[worker]
+        req_count[worker] += 1
+        a_tasks = assignment.tasks
+        a_blocks = assignment.blocks
+        allocated_tasks += a_tasks
+        blocks[worker] += a_blocks
+        cache_blocks[worker] += a_blocks
+        nominal = a_tasks / base_speeds[worker]
+
+        if is_lost(worker, request_index):
+            # The allocation message vanishes: blocks arrived (the master's
+            # cache bookkeeping stays truthful) but no work starts.  The
+            # tasks return to the pool and the worker re-requests after the
+            # time the lost work would have taken.
+            stats_n_lost += 1
+            stats_wasted_blocks += a_blocks
+            if a_tasks and assignment.task_ids is not None:
+                stats_released += a_tasks
+                strategy.release_tasks(assignment.task_ids)
+            if trace is not None:
+                trace.append_fault(FaultRecord(now, "loss", worker, a_tasks, a_blocks))
+                trace.append(
+                    AssignmentRecord(
+                        now, worker, a_blocks, a_tasks, 0.0, assignment.phase, assignment.task_ids
+                    )
+                )
+            queue_push(now + nominal, _SELF + 4 * (worker + p * epoch[worker]))
+            if a_tasks:
+                wake_parked(now)
+            continue
+
+        tasks[worker] += a_tasks
+        if static_speeds is not None:
+            duration = a_tasks / static_speeds[worker]
+        else:
+            duration = model_duration(worker, a_tasks)
+        factor = slow_factor(worker, now)
+        if factor != 1.0:
+            duration *= factor
+        finish = now + duration
+        if a_tasks > 0:
+            if not track and finish > makespan:
+                makespan = finish
+            zero_streak = 0
+        else:
+            zero_streak += 1
+            if zero_streak > zero_budget:
+                raise LivelockError(
+                    f"{zero_streak} consecutive zero-task assignments "
+                    f"(strategy={strategy.name}, remaining tasks unallocated)"
+                )
+        if trace is not None:
+            trace.append(
+                AssignmentRecord(
+                    now, worker, a_blocks, a_tasks, duration, assignment.phase, assignment.task_ids
+                )
+            )
+        if track:
+            inflight_ids[worker] = assignment.task_ids
+            inflight_blocks[worker] = a_blocks
+            deadline = policy.timeout_deadline(worker, now, nominal)
+            if deadline is not None and a_tasks > 0:
+                queue_push(deadline, _TIMEOUT + 4 * (worker + p * epoch[worker]))
+        queue_push(finish, _SELF + 4 * (worker + p * epoch[worker]))
+
+    stats = FaultStats(
+        n_crashes=stats_n_crashes,
+        n_restarts=stats_n_restarts,
+        n_lost_assignments=stats_n_lost,
+        n_timeouts=stats_n_timeouts,
+        wasted_blocks=stats_wasted_blocks,
+        lost_cache_blocks=stats_lost_cache,
+        released_tasks=stats_released,
+        reexecuted_tasks=max(0, allocated_tasks - total),
+        replicated_tasks=stats_replicated,
+        duplicate_completions=stats_duplicates,
+    )
+    return SimulationResult(
+        total_blocks=sum(blocks),
+        per_worker_blocks=np.asarray(blocks, dtype=np.int64),
+        per_worker_tasks=np.asarray(tasks, dtype=np.int64),
+        makespan=makespan,
+        n_assignments=n_assignments,
+        strategy_name=strategy.name,
+        trace=trace,
+        faults=stats,
+    )

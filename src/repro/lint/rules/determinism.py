@@ -23,6 +23,7 @@ _DETERMINISTIC_PACKAGES = (
     "repro.simulator",
     "repro.core.strategies",
     "repro.taskpool",
+    "repro.faults",
 )
 
 #: Dotted call targets that read wall-clock time or OS entropy.

@@ -21,22 +21,24 @@ uploaded slightly in advance), so only the volume matters.
 from repro.simulator.engine import LivelockError, simulate
 from repro.simulator.events import EventQueue
 from repro.simulator.gantt import ascii_gantt, utilization, worker_intervals
-from repro.simulator.results import SimulationResult
+from repro.simulator.results import FaultStats, SimulationResult
 from repro.simulator.serialize import (
     load_result,
     result_from_json,
     result_to_json,
     save_result,
 )
-from repro.simulator.trace import AssignmentRecord, Trace
+from repro.simulator.trace import AssignmentRecord, FaultRecord, Trace
 
 __all__ = [
     "simulate",
     "LivelockError",
     "EventQueue",
     "SimulationResult",
+    "FaultStats",
     "Trace",
     "AssignmentRecord",
+    "FaultRecord",
     "ascii_gantt",
     "utilization",
     "worker_intervals",

@@ -102,7 +102,7 @@ def simulate(
 
     # Hoisted method lookups for the event loop.
     queue_pop = queue.pop
-    queue_push = queue._push
+    queue_push = queue.push_unchecked
     assign = strategy.assign
 
     # StaticSpeedModel (every figure except 8) reduces to one float division

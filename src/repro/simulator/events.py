@@ -38,9 +38,10 @@ class EventQueue:
 
         This is the validating public entry point: worker ids and timestamps
         are checked on every call.  The simulation loop validates its worker
-        ids once up front and then re-queues through :meth:`_push`, which
-        skips the per-event checks — at ~10^6 events per run the
-        ``math.isfinite`` + integer check pair is measurable.
+        ids once up front and then re-queues through
+        :meth:`push_unchecked`, which skips the per-event checks — at ~10^6
+        events per run the ``math.isfinite`` + integer check pair is
+        measurable.
         """
         if not math.isfinite(time) or time < 0:
             raise ValueError(f"event time must be finite and >= 0, got {time}")
@@ -48,11 +49,15 @@ class EventQueue:
         heapq.heappush(self._heap, (time, self._seq, worker))
         self._seq += 1
 
-    def _push(self, time: float, worker: int) -> None:
+    def push_unchecked(self, time: float, worker: int) -> None:
         """Hot-path push: *time* and *worker* must already be validated.
 
-        Internal fast lane for the engine's event loop; callers outside
-        :mod:`repro.simulator` should use :meth:`push`.
+        Public fast lane for event loops that validate their inputs once up
+        front (the simulation engines re-queue the same worker ids ~10^6
+        times per run).  Ordering and tie-breaking are identical to
+        :meth:`push`; only the per-call finiteness/integer checks are
+        skipped, so callers must guarantee ``time`` is finite and >= 0 and
+        ``worker`` is a non-negative int.  When in doubt, use :meth:`push`.
         """
         heapq.heappush(self._heap, (time, self._seq, worker))
         self._seq += 1

@@ -9,7 +9,62 @@ import numpy as np
 
 from repro.simulator.trace import Trace
 
-__all__ = ["SimulationResult"]
+__all__ = ["FaultStats", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class FaultStats:
+    """Fault/recovery accounting of one fault-aware simulation run.
+
+    Produced by :func:`repro.faults.simulate_faulty`; all counters are zero
+    for an empty fault schedule.  Defined here (not in :mod:`repro.faults`)
+    so :class:`SimulationResult` can carry it without the simulator
+    depending on the fault subsystem.
+
+    Attributes
+    ----------
+    n_crashes / n_restarts:
+        Crash and restart events that actually fired during the run.
+    n_lost_assignments:
+        Assignments whose allocation message was lost in transit.
+    n_timeouts:
+        Heartbeat deadlines that fired and released an in-flight assignment.
+    wasted_blocks:
+        Blocks shipped with assignments that never completed (crashed
+        worker or lost allocation message).
+    lost_cache_blocks:
+        Cached blocks destroyed by crashes — the master's re-shipping
+        exposure (an upper bound on the blocks that must travel again).
+    released_tasks:
+        Task allocations returned to the pool by recovery (a task released
+        twice counts twice).
+    reexecuted_tasks:
+        Extra allocations caused by recovery: total allocated task count
+        minus the kernel's task count.
+    replicated_tasks:
+        Duplicate tail tasks issued by a replicating policy.
+    duplicate_completions:
+        Task completions beyond the first (stragglers finishing after their
+        work was re-issued or replicated), counted up to the run's last
+        first-completion — copies still in flight when the run ends are not
+        waited for.
+    """
+
+    n_crashes: int = 0
+    n_restarts: int = 0
+    n_lost_assignments: int = 0
+    n_timeouts: int = 0
+    wasted_blocks: int = 0
+    lost_cache_blocks: int = 0
+    released_tasks: int = 0
+    reexecuted_tasks: int = 0
+    replicated_tasks: int = 0
+    duplicate_completions: int = 0
+
+    @property
+    def any_faults(self) -> bool:
+        """True when at least one fault event fired during the run."""
+        return bool(self.n_crashes or self.n_lost_assignments or self.n_timeouts)
 
 
 @dataclass(frozen=True)
@@ -32,6 +87,9 @@ class SimulationResult:
         Name of the strategy that produced the run.
     trace:
         Full assignment trace when requested, else ``None``.
+    faults:
+        Fault/recovery accounting when produced by the fault-aware engine
+        (:func:`repro.faults.simulate_faulty`), else ``None``.
     """
 
     total_blocks: int
@@ -41,6 +99,7 @@ class SimulationResult:
     n_assignments: int
     strategy_name: str
     trace: Optional[Trace] = None
+    faults: Optional[FaultStats] = None
 
     @property
     def total_tasks(self) -> int:

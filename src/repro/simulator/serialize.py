@@ -8,12 +8,13 @@ arrays become lists, the optional per-record ``task_ids`` are preserved.
 from __future__ import annotations
 
 import json
+from dataclasses import asdict
 from typing import Optional
 
 import numpy as np
 
-from repro.simulator.results import SimulationResult
-from repro.simulator.trace import AssignmentRecord, Trace
+from repro.simulator.results import FaultStats, SimulationResult
+from repro.simulator.trace import AssignmentRecord, FaultRecord, Trace
 
 __all__ = ["result_to_json", "result_from_json", "save_result", "load_result"]
 
@@ -31,6 +32,8 @@ def result_to_json(result: SimulationResult) -> str:
         "makespan": result.makespan,
         "n_assignments": result.n_assignments,
         "trace": None,
+        "fault_events": None,
+        "faults": None,
     }
     if result.trace is not None:
         payload["trace"] = [
@@ -45,6 +48,19 @@ def result_to_json(result: SimulationResult) -> str:
             }
             for r in result.trace
         ]
+        if result.trace.faults:
+            payload["fault_events"] = [
+                {
+                    "time": r.time,
+                    "kind": r.kind,
+                    "worker": r.worker,
+                    "tasks": r.tasks,
+                    "blocks": r.blocks,
+                }
+                for r in result.trace.faults
+            ]
+    if result.faults is not None:
+        payload["faults"] = asdict(result.faults)
     return json.dumps(payload)
 
 
@@ -68,6 +84,19 @@ def result_from_json(text: str) -> SimulationResult:
                     task_ids=None if r["task_ids"] is None else np.asarray(r["task_ids"], dtype=np.int64),
                 )
             )
+        for f in payload.get("fault_events") or []:
+            trace.append_fault(
+                FaultRecord(
+                    time=f["time"],
+                    kind=f["kind"],
+                    worker=f["worker"],
+                    tasks=f["tasks"],
+                    blocks=f["blocks"],
+                )
+            )
+    fault_stats: Optional[FaultStats] = None
+    if payload.get("faults") is not None:
+        fault_stats = FaultStats(**payload["faults"])
     return SimulationResult(
         total_blocks=payload["total_blocks"],
         per_worker_blocks=np.asarray(payload["per_worker_blocks"], dtype=np.int64),
@@ -76,6 +105,7 @@ def result_from_json(text: str) -> SimulationResult:
         n_assignments=payload["n_assignments"],
         strategy_name=payload["strategy"],
         trace=trace,
+        faults=fault_stats,
     )
 
 

@@ -14,7 +14,10 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
-__all__ = ["AssignmentRecord", "Trace"]
+__all__ = ["AssignmentRecord", "FaultRecord", "FAULT_KINDS", "Trace"]
+
+#: Recognized fault-event kinds, in the order the engine can emit them.
+FAULT_KINDS = ("crash", "restart", "loss", "timeout", "replicate")
 
 
 @dataclass(frozen=True)
@@ -50,14 +53,60 @@ class AssignmentRecord:
     task_ids: Optional[np.ndarray] = None
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault or recovery event of a fault-aware run.
+
+    Attributes
+    ----------
+    time:
+        Simulation time at which the event fired.
+    kind:
+        One of ``"crash"``, ``"restart"``, ``"loss"``, ``"timeout"``,
+        ``"replicate"``.
+    worker:
+        The worker the event concerns.
+    tasks:
+        Task count affected (in-flight tasks released, or duplicated).
+    blocks:
+        Block count affected (wasted with a lost assignment, or shipped for
+        a replicated tail task).
+    """
+
+    time: float
+    kind: str
+    worker: int
+    tasks: int = 0
+    blocks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+
+
 @dataclass
 class Trace:
-    """Chronological list of assignment records of one run."""
+    """Chronological list of assignment records of one run.
+
+    Fault-aware runs additionally append one :class:`FaultRecord` per
+    crash/restart/loss/timeout/replication event to :attr:`faults`;
+    fault-free runs leave the list empty.
+    """
 
     records: List[AssignmentRecord] = field(default_factory=list)
+    faults: List[FaultRecord] = field(default_factory=list)
 
     def append(self, record: AssignmentRecord) -> None:
         self.records.append(record)
+
+    def append_fault(self, record: FaultRecord) -> None:
+        self.faults.append(record)
+
+    def faults_of_kind(self, kind: str) -> List[FaultRecord]:
+        """All fault events of one kind, in chronological order."""
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {kind!r}")
+        return [r for r in self.faults if r.kind == kind]
 
     def __len__(self) -> int:
         return len(self.records)

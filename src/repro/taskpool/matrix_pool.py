@@ -192,5 +192,27 @@ class MatrixTaskPool:
         self._remaining = 0
         return count, ids
 
+    def release_tasks(self, flat_ids: np.ndarray) -> int:
+        """Return allocated-but-unfinished tasks to the unprocessed set.
+
+        Mirrors :meth:`~repro.taskpool.outer_pool.OuterTaskPool.release_tasks`
+        for the 3-D domain: ids are ``(i * n + j) * n + k``, duplicate and
+        already-unprocessed ids are skipped, and the number of tasks actually
+        released is returned.
+        """
+        flat = np.unique(np.asarray(flat_ids, dtype=np.int64))
+        if flat.size == 0:
+            return 0
+        if flat[0] < 0 or flat[-1] >= self._n**3:
+            raise ValueError(f"task ids must lie in [0, {self._n**3})")
+        ij, k = np.divmod(flat, self._n)
+        i, j = np.divmod(ij, self._n)
+        held = self._processed[i, j, k]
+        count = int(np.count_nonzero(held))
+        if count:
+            self._processed[i[held], j[held], k[held]] = False
+            self._remaining += count
+        return count
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MatrixTaskPool(n={self._n}, remaining={self._remaining}/{self.total})"

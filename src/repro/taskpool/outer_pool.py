@@ -181,5 +181,27 @@ class OuterTaskPool:
         self._remaining = 0
         return count, ids
 
+    def release_tasks(self, flat_ids: np.ndarray) -> int:
+        """Return allocated-but-unfinished tasks to the unprocessed set.
+
+        Fault recovery: when a worker is lost mid-assignment, its in-flight
+        tasks (identified by flat id ``i * n + j``) go back to the pool so a
+        later allocation can re-execute them.  Already-unprocessed ids are
+        skipped, so the call is idempotent.  Returns the number of tasks
+        actually released.
+        """
+        flat = np.unique(np.asarray(flat_ids, dtype=np.int64))
+        if flat.size == 0:
+            return 0
+        if flat[0] < 0 or flat[-1] >= self._n * self._n:
+            raise ValueError(f"task ids must lie in [0, {self._n * self._n})")
+        i, j = np.divmod(flat, self._n)
+        held = self._processed[i, j]
+        count = int(np.count_nonzero(held))
+        if count:
+            self._processed[i[held], j[held]] = False
+            self._remaining += count
+        return count
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"OuterTaskPool(n={self._n}, remaining={self._remaining}/{self.total})"

@@ -31,7 +31,8 @@ class TestRegistry:
             "sec36",
         }
         extension_figures = {"ext01", "ext02", "ext03"}
-        assert set(FIGURES) == paper_figures | extension_figures
+        fault_figures = {"flt01"}
+        assert set(FIGURES) == paper_figures | extension_figures | fault_figures
 
     def test_generate_unknown(self):
         with pytest.raises(ValueError):

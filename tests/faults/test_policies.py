@@ -1,0 +1,135 @@
+"""Tests for the recovery policies."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.analysis.beta import agnostic_beta
+from repro.core.strategies import OuterDynamic, OuterTwoPhase
+from repro.faults.policies import (
+    HeartbeatTimeout,
+    ReassignLost,
+    RecoveryPolicy,
+    ReplicateTail,
+)
+from repro.platform import Platform
+
+
+@pytest.fixture
+def bound_strategy(small_platform, rng):
+    strategy = OuterDynamic(6, collect_ids=True)
+    strategy.reset(small_platform, rng)
+    return strategy
+
+
+class TestBaseAndReassign:
+    def test_defaults_are_noops(self, bound_strategy, small_platform):
+        policy = ReassignLost()
+        policy.reset(bound_strategy, small_platform)
+        assert policy.timeout_deadline(0, 1.0, 2.0) is None
+        completed = np.zeros(36, dtype=bool)
+        assert policy.tail_replicas(0, 1.0, [None] * 4, completed, 0) is None
+        policy.register_timeout(0)  # no-op, must not raise
+
+    def test_needs_task_ids_flags(self):
+        assert RecoveryPolicy.needs_task_ids is False
+        assert ReassignLost.needs_task_ids is False
+        assert HeartbeatTimeout.needs_task_ids is True
+        assert ReplicateTail.needs_task_ids is True
+
+
+class TestHeartbeatTimeout:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeartbeatTimeout(k=1.0)
+        with pytest.raises(ValueError):
+            HeartbeatTimeout(k=0.5)
+        with pytest.raises(ValueError):
+            HeartbeatTimeout(backoff=0.5)
+        HeartbeatTimeout(k=1.5, backoff=1.0)  # minimal legal values
+
+    def test_deadline_math(self, bound_strategy, small_platform):
+        policy = HeartbeatTimeout(k=3.0, backoff=2.0)
+        policy.reset(bound_strategy, small_platform)
+        assert policy.timeout_deadline(0, 10.0, 2.0) == 10.0 + 3.0 * 2.0
+        policy.register_timeout(0)
+        assert policy.timeout_deadline(0, 10.0, 2.0) == 10.0 + 6.0 * 2.0
+        policy.register_timeout(0)
+        assert policy.timeout_deadline(0, 10.0, 2.0) == 10.0 + 12.0 * 2.0
+        # Other workers keep their own attempt count.
+        assert policy.timeout_deadline(1, 10.0, 2.0) == 10.0 + 3.0 * 2.0
+
+    def test_no_deadline_for_zero_duration(self, bound_strategy, small_platform):
+        policy = HeartbeatTimeout()
+        policy.reset(bound_strategy, small_platform)
+        assert policy.timeout_deadline(0, 1.0, 0.0) is None
+
+    def test_reset_clears_attempts(self, bound_strategy, small_platform):
+        policy = HeartbeatTimeout(k=3.0, backoff=2.0)
+        policy.reset(bound_strategy, small_platform)
+        policy.register_timeout(0)
+        policy.reset(bound_strategy, small_platform)
+        assert policy.timeout_deadline(0, 0.0, 1.0) == 3.0
+
+
+class TestReplicateTail:
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            ReplicateTail(beta=0.0)
+        with pytest.raises(ValueError):
+            ReplicateTail(beta=-1.0)
+
+    def test_threshold_from_explicit_beta(self, bound_strategy, small_platform):
+        policy = ReplicateTail(beta=2.0)
+        policy.reset(bound_strategy, small_platform)
+        total = bound_strategy.total_tasks
+        assert policy.threshold == max(1, round(math.exp(-2.0) * total))
+
+    def test_threshold_defaults_to_agnostic_beta(self, small_platform, rng):
+        strategy = OuterTwoPhase(8, collect_ids=True)
+        strategy.reset(small_platform, rng)
+        policy = ReplicateTail()
+        policy.reset(strategy, small_platform)
+        beta = agnostic_beta("outer", small_platform.p, 8)
+        assert policy.threshold == max(1, round(math.exp(-beta) * 64))
+
+    def test_use_before_reset_raises(self):
+        policy = ReplicateTail(beta=1.0)
+        with pytest.raises(RuntimeError):
+            policy.tail_replicas(0, 0.0, [None], np.zeros(4, dtype=bool), 0)
+
+    def test_replicates_largest_tail_once(self, bound_strategy, small_platform):
+        policy = ReplicateTail(beta=1.0)
+        policy.reset(bound_strategy, small_platform)
+        total = bound_strategy.total_tasks
+        completed = np.ones(total, dtype=bool)
+        completed[:5] = False
+        inflight = [None, np.array([0, 1]), np.array([2, 3, 4]), None]
+        n_completed = total - 5
+        got = policy.tail_replicas(0, 1.0, inflight, completed, n_completed)
+        # Worker 2 holds the most uncompleted candidates (three vs two).
+        assert got is not None
+        assert sorted(got.tolist()) == [2, 3, 4]
+        # Already-duplicated tasks are not offered again.
+        again = policy.tail_replicas(3, 1.0, inflight, completed, n_completed)
+        assert again is not None
+        assert sorted(again.tolist()) == [0, 1]
+        assert policy.tail_replicas(0, 1.0, inflight, completed, n_completed) is None
+
+    def test_inert_above_threshold(self, bound_strategy, small_platform):
+        policy = ReplicateTail(beta=3.0)
+        policy.reset(bound_strategy, small_platform)
+        total = bound_strategy.total_tasks
+        completed = np.zeros(total, dtype=bool)
+        inflight = [None, np.arange(5), None, None]
+        assert policy.tail_replicas(0, 0.0, inflight, completed, 0) is None
+
+    def test_never_offers_own_inflight(self, bound_strategy, small_platform):
+        policy = ReplicateTail(beta=1.0)
+        policy.reset(bound_strategy, small_platform)
+        total = bound_strategy.total_tasks
+        completed = np.ones(total, dtype=bool)
+        completed[:2] = False
+        inflight = [np.array([0, 1]), None, None, None]
+        assert policy.tail_replicas(0, 0.0, inflight, completed, total - 2) is None

@@ -63,20 +63,20 @@ class TestEventQueue:
         assert q.pop() == (5.0, 1)
 
 
-class TestInternalPush:
-    def test_push_and_internal_push_interleave(self):
-        """The hot-path _push orders identically to the validating push."""
+class TestUncheckedPush:
+    def test_push_and_unchecked_push_interleave(self):
+        """The hot-path push_unchecked orders identically to the validating push."""
         q = EventQueue()
         q.push(3.0, 0)
-        q._push(1.0, 1)
-        q._push(2.0, 2)
+        q.push_unchecked(1.0, 1)
+        q.push_unchecked(2.0, 2)
         assert q.pop() == (1.0, 1)
         assert q.pop() == (2.0, 2)
         assert q.pop() == (3.0, 0)
 
-    def test_internal_push_keeps_fifo_tie_break(self):
+    def test_unchecked_push_keeps_fifo_tie_break(self):
         q = EventQueue()
-        q._push(1.0, 5)
-        q._push(1.0, 3)
+        q.push_unchecked(1.0, 5)
+        q.push_unchecked(1.0, 3)
         q.push(1.0, 4)
         assert [q.pop()[1] for _ in range(3)] == [5, 3, 4]

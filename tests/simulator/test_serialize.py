@@ -60,3 +60,38 @@ class TestRoundTrip:
     def test_rejects_foreign_json(self):
         with pytest.raises(ValueError):
             result_from_json('{"hello": 1}')
+
+
+class TestFaultRoundTrip:
+    @pytest.fixture
+    def faulty_result(self, paper_platform):
+        from repro.faults import FaultSchedule, simulate_faulty
+
+        schedule = FaultSchedule.draw(
+            paper_platform.p, 0.5, rng=2, crash_rate=8.0, mean_downtime=0.02, loss_prob=0.05
+        )
+        return simulate_faulty(
+            OuterTwoPhase(12, beta=3.0, collect_ids=True),
+            paper_platform,
+            schedule=schedule,
+            rng=1,
+            collect_trace=True,
+        )
+
+    def test_fault_stats(self, faulty_result):
+        assert faulty_result.faults is not None
+        assert faulty_result.faults.any_faults  # the schedule must bite
+        back = result_from_json(result_to_json(faulty_result))
+        assert back.faults == faulty_result.faults
+
+    def test_fault_events(self, faulty_result):
+        assert faulty_result.trace.faults  # at least one fault record
+        back = result_from_json(result_to_json(faulty_result))
+        assert len(back.trace.faults) == len(faulty_result.trace.faults)
+        for a, b in zip(back.trace.faults, faulty_result.trace.faults):
+            assert a == b
+
+    def test_faultless_payload_stays_empty(self, traced_result):
+        back = result_from_json(result_to_json(traced_result))
+        assert back.faults is None
+        assert back.trace.faults == []
