@@ -4,9 +4,11 @@ The figure sweeps are dominated by the simulation engine's hot loop, so a
 perf regression there silently multiplies every experiment's runtime.  This
 module pins down a small fixed suite of workloads (engine runs at the
 paper's instance sizes, the event-queue and sampler micro-loops, and a
-serial-vs-parallel replicate sweep), times them with ``time.perf_counter``
-and writes a schema-versioned JSON record that can be committed next to the
-results it contextualizes.
+serial-vs-parallel replicate sweep), times them with
+:func:`repro.obs.profile.wall_time` and writes a schema-versioned JSON
+record that can be committed next to the results it contextualizes.  With
+``--profile`` each workload additionally records per-stage wall time
+through a :class:`~repro.obs.profile.StageProfiler`.
 
 Usage::
 
@@ -42,6 +44,7 @@ import numpy as np
 from repro.core.strategies.registry import make_strategy
 from repro.experiments.parallel import StrategySpec, UniformPlatformSpec
 from repro.experiments.runner import average_normalized_comm
+from repro.obs.profile import StageProfiler, wall_time
 from repro.platform.platform import Platform
 from repro.platform.speeds import uniform_speeds
 from repro.simulator.engine import simulate
@@ -54,6 +57,7 @@ __all__ = [
     "SCHEMA",
     "SUITES",
     "Workload",
+    "WorkloadFn",
     "build_parser",
     "build_suite",
     "compare_results",
@@ -67,19 +71,26 @@ SCHEMA = "repro-bench/1"
 SUITES = ("default", "quick")
 
 
+#: A workload body: receives the top-level seed and a stage profiler (a
+#: disabled one unless ``--profile``); must do the same deterministic amount
+#: of work for a given seed.
+WorkloadFn = Callable[[int, StageProfiler], object]
+
+
 class Workload:
     """A named, timed unit of the benchmark suite.
 
-    ``fn`` receives the top-level seed and must do the same deterministic
-    amount of work for a given seed — repeats then measure timing noise,
-    not workload variance.
+    ``fn`` receives the top-level seed plus a
+    :class:`~repro.obs.profile.StageProfiler` and must do the same
+    deterministic amount of work for a given seed — repeats then measure
+    timing noise, not workload variance.  Workloads wrap their coarse
+    stages in ``prof.stage(...)`` blocks; the profiler is disabled (no
+    clock reads) unless the harness runs with ``profile=True``.
     """
 
     __slots__ = ("name", "params", "fn")
 
-    def __init__(
-        self, name: str, params: Dict[str, Any], fn: Callable[[int], object]
-    ) -> None:
+    def __init__(self, name: str, params: Dict[str, Any], fn: WorkloadFn) -> None:
         self.name = name
         self.params = dict(params)
         self.fn = fn
@@ -93,48 +104,54 @@ class Workload:
 # ---------------------------------------------------------------------------
 
 
-def _engine_workload(strategy_name: str, n: int, p: int) -> Callable[[int], object]:
+def _engine_workload(strategy_name: str, n: int, p: int) -> WorkloadFn:
     """Full simulation: *strategy_name* at size *n* on a p-worker platform."""
 
-    def run(seed: int) -> object:
-        platform = Platform(uniform_speeds(p, 10, 100, rng=seed))
-        return simulate(make_strategy(strategy_name, n), platform, rng=seed + 1)
+    def run(seed: int, prof: StageProfiler) -> object:
+        with prof.stage("setup"):
+            platform = Platform(uniform_speeds(p, 10, 100, rng=seed))
+            strategy = make_strategy(strategy_name, n)
+        with prof.stage("simulate"):
+            return simulate(strategy, platform, rng=seed + 1)
 
     return run
 
 
-def _faulty_engine_workload(strategy_name: str, n: int, p: int) -> Callable[[int], object]:
+def _faulty_engine_workload(strategy_name: str, n: int, p: int) -> WorkloadFn:
     """Fault-aware simulation: *strategy_name* under a drawn crash schedule."""
 
-    def run(seed: int) -> object:
+    def run(seed: int, prof: StageProfiler) -> object:
         from repro.faults.engine import simulate_faulty
         from repro.faults.models import FaultSchedule
 
-        platform = Platform(uniform_speeds(p, 10, 100, rng=seed))
-        nominal = n * n / float(platform.speeds.sum())
-        schedule = FaultSchedule.draw(
-            p,
-            4.0 * nominal,
-            rng=seed + 2,
-            crash_rate=2.0 / nominal,
-            mean_downtime=0.1 * nominal,
-        )
-        strategy = make_strategy(strategy_name, n, collect_ids=True)
-        return simulate_faulty(strategy, platform, schedule=schedule, rng=seed + 1)
+        with prof.stage("setup"):
+            platform = Platform(uniform_speeds(p, 10, 100, rng=seed))
+            nominal = n * n / float(platform.speeds.sum())
+            schedule = FaultSchedule.draw(
+                p,
+                4.0 * nominal,
+                rng=seed + 2,
+                crash_rate=2.0 / nominal,
+                mean_downtime=0.1 * nominal,
+            )
+            strategy = make_strategy(strategy_name, n, collect_ids=True)
+        with prof.stage("simulate"):
+            return simulate_faulty(strategy, platform, schedule=schedule, rng=seed + 1)
 
     return run
 
 
-def _event_queue_workload(events: int) -> Callable[[int], object]:
+def _event_queue_workload(events: int) -> WorkloadFn:
     """Steady-state push/pop churn through the event heap."""
 
-    def run(seed: int) -> object:
-        queue = EventQueue()
-        for w in range(8):
-            queue.push(float(w), w)
-        for _ in range(events):
-            t, w = queue.pop()
-            queue.push(t + 1.0, w)
+    def run(seed: int, prof: StageProfiler) -> object:
+        with prof.stage("churn"):
+            queue = EventQueue()
+            for w in range(8):
+                queue.push(float(w), w)
+            for _ in range(events):
+                t, w = queue.pop()
+                queue.push(t + 1.0, w)
         return queue
 
     return run
@@ -148,24 +165,26 @@ def _drain_sample_set(seed: int, size: int) -> SampleSet:
     return s
 
 
-def _sample_drain_workload(size: int) -> Callable[[int], object]:
+def _sample_drain_workload(size: int) -> WorkloadFn:
     """Drain a full SampleSet one uniform draw at a time."""
 
-    def run(seed: int) -> object:
-        return _drain_sample_set(seed, size)
+    def run(seed: int, prof: StageProfiler) -> object:
+        with prof.stage("drain"):
+            return _drain_sample_set(seed, size)
 
     return run
 
 
-def _sweep_workload(n: int, p: int, reps: int, workers: int) -> Callable[[int], object]:
+def _sweep_workload(n: int, p: int, reps: int, workers: int) -> WorkloadFn:
     """Figure-9-style replicate sweep: RandomMatrix averaged over *reps*."""
     strategy = StrategySpec("RandomMatrix", n)
     platform_spec = UniformPlatformSpec(p)
 
-    def run(seed: int) -> object:
-        return average_normalized_comm(
-            strategy, platform_spec, n, reps, seed=seed, workers=workers
-        )
+    def run(seed: int, prof: StageProfiler) -> object:
+        with prof.stage("sweep"):
+            return average_normalized_comm(
+                strategy, platform_spec, n, reps, seed=seed, workers=workers
+            )
 
     return run
 
@@ -254,6 +273,7 @@ def run_suite(
     seed: int = 0,
     repeats: int = 3,
     echo: Optional[Callable[[str], object]] = None,
+    profile: bool = False,
 ) -> Dict[str, Any]:
     """Time every workload of *suite* and return the JSON-ready record.
 
@@ -261,17 +281,23 @@ def run_suite(
     deterministic per seed, so spread across repeats is timing noise); the
     record keeps the median, min and mean.  ``echo`` receives a progress
     line per workload when given.
+
+    With ``profile=True`` every workload additionally runs with an enabled
+    :class:`~repro.obs.profile.StageProfiler`; the record then carries a
+    per-workload ``profile`` entry with the wall seconds spent in each
+    stage, summed across the repeats.
     """
     repeats = check_positive_int("repeats", repeats)
     workloads = build_suite(suite)
     entries: Dict[str, Any] = {}
     for wl in workloads:
         times: List[float] = []
+        prof = StageProfiler(enabled=profile)
         for _ in range(repeats):
-            start = time.perf_counter()
-            wl.fn(seed)
-            times.append(time.perf_counter() - start)
-        entries[wl.name] = {
+            start = wall_time()
+            wl.fn(seed, prof)
+            times.append(wall_time() - start)
+        entry: Dict[str, Any] = {
             "params": dict(wl.params),
             "repeats": repeats,
             "seconds": {
@@ -280,6 +306,9 @@ def run_suite(
                 "mean": statistics.fmean(times),
             },
         }
+        if profile:
+            entry["profile"] = prof.to_dict()
+        entries[wl.name] = entry
         if echo is not None:
             echo(f"  {wl.name:28s} median {statistics.median(times):8.4f}s")
     record: Dict[str, Any] = {
@@ -287,6 +316,7 @@ def run_suite(
         "suite": suite,
         "seed": seed,
         "repeats": repeats,
+        "profile": profile,
         "machine": _machine_info(),
         "workloads": entries,
     }
@@ -381,6 +411,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0, help="workload seed (default: 0)")
     run.add_argument("--outdir", default="results", help="directory for BENCH_<timestamp>.json (default: results)")
     run.add_argument("--json", dest="json_path", default=None, help="exact output path (overrides --outdir)")
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-stage wall time for every workload into the JSON",
+    )
 
     cmp_ = sub.add_parser("compare", help="compare two bench records")
     cmp_.add_argument("old", help="baseline JSON record")
@@ -401,7 +436,9 @@ def _load_record(path: str) -> Dict[str, Any]:
 def _cmd_run(args: argparse.Namespace) -> int:
     suite = "quick" if args.quick else "default"
     print(f"repro-bench: running suite '{suite}' ({args.repeats} repeats)")
-    record = run_suite(suite, seed=args.seed, repeats=args.repeats, echo=print)
+    record = run_suite(
+        suite, seed=args.seed, repeats=args.repeats, echo=print, profile=args.profile
+    )
     if args.json_path:
         path = args.json_path
     else:

@@ -12,12 +12,12 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 from typing import List, Optional
 
 from repro.experiments.config import SCALES
 from repro.experiments.figures import FIGURES, generate
 from repro.experiments.io import render_figure, write_csv
+from repro.obs.profile import wall_time
 
 __all__ = ["main", "build_parser"]
 
@@ -144,9 +144,9 @@ def _run_faults(args: argparse.Namespace) -> int:
 
     from repro.experiments.faults import churn_summary, flt01
 
-    start = time.time()
+    start = wall_time()
     fig = flt01(scale=args.scale, seed=args.seed)
-    elapsed = time.time() - start
+    elapsed = wall_time() - start
     if not args.quiet:
         print(render_figure(fig))
         print(f"   [flt01 generated in {elapsed:.1f}s at scale={args.scale}]\n")
@@ -198,9 +198,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     figure_ids = _resolve_figures(args.figures)
     for fid in figure_ids:
-        start = time.time()
+        start = wall_time()
         fig = generate(fid, scale=args.scale, seed=args.seed, workers=args.workers)
-        elapsed = time.time() - start
+        elapsed = wall_time() - start
         if not args.quiet:
             print(render_figure(fig))
             print(f"   [{fid} generated in {elapsed:.1f}s at scale={args.scale}]\n")

@@ -50,6 +50,7 @@ from repro.experiments.runner import (
     StrategyFactory,
     _rep_normalized_comm,
 )
+from repro.obs.sink import MetricsSink, RecordingSink
 from repro.platform.platform import Platform
 from repro.platform.speeds import (
     SCENARIO_NAMES,
@@ -66,6 +67,7 @@ __all__ = [
     "FixedPlatformSpec",
     "HeterogeneityPlatformSpec",
     "RepJob",
+    "RepOutcome",
     "ScenarioPlatformSpec",
     "StrategySpec",
     "UniformPlatformSpec",
@@ -212,18 +214,28 @@ class ScenarioPlatformSpec:
 # ---------------------------------------------------------------------------
 
 
+#: One repetition's outcome: the normalized-communication value plus the
+#: repetition sink's snapshot when metric collection is on (else ``None``).
+RepOutcome = Tuple[float, Optional[Dict[str, Any]]]
+
+
 def _rep_values(
     seeds: Sequence[np.random.SeedSequence],
     indices: Sequence[int],
     strategy_factory: StrategyFactory,
     platform_factory: PlatformFactory,
     n: int,
-) -> List[float]:
+    collect_metrics: bool = False,
+) -> List[RepOutcome]:
     """Run the repetitions *indices*, each from its own pre-spawned stream."""
-    return [
-        _rep_normalized_comm(as_generator(seeds[i]), strategy_factory, platform_factory, n)
-        for i in indices
-    ]
+    outcomes: List[RepOutcome] = []
+    for i in indices:
+        rep_sink = RecordingSink() if collect_metrics else None
+        value = _rep_normalized_comm(
+            as_generator(seeds[i]), strategy_factory, platform_factory, n, sink=rep_sink
+        )
+        outcomes.append((value, None if rep_sink is None else rep_sink.snapshot()))
+    return outcomes
 
 
 class RepJob:
@@ -234,9 +246,14 @@ class RepJob:
     independent of the process a repetition lands on.  The job pickles iff
     its factories do (the ``*Spec`` classes above always do); under fork
     dispatch arbitrary closures work as well because nothing is pickled.
+
+    With ``collect_metrics=True`` every repetition runs under a fresh
+    :class:`~repro.obs.sink.RecordingSink` and its (picklable) snapshot
+    travels back with the value, so the caller can fold snapshots in
+    repetition order regardless of which process ran which repetition.
     """
 
-    __slots__ = ("strategy_factory", "platform_factory", "n", "seeds")
+    __slots__ = ("strategy_factory", "platform_factory", "n", "seeds", "collect_metrics")
 
     def __init__(
         self,
@@ -244,16 +261,23 @@ class RepJob:
         platform_factory: PlatformFactory,
         n: int,
         seeds: Sequence[np.random.SeedSequence],
+        collect_metrics: bool = False,
     ) -> None:
         self.strategy_factory = strategy_factory
         self.platform_factory = platform_factory
         self.n = check_positive_int("n", n)
         self.seeds: List[np.random.SeedSequence] = list(seeds)
+        self.collect_metrics = bool(collect_metrics)
 
-    def run(self, indices: Sequence[int]) -> List[float]:
-        """Normalized-communication values for the repetitions *indices*."""
+    def run(self, indices: Sequence[int]) -> List[RepOutcome]:
+        """Per-repetition ``(value, snapshot)`` outcomes for *indices*."""
         return _rep_values(
-            self.seeds, indices, self.strategy_factory, self.platform_factory, self.n
+            self.seeds,
+            indices,
+            self.strategy_factory,
+            self.platform_factory,
+            self.n,
+            self.collect_metrics,
         )
 
 
@@ -265,14 +289,14 @@ class RepJob:
 _FORK_JOB: Optional[RepJob] = None
 
 
-def _fork_chunk(indices: List[int]) -> List[float]:
+def _fork_chunk(indices: List[int]) -> List[RepOutcome]:
     job = _FORK_JOB
     if job is None:  # pragma: no cover - defensive
         raise RuntimeError("fork-dispatch chunk executed without a published job")
     return job.run(indices)
 
 
-def _pickled_chunk(payload: bytes, indices: List[int]) -> List[float]:
+def _pickled_chunk(payload: bytes, indices: List[int]) -> List[RepOutcome]:
     job: RepJob = pickle.loads(payload)
     return job.run(indices)
 
@@ -320,7 +344,7 @@ def _run_fork(
     chunks: List[List[int]],
     workers: int,
     ctx: multiprocessing.context.BaseContext,
-) -> Optional[List[float]]:
+) -> Optional[List[RepOutcome]]:
     """Fork transport: workers inherit the job from the module global."""
     global _FORK_JOB
     _FORK_JOB = job
@@ -333,7 +357,7 @@ def _run_fork(
             results = list(pool.map(_fork_chunk, chunks))
     finally:
         _FORK_JOB = None
-    return [value for chunk in results for value in chunk]
+    return [outcome for chunk in results for outcome in chunk]
 
 
 def _run_pickled(
@@ -341,7 +365,7 @@ def _run_pickled(
     chunks: List[List[int]],
     workers: int,
     ctx: multiprocessing.context.BaseContext,
-) -> Optional[List[float]]:
+) -> Optional[List[RepOutcome]]:
     """Pickle transport for spawn-only platforms (factories must pickle)."""
     payload = pickle.dumps(job)
     try:
@@ -350,12 +374,12 @@ def _run_pickled(
         return None
     with pool:
         results = list(pool.map(_pickled_chunk, repeat(payload), chunks))
-    return [value for chunk in results for value in chunk]
+    return [outcome for chunk in results for outcome in chunk]
 
 
 def _dispatch(
     job: RepJob, reps: int, workers: int, chunk_size: Optional[int]
-) -> List[float]:
+) -> List[RepOutcome]:
     """Run all repetitions, in parallel where possible, serial otherwise."""
     all_indices = list(range(reps))
     chunks = _chunk_indices(reps, workers, chunk_size)
@@ -389,6 +413,7 @@ def parallel_average_normalized_comm(
     seed: SeedLike = 0,
     workers: int = 0,
     chunk_size: Optional[int] = None,
+    sink: Optional[MetricsSink] = None,
 ) -> Summary:
     """Parallel drop-in for :func:`~repro.experiments.runner.average_normalized_comm`.
 
@@ -397,16 +422,29 @@ def parallel_average_normalized_comm(
     **bit-identical** to the serial path for any worker count: streams are
     pre-spawned per repetition and aggregation runs in repetition order.
     ``chunk_size`` overrides the dispatch granularity (mostly for tests).
+
+    A *sink* receives every repetition's metrics: each repetition runs under
+    a fresh :class:`~repro.obs.sink.RecordingSink` in its worker process and
+    the picklable snapshots are absorbed here **in repetition order**, so
+    the accumulated metrics match the serial path bit for bit.
     """
     if reps <= 0:
         raise ValueError(f"reps must be positive, got {reps}")
     nworkers = resolve_workers(workers)
-    job = RepJob(strategy_factory, platform_factory, n, spawn_seed_sequences(seed, reps))
+    job = RepJob(
+        strategy_factory,
+        platform_factory,
+        n,
+        spawn_seed_sequences(seed, reps),
+        collect_metrics=sink is not None,
+    )
     if nworkers <= 1:
-        values = job.run(list(range(reps)))
+        outcomes = job.run(list(range(reps)))
     else:
-        values = _dispatch(job, reps, nworkers, chunk_size)
+        outcomes = _dispatch(job, reps, nworkers, chunk_size)
     stats = RunningStats()
-    for value in values:
+    for value, snapshot in outcomes:
         stats.add(value)
+        if sink is not None and snapshot is not None:
+            sink.absorb_snapshot(snapshot)
     return stats.summary()

@@ -17,6 +17,7 @@ from repro.core.analysis.lower_bounds import lower_bound
 from repro.core.analysis.matrix import matrix_total_ratio, optimal_matrix_beta
 from repro.core.analysis.outer import optimal_outer_beta, outer_total_ratio
 from repro.core.strategies.base import Strategy
+from repro.obs.sink import MetricsSink, RecordingSink
 from repro.platform.platform import Platform
 from repro.platform.speeds import SpeedModel
 from repro.simulator.engine import simulate
@@ -48,6 +49,7 @@ def _rep_normalized_comm(
     strategy_factory: StrategyFactory,
     platform_factory: PlatformFactory,
     n: int,
+    sink: Optional[MetricsSink] = None,
 ) -> float:
     """One repetition: draw a platform, simulate, normalize by the bound.
 
@@ -57,7 +59,7 @@ def _rep_normalized_comm(
     """
     platform, model = _unpack(platform_factory(rng))
     strategy = strategy_factory()
-    result = simulate(strategy, platform, rng=rng, speed_model=model)
+    result = simulate(strategy, platform, rng=rng, speed_model=model, sink=sink)
     lb = lower_bound(strategy.kernel, platform.relative_speeds, n)
     return result.normalized(lb)
 
@@ -70,6 +72,7 @@ def average_normalized_comm(
     *,
     seed: SeedLike = 0,
     workers: int = 1,
+    sink: Optional[MetricsSink] = None,
 ) -> Summary:
     """Mean/std of normalized communication over *reps* simulations.
 
@@ -83,6 +86,12 @@ def average_normalized_comm(
     other positive count uses exactly that many processes.  Results are
     bit-identical for every worker count because each repetition owns an
     independent, pre-spawned RNG stream and the aggregation order is fixed.
+
+    When a *sink* is given, every repetition is instrumented with a fresh
+    :class:`~repro.obs.sink.RecordingSink` whose snapshot is folded into
+    *sink* via :meth:`~repro.obs.sink.MetricsSink.absorb_snapshot` in
+    repetition order — the identical fold sequence serial and parallel, so
+    accumulated metrics are bit-identical for every worker count too.
     """
     if reps <= 0:
         raise ValueError(f"reps must be positive, got {reps}")
@@ -90,11 +99,18 @@ def average_normalized_comm(
         from repro.experiments.parallel import parallel_average_normalized_comm
 
         return parallel_average_normalized_comm(
-            strategy_factory, platform_factory, n, reps, seed=seed, workers=workers
+            strategy_factory, platform_factory, n, reps, seed=seed, workers=workers, sink=sink
         )
     stats = RunningStats()
     for rng in spawn_rngs(seed, reps):
-        stats.add(_rep_normalized_comm(rng, strategy_factory, platform_factory, n))
+        if sink is None:
+            stats.add(_rep_normalized_comm(rng, strategy_factory, platform_factory, n))
+        else:
+            rep_sink = RecordingSink()
+            stats.add(
+                _rep_normalized_comm(rng, strategy_factory, platform_factory, n, sink=rep_sink)
+            )
+            sink.absorb_snapshot(rep_sink.snapshot())
     return stats.summary()
 
 

@@ -44,6 +44,7 @@ import numpy as np
 from repro.core.strategies.base import Strategy
 from repro.faults.models import FaultSchedule, Slowdown, WorkerCrash
 from repro.faults.policies import RecoveryPolicy, ReassignLost
+from repro.obs.sink import MetricsSink
 from repro.platform.platform import Platform
 from repro.platform.speeds import SpeedModel, StaticSpeedModel
 from repro.simulator.engine import LivelockError
@@ -92,10 +93,14 @@ def simulate_faulty(
     rng: SeedLike = None,
     speed_model: Optional[SpeedModel] = None,
     collect_trace: bool = False,
+    sink: Optional[MetricsSink] = None,
 ) -> SimulationResult:
     """Run *strategy* on *platform* under the fault *schedule*.
 
-    Parameters mirror :func:`repro.simulator.simulate`, plus:
+    Parameters mirror :func:`repro.simulator.simulate` (including the
+    optional metrics *sink*, which additionally receives one
+    :meth:`~repro.obs.sink.MetricsSink.on_fault` call per fault/recovery
+    event), plus:
 
     schedule:
         A pre-drawn :class:`~repro.faults.models.FaultSchedule`.  An empty
@@ -139,6 +144,14 @@ def simulate_faulty(
     model.reset(platform, generator)
     strategy.reset(platform, generator)
     policy.reset(strategy, platform)
+    if sink is not None:
+        sink.on_run_start(
+            strategy.name,
+            strategy.kernel,
+            strategy.n,
+            p,
+            [float(s) for s in platform.relative_speeds],
+        )
 
     total = strategy.total_tasks
     track = strategy.collect_ids
@@ -274,6 +287,8 @@ def simulate_faulty(
             cache_blocks[worker] = 0
             if trace is not None:
                 trace.append_fault(FaultRecord(now, "crash", worker, n_released, lost_cache))
+            if sink is not None:
+                sink.on_fault(now, "crash", worker, n_released, lost_cache)
             queue_push(crash.restart_time, _RESTART + 4 * (worker + p * epoch[worker]))
             if n_released:
                 wake_parked(now)
@@ -286,6 +301,8 @@ def simulate_faulty(
             stats_n_restarts += 1
             if trace is not None:
                 trace.append_fault(FaultRecord(now, "restart", worker))
+            if sink is not None:
+                sink.on_fault(now, "restart", worker, 0, 0)
             # The rejoined worker requests work immediately.
             queue_push(now, _SELF + 4 * (worker + p * epoch[worker]))
             continue
@@ -309,6 +326,8 @@ def simulate_faulty(
                 trace.append_fault(
                     FaultRecord(now, "timeout", worker, int(late_uncompleted.size))
                 )
+            if sink is not None:
+                sink.on_fault(now, "timeout", worker, int(late_uncompleted.size), 0)
             if late_uncompleted.size:
                 stats_released += int(late_uncompleted.size)
                 strategy.release_tasks(late_uncompleted)
@@ -362,6 +381,9 @@ def simulate_faulty(
                         trace.append(
                             AssignmentRecord(now, worker, rep_blocks, n_rep, duration, 1, replicas)
                         )
+                    if sink is not None:
+                        sink.on_fault(now, "replicate", worker, n_rep, rep_blocks)
+                        sink.on_assignment(now, worker, rep_blocks, n_rep, duration, 1)
                     queue_push(now + duration, _SELF + 4 * (worker + p * epoch[worker]))
                     continue
             parked[worker] = True
@@ -395,6 +417,9 @@ def simulate_faulty(
                         now, worker, a_blocks, a_tasks, 0.0, assignment.phase, assignment.task_ids
                     )
                 )
+            if sink is not None:
+                sink.on_fault(now, "loss", worker, a_tasks, a_blocks)
+                sink.on_assignment(now, worker, a_blocks, a_tasks, 0.0, assignment.phase)
             queue_push(now + nominal, _SELF + 4 * (worker + p * epoch[worker]))
             if a_tasks:
                 wake_parked(now)
@@ -426,6 +451,8 @@ def simulate_faulty(
                     now, worker, a_blocks, a_tasks, duration, assignment.phase, assignment.task_ids
                 )
             )
+        if sink is not None:
+            sink.on_assignment(now, worker, a_blocks, a_tasks, duration, assignment.phase)
         if track:
             inflight_ids[worker] = assignment.task_ids
             inflight_blocks[worker] = a_blocks
@@ -434,6 +461,8 @@ def simulate_faulty(
                 queue_push(deadline, _TIMEOUT + 4 * (worker + p * epoch[worker]))
         queue_push(finish, _SELF + 4 * (worker + p * epoch[worker]))
 
+    if sink is not None:
+        sink.on_run_end(makespan, sum(blocks), sum(tasks), n_assignments)
     stats = FaultStats(
         n_crashes=stats_n_crashes,
         n_restarts=stats_n_restarts,

@@ -14,6 +14,7 @@ from repro.lint.rules.all_consistency import AllNamesExist, PublicNamesExported
 from repro.lint.rules.determinism import SimulatedClockOnly
 from repro.lint.rules.exceptions import NoBareExcept, NoSilentExcept
 from repro.lint.rules.float_equality import NoFloatEquality
+from repro.lint.rules.obs_wallclock import ObsNoWallclock
 from repro.lint.rules.registry_contract import StrategyRegistryComplete
 from repro.lint.rules.rng_discipline import (
     ForbiddenGlobalRng,
@@ -28,6 +29,7 @@ ALL_RULES: List[Type[Rule]] = [
     ForbiddenGlobalRng,
     RandomizedFunctionTakesRng,
     SimulatedClockOnly,
+    ObsNoWallclock,
     NoFloatEquality,
     ConstructorsValidateInputs,
     StrategyRegistryComplete,

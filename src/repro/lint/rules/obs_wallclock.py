@@ -1,0 +1,76 @@
+"""Observability clock rule (R-OBS-CLOCK): wall time only in the profiler.
+
+The observability layer records *simulated* time — metric values arrive
+from the engines already stamped with event time, and a wall-clock read
+anywhere in :mod:`repro.obs` or the experiment drivers would silently turn
+deterministic, machine-independent metrics into timing noise.  The single
+sanctioned clock boundary is :mod:`repro.obs.profile` (backing
+``repro-bench --profile``); everything else in ``repro.obs`` and
+``repro.experiments`` must route wall-clock reads through its
+``wall_time()`` / ``StageProfiler`` helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import Finding, ModuleInfo, Rule
+from repro.lint.rules._common import attr_chain
+
+__all__ = ["ObsNoWallclock"]
+
+#: Packages whose metrics/driver code must not read the clock directly.
+_WATCHED_PACKAGES = ("repro.obs", "repro.experiments")
+
+#: The one module allowed to read the clock: the bench profiler itself.
+_EXEMPT_MODULES = frozenset({"repro.obs.profile"})
+
+#: Dotted call targets that read the wall clock.
+_FORBIDDEN_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
+)
+
+#: Bare names (from-imports) with the same meaning.
+_FORBIDDEN_BARE = frozenset({"perf_counter", "monotonic", "process_time"})
+
+
+class ObsNoWallclock(Rule):
+    """Ban direct wall-clock reads outside :mod:`repro.obs.profile`."""
+
+    id = "R-OBS-CLOCK"
+    description = (
+        "repro.obs and repro.experiments must not read the wall clock "
+        "directly; use repro.obs.profile (wall_time/StageProfiler) instead"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.name in _EXEMPT_MODULES:
+            return
+        if not module.in_package(*_WATCHED_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None:
+                continue
+            if chain in _FORBIDDEN_CALLS or (
+                "." not in chain and chain in _FORBIDDEN_BARE
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"call to {chain} reads the wall clock; route timing "
+                    "through repro.obs.profile (the bench profiler) so "
+                    "metrics stay simulated-time only",
+                )

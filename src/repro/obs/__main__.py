@@ -1,0 +1,10 @@
+"""``python -m repro.obs`` — alias for the ``repro-report`` CLI."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

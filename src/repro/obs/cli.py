@@ -1,0 +1,85 @@
+"""``repro-report`` — render observability run reports from the shell.
+
+Examples::
+
+    repro-report run DynamicOuter -n 50 -p 6 --seed 3
+    repro-report run DynamicOuter SortedOuter -n 50 -p 6 --summary run.json \\
+        --events run.jsonl
+    repro-report render run.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.obs.export import events_to_jsonl, load_summary, save_summary, summary_from_sink
+from repro.obs.report import render_report
+from repro.obs.sink import RecordingSink
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Run instrumented simulations and render observability reports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate strategies with a recording sink and report")
+    run.add_argument("strategies", nargs="+", help="strategy names (see repro.strategy_names())")
+    run.add_argument("-n", type=int, default=40, help="blocks per dimension (default: 40)")
+    run.add_argument("-p", type=int, default=8, help="number of workers (default: 8)")
+    run.add_argument("--seed", type=int, default=0, help="RNG seed (default: 0)")
+    run.add_argument("--summary", default=None, help="write the summary JSON document here")
+    run.add_argument("--events", default=None, help="write the JSON-lines event stream here")
+    run.add_argument("--quiet", action="store_true", help="suppress the terminal report")
+
+    render = sub.add_parser("render", help="render a report from a saved summary document")
+    render.add_argument("summary", help="summary JSON written by 'repro-report run --summary'")
+    return parser
+
+
+def _run(args: argparse.Namespace) -> int:
+    from repro.core.strategies.registry import make_strategy, strategy_names
+    from repro.platform.platform import Platform
+    from repro.platform.speeds import uniform_speeds
+    from repro.simulator.engine import simulate
+
+    unknown = [s for s in args.strategies if s not in strategy_names()]
+    if unknown:
+        raise SystemExit(
+            f"unknown strategy name(s): {', '.join(unknown)}; "
+            f"available: {', '.join(strategy_names())}"
+        )
+
+    sink = RecordingSink(events=args.events is not None)
+    platform = Platform(uniform_speeds(args.p, 10, 100, rng=args.seed))
+    for i, name in enumerate(args.strategies):
+        strategy = make_strategy(name, args.n)
+        simulate(strategy, platform, rng=args.seed + 1 + i, sink=sink)
+
+    if args.events is not None and sink.events is not None:
+        with open(args.events, "w", encoding="utf-8") as fh:
+            fh.write(events_to_jsonl(sink.events))
+            fh.write("\n")
+        print(f"wrote {args.events}")
+    if args.summary is not None:
+        print(f"wrote {save_summary(sink, args.summary)}")
+    if not args.quiet:
+        print(render_report(summary_from_sink(sink)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _run(args)
+    print(render_report(load_summary(args.summary)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

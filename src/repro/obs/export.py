@@ -1,0 +1,208 @@
+"""Exporters: JSON-lines event streams and CSV/JSON metric summaries.
+
+Three self-describing formats, all deterministic (sorted keys, fixed row
+order) so exports fingerprint cleanly and round-trip exactly:
+
+* **events JSONL** — one JSON object per engine event, in emission order;
+  the format streaming consumers tail while a sweep runs;
+* **metrics JSON** — a versioned document wrapping
+  :meth:`repro.obs.metrics.Metrics.to_dict`;
+* **metrics CSV** — one row per metric cell field, for spreadsheet-style
+  post-processing without a JSON parser.
+
+A :class:`~repro.obs.sink.RecordingSink` additionally serializes to a
+*summary* document (run metadata plus metrics) — the input of
+:func:`repro.obs.report.render_report` and the ``repro-report`` CLI.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.obs.metrics import MetricKey, Metrics
+from repro.obs.sink import RecordingSink
+
+__all__ = [
+    "FORMAT",
+    "events_from_jsonl",
+    "events_to_jsonl",
+    "load_summary",
+    "metrics_from_csv",
+    "metrics_from_json",
+    "metrics_to_csv",
+    "metrics_to_json",
+    "save_summary",
+    "summary_from_sink",
+    "summary_to_json",
+]
+
+#: Version tag embedded in every JSON document this module writes.
+FORMAT = "repro.obs/1"
+
+_CSV_HEADER = ("metric", "kind", "strategy", "worker", "phase", "field", "value")
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines event streams
+# ---------------------------------------------------------------------------
+
+
+def events_to_jsonl(events: Sequence[Mapping[str, Any]]) -> str:
+    """Serialize an event buffer to JSON-lines (one object per line)."""
+    return "\n".join(json.dumps(dict(e), sort_keys=True) for e in events)
+
+
+def events_from_jsonl(text: str) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines event stream back into a list of dicts."""
+    events: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        parsed = json.loads(line)
+        if not isinstance(parsed, dict):
+            raise ValueError(f"line {lineno}: expected a JSON object, got {type(parsed).__name__}")
+        events.append(parsed)
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Metrics JSON
+# ---------------------------------------------------------------------------
+
+
+def metrics_to_json(metrics: Metrics, *, indent: int = 2) -> str:
+    """Serialize a :class:`Metrics` collection to a versioned JSON document."""
+    payload = {"format": FORMAT, "metrics": metrics.to_dict()}
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def metrics_from_json(text: str) -> Metrics:
+    """Rebuild :class:`Metrics` from :func:`metrics_to_json` output."""
+    payload = json.loads(text)
+    if payload.get("format") != FORMAT:
+        raise ValueError(f"not a {FORMAT} document (format={payload.get('format')!r})")
+    return Metrics.from_dict(payload["metrics"])
+
+
+# ---------------------------------------------------------------------------
+# Metrics CSV
+# ---------------------------------------------------------------------------
+
+
+def _key_fields(key: MetricKey) -> Tuple[str, int, int]:
+    return key[0], key[1], key[2]
+
+
+def metrics_to_csv(metrics: Metrics) -> str:
+    """Serialize metrics to CSV rows: ``metric,kind,strategy,worker,phase,field,value``.
+
+    Counters and gauges emit one ``value`` row per key; histograms emit one
+    ``le_<upper>``/``le_inf`` row per bucket plus ``count`` and ``sum``
+    rows.  Row order is fixed (family name, then key), so equal metrics
+    produce byte-equal CSV.
+    """
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(_CSV_HEADER)
+    for name in metrics.counter_names():
+        for key, value in metrics.counter(name).items():
+            writer.writerow((name, "counter", *_key_fields(key), "value", value))
+    for name in metrics.gauge_names():
+        for key, value in metrics.gauge(name).items():
+            writer.writerow((name, "gauge", *_key_fields(key), "value", repr(value)))
+    for name in metrics.histogram_names():
+        hist = metrics.histogram(name)
+        bucket_fields = [f"le_{upper:g}" for upper in hist.buckets] + ["le_inf"]
+        for key, (counts, count, total) in hist.items():
+            for field, bucket_count in zip(bucket_fields, counts):
+                writer.writerow((name, "histogram", *_key_fields(key), field, bucket_count))
+            writer.writerow((name, "histogram", *_key_fields(key), "count", count))
+            writer.writerow((name, "histogram", *_key_fields(key), "sum", repr(total)))
+    return out.getvalue()
+
+
+def metrics_from_csv(text: str) -> Metrics:
+    """Rebuild :class:`Metrics` from :func:`metrics_to_csv` output.
+
+    The reconstruction is exact: counters/gauges restore their values and
+    histograms restore bucket bounds (parsed from the ``le_*`` field
+    names), per-bucket counts, counts and sums.
+    """
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader, None)
+    if header is None or tuple(header) != _CSV_HEADER:
+        raise ValueError(f"not a metrics CSV (header={header!r})")
+    metrics = Metrics()
+    hist_rows: Dict[str, Dict[MetricKey, Dict[str, str]]] = {}
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != len(_CSV_HEADER):
+            raise ValueError(f"malformed metrics CSV row: {row!r}")
+        name, kind, strategy, worker, phase, field, value = row
+        key: MetricKey = (strategy, int(worker), int(phase))
+        if kind == "counter":
+            metrics.counter(name).inc(key, int(value))
+        elif kind == "gauge":
+            metrics.gauge(name).set(key, float(value))
+        elif kind == "histogram":
+            hist_rows.setdefault(name, {}).setdefault(key, {})[field] = value
+        else:
+            raise ValueError(f"unknown metric kind {kind!r} in CSV")
+    for name, cells in hist_rows.items():
+        uppers: List[float] = []
+        for fields in cells.values():
+            uppers = [
+                float(f[3:]) for f in fields if f.startswith("le_") and f != "le_inf"
+            ]
+            break
+        uppers.sort()
+        hist = metrics.histogram(name, uppers)
+        raw_cells = [
+            {
+                "key": [key[0], key[1], key[2]],
+                "counts": [int(fields[f"le_{u:g}"]) for u in uppers]
+                + [int(fields["le_inf"])],
+                "count": int(fields["count"]),
+                "sum": float(fields["sum"]),
+            }
+            for key, fields in sorted(cells.items())
+        ]
+        hist.merge(type(hist).from_dict({"buckets": uppers, "cells": raw_cells}))
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Run summaries (sink -> document -> report)
+# ---------------------------------------------------------------------------
+
+
+def summary_from_sink(sink: RecordingSink) -> Dict[str, Any]:
+    """The versioned summary document of a recording sink."""
+    return {"format": FORMAT, **sink.snapshot()}
+
+
+def summary_to_json(sink: RecordingSink, *, indent: int = 2) -> str:
+    """Serialize a recording sink's summary document to JSON."""
+    return json.dumps(summary_from_sink(sink), indent=indent, sort_keys=True)
+
+
+def save_summary(sink: RecordingSink, path: str) -> str:
+    """Write the sink's summary JSON to *path*; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(summary_to_json(sink))
+        fh.write("\n")
+    return path
+
+
+def load_summary(path: str) -> Dict[str, Any]:
+    """Read a summary document written by :func:`save_summary`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT:
+        raise ValueError(f"{path}: not a {FORMAT} summary document")
+    return payload

@@ -1,0 +1,191 @@
+"""Run reports: turning recorded metrics into the paper's headline numbers.
+
+A *summary document* (what :func:`repro.obs.export.summary_from_sink`
+produces and ``repro-report`` reads) carries per-run metadata plus the
+merged :class:`~repro.obs.metrics.Metrics`.  This module derives the
+quantities the paper argues with — communication volume normalized by the
+analytical lower bound, per-phase block/task splits, per-worker load and
+idle gaps, fault counts — and renders them as a plain-text report.
+
+:func:`build_report` returns the structured (JSON-ready) form;
+:func:`render_report` formats it for terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.core.analysis.lower_bounds import lower_bound
+from repro.obs.metrics import ALL_PHASES, ALL_WORKERS, Counter, Metrics
+
+__all__ = ["build_report", "render_report"]
+
+
+def _phase_split(counter: Counter, strategy: str) -> Dict[int, int]:
+    """Per-phase totals of one strategy, summed over real workers."""
+    split: Dict[int, int] = {}
+    for (name, worker, phase), value in counter.items():
+        if name == strategy and worker >= 0:
+            split[phase] = split.get(phase, 0) + value
+    return split
+
+
+def _worker_totals(counter: Counter, strategy: str) -> Dict[int, int]:
+    """Per-worker totals of one strategy, summed over phases."""
+    totals: Dict[int, int] = {}
+    for (name, worker, phase), value in counter.items():
+        if name == strategy and worker >= 0:
+            totals[worker] = totals.get(worker, 0) + value
+    return totals
+
+
+def _strategy_names(metrics: Metrics, runs: List[Mapping[str, Any]]) -> List[str]:
+    names = {str(r["strategy"]) for r in runs if "strategy" in r}
+    for family in metrics.counter_names():
+        for key, _ in metrics.counter(family).items():
+            names.add(key[0])
+    return sorted(names)
+
+
+def _run_row(run: Mapping[str, Any]) -> Dict[str, Any]:
+    row = dict(run)
+    kernel = row.get("kernel")
+    speeds = row.get("relative_speeds")
+    n = row.get("n")
+    blocks = row.get("total_blocks")
+    if kernel is not None and speeds is not None and n is not None and blocks is not None:
+        bound = lower_bound(str(kernel), speeds, int(n))
+        row["lower_bound"] = bound
+        row["normalized_comm"] = float(blocks) / bound
+    return row
+
+
+def _strategy_section(metrics: Metrics, strategy: str) -> Dict[str, Any]:
+    run_key = (strategy, ALL_WORKERS, ALL_PHASES)
+    blocks = metrics.counter("blocks_shipped")
+    tasks = metrics.counter("tasks_allocated")
+    assignments = metrics.counter("assignments")
+    idle = metrics.gauge("idle_gap")
+
+    worker_blocks = _worker_totals(blocks, strategy)
+    worker_tasks = _worker_totals(tasks, strategy)
+    worker_assignments = _worker_totals(assignments, strategy)
+    workers = sorted(set(worker_blocks) | set(worker_tasks) | set(worker_assignments))
+
+    faults: Dict[str, int] = {}
+    for family in metrics.counter_names():
+        if family.startswith("fault_"):
+            total = sum(
+                value
+                for (name, _w, _ph), value in metrics.counter(family).items()
+                if name == strategy
+            )
+            if total:
+                faults[family[len("fault_"):]] = total
+
+    section: Dict[str, Any] = {
+        "strategy": strategy,
+        "runs": metrics.counter("runs").get(run_key),
+        "total_blocks": sum(worker_blocks.values()),
+        "total_tasks": sum(worker_tasks.values()),
+        "assignments": sum(worker_assignments.values()),
+        "zero_task_assignments": sum(
+            _worker_totals(metrics.counter("zero_task_assignments"), strategy).values()
+        ),
+        "phase_blocks": _phase_split(blocks, strategy),
+        "phase_tasks": _phase_split(tasks, strategy),
+        "faults": faults,
+        "workers": [
+            {
+                "worker": w,
+                "blocks": worker_blocks.get(w, 0),
+                "tasks": worker_tasks.get(w, 0),
+                "assignments": worker_assignments.get(w, 0),
+                "idle_gap": idle.get((strategy, w, ALL_PHASES)),
+            }
+            for w in workers
+        ],
+    }
+    makespan = metrics.gauge("makespan").get(run_key)
+    if makespan is not None:
+        section["last_makespan"] = makespan
+    phase2 = metrics.gauge("phase2_start_time").get((strategy, ALL_WORKERS, 2))
+    if phase2 is not None:
+        section["phase2_start_time"] = phase2
+    return section
+
+
+def build_report(summary: Mapping[str, Any]) -> Dict[str, Any]:
+    """The structured report derived from a summary document.
+
+    Returns a JSON-ready dict with a ``runs`` list (each run's metadata
+    plus ``lower_bound`` and ``normalized_comm`` when computable) and a
+    ``strategies`` list of per-strategy aggregate sections.
+    """
+    metrics = Metrics.from_dict(summary.get("metrics", {}))
+    runs = [dict(r) for r in summary.get("runs", [])]
+    return {
+        "runs": [_run_row(r) for r in runs],
+        "strategies": [
+            _strategy_section(metrics, name) for name in _strategy_names(metrics, runs)
+        ],
+    }
+
+
+def _fmt(value: Optional[float], spec: str = ".4g") -> str:
+    return "-" if value is None else format(value, spec)
+
+
+def render_report(summary: Mapping[str, Any]) -> str:
+    """Plain-text rendering of :func:`build_report` for terminals."""
+    report = build_report(summary)
+    lines: List[str] = ["repro.obs run report", "===================="]
+
+    runs = report["runs"]
+    if runs:
+        lines.append("")
+        lines.append(f"runs recorded: {len(runs)}")
+        for i, run in enumerate(runs, start=1):
+            head = (
+                f"  [{i}] {run.get('strategy', '?')}  kernel={run.get('kernel', '?')}"
+                f"  n={run.get('n', '?')}  p={run.get('p', '?')}"
+            )
+            lines.append(head)
+            if "normalized_comm" in run:
+                lines.append(
+                    f"      blocks={run['total_blocks']}  "
+                    f"lower bound={_fmt(run['lower_bound'])}  "
+                    f"normalized comm={_fmt(run['normalized_comm'], '.4f')}  "
+                    f"makespan={_fmt(run.get('makespan'))}"
+                )
+
+    for section in report["strategies"]:
+        lines.append("")
+        lines.append(f"strategy {section['strategy']}")
+        lines.append("-" * (9 + len(section["strategy"])))
+        lines.append(
+            f"  runs={section['runs']}  assignments={section['assignments']}"
+            f"  zero-task={section['zero_task_assignments']}"
+        )
+        lines.append(
+            f"  blocks shipped={section['total_blocks']}  tasks allocated={section['total_tasks']}"
+        )
+        for phase in sorted(section["phase_blocks"]):
+            lines.append(
+                f"  phase {phase}: blocks={section['phase_blocks'][phase]}"
+                f"  tasks={section['phase_tasks'].get(phase, 0)}"
+            )
+        if "phase2_start_time" in section:
+            lines.append(f"  phase-2 switch at t={_fmt(section['phase2_start_time'])}")
+        if section["faults"]:
+            pairs = "  ".join(f"{kind}={count}" for kind, count in sorted(section["faults"].items()))
+            lines.append(f"  faults: {pairs}")
+        if section["workers"]:
+            lines.append("  worker   blocks    tasks  assignments  idle_gap")
+            for row in section["workers"]:
+                lines.append(
+                    f"  {row['worker']:>6d} {row['blocks']:>8d} {row['tasks']:>8d}"
+                    f" {row['assignments']:>12d}  {_fmt(row['idle_gap'])}"
+                )
+    lines.append("")
+    return "\n".join(lines)

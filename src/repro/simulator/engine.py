@@ -25,6 +25,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.strategies.base import Strategy
+from repro.obs.sink import MetricsSink
 from repro.platform.platform import Platform
 from repro.platform.speeds import SpeedModel, StaticSpeedModel
 from repro.simulator.events import EventQueue
@@ -53,6 +54,7 @@ def simulate(
     rng: SeedLike = None,
     speed_model: Optional[SpeedModel] = None,
     collect_trace: bool = False,
+    sink: Optional[MetricsSink] = None,
 ) -> SimulationResult:
     """Run *strategy* on *platform* and return the communication accounting.
 
@@ -71,6 +73,10 @@ def simulate(
     collect_trace:
         Record one :class:`~repro.simulator.trace.AssignmentRecord` per
         interaction (needed for execution replay and fine-grained tests).
+    sink:
+        Optional :class:`~repro.obs.sink.MetricsSink` receiving run/
+        assignment events.  ``None`` (the default) keeps the hot loop
+        free of instrumentation.
 
     Returns
     -------
@@ -83,6 +89,14 @@ def simulate(
     strategy.reset(platform, generator)
 
     p = platform.p
+    if sink is not None:
+        sink.on_run_start(
+            strategy.name,
+            strategy.kernel,
+            strategy.n,
+            p,
+            [float(s) for s in platform.relative_speeds],
+        )
     queue = EventQueue()
     # Worker ids are validated here, once; the loop below re-queues the same
     # ids through the unchecked fast path.
@@ -152,8 +166,14 @@ def simulate(
                     task_ids=assignment.task_ids,
                 )
             )
+        if sink is not None:
+            sink.on_assignment(
+                now, worker, assignment.blocks, a_tasks, duration, assignment.phase
+            )
         queue_push(finish, worker)
 
+    if sink is not None:
+        sink.on_run_end(makespan, sum(blocks), sum(tasks), n_assignments)
     return SimulationResult(
         total_blocks=sum(blocks),
         per_worker_blocks=np.asarray(blocks, dtype=np.int64),

@@ -54,6 +54,54 @@ class TestCurveStructure:
             assert c.alpha == pytest.approx(expected)
 
 
+class TestMatrixCurveStructure:
+    def test_one_curve_per_active_worker(self, matrix_curves, platform):
+        assert 1 <= len(matrix_curves) <= platform.p
+
+    def test_dimension_is_three(self, matrix_curves):
+        assert all(c.d == 3 for c in matrix_curves)
+        assert all(c.n == 24 for c in matrix_curves)
+
+    def test_x_and_t_monotone(self, matrix_curves):
+        for c in matrix_curves:
+            assert np.all(np.diff(c.x) >= -1e-12)
+            assert np.all(np.diff(c.t) >= -1e-12)
+
+    def test_sample_arrays_aligned(self, matrix_curves, outer_curves):
+        for c in list(matrix_curves) + list(outer_curves):
+            assert c.x.shape == c.t.shape == c.g.shape
+            assert c.x.size >= 1
+
+    def test_measurement_is_deterministic(self, platform):
+        a = measure_outer_knowledge_curves(40, platform, rng=5)
+        b = measure_outer_knowledge_curves(40, platform, rng=5)
+        assert len(a) == len(b)
+        for ca, cb in zip(a, b):
+            assert ca.worker == cb.worker
+            assert np.array_equal(ca.x, cb.x)
+            assert np.array_equal(ca.t, cb.t)
+            assert np.array_equal(ca.g, cb.g, equal_nan=True)
+
+
+class TestPredictions:
+    def test_predicted_g_in_unit_interval(self, outer_curves):
+        for c in outer_curves:
+            pred = c.predicted_g()
+            assert np.all((pred >= 0.0) & (pred <= 1.0 + 1e-12))
+
+    def test_predicted_t_monotone_in_x(self, outer_curves, platform):
+        c = outer_curves[0]
+        pred = c.predicted_t(platform.total_speed)
+        order = np.argsort(c.x)
+        assert np.all(np.diff(pred[order]) >= -1e-9)
+
+    def test_predicted_t_scales_inversely_with_speed(self, outer_curves, platform):
+        c = outer_curves[0]
+        slow = c.predicted_t(platform.total_speed)
+        fast = c.predicted_t(2.0 * platform.total_speed)
+        assert np.allclose(slow, 2.0 * fast)
+
+
 class TestLemma1Validation:
     """Empirical g_k(x) follows (1 - x^2)^alpha_k (Lemma 1)."""
 

@@ -12,6 +12,7 @@ from repro.experiments.bench import (
     main,
     run_suite,
 )
+from repro.obs.profile import StageProfiler
 
 
 def _tiny_record(**medians):
@@ -45,7 +46,15 @@ class TestSuite:
     def test_workloads_are_runnable(self):
         # Every quick workload must complete on a fixed seed.
         for wl in build_suite("quick"):
-            assert wl.fn(0) is not None
+            assert wl.fn(0, StageProfiler(enabled=False)) is not None
+
+    def test_workloads_profile_stages(self):
+        # With an enabled profiler every workload reports at least one stage.
+        for wl in build_suite("quick"):
+            prof = StageProfiler()
+            assert wl.fn(0, prof) is not None
+            assert len(prof) >= 1
+            assert prof.total() > 0
 
 
 class TestRunSuite:
@@ -62,6 +71,21 @@ class TestRunSuite:
     def test_repeats_validated(self):
         with pytest.raises(ValueError):
             run_suite("quick", repeats=0)
+
+    def test_profile_records_stage_seconds(self):
+        record = run_suite("quick", seed=0, repeats=1, profile=True)
+        assert record["profile"] is True
+        for entry in record["workloads"].values():
+            stages = entry["profile"]
+            assert stages  # at least one stage per workload
+            assert all(seconds >= 0 for seconds in stages.values())
+        engine = record["workloads"]["engine_outer_dynamic"]["profile"]
+        assert set(engine) == {"setup", "simulate"}
+
+    def test_no_profile_leaves_entries_clean(self):
+        record = run_suite("quick", seed=0, repeats=1)
+        assert record["profile"] is False
+        assert all("profile" not in e for e in record["workloads"].values())
 
 
 class TestCompare:

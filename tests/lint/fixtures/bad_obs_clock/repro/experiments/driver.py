@@ -1,0 +1,10 @@
+"""Fixture: an experiment driver timing work with the wall clock (R-OBS-CLOCK)."""
+
+import time
+
+__all__ = ["timed_run"]
+
+
+def timed_run():
+    start = time.monotonic()
+    return time.monotonic() - start

@@ -1,0 +1,14 @@
+"""Fixture: direct wall-clock reads in the observability layer (R-OBS-CLOCK)."""
+
+import time
+from time import perf_counter
+
+__all__ = ["bad_metric", "bad_bare"]
+
+
+def bad_metric():
+    return time.time()
+
+
+def bad_bare():
+    return perf_counter()

@@ -1,0 +1,9 @@
+"""Fixture: the profiler module itself is exempt from R-OBS-CLOCK."""
+
+import time
+
+__all__ = ["wall_time"]
+
+
+def wall_time():
+    return time.perf_counter()

@@ -36,6 +36,25 @@ class TestDeterminism:
         assert "os.urandom" in flagged
 
 
+class TestObsWallclock:
+    def test_wall_clock_in_obs_and_experiments_flagged(self, lint_fixture):
+        findings = [
+            f for f in lint_fixture("bad_obs_clock") if f.rule_id == "R-OBS-CLOCK"
+        ]
+        # time.time + bare perf_counter in repro.obs, 2x time.monotonic in
+        # repro.experiments; the profiler module itself must not fire.
+        assert len(findings) == 4
+        assert all(f.severity == "error" for f in findings)
+        assert not any(f.path.endswith("profile.py") for f in findings)
+        flagged = {f.message.split()[2] for f in findings}
+        assert flagged == {"time.time", "perf_counter", "time.monotonic"}
+
+    def test_profiler_module_exempt(self, lint_fixture):
+        findings = lint_fixture("bad_obs_clock")
+        profile_findings = [f for f in findings if f.path.endswith("profile.py")]
+        assert profile_findings == []
+
+
 class TestFloatEquality:
     def test_float_literal_comparison_flagged(self, lint_fixture):
         findings = [

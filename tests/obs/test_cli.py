@@ -1,0 +1,102 @@
+"""The ``repro-report`` CLI: argument handling and end-to-end runs."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "DynamicOuter"])
+        assert args.command == "run"
+        assert args.strategies == ["DynamicOuter"]
+        assert args.n == 40
+        assert args.p == 8
+        assert args.seed == 0
+        assert args.summary is None
+        assert args.events is None
+        assert not args.quiet
+
+    def test_render_requires_summary_path(self):
+        args = build_parser().parse_args(["render", "out.json"])
+        assert args.command == "render"
+        assert args.summary == "out.json"
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRun:
+    def test_prints_report(self, capsys):
+        assert main(["run", "DynamicOuter", "-n", "12", "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.obs run report" in out
+        assert "strategy DynamicOuter" in out
+        assert "normalized comm=" in out
+
+    def test_quiet_suppresses_report(self, capsys):
+        assert main(["run", "DynamicOuter", "-n", "12", "-p", "4", "--quiet"]) == 0
+        assert "repro.obs run report" not in capsys.readouterr().out
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit, match="unknown strategy"):
+            main(["run", "NoSuchStrategy", "-n", "12"])
+
+    def test_writes_summary_and_events(self, tmp_path, capsys):
+        summary_path = str(tmp_path / "run.json")
+        events_path = str(tmp_path / "run.jsonl")
+        code = main(
+            [
+                "run",
+                "DynamicOuter",
+                "SortedOuter",
+                "-n",
+                "12",
+                "-p",
+                "4",
+                "--summary",
+                summary_path,
+                "--events",
+                events_path,
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        summary = json.loads((tmp_path / "run.json").read_text())
+        assert summary["format"] == "repro.obs/1"
+        assert [r["strategy"] for r in summary["runs"]] == ["DynamicOuter", "SortedOuter"]
+        lines = (tmp_path / "run.jsonl").read_text().strip().splitlines()
+        assert all(json.loads(line) for line in lines)
+        starts = [json.loads(line) for line in lines if '"run_start"' in line]
+        assert len(starts) == 2
+
+    def test_deterministic_given_seed(self, tmp_path):
+        paths = []
+        for name in ("a.json", "b.json"):
+            path = str(tmp_path / name)
+            main(["run", "DynamicMatrix", "-n", "6", "-p", "3", "--seed", "9",
+                  "--summary", path, "--quiet"])
+            paths.append((tmp_path / name).read_text())
+        assert paths[0] == paths[1]
+
+
+class TestRender:
+    def test_renders_saved_summary(self, tmp_path, capsys):
+        path = str(tmp_path / "run.json")
+        main(["run", "DynamicOuter", "-n", "12", "-p", "4", "--summary", path, "--quiet"])
+        capsys.readouterr()
+        assert main(["render", path]) == 0
+        out = capsys.readouterr().out
+        assert "repro.obs run report" in out
+        assert "strategy DynamicOuter" in out
+
+    def test_render_matches_run_output(self, tmp_path, capsys):
+        path = str(tmp_path / "run.json")
+        main(["run", "DynamicOuter", "-n", "12", "-p", "4", "--summary", path])
+        run_out = capsys.readouterr().out
+        main(["render", path])
+        render_out = capsys.readouterr().out
+        assert render_out.strip() in run_out

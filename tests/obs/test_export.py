@@ -1,0 +1,148 @@
+"""Round-trip tests for the JSONL / JSON / CSV exporters."""
+
+import json
+
+import pytest
+
+from repro.core.strategies import OuterDynamic, OuterTwoPhase
+from repro.obs import (
+    Metrics,
+    RecordingSink,
+    events_from_jsonl,
+    events_to_jsonl,
+    load_summary,
+    metrics_from_csv,
+    metrics_from_json,
+    metrics_to_csv,
+    metrics_to_json,
+    save_summary,
+    summary_from_sink,
+    summary_to_json,
+)
+from repro.obs.export import FORMAT
+from repro.platform import Platform, uniform_speeds
+from repro.simulator import simulate
+
+
+@pytest.fixture
+def recorded():
+    """A sink that saw two heterogeneous runs (incl. phase-2 and gauges)."""
+    platform = Platform(uniform_speeds(4, 10, 100, rng=11))
+    sink = RecordingSink(events=True)
+    simulate(OuterDynamic(12), platform, rng=3, sink=sink)
+    simulate(OuterTwoPhase(16, beta=2.0), platform, rng=4, sink=sink)
+    return sink
+
+
+class TestEventsJsonl:
+    def test_round_trip(self, recorded):
+        text = events_to_jsonl(recorded.events)
+        assert events_from_jsonl(text) == recorded.events
+
+    def test_one_object_per_line(self, recorded):
+        lines = events_to_jsonl(recorded.events).splitlines()
+        assert len(lines) == len(recorded.events)
+        for line in lines:
+            assert isinstance(json.loads(line), dict)
+
+    def test_keys_sorted_within_lines(self, recorded):
+        first = events_to_jsonl(recorded.events).splitlines()[0]
+        keys = list(json.loads(first))
+        assert keys == sorted(keys)
+
+    def test_blank_lines_skipped(self):
+        assert events_from_jsonl('{"a": 1}\n\n  \n{"b": 2}') == [{"a": 1}, {"b": 2}]
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(ValueError, match="line 2"):
+            events_from_jsonl('{"a": 1}\n[1, 2]')
+
+    def test_empty_stream(self):
+        assert events_to_jsonl([]) == ""
+        assert events_from_jsonl("") == []
+
+
+class TestMetricsJson:
+    def test_round_trip_exact(self, recorded):
+        restored = metrics_from_json(metrics_to_json(recorded.metrics))
+        assert restored == recorded.metrics
+        # Byte-stable: re-serializing the restored metrics is identical.
+        assert metrics_to_json(restored) == metrics_to_json(recorded.metrics)
+
+    def test_format_tag_embedded(self, recorded):
+        payload = json.loads(metrics_to_json(recorded.metrics))
+        assert payload["format"] == FORMAT
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="repro.obs/1"):
+            metrics_from_json('{"format": "other/9", "metrics": {}}')
+
+    def test_empty_metrics(self):
+        assert metrics_from_json(metrics_to_json(Metrics())).is_empty()
+
+
+class TestMetricsCsv:
+    def test_round_trip_exact(self, recorded):
+        restored = metrics_from_csv(metrics_to_csv(recorded.metrics))
+        assert restored == recorded.metrics
+
+    def test_round_trip_preserves_float_bits(self):
+        m = Metrics()
+        m.gauge("g").set(("S", -1, 0), 0.1 + 0.2)
+        m.histogram("h", [1, 2]).observe(("S", 0, 1), 0.30000000000000004)
+        restored = metrics_from_csv(metrics_to_csv(m))
+        assert restored.gauge("g").get(("S", -1, 0)) == 0.1 + 0.2
+        assert restored == m
+
+    def test_byte_stable(self, recorded):
+        text = metrics_to_csv(recorded.metrics)
+        assert metrics_to_csv(metrics_from_csv(text)) == text
+
+    def test_header_and_row_shape(self, recorded):
+        lines = metrics_to_csv(recorded.metrics).splitlines()
+        assert lines[0] == "metric,kind,strategy,worker,phase,field,value"
+        assert all(line.count(",") == 6 for line in lines[1:])
+
+    def test_histogram_rows_present(self, recorded):
+        text = metrics_to_csv(recorded.metrics)
+        assert "le_inf" in text
+        assert "assignment_tasks" in text
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="not a metrics CSV"):
+            metrics_from_csv("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="not a metrics CSV"):
+            metrics_from_csv("")
+
+    def test_unknown_kind_rejected(self):
+        text = "metric,kind,strategy,worker,phase,field,value\nm,weird,S,0,1,value,1\n"
+        with pytest.raises(ValueError, match="unknown metric kind"):
+            metrics_from_csv(text)
+
+    def test_malformed_row_rejected(self):
+        text = "metric,kind,strategy,worker,phase,field,value\nm,counter,S,0\n"
+        with pytest.raises(ValueError, match="malformed"):
+            metrics_from_csv(text)
+
+
+class TestSummaries:
+    def test_summary_has_format_runs_metrics(self, recorded):
+        summary = summary_from_sink(recorded)
+        assert summary["format"] == FORMAT
+        assert len(summary["runs"]) == 2
+        assert Metrics.from_dict(summary["metrics"]) == recorded.metrics
+
+    def test_save_load_round_trip(self, recorded, tmp_path):
+        path = str(tmp_path / "summary.json")
+        assert save_summary(recorded, path) == path
+        assert load_summary(path) == summary_from_sink(recorded)
+
+    def test_summary_to_json_is_valid(self, recorded):
+        payload = json.loads(summary_to_json(recorded))
+        assert payload == summary_from_sink(recorded)
+
+    def test_load_rejects_foreign_document(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "nope"}')
+        with pytest.raises(ValueError, match="not a"):
+            load_summary(str(path))

@@ -1,0 +1,56 @@
+"""Fingerprints of the JSONL event export, one per strategy family.
+
+The sha256 of the exported event stream pins *everything* at once: engine
+event order and timing, the sink's event shapes, JSON key ordering and
+float formatting.  A change here means either the simulation semantics or
+the export format drifted — both silently invalidate saved event streams,
+so update the table only for a deliberate, documented change (and bump
+:data:`repro.obs.export.FORMAT` if the format itself changed).
+
+Covers the outer/matrix × random/sorted/dynamic/two-phase families; the
+MapReduce variants share the static strategies' event path.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.strategies.registry import make_strategy
+from repro.obs import RecordingSink
+from repro.obs.export import events_to_jsonl
+from repro.platform import Platform, uniform_speeds
+from repro.simulator import simulate
+
+# sha256 of events_to_jsonl(...) for Platform(uniform_speeds(4, 10, 100,
+# rng=123)), simulate(..., rng=321), n=12 for outer / n=6 for matrix.
+FINGERPRINTS = {
+    "RandomOuter": "b1f085028d5c3b07db609429a1c07a94c12bed0794490eea0896d0a11973e81b",
+    "SortedOuter": "8a1085c378215801448a5e8e88d03981b99f1c51f640bd6d60687abea512eb91",
+    "DynamicOuter": "0fa9783c642b3e30a511f4334b380d109597fd2f1876db23deb7f8c73315c65d",
+    "DynamicOuter2Phases": "83bd4d5dde8b183b3fdf4cfffc1f03adfe8891598c92565aa1b56c64cad65dad",
+    "RandomMatrix": "657f6bca2839c4287f6542b0c035998dc4b8a0b58fb37cb33a3447970047dd15",
+    "SortedMatrix": "5f431fdf9e41eaf8459f5ec4fc7a1753da1cb17a9c6f382988451ce88f116755",
+    "DynamicMatrix": "77379160246d0891a5584b67e0bd269bed7e99d02f15f18b1b85366fd1943a4f",
+    "DynamicMatrix2Phases": "b4e1cb80e0f8ad97a0e023c4692f87f66581ca46600ad8d76a5ba11bd37dd506",
+}
+
+
+def _export(name: str) -> str:
+    n = 6 if "Matrix" in name else 12
+    platform = Platform(uniform_speeds(4, 10, 100, rng=123))
+    sink = RecordingSink(events=True)
+    simulate(make_strategy(name, n), platform, rng=321, sink=sink)
+    return events_to_jsonl(sink.events)
+
+
+@pytest.mark.parametrize("name", sorted(FINGERPRINTS))
+def test_event_export_fingerprint(name):
+    digest = hashlib.sha256(_export(name).encode("utf-8")).hexdigest()
+    assert digest == FINGERPRINTS[name], (
+        f"JSONL export for {name} drifted; if the change is deliberate, "
+        f"update FINGERPRINTS and consider bumping repro.obs.export.FORMAT"
+    )
+
+
+def test_export_is_reproducible():
+    assert _export("DynamicOuter") == _export("DynamicOuter")

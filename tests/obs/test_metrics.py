@@ -1,0 +1,266 @@
+"""Unit tests for the metrics primitives (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs import (
+    ALL_PHASES,
+    ALL_WORKERS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    TASK_BUCKETS,
+)
+
+K1 = ("DynamicOuter", 0, 1)
+K2 = ("DynamicOuter", 1, 1)
+K3 = ("SortedMatrix", ALL_WORKERS, ALL_PHASES)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        c = Counter()
+        assert c.get(K1) == 0
+        assert c.total() == 0
+        assert len(c) == 0
+
+    def test_inc_accumulates(self):
+        c = Counter()
+        c.inc(K1)
+        c.inc(K1, 4)
+        c.inc(K2, 2)
+        assert c.get(K1) == 5
+        assert c.get(K2) == 2
+        assert c.total() == 7
+        assert len(c) == 2
+
+    def test_zero_amount_creates_key(self):
+        c = Counter()
+        c.inc(K1, 0)
+        assert c.get(K1) == 0
+        assert len(c) == 1
+
+    def test_items_sorted_by_key(self):
+        c = Counter()
+        c.inc(K3)
+        c.inc(K2)
+        c.inc(K1)
+        assert [k for k, _ in c.items()] == sorted([K1, K2, K3])
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError, match="only increase"):
+            Counter().inc(K1, -1)
+
+    def test_non_integer_amount_rejected(self):
+        with pytest.raises(TypeError):
+            Counter().inc(K1, 1.5)
+        with pytest.raises(TypeError):
+            Counter().inc(K1, True)
+
+    def test_bad_keys_rejected(self):
+        c = Counter()
+        for bad in [("s", 0), ("s", 0.5, 1), (1, 0, 1), ("s", True, 1), "s01"]:
+            with pytest.raises(TypeError):
+                c.inc(bad)
+
+    def test_merge_adds_per_key(self):
+        a, b = Counter(), Counter()
+        a.inc(K1, 3)
+        b.inc(K1, 4)
+        b.inc(K2, 1)
+        a.merge(b)
+        assert a.get(K1) == 7
+        assert a.get(K2) == 1
+        assert b.get(K1) == 4  # other untouched
+
+    def test_equality(self):
+        a, b = Counter(), Counter()
+        a.inc(K1, 2)
+        b.inc(K1)
+        assert a != b
+        b.inc(K1)
+        assert a == b
+        assert a != "not a counter"
+
+    def test_round_trip(self):
+        a = Counter()
+        a.inc(K1, 3)
+        a.inc(K3, 9)
+        assert Counter.from_list(a.to_list()) == a
+
+    def test_round_trip_through_tuples_in_json(self):
+        # JSON turns key tuples into lists; from_list must restore tuples.
+        a = Counter()
+        a.inc(K1, 1)
+        raw = a.to_list()
+        assert raw[0]["key"] == ["DynamicOuter", 0, 1]
+
+
+class TestGauge:
+    def test_get_default(self):
+        g = Gauge()
+        assert g.get(K1) is None
+        assert g.get(K1, 7.0) == 7.0
+
+    def test_last_value_wins(self):
+        g = Gauge()
+        g.set(K1, 1.5)
+        g.set(K1, 2.5)
+        assert g.get(K1) == 2.5
+        assert len(g) == 1
+
+    def test_merge_other_wins(self):
+        a, b = Gauge(), Gauge()
+        a.set(K1, 1.0)
+        a.set(K2, 5.0)
+        b.set(K1, 9.0)
+        a.merge(b)
+        assert a.get(K1) == 9.0
+        assert a.get(K2) == 5.0
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(TypeError):
+            Gauge().set(("s",), 1.0)
+
+    def test_round_trip(self):
+        g = Gauge()
+        g.set(K1, 0.1 + 0.2)  # not exactly representable in decimal
+        g.set(K3, -3.75)
+        restored = Gauge.from_list(g.to_list())
+        assert restored == g
+
+    def test_equality(self):
+        a, b = Gauge(), Gauge()
+        a.set(K1, 1.0)
+        assert a != b
+        b.set(K1, 1.0)
+        assert a == b
+
+
+class TestHistogram:
+    def test_bucket_placement_inclusive_upper(self):
+        h = Histogram([1, 2, 4])
+        for value in (0, 1, 2, 3, 4, 5):
+            h.observe(K1, value)
+        counts, count, total = h.cell(K1)
+        # <=1: {0,1}; <=2: {2}; <=4: {3,4}; overflow: {5}
+        assert counts == [2, 1, 2, 1]
+        assert count == 6
+        assert total == 15.0
+
+    def test_unseen_key_is_zero_cell(self):
+        h = Histogram([1, 2])
+        counts, count, total = h.cell(K1)
+        assert counts == [0, 0, 0]
+        assert count == 0
+        assert total == 0.0
+
+    def test_default_buckets(self):
+        h = Histogram()
+        assert h.buckets == tuple(float(b) for b in TASK_BUCKETS)
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram([1, 1, 2])
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram([])
+
+    def test_merge_requires_same_buckets(self):
+        with pytest.raises(ValueError, match="different buckets"):
+            Histogram([1, 2]).merge(Histogram([1, 3]))
+
+    def test_merge_adds_cells(self):
+        a, b = Histogram([1, 2]), Histogram([1, 2])
+        a.observe(K1, 0)
+        b.observe(K1, 2)
+        b.observe(K2, 99)
+        a.merge(b)
+        counts, count, total = a.cell(K1)
+        assert counts == [1, 1, 0]
+        assert count == 2
+        assert total == 2.0
+        assert a.cell(K2)[0] == [0, 0, 1]  # overflow
+
+    def test_round_trip(self):
+        h = Histogram([1, 4, 16])
+        for v in (0, 3, 17, 1000):
+            h.observe(K1, v)
+        h.observe(K3, 2)
+        restored = Histogram.from_dict(h.to_dict())
+        assert restored == h
+
+    def test_from_dict_validates_cell_width(self):
+        raw = {"buckets": [1, 2], "cells": [{"key": ["s", 0, 1], "counts": [1], "count": 1, "sum": 1.0}]}
+        with pytest.raises(ValueError, match="buckets"):
+            Histogram.from_dict(raw)
+
+    def test_equality_includes_buckets(self):
+        a, b = Histogram([1, 2]), Histogram([1, 3])
+        assert a != b
+
+
+class TestMetrics:
+    def test_families_created_lazily_and_cached(self):
+        m = Metrics()
+        assert m.counter("x") is m.counter("x")
+        assert m.gauge("y") is m.gauge("y")
+        assert m.histogram("z", [1, 2]) is m.histogram("z")
+
+    def test_names_sorted(self):
+        m = Metrics()
+        m.counter("b")
+        m.counter("a")
+        m.gauge("g")
+        m.histogram("h")
+        assert m.counter_names() == ["a", "b"]
+        assert list(m) == ["a", "b", "g", "h"]
+
+    def test_is_empty_ignores_keyless_families(self):
+        m = Metrics()
+        m.counter("a")  # family exists but holds no key
+        assert m.is_empty()
+        m.counter("a").inc(K1)
+        assert not m.is_empty()
+
+    def test_merge_folds_all_families(self):
+        a, b = Metrics(), Metrics()
+        a.counter("c").inc(K1, 1)
+        b.counter("c").inc(K1, 2)
+        b.gauge("g").set(K1, 3.0)
+        b.histogram("h", [1, 2]).observe(K1, 0)
+        a.merge(b)
+        assert a.counter("c").get(K1) == 3
+        assert a.gauge("g").get(K1) == 3.0
+        assert a.histogram("h").cell(K1)[1] == 1
+
+    def test_merge_is_associative_on_disjoint_keys(self):
+        def build(key, amount):
+            m = Metrics()
+            m.counter("c").inc(key, amount)
+            return m
+
+        left = build(K1, 1)
+        left.merge(build(K2, 2))
+        left.merge(build(K3, 3))
+        right = build(K1, 1)
+        tail = build(K2, 2)
+        tail.merge(build(K3, 3))
+        right.merge(tail)
+        assert left == right
+
+    def test_equality_ignores_empty_families(self):
+        a, b = Metrics(), Metrics()
+        a.counter("phantom")  # no keys
+        assert a == b
+        a.counter("c").inc(K1)
+        assert a != b
+
+    def test_round_trip(self):
+        m = Metrics()
+        m.counter("c").inc(K1, 5)
+        m.gauge("g").set(K2, 1.25)
+        m.histogram("h", [1, 2]).observe(K3, 2)
+        assert Metrics.from_dict(m.to_dict()) == m
+
+    def test_round_trip_empty(self):
+        assert Metrics.from_dict(Metrics().to_dict()).is_empty()

@@ -1,0 +1,61 @@
+"""StageProfiler: the one sanctioned wall-clock accumulator."""
+
+import pytest
+
+from repro.obs import StageProfiler, wall_time
+
+
+class TestWallTime:
+    def test_monotone_nondecreasing(self):
+        a = wall_time()
+        b = wall_time()
+        assert b >= a
+
+
+class TestStageProfiler:
+    def test_stage_records_elapsed_time(self):
+        prof = StageProfiler()
+        with prof.stage("work"):
+            wall_time()  # any amount of work
+        assert prof.to_dict().keys() == {"work"}
+        assert prof.to_dict()["work"] >= 0.0
+        assert len(prof) == 1
+
+    def test_reentry_accumulates(self):
+        prof = StageProfiler()
+        prof.add("s", 1.0)
+        prof.add("s", 0.5)
+        assert prof.to_dict() == {"s": 1.5}
+        assert prof.total() == 1.5
+
+    def test_first_seen_order_preserved(self):
+        prof = StageProfiler()
+        for name in ("z", "a", "m", "a"):
+            prof.add(name, 1.0)
+        assert [name for name, _ in prof.stages()] == ["z", "a", "m"]
+        assert list(prof.to_dict()) == ["z", "a", "m"]
+
+    def test_disabled_profiler_records_nothing(self):
+        prof = StageProfiler(enabled=False)
+        with prof.stage("work"):
+            pass
+        assert prof.to_dict() == {}
+        assert prof.total() == 0.0
+        assert len(prof) == 0
+
+    def test_stage_records_on_exception(self):
+        prof = StageProfiler()
+        with pytest.raises(RuntimeError):
+            with prof.stage("boom"):
+                raise RuntimeError("x")
+        assert "boom" in prof.to_dict()
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            StageProfiler().add("s", -0.1)
+
+    def test_total_sums_stages(self):
+        prof = StageProfiler()
+        prof.add("a", 1.0)
+        prof.add("b", 2.0)
+        assert prof.total() == 3.0

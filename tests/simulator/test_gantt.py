@@ -5,11 +5,36 @@ import pytest
 
 from repro.core.strategies import OuterDynamic, OuterTwoPhase
 from repro.simulator import ascii_gantt, simulate, utilization, worker_intervals
+from repro.simulator.results import SimulationResult
+from repro.simulator.trace import AssignmentRecord, Trace
 
 
 @pytest.fixture
 def traced(paper_platform):
     return simulate(OuterTwoPhase(20, beta=3.0), paper_platform, rng=2, collect_trace=True)
+
+
+def _manual_result(records, p=2, makespan=None):
+    """A hand-built traced result for edge cases the engine never produces."""
+    trace = Trace()
+    for rec in records:
+        trace.append(rec)
+    blocks = [0] * p
+    tasks = [0] * p
+    span = 0.0
+    for rec in records:
+        blocks[rec.worker] += rec.blocks
+        tasks[rec.worker] += rec.tasks
+        span = max(span, rec.time + rec.duration)
+    return SimulationResult(
+        total_blocks=sum(blocks),
+        per_worker_blocks=np.asarray(blocks, dtype=np.int64),
+        per_worker_tasks=np.asarray(tasks, dtype=np.int64),
+        makespan=span if makespan is None else makespan,
+        n_assignments=len(records),
+        strategy_name="Manual",
+        trace=trace,
+    )
 
 
 class TestWorkerIntervals:
@@ -30,6 +55,23 @@ class TestWorkerIntervals:
         with pytest.raises(ValueError, match="trace"):
             worker_intervals(r)
 
+    def test_zero_duration_assignments_skipped(self):
+        r = _manual_result(
+            [
+                AssignmentRecord(time=0.0, worker=0, blocks=4, tasks=0, duration=0.0),
+                AssignmentRecord(time=0.0, worker=1, blocks=2, tasks=3, duration=1.5),
+            ]
+        )
+        intervals = worker_intervals(r)
+        assert 0 not in intervals  # pure data shipment leaves no busy interval
+        assert intervals[1] == [(0.0, 1.5, 1)]
+
+    def test_phase_carried_through(self):
+        r = _manual_result(
+            [AssignmentRecord(time=1.0, worker=0, blocks=1, tasks=2, duration=0.5, phase=2)]
+        )
+        assert worker_intervals(r)[0] == [(1.0, 1.5, 2)]
+
 
 class TestUtilization:
     def test_range(self, traced, paper_platform):
@@ -42,6 +84,24 @@ class TestUtilization:
         at tiny sizes the last-batch tail dominates the makespan)."""
         r = simulate(OuterTwoPhase(60, beta=4.0), paper_platform, rng=2, collect_trace=True)
         assert utilization(r).mean() > 0.8
+
+    def test_zero_makespan_gives_zero_utilization(self):
+        r = _manual_result(
+            [AssignmentRecord(time=0.0, worker=0, blocks=1, tasks=0, duration=0.0)],
+            makespan=0.0,
+        )
+        assert np.array_equal(utilization(r), np.zeros(2))
+
+    def test_matches_interval_lengths(self, traced):
+        u = utilization(traced)
+        for worker, intervals in worker_intervals(traced).items():
+            busy = sum(end - start for start, end, _ in intervals)
+            assert u[worker] == pytest.approx(busy / traced.makespan)
+
+    def test_requires_trace(self, paper_platform):
+        r = simulate(OuterDynamic(8), paper_platform, rng=0)
+        with pytest.raises(ValueError, match="trace"):
+            utilization(r)
 
 
 class TestAsciiGantt:
@@ -65,3 +125,21 @@ class TestAsciiGantt:
     def test_width_validation(self, traced):
         with pytest.raises(ValueError):
             ascii_gantt(traced, width=5)
+
+    def test_axis_line_spans_makespan(self, traced):
+        last = ascii_gantt(traced, width=40).splitlines()[-1]
+        assert last.strip().startswith("0")
+        assert f"{traced.makespan:.4g}" in last
+
+    def test_idle_worker_row_blank(self):
+        # Worker 1 never computes: its row must be all spaces at 0% util.
+        r = _manual_result(
+            [AssignmentRecord(time=0.0, worker=0, blocks=2, tasks=4, duration=2.0)]
+        )
+        row = ascii_gantt(r, width=20).splitlines()[2]
+        assert row.startswith("P1")
+        assert "#" not in row and "=" not in row
+        assert "0.0%" in row
+
+    def test_rendering_is_deterministic(self, traced):
+        assert ascii_gantt(traced, width=40) == ascii_gantt(traced, width=40)

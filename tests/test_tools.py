@@ -1,8 +1,12 @@
-"""The repo tooling (API-doc generator) stays runnable."""
+"""The repo tooling (API-doc generator, coverage gate) stays runnable."""
 
 import os
 import subprocess
 import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
+
+import coverage_gate  # noqa: E402
 
 
 def test_api_doc_generator_runs(tmp_path, monkeypatch):
@@ -21,3 +25,57 @@ def test_api_doc_generator_runs(tmp_path, monkeypatch):
     assert "# API reference" in text
     assert "repro.core.analysis" in text
     assert "simulate" in text
+
+
+class TestCoverageGate:
+    def test_source_files_cover_the_package(self):
+        files = list(coverage_gate.iter_source_files())
+        assert files == sorted(files)
+        names = {os.path.relpath(f, coverage_gate.PACKAGE_DIR) for f in files}
+        assert "simulator/engine.py" in {n.replace(os.sep, "/") for n in names}
+        assert all(f.endswith(".py") for f in files)
+
+    def test_executable_lines_from_code_objects(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "x = 1\n"
+            "\n"
+            "def f(flag):\n"
+            "    if flag:\n"
+            "        return 1\n"
+            "    return 2\n"
+        )
+        lines = coverage_gate.executable_lines(str(path))
+        assert {1, 4, 5, 6} <= lines
+        assert 2 not in lines  # blank line is not executable
+
+    def test_collector_records_only_watched_files(self, tmp_path):
+        path = tmp_path / "traced.py"
+        path.write_text("def g(a):\n    b = a + 1\n    return b\n")
+        namespace = {}
+        exec(compile(path.read_text(), str(path), "exec"), namespace)
+        collector = coverage_gate.LineCollector({str(path)})
+        collector.install()
+        try:
+            namespace["g"](1)
+        finally:
+            collector.uninstall()
+        assert {2, 3} <= collector.hits[str(path)]
+        assert set(collector.hits) == {str(path)}
+
+    def test_floor_matches_pyproject(self):
+        floor = coverage_gate.read_floor()
+        assert 0.0 < floor < 100.0
+
+    def test_summarize_totals(self, tmp_path, capsys):
+        path = tmp_path / "m.py"
+        path.write_text("a = 1\nb = 2\n")
+        all_lines = coverage_gate.executable_lines(str(path))
+        covered, executable, percent = coverage_gate.summarize(
+            {str(path): set(all_lines)}, report=True
+        )
+        assert covered == executable == len(all_lines)
+        assert percent == 100.0
+        assert "m.py" in capsys.readouterr().out
+        partial = coverage_gate.summarize({str(path): {min(all_lines)}})
+        assert partial[0] == 1 and partial[2] < 100.0

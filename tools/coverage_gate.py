@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Dependency-free line-coverage gate over the tier-1 test suite.
+
+CI measures coverage with ``pytest --cov`` (coverage.py); this tool exists
+so the same floor can be checked locally without installing anything: it
+traces the suite with :func:`sys.settrace`, counts executable lines from
+the compiled code objects' ``co_lines()`` tables, and compares the covered
+percentage against the ``fail_under`` floor recorded in ``pyproject.toml``
+(single source of truth for both gates).
+
+Usage::
+
+    python tools/coverage_gate.py                 # run suite, enforce floor
+    python tools/coverage_gate.py --report        # also print per-file table
+    python tools/coverage_gate.py --fail-under 0  # measure only
+    python tools/coverage_gate.py tests/obs       # gate a subset (no floor)
+
+Line accounting is slightly more conservative than coverage.py's: it has
+no ``exclude_lines`` pragmas, so ``# pragma: no cover`` blocks count as
+uncovered here while coverage.py excludes them.  The recorded floor is
+therefore safe for CI (coverage.py reports a percentage at least as high
+as this tool does).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+from types import CodeType, FrameType
+from typing import Any, Dict, Iterator, Optional, Set, Tuple
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+PACKAGE_DIR = os.path.join(SRC, "repro")
+
+
+def iter_source_files(package_dir: str = PACKAGE_DIR) -> Iterator[str]:
+    """Absolute paths of every ``.py`` file under the package, sorted."""
+    for dirpath, dirnames, filenames in os.walk(package_dir):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def executable_lines(path: str) -> Set[int]:
+    """Line numbers with executable code, from the compiled line tables.
+
+    Walks the module's code object and every nested code object (functions,
+    classes, comprehensions) collecting the lines ``co_lines()`` maps
+    instructions to — the same universe a line tracer can ever report.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    lines: Set[int] = set()
+    stack = [compile(source, path, "exec")]
+    while stack:
+        code = stack.pop()
+        for _start, _end, lineno in code.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        for const in code.co_consts:
+            if isinstance(const, CodeType):
+                stack.append(const)
+    return lines
+
+
+class LineCollector:
+    """A :func:`sys.settrace` hook recording line hits for watched files."""
+
+    def __init__(self, watched: Set[str]) -> None:
+        self.watched = watched
+        self.hits: Dict[str, Set[int]] = {path: set() for path in watched}
+
+    def _local(self, frame: FrameType, event: str, arg: Any) -> Any:
+        if event == "line":
+            hits = self.hits.get(frame.f_code.co_filename)
+            if hits is not None:
+                hits.add(frame.f_lineno)
+        return self._local
+
+    def global_trace(self, frame: FrameType, event: str, arg: Any) -> Any:
+        if frame.f_code.co_filename in self.watched:
+            return self._local(frame, event, arg)
+        return None  # don't pay per-line overhead outside the package
+
+    def install(self) -> None:
+        threading.settrace(self.global_trace)
+        sys.settrace(self.global_trace)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)
+
+
+def read_floor(pyproject_path: Optional[str] = None) -> float:
+    """The ``fail_under`` floor recorded in ``[tool.coverage.report]``."""
+    import tomllib
+
+    path = pyproject_path or os.path.join(ROOT, "pyproject.toml")
+    with open(path, "rb") as fh:
+        config = tomllib.load(fh)
+    return float(config["tool"]["coverage"]["report"]["fail_under"])
+
+
+def run_suite(pytest_args: Tuple[str, ...]) -> Tuple[int, Dict[str, Set[int]]]:
+    """Run pytest in-process under the collector; returns (exit, hits)."""
+    import pytest
+
+    if SRC not in sys.path:
+        sys.path.insert(0, SRC)
+    # Subprocess-based tests (examples, tool scripts) import repro too.
+    existing = os.environ.get("PYTHONPATH", "")
+    if SRC not in existing.split(os.pathsep):
+        os.environ["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+    watched = set(iter_source_files())
+    collector = LineCollector(watched)
+    collector.install()
+    try:
+        exit_code = int(pytest.main(["-q", "-p", "no:cacheprovider", *pytest_args]))
+    finally:
+        collector.uninstall()
+    return exit_code, collector.hits
+
+
+def summarize(
+    hits: Dict[str, Set[int]], *, report: bool = False
+) -> Tuple[int, int, float]:
+    """Total (covered, executable, percent); optionally print per-file rows."""
+    total_exec = 0
+    total_hit = 0
+    rows = []
+    for path in sorted(hits):
+        lines = executable_lines(path)
+        covered = len(lines & hits[path])
+        total_exec += len(lines)
+        total_hit += covered
+        if report:
+            pct = 100.0 * covered / len(lines) if lines else 100.0
+            rows.append((os.path.relpath(path, ROOT), len(lines), covered, pct))
+    percent = 100.0 * total_hit / total_exec if total_exec else 100.0
+    if report:
+        width = max(len(r[0]) for r in rows)
+        print(f"{'file':<{width}}  lines  covered    %")
+        for name, n_lines, covered, pct in rows:
+            print(f"{name:<{width}}  {n_lines:5d}  {covered:7d}  {pct:5.1f}")
+        print()
+    return total_hit, total_exec, percent
+
+
+def main(argv: Optional[Tuple[str, ...]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure line coverage of src/repro over the test suite "
+        "without coverage.py and enforce the pyproject fail_under floor."
+    )
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="floor to enforce (default: [tool.coverage.report] fail_under; "
+        "0 disables the gate)",
+    )
+    parser.add_argument(
+        "--report", action="store_true", help="print a per-file coverage table"
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        default=[],
+        help="extra arguments forwarded to pytest (e.g. a test subset; "
+        "passing any disables the floor unless --fail-under is given)",
+    )
+    args = parser.parse_args(argv)
+
+    if sys.version_info < (3, 11):  # co_lines() needs 3.10, tomllib 3.11
+        print("coverage_gate: requires Python >= 3.11 (use CI's pytest --cov on older)")
+        return 2
+
+    floor = args.fail_under
+    if floor is None:
+        floor = 0.0 if args.pytest_args else read_floor()
+
+    exit_code, hits = run_suite(tuple(args.pytest_args))
+    if exit_code != 0:
+        print(f"coverage_gate: test suite failed (pytest exit {exit_code})")
+        return exit_code
+
+    covered, executable, percent = summarize(hits, report=args.report)
+    print(
+        f"coverage_gate: {covered}/{executable} executable lines covered "
+        f"({percent:.2f}%), floor {floor:.2f}%"
+    )
+    if percent < floor:
+        print("coverage_gate: FAILED — coverage fell below the recorded floor")
+        return 1
+    print("coverage_gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
