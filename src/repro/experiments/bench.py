@@ -189,6 +189,32 @@ def _sweep_workload(n: int, p: int, reps: int, workers: int) -> WorkloadFn:
     return run
 
 
+def _store_roundtrip_workload(entries: int) -> WorkloadFn:
+    """Put/get churn through a content-addressed ResultStore on tmpfs-ish disk."""
+
+    def run(seed: int, prof: StageProfiler) -> object:
+        import shutil
+        import tempfile
+
+        from repro.store.cache import ResultStore
+
+        root = tempfile.mkdtemp(prefix="repro-bench-store-")
+        try:
+            store = ResultStore(root)
+            payload = {"summary": {"n": 8, "mean": 1.25, "std": 0.5, "min": 1.0, "max": 2.0}}
+            with prof.stage("put"):
+                for i in range(entries):
+                    store.put({"schema": "bench", "seed": seed, "i": i}, payload, kind="bench")
+            with prof.stage("get"):
+                for i in range(entries):
+                    store.get({"schema": "bench", "seed": seed, "i": i}, kind="bench")
+            return store.counts
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    return run
+
+
 def build_suite(suite: str = "default") -> List[Workload]:
     """The fixed workload list for *suite* (``"default"`` or ``"quick"``).
 
@@ -208,6 +234,7 @@ def build_suite(suite: str = "default") -> List[Workload]:
     sweep_n = 20 if quick else 40
     sweep_p = 40 if quick else 100
     sweep_reps = 4 if quick else 8
+    store_entries = 100 if quick else 500
     p = 50
     return [
         Workload(
@@ -249,6 +276,11 @@ def build_suite(suite: str = "default") -> List[Workload]:
             "replicate_sweep_parallel4",
             {"strategy": "RandomMatrix", "n": sweep_n, "p": sweep_p, "reps": sweep_reps, "workers": 4},
             _sweep_workload(sweep_n, sweep_p, sweep_reps, 4),
+        ),
+        Workload(
+            "store_roundtrip",
+            {"entries": store_entries},
+            _store_roundtrip_workload(store_entries),
         ),
     ]
 
@@ -397,6 +429,7 @@ def _render_rows(rows: List[Dict[str, Any]]) -> str:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-bench`` argument parser (exposed for the docs tests)."""
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Benchmark the simulation engine and record/compare timings.",
@@ -480,6 +513,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-bench``; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "list":
         for suite in SUITES:

@@ -5,6 +5,13 @@ Examples::
     repro-experiments list
     repro-experiments run fig01 fig06 --scale ci --outdir results
     repro-experiments run all --scale medium --seed 7
+    repro-experiments run all --scale paper --outdir results --cache cache --resume
+
+``--cache DIR`` memoizes every replicate cell in a content-addressed
+:class:`~repro.store.cache.ResultStore`; ``--resume`` additionally skips
+figures whose CSV was already produced by an earlier (possibly killed) run
+with the same scale and seed.  Cached or not, outputs are bit-identical.
+See docs/CACHING.md.
 """
 
 from __future__ import annotations
@@ -18,11 +25,14 @@ from repro.experiments.config import SCALES
 from repro.experiments.figures import FIGURES, generate
 from repro.experiments.io import render_figure, write_csv
 from repro.obs.profile import wall_time
+from repro.store.cache import ResultStore
+from repro.store.orchestrator import SweepOrchestrator
 
 __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-experiments`` argument parser (exposed for the docs tests)."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the figures of Beaumont & Marchal, HPDC'14.",
@@ -49,6 +59,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--outdir", default=None, help="write tidy CSVs into this directory")
     run.add_argument("--svg", action="store_true", help="also write an SVG chart per figure (needs --outdir)")
     run.add_argument("--quiet", action="store_true", help="suppress the terminal rendering")
+    run.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="memoize replicate cells in a content-addressed store at DIR"
+        " (created if missing); outputs are bit-identical with or without it",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip figures whose CSV a previous run with this scale/seed already"
+        " wrote (needs --cache and --outdir; CSVs are checksum-verified)",
+    )
 
     gantt = sub.add_parser("gantt", help="simulate one strategy and print an ASCII Gantt chart")
     gantt.add_argument("strategy", help="strategy name (see repro.strategy_names())")
@@ -80,7 +103,47 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--svg", action="store_true", help="also write an SVG chart (needs --outdir)")
     faults.add_argument("--json", action="store_true", help="also write a JSON summary (needs --outdir)")
     faults.add_argument("--quiet", action="store_true", help="suppress the terminal rendering")
+    faults.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="memoize churn cells in a content-addressed store at DIR",
+    )
+    faults.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip the sweep when a previous run already wrote its CSV"
+        " (needs --cache and --outdir)",
+    )
     return parser
+
+
+def _open_store_and_orchestrator(
+    args: argparse.Namespace,
+) -> "tuple[Optional[ResultStore], Optional[SweepOrchestrator]]":
+    """Resolve ``--cache``/``--resume`` into (store, orchestrator) or exit."""
+    if args.cache is None:
+        if args.resume:
+            raise SystemExit("--resume requires --cache")
+        return None, None
+    if args.resume and not args.outdir:
+        raise SystemExit("--resume requires --outdir (it verifies written CSVs)")
+    store = ResultStore(args.cache)
+    # Manifests are recorded whenever they can be (cache + outdir), so a
+    # plain cached run is already resumable; --resume only enables skipping.
+    orch = SweepOrchestrator(store, scale=args.scale, seed=args.seed) if args.outdir else None
+    return store, orch
+
+
+def _print_cache_summary(store: ResultStore) -> None:
+    """One-line hit/miss report after a cached run."""
+    counts = store.counts
+    rate = counts.hit_rate()
+    rate_text = "n/a" if rate is None else f"{100.0 * rate:.0f}%"
+    print(
+        f"   [cache: {counts.hits} hits, {counts.misses} misses, "
+        f"{counts.puts} puts, {counts.corrupt} corrupt — hit rate {rate_text}]"
+    )
 
 
 def _resolve_figures(requested: List[str]) -> List[str]:
@@ -144,8 +207,13 @@ def _run_faults(args: argparse.Namespace) -> int:
 
     from repro.experiments.faults import churn_summary, flt01
 
+    store, orch = _open_store_and_orchestrator(args)
+    csv_path = os.path.join(args.outdir, f"flt01_{args.scale}.csv") if args.outdir else None
+    if args.resume and orch is not None and csv_path is not None and orch.completed_csv("flt01", csv_path):
+        print(f"   [flt01 already complete: {csv_path} (resume)]")
+        return 0
     start = wall_time()
-    fig = flt01(scale=args.scale, seed=args.seed)
+    fig = flt01(scale=args.scale, seed=args.seed, cache=store)
     elapsed = wall_time() - start
     if not args.quiet:
         print(render_figure(fig))
@@ -153,6 +221,8 @@ def _run_faults(args: argparse.Namespace) -> int:
     if args.outdir:
         path = write_csv(fig, os.path.join(args.outdir, f"flt01_{args.scale}.csv"))
         print(f"   wrote {path}")
+        if orch is not None:
+            orch.mark_done("flt01", path)
         if args.svg:
             from repro.experiments.svgplot import write_svg
 
@@ -166,10 +236,13 @@ def _run_faults(args: argparse.Namespace) -> int:
             print(f"   wrote {json_path}")
     elif args.svg or args.json:
         raise SystemExit("--svg/--json require --outdir")
+    if store is not None:
+        _print_cache_summary(store)
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-experiments``; returns the process exit code."""
     args = build_parser().parse_args(argv)
 
     if args.command == "gantt":
@@ -197,9 +270,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     figure_ids = _resolve_figures(args.figures)
+    store, orch = _open_store_and_orchestrator(args)
     for fid in figure_ids:
+        csv_path = os.path.join(args.outdir, f"{fid}_{args.scale}.csv") if args.outdir else None
+        if args.resume and orch is not None and csv_path is not None and orch.completed_csv(fid, csv_path):
+            print(f"   [{fid} already complete: {csv_path} (resume)]")
+            continue
         start = wall_time()
-        fig = generate(fid, scale=args.scale, seed=args.seed, workers=args.workers)
+        fig = generate(fid, scale=args.scale, seed=args.seed, workers=args.workers, cache=store)
         elapsed = wall_time() - start
         if not args.quiet:
             print(render_figure(fig))
@@ -207,11 +285,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.outdir:
             path = write_csv(fig, os.path.join(args.outdir, f"{fid}_{args.scale}.csv"))
             print(f"   wrote {path}")
+            if orch is not None:
+                orch.mark_done(fid, path)
             if args.svg:
                 from repro.experiments.svgplot import write_svg
 
                 svg_path = write_svg(fig, os.path.join(args.outdir, f"{fid}_{args.scale}.svg"))
                 print(f"   wrote {svg_path}")
+    if store is not None:
+        _print_cache_summary(store)
     return 0
 
 

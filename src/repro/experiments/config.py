@@ -28,6 +28,7 @@ SCALES = ("paper", "medium", "ci")
 
 
 def check_scale(scale: str) -> str:
+    """Validate an experiment scale name; returns it unchanged."""
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
     return scale

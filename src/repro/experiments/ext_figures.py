@@ -11,10 +11,14 @@ ext03     Random baselines vs their coupon-collector closed form
 The generators accept the driver-wide ``workers`` keyword for interface
 uniformity with :func:`repro.experiments.figures.generate`, but always run
 serially: they drive the extension engines directly rather than going
-through the replicate runner.
+through the replicate runner.  The ``cache`` keyword is likewise accepted
+and ignored — these sweeps finish in seconds at every scale, so memoizing
+them buys nothing.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from repro.core.analysis.random_baseline import (
     expected_random_matrix_volume,
@@ -41,13 +45,14 @@ from repro.extensions.qr import (
 from repro.platform.platform import Platform
 from repro.platform.speeds import uniform_speeds
 from repro.simulator.engine import simulate
+from repro.store.cache import ResultStore
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.stats import summarize
 
 __all__ = ["ext01", "ext02", "ext03"]
 
 
-def ext01(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def ext01(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Optional[ResultStore] = None) -> FigureData:
     """Extension: locality vs random scheduling on factorization DAGs."""
     check_scale(scale)
     p = {"paper": 16, "medium": 16, "ci": 6}[scale]
@@ -84,7 +89,7 @@ def ext01(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
     return fig
 
 
-def ext02(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def ext02(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Optional[ResultStore] = None) -> FigureData:
     """Extension: overlap slowdown vs bandwidth, one series per prefetch depth."""
     check_scale(scale)
     p = 20
@@ -115,7 +120,7 @@ def ext02(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
     return fig
 
 
-def ext03(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def ext03(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Optional[ResultStore] = None) -> FigureData:
     """Extension: Random baselines vs the coupon-collector prediction."""
     check_scale(scale)
     n_outer = {"paper": 100, "medium": 100, "ci": 30}[scale]

@@ -20,7 +20,7 @@ repetition, so the sweep is exactly reproducible.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -31,10 +31,21 @@ from repro.faults.engine import simulate_faulty
 from repro.faults.models import FaultSchedule
 from repro.platform.platform import Platform
 from repro.platform.speeds import uniform_speeds
+from repro.store.cache import ResultStore
+from repro.store.cells import summary_from_payload, summary_to_payload
+from repro.store.fingerprint import ENGINE_VERSION, seed_token
 from repro.utils.rng import SeedLike, spawn_rngs
-from repro.utils.stats import RunningStats
+from repro.utils.stats import RunningStats, Summary
 
 __all__ = ["CHURN_STRATEGIES", "churn_summary", "flt01"]
+
+# One cached cell = one crash level of the sweep (all strategies together):
+# a single RNG stream threads sequentially through the platform draw, the
+# schedule draw and every strategy's run, so finer-grained caching would
+# change RNG consumption.  Bump the schema tag on key- or payload-shape
+# changes.
+_CHURN_SCHEMA = "repro.store.churn/1"
+_CHURN_KIND = "churn-cell"
 
 #: Strategies compared under churn: the outer-product cast of Figure 4.
 CHURN_STRATEGIES = ("RandomOuter", "SortedOuter", "DynamicOuter", "DynamicOuter2Phases")
@@ -52,12 +63,60 @@ def _crash_grid(scale: str) -> Sequence[float]:
     }[scale]
 
 
-def flt01(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def _churn_cell_key(
+    *, p: int, n: int, reps: int, seed: SeedLike, expected_crashes: float
+) -> Optional[Dict[str, Any]]:
+    """Cache key for one crash level, or ``None`` when the seed is uncacheable."""
+    seed_tok = seed_token(seed)
+    if seed_tok is None:
+        return None
+    return {
+        "schema": _CHURN_SCHEMA,
+        "engine": ENGINE_VERSION,
+        "p": int(p),
+        "n": int(n),
+        "reps": int(reps),
+        "seed": seed_tok,
+        "expected_crashes": float(expected_crashes),
+        "downtime_fraction": _DOWNTIME_FRACTION,
+        "strategies": list(CHURN_STRATEGIES),
+    }
+
+
+def _load_churn_cell(
+    store: ResultStore, key: Dict[str, Any]
+) -> Optional[Dict[str, Summary]]:
+    """Cached ``{strategy: Summary, "crashes_observed": Summary}`` or ``None``."""
+    payload = store.get(key, kind=_CHURN_KIND)
+    if payload is None:
+        return None
+    try:
+        out = {
+            name: summary_from_payload(payload["strategies"][name])[0]
+            for name in CHURN_STRATEGIES
+        }
+        out["crashes_observed"] = summary_from_payload(payload["observed"])[0]
+    except (KeyError, TypeError, ValueError):
+        return None
+    return out
+
+
+def flt01(
+    scale: str = "ci",
+    seed: SeedLike = 0,
+    workers: int = 1,
+    cache: Optional[ResultStore] = None,
+) -> FigureData:
     """Churn sweep: normalized communication vs expected crashes per worker.
 
     ``workers`` is accepted for interface parity with the other figure
     generators but the sweep always runs serially: fault-aware runs are
     dominated by per-task bookkeeping, not the replicate count.
+
+    A *cache* memoizes each crash level as one cell (all strategies plus the
+    observed crash count): one RNG stream threads through the platform draw,
+    the schedule draw and every strategy in sequence, so the level is the
+    finest cacheable unit.
     """
     check_scale(scale)
     p = 20
@@ -83,6 +142,19 @@ def flt01(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
     crash_stats = fig.new_series("crashes_observed")
 
     for expected_crashes in _crash_grid(scale):
+        key = None
+        if cache is not None:
+            key = _churn_cell_key(
+                p=p, n=n, reps=reps, seed=seed, expected_crashes=expected_crashes
+            )
+            if key is not None:
+                cell = _load_churn_cell(cache, key)
+                if cell is not None:
+                    for name in CHURN_STRATEGIES:
+                        fig[name].add(expected_crashes, cell[name].mean, cell[name].std)
+                    obs = cell["crashes_observed"]
+                    crash_stats.add(expected_crashes, obs.mean, obs.std)
+                    continue
         per_point: Dict[str, RunningStats] = {name: RunningStats() for name in CHURN_STRATEGIES}
         observed = RunningStats()
         for rng in spawn_rngs(seed, reps):
@@ -109,11 +181,23 @@ def flt01(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
                 if name == CHURN_STRATEGIES[0]:
                     assert result.faults is not None
                     observed.add(float(result.faults.n_crashes) / p)
+        summaries = {name: per_point[name].summary() for name in CHURN_STRATEGIES}
         for name in CHURN_STRATEGIES:
-            summary = per_point[name].summary()
-            fig[name].add(expected_crashes, summary.mean, summary.std)
+            fig[name].add(expected_crashes, summaries[name].mean, summaries[name].std)
         obs = observed.summary()
         crash_stats.add(expected_crashes, obs.mean, obs.std)
+        if cache is not None and key is not None:
+            cache.put(
+                key,
+                {
+                    "strategies": {
+                        name: summary_to_payload(summaries[name], None)
+                        for name in CHURN_STRATEGIES
+                    },
+                    "observed": summary_to_payload(obs, None),
+                },
+                kind=_CHURN_KIND,
+            )
     return fig
 
 

@@ -26,23 +26,25 @@ seconds-scale smoke with the same shape.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.core.analysis.beta import agnostic_beta, beta_deviation
 from repro.core.analysis.matrix import matrix_total_ratio, optimal_matrix_beta
 from repro.core.analysis.outer import optimal_outer_beta, outer_total_ratio
-from repro.core.strategies.registry import make_strategy
 from repro.experiments.config import FigureData, check_scale
+from repro.experiments.parallel import (
+    FixedPlatformSpec,
+    HeterogeneityPlatformSpec,
+    ScenarioPlatformSpec,
+    StrategySpec,
+    UniformPlatformSpec,
+)
 from repro.experiments.runner import average_normalized_comm, mean_analysis_ratio
 from repro.platform.platform import Platform
-from repro.platform.speeds import (
-    SCENARIO_NAMES,
-    heterogeneity_speeds,
-    make_scenario,
-    uniform_speeds,
-)
+from repro.platform.speeds import SCENARIO_NAMES, uniform_speeds
+from repro.store.cache import ResultStore
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = [
@@ -68,11 +70,6 @@ OUTER_BASELINES = ("RandomOuter", "SortedOuter", "DynamicOuter")
 MATRIX_BASELINES = ("RandomMatrix", "SortedMatrix", "DynamicMatrix")
 
 NORMALIZED_YLABEL = "Normalized communication amount"
-
-
-def _paper_speeds(rng: np.random.Generator, p: int) -> Platform:
-    """The default platform draw of the paper: speeds uniform in [10, 100]."""
-    return Platform(uniform_speeds(p, 10, 100, rng=rng))
 
 
 def _p_grid(scale: str) -> Sequence[int]:
@@ -104,6 +101,7 @@ def _sweep_vs_p(
     *,
     include_analysis: bool,
     workers: int = 1,
+    cache: Optional[ResultStore] = None,
 ) -> FigureData:
     fig = FigureData(
         figure_id=figure_id,
@@ -118,15 +116,19 @@ def _sweep_vs_p(
         fig.new_series("Analysis")
 
     for p in ps:
-        factory = lambda rng, p=p: _paper_speeds(rng, p)  # noqa: E731
+        # The paper's default draw: speeds uniform in [10, 100].  Spec
+        # factories (rather than closures) are what make the cells
+        # cacheable and picklable on spawn-only platforms.
+        factory = UniformPlatformSpec(p)
         for name in strategy_names:
             summary = average_normalized_comm(
-                lambda name=name: make_strategy(name, n),
+                StrategySpec(name, n),
                 factory,
                 n,
                 reps,
                 seed=seed,
                 workers=workers,
+                cache=cache,
             )
             fig[name].add(p, summary.mean, summary.std)
         if include_analysis:
@@ -135,7 +137,7 @@ def _sweep_vs_p(
     return fig
 
 
-def fig01(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def fig01(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Optional[ResultStore] = None) -> FigureData:
     """Figure 1: random vs data-aware dynamic strategies for the outer product."""
     check_scale(scale)
     n = {"paper": 100, "medium": 100, "ci": 30}[scale]
@@ -150,10 +152,11 @@ def fig01(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
         seed,
         include_analysis=False,
         workers=workers,
+        cache=cache,
     )
 
 
-def fig04(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def fig04(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Optional[ResultStore] = None) -> FigureData:
     """Figure 4: all outer-product strategies + analysis, n = 100 blocks."""
     check_scale(scale)
     n = {"paper": 100, "medium": 100, "ci": 30}[scale]
@@ -168,10 +171,11 @@ def fig04(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
         seed,
         include_analysis=True,
         workers=workers,
+        cache=cache,
     )
 
 
-def fig05(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def fig05(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Optional[ResultStore] = None) -> FigureData:
     """Figure 5: all outer-product strategies + analysis, n = 1000 blocks."""
     check_scale(scale)
     n = {"paper": 1000, "medium": 300, "ci": 60}[scale]
@@ -186,10 +190,11 @@ def fig05(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
         seed,
         include_analysis=True,
         workers=workers,
+        cache=cache,
     )
 
 
-def fig09(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def fig09(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Optional[ResultStore] = None) -> FigureData:
     """Figure 9: all matmul strategies + analysis, n = 40 blocks."""
     check_scale(scale)
     n = {"paper": 40, "medium": 40, "ci": 10}[scale]
@@ -204,10 +209,11 @@ def fig09(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
         seed,
         include_analysis=True,
         workers=workers,
+        cache=cache,
     )
 
 
-def fig10(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def fig10(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Optional[ResultStore] = None) -> FigureData:
     """Figure 10: all matmul strategies + analysis, n = 100 blocks."""
     check_scale(scale)
     n = {"paper": 100, "medium": 60, "ci": 14}[scale]
@@ -222,6 +228,7 @@ def fig10(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
         seed,
         include_analysis=True,
         workers=workers,
+        cache=cache,
     )
 
 
@@ -230,7 +237,7 @@ def fig10(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
 # ---------------------------------------------------------------------------
 
 
-def fig02(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def fig02(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Optional[ResultStore] = None) -> FigureData:
     """Figure 2: DynamicOuter2Phases vs percentage of tasks in phase 1.
 
     A single platform draw (p = 20) is reused across the sweep, as in the
@@ -246,8 +253,10 @@ def fig02(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
         "ci": np.array([0.0, 0.5, 0.9, 0.99, 1.0]),
     }[scale]
 
+    # One fixed draw reused across the sweep; only the simulation stream
+    # varies.  FixedPlatformSpec rebuilds the identical float64 vector.
     platform = Platform(uniform_speeds(p, 10, 100, rng=as_generator(seed)))
-    factory = lambda rng: platform  # noqa: E731  (fixed speeds, fresh sim seed)
+    factory = FixedPlatformSpec(platform.speeds)
 
     fig = FigureData(
         figure_id="fig02",
@@ -259,17 +268,20 @@ def fig02(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
     sweep = fig.new_series("DynamicOuter2Phases")
     for frac in fractions:
         summary = average_normalized_comm(
-            lambda frac=frac: make_strategy("DynamicOuter2Phases", n, phase1_fraction=float(frac)),
+            StrategySpec("DynamicOuter2Phases", n, phase1_fraction=float(frac)),
             factory,
             n,
             reps,
             seed=seed,
             workers=workers,
+            cache=cache,
         )
         sweep.add(100.0 * frac, summary.mean, summary.std)
 
     for name in OUTER_BASELINES:
-        summary = average_normalized_comm(lambda name=name: make_strategy(name, n), factory, n, reps, seed=seed, workers=workers)
+        summary = average_normalized_comm(
+            StrategySpec(name, n), factory, n, reps, seed=seed, workers=workers, cache=cache
+        )
         flat = fig.new_series(name)
         for frac in (fractions[0], fractions[-1]):
             flat.add(100.0 * frac, summary.mean, summary.std)
@@ -291,6 +303,7 @@ def _beta_sweep(
     seed: SeedLike,
     betas: Sequence[float],
     workers: int = 1,
+    cache: Optional[ResultStore] = None,
 ) -> FigureData:
     two_phase = "DynamicOuter2Phases" if kernel == "outer" else "DynamicMatrix2Phases"
     dynamic = "DynamicOuter" if kernel == "outer" else "DynamicMatrix"
@@ -299,7 +312,7 @@ def _beta_sweep(
 
     platform = Platform(uniform_speeds(p, 10, 100, rng=as_generator(seed)))
     rel = platform.relative_speeds
-    factory = lambda rng: platform  # noqa: E731
+    factory = FixedPlatformSpec(platform.speeds)
 
     fig = FigureData(
         figure_id=figure_id,
@@ -319,24 +332,27 @@ def _beta_sweep(
     ana_series = fig.new_series("Analysis")
     for beta in betas:
         summary = average_normalized_comm(
-            lambda beta=beta: make_strategy(two_phase, n, beta=float(beta)),
+            StrategySpec(two_phase, n, beta=float(beta)),
             factory,
             n,
             reps,
             seed=seed,
             workers=workers,
+            cache=cache,
         )
         sim_series.add(beta, summary.mean, summary.std)
         ana_series.add(beta, ratio(float(beta), rel, n))
 
-    dyn = average_normalized_comm(lambda: make_strategy(dynamic, n), factory, n, reps, seed=seed, workers=workers)
+    dyn = average_normalized_comm(
+        StrategySpec(dynamic, n), factory, n, reps, seed=seed, workers=workers, cache=cache
+    )
     flat = fig.new_series(dynamic)
     for beta in (betas[0], betas[-1]):
         flat.add(beta, dyn.mean, dyn.std)
     return fig
 
 
-def fig06(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def fig06(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Optional[ResultStore] = None) -> FigureData:
     """Figure 6: outer-product communication vs β (p=20, n=100)."""
     check_scale(scale)
     n = {"paper": 100, "medium": 100, "ci": 30}[scale]
@@ -355,10 +371,11 @@ def fig06(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
         seed,
         betas,
         workers=workers,
+        cache=cache,
     )
 
 
-def fig11(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def fig11(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Optional[ResultStore] = None) -> FigureData:
     """Figure 11: matmul communication vs β (p=100, n=40)."""
     check_scale(scale)
     p = {"paper": 100, "medium": 100, "ci": 30}[scale]
@@ -378,6 +395,7 @@ def fig11(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
         seed,
         betas,
         workers=workers,
+        cache=cache,
     )
 
 
@@ -386,7 +404,7 @@ def fig11(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
 # ---------------------------------------------------------------------------
 
 
-def fig07(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def fig07(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Optional[ResultStore] = None) -> FigureData:
     """Figure 7: impact of the heterogeneity level h (speeds in [100-h, 100+h])."""
     check_scale(scale)
     p = 20
@@ -411,16 +429,18 @@ def fig07(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
     fig.new_series("Analysis")
 
     for h in hs:
-        factory = lambda rng, h=h: Platform(heterogeneity_speeds(p, h, rng=rng))  # noqa: E731
+        factory = HeterogeneityPlatformSpec(p, float(h))
         for name in names:
-            summary = average_normalized_comm(lambda name=name: make_strategy(name, n), factory, n, reps, seed=seed, workers=workers)
+            summary = average_normalized_comm(
+                StrategySpec(name, n), factory, n, reps, seed=seed, workers=workers, cache=cache
+            )
             fig[name].add(h, summary.mean, summary.std)
         summary = mean_analysis_ratio("outer", factory, n, reps, seed=seed)
         fig["Analysis"].add(h, summary.mean, summary.std)
     return fig
 
 
-def fig08(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def fig08(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Optional[ResultStore] = None) -> FigureData:
     """Figure 8: heterogeneity scenarios (unif.*, set.*, dyn.*)."""
     check_scale(scale)
     p = 20
@@ -442,9 +462,11 @@ def fig08(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
     fig.new_series("Analysis")
 
     for idx, scenario in enumerate(scenarios):
-        factory = lambda rng, scenario=scenario: make_scenario(scenario, p, rng=rng)  # noqa: E731
+        factory = ScenarioPlatformSpec(scenario, p)
         for name in names:
-            summary = average_normalized_comm(lambda name=name: make_strategy(name, n), factory, n, reps, seed=seed, workers=workers)
+            summary = average_normalized_comm(
+                StrategySpec(name, n), factory, n, reps, seed=seed, workers=workers, cache=cache
+            )
             fig[name].add(idx, summary.mean, summary.std)
         summary = mean_analysis_ratio("outer", factory, n, reps, seed=seed)
         fig["Analysis"].add(idx, summary.mean, summary.std)
@@ -456,7 +478,7 @@ def fig08(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData
 # ---------------------------------------------------------------------------
 
 
-def sec36(scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def sec36(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Optional[ResultStore] = None) -> FigureData:
     """Section 3.6: β is effectively speed-agnostic.
 
     For a grid of (p, n), draws heterogeneous speed vectors (uniform in
@@ -533,10 +555,10 @@ FIGURES: Dict[str, Callable[..., FigureData]] = {
 
 
 
-def generate(figure_id: str, scale: str = "ci", seed: SeedLike = 0, workers: int = 1) -> FigureData:
+def generate(figure_id: str, scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Optional[ResultStore] = None) -> FigureData:
     """Generate one figure by id (``"fig01"`` ... ``"fig11"``, ``"sec36"``)."""
     try:
         fn = FIGURES[figure_id]
     except KeyError:
         raise ValueError(f"unknown figure {figure_id!r}; choose from {sorted(FIGURES)}") from None
-    return fn(scale=scale, seed=seed)
+    return fn(scale=scale, seed=seed, workers=workers, cache=cache)

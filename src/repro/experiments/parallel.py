@@ -52,6 +52,8 @@ from repro.experiments.runner import (
 )
 from repro.obs.sink import MetricsSink, RecordingSink
 from repro.platform.platform import Platform
+from repro.store.cache import ResultStore
+from repro.store.cells import load_cell, replicate_cell_key, save_cell
 from repro.platform.speeds import (
     SCENARIO_NAMES,
     SpeedModel,
@@ -100,6 +102,10 @@ class StrategySpec:
     def __call__(self) -> Strategy:
         return make_strategy(self.name, self.n, **self.kwargs)
 
+    def cache_token(self) -> List[Any]:
+        """Canonical description for the result cache (:mod:`repro.store`)."""
+        return ["strategy", self.name, self.n, dict(sorted(self.kwargs.items()))]
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, StrategySpec):
             return NotImplemented
@@ -127,6 +133,10 @@ class UniformPlatformSpec:
     def __call__(self, rng: np.random.Generator) -> Platform:
         return Platform(uniform_speeds(self.p, self.low, self.high, rng=rng))
 
+    def cache_token(self) -> List[Any]:
+        """Canonical description for the result cache (:mod:`repro.store`)."""
+        return ["uniform", self.p, self.low, self.high]
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, UniformPlatformSpec):
             return NotImplemented
@@ -150,6 +160,10 @@ class FixedPlatformSpec:
 
     def __call__(self, rng: np.random.Generator) -> Platform:
         return Platform(np.asarray(self.speeds, dtype=np.float64))
+
+    def cache_token(self) -> List[Any]:
+        """Canonical description for the result cache (:mod:`repro.store`)."""
+        return ["fixed", list(self.speeds)]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, FixedPlatformSpec):
@@ -175,6 +189,10 @@ class HeterogeneityPlatformSpec:
     def __call__(self, rng: np.random.Generator) -> Platform:
         return Platform(heterogeneity_speeds(self.p, self.h, rng=rng))
 
+    def cache_token(self) -> List[Any]:
+        """Canonical description for the result cache (:mod:`repro.store`)."""
+        return ["heterogeneity", self.p, self.h]
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, HeterogeneityPlatformSpec):
             return NotImplemented
@@ -199,6 +217,10 @@ class ScenarioPlatformSpec:
 
     def __call__(self, rng: np.random.Generator) -> Tuple[Platform, SpeedModel]:
         return make_scenario(self.scenario, self.p, rng=rng)
+
+    def cache_token(self) -> List[Any]:
+        """Canonical description for the result cache (:mod:`repro.store`)."""
+        return ["scenario", self.scenario, self.p]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ScenarioPlatformSpec):
@@ -414,6 +436,7 @@ def parallel_average_normalized_comm(
     workers: int = 0,
     chunk_size: Optional[int] = None,
     sink: Optional[MetricsSink] = None,
+    cache: Optional[ResultStore] = None,
 ) -> Summary:
     """Parallel drop-in for :func:`~repro.experiments.runner.average_normalized_comm`.
 
@@ -427,9 +450,28 @@ def parallel_average_normalized_comm(
     a fresh :class:`~repro.obs.sink.RecordingSink` in its worker process and
     the picklable snapshots are absorbed here **in repetition order**, so
     the accumulated metrics match the serial path bit for bit.
+
+    A *cache* memoizes the whole cell exactly as the serial path does (same
+    key, same payload — a cell computed serially is a parallel hit and vice
+    versa); the store's file lock makes sharing one cache directory across
+    worker processes safe.
     """
     if reps <= 0:
         raise ValueError(f"reps must be positive, got {reps}")
+    key = None
+    if cache is not None:
+        key = replicate_cell_key(
+            strategy_factory=strategy_factory,
+            platform_factory=platform_factory,
+            n=n,
+            reps=reps,
+            seed=seed,
+            metrics=sink is not None,
+        )
+        if key is not None:
+            cached = load_cell(cache, key, sink=sink)
+            if cached is not None:
+                return cached
     nworkers = resolve_workers(workers)
     job = RepJob(
         strategy_factory,
@@ -442,9 +484,17 @@ def parallel_average_normalized_comm(
         outcomes = job.run(list(range(reps)))
     else:
         outcomes = _dispatch(job, reps, nworkers, chunk_size)
+    snapshots: Optional[List[Dict[str, Any]]] = (
+        [] if (key is not None and sink is not None) else None
+    )
     stats = RunningStats()
     for value, snapshot in outcomes:
         stats.add(value)
         if sink is not None and snapshot is not None:
             sink.absorb_snapshot(snapshot)
-    return stats.summary()
+            if snapshots is not None:
+                snapshots.append(snapshot)
+    summary = stats.summary()
+    if cache is not None and key is not None:
+        save_cell(cache, key, summary, snapshots)
+    return summary

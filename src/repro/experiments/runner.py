@@ -9,7 +9,7 @@ per repetition.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -21,6 +21,8 @@ from repro.obs.sink import MetricsSink, RecordingSink
 from repro.platform.platform import Platform
 from repro.platform.speeds import SpeedModel
 from repro.simulator.engine import simulate
+from repro.store.cache import ResultStore
+from repro.store.cells import load_cell, replicate_cell_key, save_cell
 from repro.utils.rng import SeedLike, spawn_rngs
 from repro.utils.stats import RunningStats, Summary
 
@@ -73,6 +75,7 @@ def average_normalized_comm(
     seed: SeedLike = 0,
     workers: int = 1,
     sink: Optional[MetricsSink] = None,
+    cache: Optional[ResultStore] = None,
 ) -> Summary:
     """Mean/std of normalized communication over *reps* simulations.
 
@@ -92,6 +95,14 @@ def average_normalized_comm(
     *sink* via :meth:`~repro.obs.sink.MetricsSink.absorb_snapshot` in
     repetition order — the identical fold sequence serial and parallel, so
     accumulated metrics are bit-identical for every worker count too.
+
+    A *cache* (:class:`~repro.store.cache.ResultStore`) memoizes the whole
+    cell: when both factories expose a ``cache_token()`` and the seed is
+    tokenizable, the summary (and, with a sink, the per-repetition metric
+    snapshots) is stored under a content fingerprint and later calls return
+    it without simulating — bit-identical, since JSON round-trips floats
+    exactly and cached snapshots replay through the same fold.  Uncacheable
+    inputs silently bypass the cache.
     """
     if reps <= 0:
         raise ValueError(f"reps must be positive, got {reps}")
@@ -99,8 +110,32 @@ def average_normalized_comm(
         from repro.experiments.parallel import parallel_average_normalized_comm
 
         return parallel_average_normalized_comm(
-            strategy_factory, platform_factory, n, reps, seed=seed, workers=workers, sink=sink
+            strategy_factory,
+            platform_factory,
+            n,
+            reps,
+            seed=seed,
+            workers=workers,
+            sink=sink,
+            cache=cache,
         )
+    key = None
+    if cache is not None:
+        key = replicate_cell_key(
+            strategy_factory=strategy_factory,
+            platform_factory=platform_factory,
+            n=n,
+            reps=reps,
+            seed=seed,
+            metrics=sink is not None,
+        )
+        if key is not None:
+            cached = load_cell(cache, key, sink=sink)
+            if cached is not None:
+                return cached
+    snapshots: Optional[List[Dict[str, Any]]] = (
+        [] if (key is not None and sink is not None) else None
+    )
     stats = RunningStats()
     for rng in spawn_rngs(seed, reps):
         if sink is None:
@@ -110,8 +145,14 @@ def average_normalized_comm(
             stats.add(
                 _rep_normalized_comm(rng, strategy_factory, platform_factory, n, sink=rep_sink)
             )
-            sink.absorb_snapshot(rep_sink.snapshot())
-    return stats.summary()
+            snapshot = rep_sink.snapshot()
+            sink.absorb_snapshot(snapshot)
+            if snapshots is not None:
+                snapshots.append(snapshot)
+    summary = stats.summary()
+    if cache is not None and key is not None:
+        save_cell(cache, key, summary, snapshots)
+    return summary
 
 
 def mean_analysis_ratio(

@@ -30,6 +30,8 @@ Tile = Tuple[int, int]
 
 
 class TaskType(enum.Enum):
+    """The four tiled-Cholesky kernels (LAPACK naming)."""
+
     POTRF = "potrf"
     TRSM = "trsm"
     SYRK = "syrk"

@@ -27,6 +27,8 @@ Tile = Tuple[int, int]
 
 
 class LuTaskType(enum.Enum):
+    """The tiled-LU kernels (LAPACK naming; TRSM split by triangle)."""
+
     GETRF = "getrf"
     TRSM_U = "trsm_u"  # row update: U[k, j]
     TRSM_L = "trsm_l"  # column update: L[i, k]
@@ -43,6 +45,8 @@ _WORK = {
 
 @dataclass(frozen=True)
 class LuTask:
+    """One tiled-LU task: kernel kind, tile indices, data footprint."""
+
     kind: LuTaskType
     i: int
     j: int

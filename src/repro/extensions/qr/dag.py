@@ -32,6 +32,8 @@ Tile = Tuple[int, int]
 
 
 class QrTaskType(enum.Enum):
+    """The four tiled-QR kernels (LAPACK naming)."""
+
     GEQRT = "geqrt"
     UNMQR = "unmqr"
     TSQRT = "tsqrt"

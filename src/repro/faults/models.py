@@ -176,6 +176,19 @@ class FaultSchedule:
     def __len__(self) -> int:
         return len(self.crashes) + len(self.slowdowns) + len(self.losses)
 
+    def cache_token(self) -> List[object]:
+        """Canonical description for the result cache (:mod:`repro.store`).
+
+        The schedule is fully pre-drawn, so listing every event captures it
+        exactly; two schedules with equal tokens inject identical faults.
+        """
+        return [
+            "fault-schedule",
+            [[c.worker, c.time, c.downtime] for c in self.crashes],
+            [[s.worker, s.start, s.duration, s.factor] for s in self.slowdowns],
+            [[x.worker, x.request_index] for x in self.losses],
+        ]
+
     # -- construction ------------------------------------------------------
 
     @classmethod

@@ -12,6 +12,7 @@ from typing import Dict, Iterable, List, Optional, Type
 from repro.lint.framework import Rule
 from repro.lint.rules.all_consistency import AllNamesExist, PublicNamesExported
 from repro.lint.rules.determinism import SimulatedClockOnly
+from repro.lint.rules.docstrings import PublicApiHasDocstring
 from repro.lint.rules.exceptions import NoBareExcept, NoSilentExcept
 from repro.lint.rules.float_equality import NoFloatEquality
 from repro.lint.rules.obs_wallclock import ObsNoWallclock
@@ -35,6 +36,7 @@ ALL_RULES: List[Type[Rule]] = [
     StrategyRegistryComplete,
     AllNamesExist,
     PublicNamesExported,
+    PublicApiHasDocstring,
     NoBareExcept,
     NoSilentExcept,
 ]

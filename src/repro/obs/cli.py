@@ -22,6 +22,7 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-report`` argument parser (exposed for the docs tests)."""
     parser = argparse.ArgumentParser(
         prog="repro-report",
         description="Run instrumented simulations and render observability reports.",
@@ -36,6 +37,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--summary", default=None, help="write the summary JSON document here")
     run.add_argument("--events", default=None, help="write the JSON-lines event stream here")
     run.add_argument("--quiet", action="store_true", help="suppress the terminal report")
+    run.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="memoize the simulations in a result store at DIR; the report then"
+        " shows cache hit rates (ignored with --events: event streams are not cached)",
+    )
 
     render = sub.add_parser("render", help="render a report from a saved summary document")
     render.add_argument("summary", help="summary JSON written by 'repro-report run --summary'")
@@ -57,7 +65,24 @@ def _run(args: argparse.Namespace) -> int:
 
     sink = RecordingSink(events=args.events is not None)
     platform = Platform(uniform_speeds(args.p, 10, 100, rng=args.seed))
+    store = None
+    if args.cache is not None and args.events is None:
+        from repro.store.cache import ResultStore
+
+        store = ResultStore(args.cache, sink=sink)
     for i, name in enumerate(args.strategies):
+        if store is not None:
+            from repro.store.results import run_cached_simulation
+
+            run_cached_simulation(
+                store,
+                strategy_name=name,
+                n=args.n,
+                platform=platform,
+                seed=args.seed + 1 + i,
+                sink=sink,
+            )
+            continue
         strategy = make_strategy(name, args.n)
         simulate(strategy, platform, rng=args.seed + 1 + i, sink=sink)
 
@@ -74,6 +99,7 @@ def _run(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-report``; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _run(args)

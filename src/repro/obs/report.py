@@ -42,6 +42,8 @@ def _worker_totals(counter: Counter, strategy: str) -> Dict[int, int]:
 def _strategy_names(metrics: Metrics, runs: List[Mapping[str, Any]]) -> List[str]:
     names = {str(r["strategy"]) for r in runs if "strategy" in r}
     for family in metrics.counter_names():
+        if family.startswith("store_"):
+            continue  # the strategy slot carries the cache entry kind there
         for key, _ in metrics.counter(family).items():
             names.add(key[0])
     return sorted(names)
@@ -115,12 +117,46 @@ def _strategy_section(metrics: Metrics, strategy: str) -> Dict[str, Any]:
     return section
 
 
+#: The ``store_*`` counter families a RecordingSink fills from cache events.
+_STORE_EVENTS = ("hit", "miss", "put", "corrupt")
+
+
+def _store_section(metrics: Metrics) -> List[Dict[str, Any]]:
+    """Per-entry-kind cache statistics from the ``store_*`` counter families.
+
+    The result cache (:mod:`repro.store`) reports every hit/miss/put/corrupt
+    event through the sink; the counter key's strategy slot carries the
+    entry *kind* (``"replicate-cell"``, ``"simulation"``, …).  Returns one
+    row per kind, with a ``hit_rate`` where at least one lookup happened.
+    """
+    kinds: Dict[str, Dict[str, int]] = {}
+    for event in _STORE_EVENTS:
+        family = f"store_{event}"
+        if family not in metrics.counter_names():
+            continue
+        for (kind, _w, _ph), value in metrics.counter(family).items():
+            kinds.setdefault(str(kind), {})[event] = (
+                kinds.get(str(kind), {}).get(event, 0) + value
+            )
+    rows: List[Dict[str, Any]] = []
+    for kind in sorted(kinds):
+        row: Dict[str, Any] = {"kind": kind}
+        for event in _STORE_EVENTS:
+            row[event] = kinds[kind].get(event, 0)
+        lookups = row["hit"] + row["miss"]
+        if lookups:
+            row["hit_rate"] = row["hit"] / lookups
+        rows.append(row)
+    return rows
+
+
 def build_report(summary: Mapping[str, Any]) -> Dict[str, Any]:
     """The structured report derived from a summary document.
 
     Returns a JSON-ready dict with a ``runs`` list (each run's metadata
-    plus ``lower_bound`` and ``normalized_comm`` when computable) and a
-    ``strategies`` list of per-strategy aggregate sections.
+    plus ``lower_bound`` and ``normalized_comm`` when computable), a
+    ``strategies`` list of per-strategy aggregate sections, and a ``store``
+    list of per-kind result-cache statistics (empty when no cache was used).
     """
     metrics = Metrics.from_dict(summary.get("metrics", {}))
     runs = [dict(r) for r in summary.get("runs", [])]
@@ -129,6 +165,7 @@ def build_report(summary: Mapping[str, Any]) -> Dict[str, Any]:
         "strategies": [
             _strategy_section(metrics, name) for name in _strategy_names(metrics, runs)
         ],
+        "store": _store_section(metrics),
     }
 
 
@@ -187,5 +224,17 @@ def render_report(summary: Mapping[str, Any]) -> str:
                     f"  {row['worker']:>6d} {row['blocks']:>8d} {row['tasks']:>8d}"
                     f" {row['assignments']:>12d}  {_fmt(row['idle_gap'])}"
                 )
+
+    if report["store"]:
+        lines.append("")
+        lines.append("result cache")
+        lines.append("------------")
+        for row in report["store"]:
+            rate = row.get("hit_rate")
+            rate_text = "-" if rate is None else f"{100.0 * rate:.0f}%"
+            lines.append(
+                f"  {row['kind']}: hits={row['hit']}  misses={row['miss']}"
+                f"  puts={row['put']}  corrupt={row['corrupt']}  hit rate={rate_text}"
+            )
     lines.append("")
     return "\n".join(lines)

@@ -65,6 +65,15 @@ class MetricsSink:
     ) -> None:
         """The run finished; totals are the result's headline numbers."""
 
+    def on_store_event(self, kind: str, event: str) -> None:
+        """The result cache looked up or wrote an entry of *kind*.
+
+        *event* is one of ``hit``/``miss``/``put``/``corrupt`` (see
+        :class:`repro.store.cache.ResultStore`).  Unlike the engine hooks
+        this fires outside any run, so implementations must not assume a
+        current strategy.
+        """
+
     def snapshot(self) -> Dict[str, Any]:
         """Picklable representation of everything accumulated so far."""
         return {}
@@ -91,6 +100,9 @@ class RecordingSink(MetricsSink):
     ``tasks_allocated`` (counter) allocated tasks, per worker and phase
     ``zero_task_assignments``   index-only shipments (no work allocated)
     ``fault_<kind>`` (counter)  fault events per kind (crash/restart/loss/...)
+    ``store_<event>`` (counter) result-cache traffic per entry kind, keyed
+                                ``(kind, ALL_WORKERS, ALL_PHASES)`` for each
+                                of hit/miss/put/corrupt
     ``assignment_tasks`` (hist) per-assignment task counts, fixed power-of-two buckets
     ``makespan`` (gauge)        last run's makespan
     ``phase2_start_time`` (gauge) simulated time of the first phase-2 assignment
@@ -196,6 +208,12 @@ class RecordingSink(MetricsSink):
                 "blocks": blocks,
             }
         )
+
+    def on_store_event(self, kind: str, event: str) -> None:
+        """Count cache traffic as ``store_<event>`` keyed by entry kind."""
+        if event not in ("hit", "miss", "put", "corrupt"):
+            raise ValueError(f"unknown store event {event!r}")
+        self.metrics.counter(f"store_{event}").inc((str(kind), ALL_WORKERS, ALL_PHASES))
 
     def on_run_end(
         self, makespan: float, total_blocks: int, total_tasks: int, n_assignments: int

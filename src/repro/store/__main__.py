@@ -1,0 +1,8 @@
+"""``python -m repro.store`` — alias for the ``repro-store`` CLI."""
+
+import sys
+
+from repro.store.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - thin alias
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Cache keys and payloads for the experiment runner's replicate cells.
+
+A *replicate cell* is one figure point: ``reps`` independent simulations of
+one (strategy, platform, n) configuration, aggregated to a
+:class:`~repro.utils.stats.Summary`.  The key captures everything the cell's
+bits depend on — the factory specs' ``cache_token()``, the resolved seed
+entropy, the repetition count, the engine version tag and whether metrics
+were collected (metric collection changes nothing numerically but the cached
+payload must carry the per-repetition sink snapshots to replay the fold).
+
+Uncacheable inputs — closure factories without a ``cache_token()``, seeds
+with hidden state — make :func:`replicate_cell_key` return ``None``, and the
+runner silently computes without the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.sink import MetricsSink
+from repro.store.cache import ResultStore
+from repro.store.fingerprint import ENGINE_VERSION, seed_token, spec_token
+from repro.utils.rng import SeedLike
+from repro.utils.stats import Summary
+
+__all__ = [
+    "CELL_KIND",
+    "CELL_SCHEMA",
+    "Snapshot",
+    "load_cell",
+    "replicate_cell_key",
+    "save_cell",
+    "summary_from_payload",
+    "summary_to_payload",
+]
+
+#: Schema tag inside every replicate-cell key; bump on key-shape changes.
+CELL_SCHEMA = "repro.store.cell/1"
+
+#: Entry kind replicate cells are stored under.
+CELL_KIND = "replicate-cell"
+
+#: A repetition sink snapshot (see :meth:`repro.obs.sink.MetricsSink.snapshot`).
+Snapshot = Dict[str, Any]
+
+
+def replicate_cell_key(
+    *,
+    strategy_factory: Callable[..., Any],
+    platform_factory: Callable[..., Any],
+    n: int,
+    reps: int,
+    seed: SeedLike,
+    metrics: bool,
+) -> Optional[Dict[str, Any]]:
+    """The cell's cache key, or ``None`` when any input is uncacheable."""
+    strategy_tok = spec_token(strategy_factory)
+    platform_tok = spec_token(platform_factory)
+    seed_tok = seed_token(seed)
+    if strategy_tok is None or platform_tok is None or seed_tok is None:
+        return None
+    return {
+        "schema": CELL_SCHEMA,
+        "engine": ENGINE_VERSION,
+        "strategy": strategy_tok,
+        "platform": platform_tok,
+        "n": int(n),
+        "reps": int(reps),
+        "seed": seed_tok,
+        "metrics": bool(metrics),
+    }
+
+
+def summary_to_payload(
+    summary: Summary, snapshots: Optional[List[Snapshot]]
+) -> Dict[str, Any]:
+    """JSON-ready payload for a computed cell (summary + sink snapshots)."""
+    return {
+        "summary": {
+            "n": summary.n,
+            "mean": summary.mean,
+            "std": summary.std,
+            "min": summary.min,
+            "max": summary.max,
+        },
+        "snapshots": snapshots,
+    }
+
+
+def summary_from_payload(
+    payload: Dict[str, Any]
+) -> Tuple[Summary, Optional[List[Snapshot]]]:
+    """Rebuild ``(summary, snapshots)`` from :func:`summary_to_payload` output.
+
+    JSON round-trips Python floats exactly (shortest-repr encoding), so the
+    rebuilt :class:`~repro.utils.stats.Summary` is bit-identical to the one
+    originally computed — which is what keeps cached CSV output byte-equal
+    to an uncached run.
+    """
+    raw = payload["summary"]
+    summary = Summary(
+        n=int(raw["n"]),
+        mean=float(raw["mean"]),
+        std=float(raw["std"]),
+        min=float(raw["min"]),
+        max=float(raw["max"]),
+    )
+    snapshots = payload.get("snapshots")
+    if snapshots is not None and not isinstance(snapshots, list):
+        raise TypeError(f"snapshots must be a list or None, got {type(snapshots).__name__}")
+    return summary, snapshots
+
+
+def load_cell(
+    store: ResultStore,
+    key: Dict[str, Any],
+    *,
+    sink: Optional[MetricsSink] = None,
+) -> Optional[Summary]:
+    """Fetch a cell from *store*, replaying its metric fold into *sink*.
+
+    Returns ``None`` on a miss (or an unusable payload, which is treated
+    as a miss).  On a hit with a *sink*, the cached per-repetition
+    snapshots are absorbed **in repetition order** — the identical fold
+    sequence the live runner uses, so accumulated metrics match a real run
+    bit for bit.
+    """
+    payload = store.get(key, kind=CELL_KIND)
+    if payload is None:
+        return None
+    try:
+        summary, snapshots = summary_from_payload(payload)
+    except (KeyError, TypeError, ValueError):
+        return None
+    if key.get("metrics") and snapshots is None:
+        return None  # entry predates its metrics; recompute to get them
+    if sink is not None and snapshots is not None:
+        for snapshot in snapshots:
+            sink.absorb_snapshot(snapshot)
+    return summary
+
+
+def save_cell(
+    store: ResultStore,
+    key: Dict[str, Any],
+    summary: Summary,
+    snapshots: Optional[List[Snapshot]] = None,
+) -> str:
+    """Store a computed cell; returns the entry's fingerprint."""
+    return store.put(key, summary_to_payload(summary, snapshots), kind=CELL_KIND)

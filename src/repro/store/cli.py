@@ -1,0 +1,113 @@
+"""``repro-store`` — inspect and maintain a result-cache directory.
+
+Examples::
+
+    repro-store stats cache/
+    repro-store ls cache/ --kind replicate-cell
+    repro-store gc cache/ --max-bytes 33554432
+    repro-store verify cache/ --delete
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional
+
+from repro.store.cache import ResultStore
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-store`` argument parser (kept separate for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-store",
+        description="Inspect and maintain a repro result-cache directory.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="entry counts and total size")
+    stats.add_argument("root", help="cache directory (as passed to --cache)")
+
+    ls = sub.add_parser("ls", help="list entries, least recently used first")
+    ls.add_argument("root", help="cache directory")
+    ls.add_argument("--kind", default=None, help="only entries of this kind")
+
+    gc = sub.add_parser("gc", help="evict least-recently-used entries over a size budget")
+    gc.add_argument("root", help="cache directory")
+    gc.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        help="shrink the store to at most this many bytes of entries",
+    )
+    gc.add_argument("--dry-run", action="store_true", help="report evictions without deleting")
+
+    verify = sub.add_parser("verify", help="re-checksum every entry, report corruption")
+    verify.add_argument("root", help="cache directory")
+    verify.add_argument("--delete", action="store_true", help="also delete corrupt entries")
+    return parser
+
+
+def _require_store(root: str) -> ResultStore:
+    if not os.path.isdir(root):
+        raise SystemExit(f"no such cache directory: {root}")
+    return ResultStore(root)
+
+
+def _stats(args: argparse.Namespace) -> int:
+    store = _require_store(args.root)
+    entries = store.entries()
+    by_kind: Dict[str, int] = {}
+    for entry in entries:
+        by_kind[entry.kind] = by_kind.get(entry.kind, 0) + 1
+    total = sum(e.size for e in entries)
+    print(f"{args.root}: {len(entries)} entries, {total} bytes")
+    for kind in sorted(by_kind):
+        print(f"  {kind:16s} {by_kind[kind]}")
+    return 0
+
+
+def _ls(args: argparse.Namespace) -> int:
+    store = _require_store(args.root)
+    for entry in store.entries():
+        if args.kind is not None and entry.kind != args.kind:
+            continue
+        print(f"{entry.fingerprint}  {entry.kind:16s} {entry.size:8d} B")
+    return 0
+
+
+def _gc(args: argparse.Namespace) -> int:
+    store = _require_store(args.root)
+    if args.max_bytes < 0:
+        raise SystemExit("--max-bytes must be >= 0")
+    evicted = store.gc(args.max_bytes, dry_run=args.dry_run)
+    verb = "would evict" if args.dry_run else "evicted"
+    print(f"{verb} {len(evicted)} entries ({sum(e.size for e in evicted)} bytes); "
+          f"store now {store.total_bytes()} bytes")
+    return 0
+
+
+def _verify(args: argparse.Namespace) -> int:
+    store = _require_store(args.root)
+    corrupt = store.verify(delete=args.delete)
+    if not corrupt:
+        print(f"{args.root}: all {len(store.entries())} entries verify")
+        return 0
+    for entry in corrupt:
+        print(f"corrupt: {entry.fingerprint} ({entry.path})")
+    print(f"{len(corrupt)} corrupt entries" + (" deleted" if args.delete else ""))
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-store`` console script."""
+    args = build_parser().parse_args(argv)
+    handlers = {"stats": _stats, "ls": _ls, "gc": _gc, "verify": _verify}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""Canonical cache keys: deterministic JSON and sha256 fingerprints.
+
+A cache key is a plain mapping describing everything that determines a
+result's bits: the strategy spec, the platform spec, the seed entropy, the
+fault schedule and the engine version tag.  Two keys address the same cache
+entry iff their canonical JSON encodings are byte-identical, so the encoder
+here is deliberately strict — sorted keys, compact separators, no NaN/Inf,
+and loud rejection of anything JSON cannot represent faithfully.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.utils.rng import SeedLike
+
+__all__ = [
+    "ENGINE_VERSION",
+    "Token",
+    "canonical_json",
+    "fingerprint",
+    "seed_token",
+    "sha256_text",
+    "spec_token",
+]
+
+#: Version tag of the simulation engine's *observable behavior*, mixed into
+#: every cache key.  Bump it whenever a change alters any simulation output
+#: bit-for-bit (engine event order, RNG consumption, aggregation order…):
+#: bumping invalidates every cached cell at once, which is always safe —
+#: stale hits are never detected, so the tag errs on the side of recompute.
+ENGINE_VERSION = "repro-engine/1"
+
+#: Value types a key may contain after normalization.
+Token = Union[None, bool, int, float, str, List[Any], Dict[str, Any]]
+
+
+def _normalize(obj: Any, path: str) -> Token:
+    """Coerce *obj* to a canonical JSON-ready value, or raise ``TypeError``."""
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, (int, np.integer)) and not isinstance(obj, bool):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        value = float(obj)
+        if math.isnan(value) or math.isinf(value):
+            raise TypeError(f"non-finite float at {path} cannot be fingerprinted")
+        return value
+    if isinstance(obj, (list, tuple)):
+        return [_normalize(v, f"{path}[{i}]") for i, v in enumerate(obj)]
+    if isinstance(obj, np.ndarray):
+        return [_normalize(v, f"{path}[{i}]") for i, v in enumerate(obj.tolist())]
+    if isinstance(obj, dict):
+        out: Dict[str, Any] = {}
+        for k in obj:
+            if not isinstance(k, str):
+                raise TypeError(f"non-string mapping key {k!r} at {path}")
+            out[k] = _normalize(obj[k], f"{path}.{k}")
+        return out
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} at {path}")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, compact, tuples as lists.
+
+    The encoding is injective on the supported value types (None, bool,
+    int, finite float, str, and lists/dicts thereof; numpy scalars and
+    arrays are converted), so equal encodings mean equal keys.  Anything
+    else raises ``TypeError`` rather than being silently stringified.
+    """
+    return json.dumps(
+        _normalize(obj, "$"), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def sha256_text(text: str) -> str:
+    """sha256 hex digest of a UTF-8 string (entry payload checksums)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def fingerprint(key: Any) -> str:
+    """sha256 hex digest of the key's canonical JSON encoding."""
+    return sha256_text(canonical_json(key))
+
+
+def seed_token(seed: SeedLike) -> Optional[Token]:
+    """Canonical token for a seed, or ``None`` when the seed is uncacheable.
+
+    Integers and :class:`~numpy.random.SeedSequence` instances fully
+    determine the spawned per-repetition streams, so they tokenize.  ``None``
+    (fresh OS entropy) and live :class:`~numpy.random.Generator` objects
+    (hidden internal state) do not — callers must skip the cache for those.
+    """
+    if isinstance(seed, bool):
+        return None
+    if isinstance(seed, (int, np.integer)):
+        return ["int", int(seed)]
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if entropy is None:
+            return None
+        entropy_list = list(entropy) if isinstance(entropy, (list, tuple)) else [int(entropy)]
+        return [
+            "seedseq",
+            [int(e) for e in entropy_list],
+            [int(k) for k in seed.spawn_key],
+        ]
+    return None
+
+
+def spec_token(obj: Any) -> Optional[Token]:
+    """The object's ``cache_token()``, or ``None`` when it has none.
+
+    Factories that want their results cached expose a ``cache_token()``
+    returning a canonical-JSON-able description of everything the factory's
+    output depends on (the ``*Spec`` classes in
+    :mod:`repro.experiments.parallel` all do).  Arbitrary closures don't,
+    and ``None`` tells the caller to bypass the cache for them.
+    """
+    method = getattr(obj, "cache_token", None)
+    if method is None or not callable(method):
+        return None
+    token = method()
+    if token is None:
+        return None
+    try:
+        return _normalize(token, "$")
+    except TypeError:
+        return None  # token not canonical-JSON-able: treat as uncacheable

@@ -4,4 +4,5 @@ __all__ = ["exists", "phantom"]
 
 
 def exists(rng=None):
+    """Fixture stub."""
     return 1

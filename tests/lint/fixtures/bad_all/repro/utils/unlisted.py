@@ -4,6 +4,7 @@ __all__ = ["listed"]
 
 
 def listed(rng=None):
+    """Fixture stub."""
     return 1
 
 

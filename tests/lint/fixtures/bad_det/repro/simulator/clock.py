@@ -8,6 +8,7 @@ __all__ = ["stamp"]
 
 
 def stamp(rng=None):
+    """Fixture stub."""
     started = time.time()
     label = datetime.now()
     token = os.urandom(8)

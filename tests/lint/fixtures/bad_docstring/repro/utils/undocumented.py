@@ -1,0 +1,30 @@
+"""Fixture: exported definitions without docstrings (R-DOCSTRING)."""
+
+__all__ = ["Documented", "Undocumented", "documented", "undocumented", "CONSTANT"]
+
+CONSTANT = 1
+
+
+class Documented:
+    """Fixture stub."""
+
+
+class Undocumented:
+    pass
+
+
+def documented(rng=None):
+    """Fixture stub."""
+    return 1
+
+
+def undocumented(rng=None):
+    return 2
+
+
+def _private_without_docstring(rng=None):
+    return 3
+
+
+def unlisted_without_docstring(rng=None):  # repro: noqa[R-ALL-EXPORT]
+    return 4

@@ -4,6 +4,7 @@ __all__ = ["swallow", "quiet"]
 
 
 def swallow(fn, rng=None):
+    """Fixture stub."""
     try:
         return fn()
     except:
@@ -11,6 +12,7 @@ def swallow(fn, rng=None):
 
 
 def quiet(fn, rng=None):
+    """Fixture stub."""
     try:
         return fn()
     except ValueError:

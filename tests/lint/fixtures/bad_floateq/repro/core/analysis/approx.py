@@ -4,8 +4,10 @@ __all__ = ["converged", "ratio_is_unit"]
 
 
 def converged(x, rng=None):
+    """Fixture stub."""
     return x == 1.0
 
 
 def ratio_is_unit(a, b, rng=None):
+    """Fixture stub."""
     return a / b != 1

@@ -6,5 +6,6 @@ __all__ = ["timed_run"]
 
 
 def timed_run():
+    """Fixture stub."""
     start = time.monotonic()
     return time.monotonic() - start

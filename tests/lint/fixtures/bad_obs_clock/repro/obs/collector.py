@@ -7,8 +7,10 @@ __all__ = ["bad_metric", "bad_bare"]
 
 
 def bad_metric():
+    """Fixture stub."""
     return time.time()
 
 
 def bad_bare():
+    """Fixture stub."""
     return perf_counter()

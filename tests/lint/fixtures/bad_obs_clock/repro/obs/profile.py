@@ -6,4 +6,5 @@ __all__ = ["wall_time"]
 
 
 def wall_time():
+    """Fixture stub."""
     return time.perf_counter()

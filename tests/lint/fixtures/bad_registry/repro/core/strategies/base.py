@@ -4,4 +4,5 @@ __all__ = ["Strategy"]
 
 
 class Strategy:
+    """Fixture stub."""
     name = "abstract"

@@ -6,4 +6,5 @@ __all__ = ["RogueStrategy"]
 
 
 class RogueStrategy(Strategy):
+    """Fixture stub."""
     name = "Rogue"

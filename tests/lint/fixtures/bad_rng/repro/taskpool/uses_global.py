@@ -8,6 +8,7 @@ __all__ = ["draw"]
 
 
 def draw(n, rng=None):
+    """Fixture stub."""
     np.random.seed(0)
     jitter = random.random()
     return np.random.rand(n) + jitter

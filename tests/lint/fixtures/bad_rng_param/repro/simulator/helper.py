@@ -6,5 +6,6 @@ __all__ = ["draw_speeds"]
 
 
 def draw_speeds(p):
+    """Fixture stub."""
     gen = as_generator(1234)
     return gen.uniform(size=p)

@@ -4,6 +4,7 @@ __all__ = ["Widget"]
 
 
 class Widget:
+    """Fixture stub."""
     def __init__(self, n, beta):
         self.n = n
         self.beta = beta

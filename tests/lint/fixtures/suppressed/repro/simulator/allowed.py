@@ -6,8 +6,10 @@ __all__ = ["stamp", "stamp_any"]
 
 
 def stamp(rng=None):
+    """Fixture stub."""
     return time.time()  # repro: noqa[R-DET]
 
 
 def stamp_any(rng=None):
+    """Fixture stub."""
     return time.perf_counter()  # repro: noqa

@@ -105,6 +105,26 @@ class TestAllConsistency:
         assert findings[0].severity == "error"
 
 
+class TestDocstrings:
+    def test_undocumented_exports_flagged(self, lint_fixture):
+        findings = [
+            f for f in lint_fixture("bad_docstring") if f.rule_id == "R-DOCSTRING"
+        ]
+        assert {m for f in findings for m in ("Undocumented", "undocumented") if m in f.message} == {
+            "Undocumented",
+            "undocumented",
+        }
+        assert len(findings) == 2  # documented, private and unlisted defs pass
+
+    def test_constants_are_out_of_scope(self, lint_fixture):
+        # CONSTANT is exported without a docstring; the rule only judges
+        # defs (constants are documented with #: comments the AST drops).
+        findings = [
+            f for f in lint_fixture("bad_docstring") if f.rule_id == "R-DOCSTRING"
+        ]
+        assert not any("CONSTANT" in f.message for f in findings)
+
+
 class TestExceptions:
     def test_bare_except_flagged(self, lint_fixture):
         findings = [f for f in lint_fixture("bad_except") if f.rule_id == "R-EXCEPT"]

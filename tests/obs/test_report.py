@@ -89,7 +89,7 @@ class TestBuildReport:
 
     def test_empty_summary(self):
         report = build_report({"format": "repro.obs/1", "runs": [], "metrics": {}})
-        assert report == {"runs": [], "strategies": []}
+        assert report == {"runs": [], "strategies": [], "store": []}
 
 
 class TestRenderReport:

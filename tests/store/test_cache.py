@@ -1,0 +1,182 @@
+"""ResultStore: round-trips, corruption handling, LRU gc, verify, counters."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.sink import RecordingSink
+from repro.store.cache import STORE_FORMAT, ResultStore, StoreCounts
+
+KEY = {"schema": "test/1", "cell": 1}
+PAYLOAD = {"summary": {"mean": 1.5, "n": 4}}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "cache"))
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, store):
+        assert store.get(KEY, kind="cell") is None
+        fp = store.put(KEY, PAYLOAD, kind="cell")
+        assert len(fp) == 64
+        assert store.get(KEY, kind="cell") == PAYLOAD
+        assert store.counts == StoreCounts(hits=1, misses=1, puts=1, corrupt=0)
+
+    def test_payload_floats_roundtrip_exactly(self, store):
+        payload = {"x": 0.1 + 0.2, "y": 1e-17}
+        store.put(KEY, payload, kind="cell")
+        assert store.get(KEY, kind="cell") == payload
+
+    def test_distinct_keys_distinct_entries(self, store):
+        store.put({"cell": 1}, {"v": 1}, kind="cell")
+        store.put({"cell": 2}, {"v": 2}, kind="cell")
+        assert store.get({"cell": 1}, kind="cell") == {"v": 1}
+        assert store.get({"cell": 2}, kind="cell") == {"v": 2}
+
+    def test_kind_mismatch_is_corrupt_miss(self, store):
+        store.put(KEY, PAYLOAD, kind="cell")
+        assert store.get(KEY, kind="other") is None
+        assert store.counts.corrupt == 1
+
+    def test_overwrite_same_key(self, store):
+        store.put(KEY, {"v": 1}, kind="cell")
+        store.put(KEY, {"v": 2}, kind="cell")
+        assert store.get(KEY, kind="cell") == {"v": 2}
+
+    def test_envelope_is_self_describing(self, store):
+        fp = store.put(KEY, PAYLOAD, kind="cell")
+        [entry] = store.entries()
+        with open(entry.path, encoding="utf-8") as fh:
+            envelope = json.load(fh)
+        assert envelope["format"] == STORE_FORMAT
+        assert envelope["fingerprint"] == fp
+        assert envelope["kind"] == "cell"
+        assert envelope["key"] == KEY
+        assert envelope["payload"] == PAYLOAD
+
+
+class TestCorruption:
+    def _entry_path(self, store):
+        [entry] = store.entries()
+        return entry.path
+
+    def test_truncated_file_recovers(self, store):
+        store.put(KEY, PAYLOAD, kind="cell")
+        path = self._entry_path(store)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"format": "repro.store/1", "ki')
+        assert store.get(KEY, kind="cell") is None
+        assert store.counts.corrupt == 1
+        assert not os.path.exists(path)
+
+    def test_tampered_payload_fails_checksum(self, store):
+        store.put(KEY, PAYLOAD, kind="cell")
+        path = self._entry_path(store)
+        with open(path, encoding="utf-8") as fh:
+            envelope = json.load(fh)
+        envelope["payload"]["summary"]["mean"] = 9.9
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(envelope, fh)
+        assert store.get(KEY, kind="cell") is None
+        assert store.counts.corrupt == 1
+
+    def test_wrong_format_tag(self, store):
+        store.put(KEY, PAYLOAD, kind="cell")
+        path = self._entry_path(store)
+        with open(path, encoding="utf-8") as fh:
+            envelope = json.load(fh)
+        envelope["format"] = "something-else/9"
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(envelope, fh)
+        assert store.get(KEY, kind="cell") is None
+
+    def test_put_recovers_after_corruption(self, store):
+        store.put(KEY, PAYLOAD, kind="cell")
+        with open(self._entry_path(store), "w", encoding="utf-8") as fh:
+            fh.write("garbage")
+        assert store.get(KEY, kind="cell") is None
+        store.put(KEY, PAYLOAD, kind="cell")
+        assert store.get(KEY, kind="cell") == PAYLOAD
+
+
+class TestVerify:
+    def test_clean_store(self, store):
+        store.put(KEY, PAYLOAD, kind="cell")
+        assert store.verify() == []
+
+    def test_detects_and_deletes(self, store):
+        store.put({"cell": 1}, {"v": 1}, kind="cell")
+        store.put({"cell": 2}, {"v": 2}, kind="cell")
+        victim = store.entries()[0]
+        with open(victim.path, "w", encoding="utf-8") as fh:
+            fh.write("junk")
+        corrupt = store.verify()
+        assert [e.fingerprint for e in corrupt] == [victim.fingerprint]
+        assert os.path.exists(victim.path)  # report-only by default
+        store.verify(delete=True)
+        assert not os.path.exists(victim.path)
+
+
+class TestGc:
+    def _fill(self, store, count):
+        for i in range(count):
+            fp = store.put({"cell": i}, {"v": i}, kind="cell")
+            # Spread mtimes so LRU order is deterministic without sleeping.
+            [entry] = [e for e in store.entries() if e.fingerprint == fp]
+            os.utime(entry.path, (1000.0 + i, 1000.0 + i))
+
+    def test_evicts_least_recently_used_first(self, store):
+        self._fill(store, 4)
+        sizes = [e.size for e in store.entries()]
+        keep_two = sizes[-1] + sizes[-2]
+        evicted = store.gc(keep_two)
+        assert len(evicted) == 2
+        assert store.get({"cell": 0}, kind="cell") is None
+        assert store.get({"cell": 3}, kind="cell") == {"v": 3}
+
+    def test_get_touches_mtime(self, store):
+        self._fill(store, 2)
+        store.get({"cell": 0}, kind="cell")  # cell 0 becomes most recent
+        [entry] = store.gc(max(e.size for e in store.entries()))
+        assert store.get({"cell": 0}, kind="cell") == {"v": 0}
+
+    def test_dry_run_deletes_nothing(self, store):
+        self._fill(store, 3)
+        would = store.gc(0, dry_run=True)
+        assert len(would) == 3
+        assert len(store.entries()) == 3
+
+    def test_zero_budget_clears_store(self, store):
+        self._fill(store, 3)
+        store.gc(0)
+        assert store.entries() == []
+        assert store.total_bytes() == 0
+
+    def test_validates_max_bytes(self, store):
+        with pytest.raises(ValueError):
+            store.gc(-1)
+        with pytest.raises(TypeError):
+            store.gc(1.5)
+        with pytest.raises(TypeError):
+            store.gc(True)
+
+
+class TestSinkEvents:
+    def test_events_reach_the_sink(self, tmp_path):
+        sink = RecordingSink()
+        store = ResultStore(str(tmp_path), sink=sink)
+        store.get(KEY, kind="cell")
+        store.put(KEY, PAYLOAD, kind="cell")
+        store.get(KEY, kind="cell")
+        snap = sink.snapshot()
+        counters = snap["metrics"]["counters"]
+        assert any(name == "store_hit" for name in counters)
+        assert any(name == "store_miss" for name in counters)
+        assert any(name == "store_put" for name in counters)
+
+    def test_iter_yields_entries(self, store):
+        store.put(KEY, PAYLOAD, kind="cell")
+        assert [e.kind for e in store] == ["cell"]

@@ -1,0 +1,122 @@
+"""Replicate-cell keys and payloads: cacheability, round-trips, sink replay."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.parallel import StrategySpec, UniformPlatformSpec
+from repro.obs.sink import RecordingSink
+from repro.store.cache import ResultStore
+from repro.store.cells import (
+    CELL_KIND,
+    load_cell,
+    replicate_cell_key,
+    save_cell,
+    summary_from_payload,
+    summary_to_payload,
+)
+from repro.utils.stats import RunningStats
+
+STRATEGY = StrategySpec("RandomOuter", 12)
+PLATFORM = UniformPlatformSpec(4)
+
+
+def _key(**overrides):
+    kwargs = dict(
+        strategy_factory=STRATEGY,
+        platform_factory=PLATFORM,
+        n=12,
+        reps=3,
+        seed=0,
+        metrics=False,
+    )
+    kwargs.update(overrides)
+    return replicate_cell_key(**kwargs)
+
+
+def _summary():
+    stats = RunningStats()
+    for v in (1.0, 1.5, 2.25):
+        stats.add(v)
+    return stats.summary()
+
+
+class TestKey:
+    def test_cacheable_inputs(self):
+        key = _key()
+        assert key is not None
+        assert key["strategy"] == STRATEGY.cache_token()
+        assert key["platform"] == PLATFORM.cache_token()
+        assert key["seed"] == ["int", 0]
+
+    def test_closure_factories_are_uncacheable(self):
+        assert _key(strategy_factory=lambda: None) is None
+        assert _key(platform_factory=lambda rng: None) is None
+
+    def test_entropy_seed_is_uncacheable(self):
+        assert _key(seed=None) is None
+        assert _key(seed=np.random.default_rng(0)) is None
+
+    def test_metrics_flag_changes_key(self):
+        assert _key(metrics=False) != _key(metrics=True)
+
+    def test_seedsequence_is_cacheable(self):
+        key = _key(seed=np.random.SeedSequence(5))
+        assert key is not None
+        assert key["seed"][0] == "seedseq"
+
+
+class TestPayloadRoundTrip:
+    def test_summary_survives_exactly(self):
+        summary = _summary()
+        rebuilt, snapshots = summary_from_payload(summary_to_payload(summary, None))
+        assert rebuilt == summary
+        assert snapshots is None
+
+    def test_snapshots_preserved(self):
+        payload = summary_to_payload(_summary(), [{"metrics": {}}])
+        _, snapshots = summary_from_payload(payload)
+        assert snapshots == [{"metrics": {}}]
+
+    def test_malformed_snapshots_rejected(self):
+        payload = summary_to_payload(_summary(), None)
+        payload["snapshots"] = "nope"
+        with pytest.raises(TypeError):
+            summary_from_payload(payload)
+
+
+class TestStoreRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        key = _key()
+        summary = _summary()
+        save_cell(store, key, summary)
+        assert load_cell(store, key) == summary
+
+    def test_load_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert load_cell(store, _key()) is None
+
+    def test_metrics_key_requires_snapshots(self, tmp_path):
+        # An entry stored without snapshots must not satisfy a metrics
+        # lookup: the caller needs the per-rep fold replayed.
+        store = ResultStore(str(tmp_path))
+        key = _key(metrics=True)
+        save_cell(store, key, _summary(), snapshots=None)
+        assert load_cell(store, key, sink=RecordingSink()) is None
+
+    def test_snapshots_replay_into_sink(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        live = RecordingSink()
+        live.metrics.counter("blocks_shipped").inc(("S", 0, 1), 5)
+        snapshot = live.snapshot()
+
+        key = _key(metrics=True)
+        save_cell(store, key, _summary(), snapshots=[snapshot])
+        replayed = RecordingSink()
+        assert load_cell(store, key, sink=replayed) is not None
+        assert replayed.snapshot()["metrics"] == snapshot["metrics"]
+
+    def test_entry_kind(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        save_cell(store, _key(), _summary())
+        assert [e.kind for e in store.entries()] == [CELL_KIND]

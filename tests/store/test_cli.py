@@ -1,0 +1,80 @@
+"""repro-store CLI: stats/ls/gc/verify against a real store directory."""
+
+import pytest
+
+from repro.store.cache import ResultStore
+from repro.store.cli import main
+
+
+@pytest.fixture
+def root(tmp_path):
+    store = ResultStore(str(tmp_path))
+    store.put({"cell": 1}, {"v": 1}, kind="replicate-cell")
+    store.put({"cell": 2}, {"v": 2}, kind="simulation")
+    return str(tmp_path)
+
+
+class TestStats:
+    def test_counts_by_kind(self, root, capsys):
+        assert main(["stats", root]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+        assert "replicate-cell" in out
+        assert "simulation" in out
+
+    def test_missing_directory_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such cache"):
+            main(["stats", str(tmp_path / "nope")])
+
+
+class TestLs:
+    def test_lists_all(self, root, capsys):
+        assert main(["ls", root]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+    def test_kind_filter(self, root, capsys):
+        assert main(["ls", root, "--kind", "simulation"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        assert "simulation" in lines[0]
+
+
+class TestGc:
+    def test_evicts_to_budget(self, root, capsys):
+        assert main(["gc", root, "--max-bytes", "0"]) == 0
+        assert "evicted 2 entries" in capsys.readouterr().out
+        assert ResultStore(root).entries() == []
+
+    def test_dry_run(self, root, capsys):
+        assert main(["gc", root, "--max-bytes", "0", "--dry-run"]) == 0
+        assert "would evict 2" in capsys.readouterr().out
+        assert len(ResultStore(root).entries()) == 2
+
+    def test_negative_budget_exits(self, root):
+        with pytest.raises(SystemExit):
+            main(["gc", root, "--max-bytes", "-1"])
+
+
+class TestVerify:
+    def test_clean(self, root, capsys):
+        assert main(["verify", root]) == 0
+        assert "entries verify" in capsys.readouterr().out
+
+    def test_corrupt_exits_nonzero(self, root, capsys):
+        store = ResultStore(root)
+        victim = store.entries()[0]
+        with open(victim.path, "w", encoding="utf-8") as fh:
+            fh.write("junk")
+        assert main(["verify", root]) == 1
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_delete_removes_corrupt(self, root):
+        import os
+
+        store = ResultStore(root)
+        victim = store.entries()[0]
+        with open(victim.path, "w", encoding="utf-8") as fh:
+            fh.write("junk")
+        assert main(["verify", root, "--delete"]) == 1
+        assert not os.path.exists(victim.path)
+        assert main(["verify", root]) == 0

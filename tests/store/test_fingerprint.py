@@ -1,0 +1,116 @@
+"""Canonical JSON and fingerprinting: injectivity, strictness, seed tokens."""
+
+import numpy as np
+import pytest
+
+from repro.store.fingerprint import (
+    ENGINE_VERSION,
+    canonical_json,
+    fingerprint,
+    seed_token,
+    sha256_text,
+    spec_token,
+)
+
+
+class TestCanonicalJson:
+    def test_sorted_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_tuples_become_lists(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    def test_numpy_scalars_and_arrays(self):
+        assert canonical_json(np.int64(3)) == "3"
+        assert canonical_json(np.float64(0.5)) == "0.5"
+        assert canonical_json(np.array([1.0, 2.0])) == "[1.0,2.0]"
+
+    def test_float_roundtrip_is_exact(self):
+        # JSON uses shortest-repr encoding, so fingerprints of equal floats
+        # are equal and distinct floats never collide via rounding.
+        value = 0.1 + 0.2
+        assert canonical_json(value) == repr(value)
+
+    def test_bool_is_not_int(self):
+        assert canonical_json(True) != canonical_json(1)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_non_finite_rejected(self, bad):
+        with pytest.raises(TypeError, match="non-finite"):
+            canonical_json({"x": bad})
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(TypeError, match="non-string"):
+            canonical_json({1: "x"})
+
+    def test_unknown_types_rejected(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonical_json({"x": object()})
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_distinct_keys_distinct_fingerprints(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_is_sha256_hex(self):
+        fp = fingerprint({"a": 1})
+        assert len(fp) == 64
+        int(fp, 16)
+
+    def test_sha256_text_matches(self):
+        key = {"a": 1}
+        assert fingerprint(key) == sha256_text(canonical_json(key))
+
+
+class TestSeedToken:
+    def test_int(self):
+        assert seed_token(7) == ["int", 7]
+        assert seed_token(np.int64(7)) == ["int", 7]
+
+    def test_seedsequence(self):
+        tok = seed_token(np.random.SeedSequence(42))
+        assert tok == ["seedseq", [42], []]
+
+    def test_spawned_seedsequence_differs(self):
+        parent = np.random.SeedSequence(42)
+        child = parent.spawn(1)[0]
+        assert seed_token(child) != seed_token(parent)
+
+    def test_uncacheable_seeds(self):
+        assert seed_token(None) is None
+        assert seed_token(True) is None
+        assert seed_token(np.random.default_rng(0)) is None
+
+
+class TestSpecToken:
+    def test_object_without_token(self):
+        assert spec_token(object()) is None
+        assert spec_token(lambda: None) is None
+
+    def test_object_with_token(self):
+        class Spec:
+            def cache_token(self):
+                return ["spec", 1]
+
+        assert spec_token(Spec()) == ["spec", 1]
+
+    def test_unserializable_token_is_uncacheable(self):
+        class Spec:
+            def cache_token(self):
+                return ["spec", object()]
+
+        assert spec_token(Spec()) is None
+
+    def test_none_token_is_uncacheable(self):
+        class Spec:
+            def cache_token(self):
+                return None
+
+        assert spec_token(Spec()) is None
+
+
+def test_engine_version_tag_shape():
+    assert ENGINE_VERSION.startswith("repro-engine/")

@@ -1,0 +1,123 @@
+"""FileLock: exclusion across processes, timeouts, fallback path."""
+
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro.store import lock as lock_module
+from repro.store.lock import FileLock, LockTimeout
+
+
+@pytest.fixture
+def lock_path(tmp_path):
+    return str(tmp_path / ".lock")
+
+
+class TestBasics:
+    def test_context_manager(self, lock_path):
+        lock = FileLock(lock_path)
+        assert not lock.held
+        with lock:
+            assert lock.held
+        assert not lock.held
+
+    def test_release_is_idempotent(self, lock_path):
+        lock = FileLock(lock_path)
+        lock.acquire()
+        lock.release()
+        lock.release()
+
+    def test_reacquire_after_release(self, lock_path):
+        lock = FileLock(lock_path)
+        with lock:
+            pass
+        with lock:
+            assert lock.held
+
+    def test_double_acquire_rejected(self, lock_path):
+        lock = FileLock(lock_path)
+        with lock:
+            with pytest.raises(RuntimeError, match="already held"):
+                lock.acquire()
+
+    def test_validates_parameters(self, lock_path):
+        with pytest.raises(ValueError):
+            FileLock(lock_path, timeout=0)
+        with pytest.raises(ValueError):
+            FileLock(lock_path, poll_interval=0)
+
+
+class TestExclusion:
+    def test_second_holder_times_out(self, lock_path):
+        with FileLock(lock_path):
+            other = FileLock(lock_path, timeout=0.1, poll_interval=0.01)
+            with pytest.raises(LockTimeout):
+                other.acquire()
+
+    def test_acquire_succeeds_once_released(self, lock_path):
+        first = FileLock(lock_path)
+        first.acquire()
+        first.release()
+        with FileLock(lock_path, timeout=0.5):
+            pass
+
+
+class TestFallbackPath:
+    """The O_EXCL code path used where fcntl is unavailable."""
+
+    @pytest.fixture
+    def no_fcntl(self, monkeypatch):
+        monkeypatch.setattr(lock_module, "fcntl", None)
+
+    def test_round_trip(self, no_fcntl, lock_path):
+        with FileLock(lock_path):
+            assert os.path.exists(lock_path)
+        assert not os.path.exists(lock_path)  # released == unlinked
+
+    def test_exclusion(self, no_fcntl, lock_path):
+        with FileLock(lock_path):
+            other = FileLock(lock_path, timeout=0.1, poll_interval=0.01)
+            with pytest.raises(LockTimeout):
+                other.acquire()
+
+    def test_stale_lock_broken(self, no_fcntl, lock_path, monkeypatch):
+        with open(lock_path, "w", encoding="utf-8"):
+            pass
+        old = os.path.getmtime(lock_path) - 2 * lock_module._STALE_AFTER
+        os.utime(lock_path, (old, old))
+        with FileLock(lock_path, timeout=1.0, poll_interval=0.01):
+            pass  # the abandoned file must not block forever
+
+
+def _hold_and_count(lock_path, counter_path, barrier):
+    barrier.wait()
+    for _ in range(20):
+        with FileLock(lock_path, timeout=30.0):
+            with open(counter_path, "r", encoding="utf-8") as fh:
+                value = int(fh.read())
+            with open(counter_path, "w", encoding="utf-8") as fh:
+                fh.write(str(value + 1))
+
+
+class TestCrossProcess:
+    def test_counter_increments_are_not_lost(self, tmp_path):
+        # A read-modify-write counter loses updates without mutual
+        # exclusion; with the lock every one of 3*20 increments lands.
+        lock_path = str(tmp_path / ".lock")
+        counter_path = str(tmp_path / "counter")
+        with open(counter_path, "w", encoding="utf-8") as fh:
+            fh.write("0")
+        ctx = mp.get_context("spawn")
+        barrier = ctx.Barrier(3)
+        procs = [
+            ctx.Process(target=_hold_and_count, args=(lock_path, counter_path, barrier))
+            for _ in range(3)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        with open(counter_path, encoding="utf-8") as fh:
+            assert int(fh.read()) == 60

@@ -1,0 +1,98 @@
+"""SweepOrchestrator: manifest lifecycle, checksum verification, resumability."""
+
+import numpy as np
+import pytest
+
+from repro.store.cache import ResultStore
+from repro.store.orchestrator import SweepOrchestrator, file_sha256
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "cache"))
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "fig01_ci.csv"
+    path.write_text("figure,series,x\nfig01,A,1\n", encoding="utf-8")
+    return str(path)
+
+
+class TestFileSha256:
+    def test_matches_known_digest(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"abc")
+        assert file_sha256(str(path)) == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+
+class TestLifecycle:
+    def test_unknown_figure_is_incomplete(self, store, csv_path):
+        orch = SweepOrchestrator(store, scale="ci", seed=0)
+        assert not orch.completed_csv("fig01", csv_path)
+
+    def test_mark_then_complete(self, store, csv_path):
+        orch = SweepOrchestrator(store, scale="ci", seed=0)
+        manifest = orch.mark_done("fig01", csv_path)
+        assert manifest is not None
+        assert orch.completed_csv("fig01", csv_path)
+
+    def test_survives_a_new_orchestrator(self, store, csv_path):
+        SweepOrchestrator(store, scale="ci", seed=0).mark_done("fig01", csv_path)
+        fresh = SweepOrchestrator(store, scale="ci", seed=0)
+        assert fresh.completed_csv("fig01", csv_path)
+
+    def test_scale_and_seed_partition_manifests(self, store, csv_path):
+        SweepOrchestrator(store, scale="ci", seed=0).mark_done("fig01", csv_path)
+        assert not SweepOrchestrator(store, scale="paper", seed=0).completed_csv(
+            "fig01", csv_path
+        )
+        assert not SweepOrchestrator(store, scale="ci", seed=1).completed_csv(
+            "fig01", csv_path
+        )
+
+    def test_figure_ids_partition_manifests(self, store, csv_path):
+        orch = SweepOrchestrator(store, scale="ci", seed=0)
+        orch.mark_done("fig01", csv_path)
+        assert not orch.completed_csv("fig02", csv_path)
+
+
+class TestVerification:
+    def test_edited_csv_invalidates(self, store, csv_path, tmp_path):
+        orch = SweepOrchestrator(store, scale="ci", seed=0)
+        orch.mark_done("fig01", csv_path)
+        with open(csv_path, "a", encoding="utf-8") as fh:
+            fh.write("tampered\n")
+        assert not orch.completed_csv("fig01", csv_path)
+
+    def test_deleted_csv_invalidates(self, store, csv_path, tmp_path):
+        import os
+
+        orch = SweepOrchestrator(store, scale="ci", seed=0)
+        orch.mark_done("fig01", csv_path)
+        os.unlink(csv_path)
+        assert not orch.completed_csv("fig01", csv_path)
+
+    def test_different_path_invalidates(self, store, csv_path, tmp_path):
+        orch = SweepOrchestrator(store, scale="ci", seed=0)
+        orch.mark_done("fig01", csv_path)
+        other = tmp_path / "elsewhere.csv"
+        other.write_text(open(csv_path, encoding="utf-8").read(), encoding="utf-8")
+        assert not orch.completed_csv("fig01", str(other))
+
+
+class TestResumability:
+    def test_int_and_seedsequence_seeds_resume(self, store, csv_path):
+        assert SweepOrchestrator(store, scale="ci", seed=0).resumable
+        assert SweepOrchestrator(
+            store, scale="ci", seed=np.random.SeedSequence(4)
+        ).resumable
+
+    def test_entropy_seed_never_resumes(self, store, csv_path):
+        orch = SweepOrchestrator(store, scale="ci", seed=None)
+        assert not orch.resumable
+        assert orch.figure_key("fig01") is None
+        assert orch.mark_done("fig01", csv_path) is None
+        assert not orch.completed_csv("fig01", csv_path)

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Documentation consistency gate: links resolve, dotted paths import.
+
+Checks, over every tracked markdown file:
+
+* every relative link target (``[text](path)`` and ``[text](path#anchor)``)
+  exists on disk, relative to the file containing the link;
+* every ``repro.something`` dotted path mentioned in prose or inline code
+  imports — docs must not reference modules or attributes that were renamed
+  or never existed.
+
+External links (``http(s)://``, ``mailto:``) are not fetched; this gate is
+offline and deterministic.  Files whose content is quoted external material
+(paper abstracts, snippet collections) are skipped.
+
+Usage::
+
+    python tools/check_docs.py            # check the repo the script lives in
+    python tools/check_docs.py --root DIR # check another checkout
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+#: Markdown files quoting external material — not this repo's own docs.
+SKIP_BASENAMES = frozenset({"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"})
+
+#: ``[text](target)`` — excluding images; target split from any #anchor.
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Dotted ``repro.x.y`` paths as whole words; trailing ``/`` means a file
+#: path (``src/repro.egg-info/``-style), not a module, and is skipped below.
+_DOTTED = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+#: Things that look dotted but are file names, not import paths.
+_FILE_SUFFIXES = (".md", ".py", ".json", ".csv", ".svg", ".toml", ".txt")
+
+
+def markdown_files(root: str) -> List[str]:
+    """All checked markdown files: top level plus ``docs/``."""
+    found: List[str] = []
+    for directory in (root, os.path.join(root, "docs")):
+        if not os.path.isdir(directory):
+            continue
+        for name in sorted(os.listdir(directory)):
+            if name.endswith(".md") and name not in SKIP_BASENAMES:
+                found.append(os.path.join(directory, name))
+    return found
+
+
+def iter_links(text: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every markdown link in *text*."""
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_links(path: str, text: str) -> List[str]:
+    """Broken relative-link messages for one file."""
+    problems: List[str] = []
+    base = os.path.dirname(path)
+    for lineno, target in iter_links(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not os.path.exists(os.path.join(base, relative)):
+            problems.append(f"{path}:{lineno}: broken link target {target!r}")
+    return problems
+
+
+def _importable(dotted: str) -> bool:
+    """Whether *dotted* resolves to a module or a module attribute."""
+    parts = dotted.split(".")
+    for split in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:split])
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        obj = module
+        try:
+            for attr in parts[split:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def check_dotted_paths(path: str, text: str) -> List[str]:
+    """Phantom ``repro.*`` reference messages for one file."""
+    problems: List[str] = []
+    seen = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _DOTTED.finditer(line):
+            dotted = match.group(0)
+            head = line[match.start() - 1:match.start()]
+            tail = line[match.end():match.end() + 1]
+            if head == "/" or tail in ("/", "-") or dotted.endswith(_FILE_SUFFIXES):
+                continue  # a path like src/repro.egg-info/, not an import
+            if dotted in seen:
+                continue
+            seen.add(dotted)
+            if not _importable(dotted):
+                problems.append(
+                    f"{path}:{lineno}: {dotted!r} does not import "
+                    "(renamed module or phantom attribute?)"
+                )
+    return problems
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    """Run the docs gate; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument("--root", default=default_root, help="repo checkout to check")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, os.path.join(args.root, "src"))
+    files = markdown_files(args.root)
+    if not files:
+        print(f"check_docs: no markdown files under {args.root}", file=sys.stderr)
+        return 1
+    problems: List[str] = []
+    for path in files:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        problems.extend(check_links(path, text))
+        problems.extend(check_dotted_paths(path, text))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s) in {len(files)} files")
+        return 1
+    print(f"check_docs: {len(files)} markdown files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
