@@ -1,0 +1,10 @@
+"""``python -m repro.analyze`` — delegate to the CLI."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analyze.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Baseline files: grandfathered analyzer findings that may only shrink.
+
+A baseline is a committed JSON file listing finding *keys* (stable
+identities without line numbers, see
+:class:`repro.analyze.findings.AnalysisFinding`).  ``repro-analyze check
+--baseline tools/analyze_baseline.json`` then:
+
+* suppresses findings whose key is baselined (they are known debt);
+* **fails** on baselined keys that no longer fire (*stale* entries) — the
+  debt was paid, so the entry must be deleted.  This is the ratchet that
+  makes the baseline monotonically shrink: entries can be removed, never
+  silently kept, and new findings are never absorbed without an explicit
+  ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from repro.analyze.findings import AnalysisFinding
+from repro.lint.framework import Finding
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "BaselineError",
+    "BaselineSplit",
+    "apply_baseline",
+    "load_baseline",
+    "save_baseline",
+]
+
+#: Format tag written into every baseline file.
+BASELINE_FORMAT = "repro.analyze-baseline/1"
+
+
+class BaselineError(ValueError):
+    """Raised for unreadable or malformed baseline files."""
+
+
+def load_baseline(path: Path) -> List[str]:
+    """Read the sorted key list from a baseline file."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != BASELINE_FORMAT:
+        raise BaselineError(
+            f"baseline {path} has unexpected format "
+            f"(want {BASELINE_FORMAT!r}, got {doc.get('format') if isinstance(doc, dict) else doc!r})"
+        )
+    keys = doc.get("keys")
+    if not isinstance(keys, list) or not all(isinstance(k, str) for k in keys):
+        raise BaselineError(f"baseline {path} 'keys' must be a list of strings")
+    return sorted(keys)
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> List[str]:
+    """Write a baseline covering *findings*; returns the keys written."""
+    keys = sorted({f.key for f in findings if isinstance(f, AnalysisFinding) and f.key})
+    doc = {"format": BASELINE_FORMAT, "keys": keys}
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return keys
+
+
+@dataclass(frozen=True)
+class BaselineSplit:
+    """Outcome of applying a baseline to a finding list."""
+
+    fresh: Tuple[Finding, ...]  # not baselined: must be fixed or absorbed
+    known: Tuple[Finding, ...]  # baselined and still firing: suppressed
+    stale: Tuple[str, ...]  # baselined but no longer firing: delete these
+
+
+def apply_baseline(findings: Sequence[Finding], keys: Sequence[str]) -> BaselineSplit:
+    """Split *findings* against baselined *keys* (see module docstring)."""
+    baselined = set(keys)
+    fresh: List[Finding] = []
+    known: List[Finding] = []
+    fired = set()
+    for finding in findings:
+        key = finding.key if isinstance(finding, AnalysisFinding) else ""
+        if key and key in baselined:
+            fired.add(key)
+            known.append(finding)
+        else:
+            fresh.append(finding)
+    stale = tuple(sorted(baselined - fired))
+    return BaselineSplit(fresh=tuple(fresh), known=tuple(known), stale=stale)

@@ -1,0 +1,186 @@
+"""API drift and dead-public-code checks (A-DRIFT, A-DEAD).
+
+``docs/API.md`` is generated from the live package by
+``tools/gen_api_docs.py``: each module section (``## `repro.x```) lists the
+module's ``__all__``-exported functions and classes *defined in that
+module*.  :class:`ApiDrift` re-derives that contract statically and flags
+both directions of drift — a documented member that no longer exists, and
+an exported definition missing from the reference (i.e. ``docs/API.md`` is
+stale and the docs CI job would fail after regeneration).
+
+:class:`DeadPublicCode` uses the call graph for the deeper question: which
+``__all__``-exported *functions* does nothing in the project call, import,
+or reference?  Classes are excluded — their uses are typically type-level
+(annotations, registries) which a call graph does not witness.  CLI,
+``__main__`` and bench modules are exempt (their entry points are invoked
+by name from outside), as are ``main``/``build_parser`` anywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Set
+
+from repro.analyze.checks import AnalysisModel, AnalyzeCheck
+from repro.analyze.findings import AnalysisFinding
+from repro.lint.framework import Severity
+
+__all__ = ["ApiDrift", "DeadPublicCode", "parse_api_doc"]
+
+_MODULE_RE = re.compile(r"^##\s+`(?P<module>[\w.]+)`\s*$")
+_MEMBER_RE = re.compile(r"^###\s+`(?:def|class)\s+(?P<name>\w+)")
+
+#: Entry-point names invoked from outside the project by console scripts.
+_ENTRY_NAMES = frozenset({"main", "build_parser"})
+
+
+def parse_api_doc(path: Path) -> Dict[str, Set[str]]:
+    """Parse API.md into ``{module: {member, ...}}`` (empty if unreadable)."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return {}
+    sections: Dict[str, Set[str]] = {}
+    current: Optional[str] = None
+    for line in text.splitlines():
+        match = _MODULE_RE.match(line)
+        if match:
+            current = match.group("module")
+            sections.setdefault(current, set())
+            continue
+        match = _MEMBER_RE.match(line)
+        if match and current is not None:
+            sections[current].add(match.group("name"))
+    return sections
+
+
+class ApiDrift(AnalyzeCheck):
+    """docs/API.md must match each module's ``__all__``-exported definitions."""
+
+    id = "A-DRIFT"
+    severity = Severity.ERROR
+    description = (
+        "docs/API.md module sections must list exactly the __all__-exported "
+        "functions/classes defined in each module; drift in either direction "
+        "means the generated reference is stale"
+    )
+
+    def __init__(self, model: Optional["AnalysisModel"] = None, *, api_doc: Optional[str] = None) -> None:
+        super().__init__(model)
+        self.api_doc = api_doc
+
+    def analyze(self, model: AnalysisModel) -> Iterator[AnalysisFinding]:
+        if self.api_doc is None:
+            return
+        sections = parse_api_doc(Path(self.api_doc))
+        if not sections:
+            return
+        for mod_name in sorted(model.project.modules):
+            mod = model.project.modules[mod_name]
+            if mod.all_names is None:
+                continue
+            defined = self._exported_definitions(model, mod_name)
+            documented = sections.get(mod_name, set())
+            for name in sorted(set(defined) - documented):
+                yield self.analysis_finding(
+                    model,
+                    mod_name,
+                    defined[name],
+                    f"{mod_name}.{name} is exported via __all__ but missing "
+                    f"from {self.api_doc}; regenerate with tools/gen_api_docs.py",
+                    key=f"A-DRIFT:{mod_name}.{name}:undocumented",
+                )
+            gone = documented - set(defined)
+            anchor = mod.all_node if mod.all_node is not None else mod.info.tree
+            for name in sorted(gone):
+                yield self.analysis_finding(
+                    model,
+                    mod_name,
+                    anchor,
+                    f"{self.api_doc} documents {mod_name}.{name} but the "
+                    "module no longer exports a definition with that name",
+                    key=f"A-DRIFT:{mod_name}.{name}:documented-but-missing",
+                )
+
+    @staticmethod
+    def _exported_definitions(model: AnalysisModel, mod_name: str) -> Dict[str, ast.AST]:
+        """``__all__`` names defined (not re-exported) in *mod_name* -> node."""
+        mod = model.project.modules[mod_name]
+        out: Dict[str, ast.AST] = {}
+        for name in mod.all_names or ():
+            if name in mod.functions:
+                out[name] = model.project.functions[mod.functions[name]].node
+            elif name in mod.classes:
+                out[name] = model.project.classes[mod.classes[name]].node
+        return out
+
+
+class DeadPublicCode(AnalyzeCheck):
+    """``__all__``-exported functions nothing calls, imports, or references."""
+
+    id = "A-DEAD"
+    severity = Severity.WARNING
+    description = (
+        "an __all__-exported module-level function with no project call "
+        "edge, import, or reference is dead public surface — either wire it "
+        "in, or stop exporting it"
+    )
+
+    def analyze(self, model: AnalysisModel) -> Iterator[AnalysisFinding]:
+        imported = self._imported_quals(model)
+        registered: Set[str] = set()
+        for refs in model.project.registered_functions.values():
+            registered.update(refs)
+        for mod_name in sorted(model.project.modules):
+            mod = model.project.modules[mod_name]
+            if mod.all_names is None or self._exempt_module(mod_name):
+                continue
+            for name in mod.all_names:
+                qual = mod.functions.get(name)
+                if qual is None or name in _ENTRY_NAMES:
+                    continue
+                if (
+                    qual in imported
+                    or qual in registered
+                    or self._has_external_caller(model, qual)
+                ):
+                    continue
+                symbol = model.project.functions[qual]
+                yield self.analysis_finding(
+                    model,
+                    mod_name,
+                    symbol.node,
+                    f"{qual} is exported via __all__ but no project code "
+                    "calls, imports, or references it",
+                    key=f"A-DEAD:{qual}",
+                )
+
+    @staticmethod
+    def _exempt_module(mod_name: str) -> bool:
+        parts = mod_name.split(".")
+        return (
+            mod_name.endswith(".cli")
+            or mod_name.endswith(".__main__")
+            or "bench" in parts
+        )
+
+    @staticmethod
+    def _imported_quals(model: AnalysisModel) -> Set[str]:
+        """Function qualnames any module imports (canonicalized)."""
+        out: Set[str] = set()
+        for mod in model.project.modules.values():
+            for target in mod.imports.values():
+                resolved = model.project._canonicalize(target)
+                if resolved is not None:
+                    out.add(resolved)
+        return out
+
+    @staticmethod
+    def _has_external_caller(model: AnalysisModel, qual: str) -> bool:
+        """An incoming edge from outside the defining function itself."""
+        for caller, _ in model.graph.callers.get(qual, ()):
+            if caller != qual:
+                return True
+        return False

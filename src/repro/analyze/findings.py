@@ -1,0 +1,51 @@
+"""Analysis findings: lint findings plus a stable key and a call chain.
+
+:class:`AnalysisFinding` extends :class:`repro.lint.framework.Finding` so
+the existing text/JSON reporters render analyzer output unchanged, while
+adding the two pieces interprocedural findings need:
+
+* ``key`` — a stable identity (``A-TAINT:repro.x.f:time.time``) that does
+  not embed line numbers, so the committed baseline survives unrelated
+  edits and ``repro-analyze explain <key>`` can address one finding;
+* ``chain`` — the root-to-offender call chain, rendered one step per
+  entry, which ``explain`` prints in full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.lint.framework import Finding
+
+__all__ = ["AnalysisFinding"]
+
+
+@dataclass(frozen=True)
+class AnalysisFinding(Finding):
+    """One interprocedural finding with identity and provenance."""
+
+    key: str = ""
+    chain: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form: the lint schema plus ``key`` and ``chain``."""
+        doc = super().to_dict()
+        doc["key"] = self.key
+        doc["chain"] = list(self.chain)
+        return doc
+
+    def render(self) -> str:
+        """The lint one-liner with the finding's key appended."""
+        base = super().render()
+        return f"{base} [{self.key}]" if self.key else base
+
+    def render_chain(self) -> str:
+        """Multi-line ``explain`` output: key, message, then the chain."""
+        lines = [self.key, f"  {self.severity}: {self.message}", f"  at {self.path}:{self.line}"]
+        if self.chain:
+            lines.append("  call chain:")
+            for i, step in enumerate(self.chain):
+                prefix = "    " + ("-> " if i else "   ")
+                lines.append(f"{prefix}{step}")
+        return "\n".join(lines)

@@ -1,0 +1,369 @@
+"""Project model: symbol table and import graph over a module set.
+
+This is the ground layer of :mod:`repro.analyze`: it turns the flat list of
+parsed modules produced by :func:`repro.lint.framework.collect_modules` into
+a *whole-program* view — which dotted qualname defines which function or
+class, what every imported local name resolves to, how classes inherit from
+each other, and which classes are wired into module-level registries (the
+``STRATEGIES``-style dicts that drive name-based construction).
+
+The model is purely syntactic (no imports are executed), so it works on
+test fixture trees exactly like on ``src/repro`` — the same property the
+linter's fixture suite relies on.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lint.framework import ModuleInfo
+
+__all__ = [
+    "ClassSymbol",
+    "FunctionNode",
+    "FunctionSymbol",
+    "ModuleSymbols",
+    "Project",
+    "build_project",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class FunctionSymbol:
+    """One top-level function or method, addressed by dotted qualname."""
+
+    qualname: str
+    module: str
+    node: FunctionNode
+    cls: Optional[str] = None  # owning class qualname for methods
+
+    @property
+    def name(self) -> str:
+        """The bare function name (last qualname component)."""
+        return self.qualname.rsplit(".", 1)[1]
+
+
+@dataclass
+class ClassSymbol:
+    """One class definition: bases, methods and attribute types."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    bases: Tuple[str, ...] = ()  # resolved dotted names where possible
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> qualname
+    #: ``self.<attr>`` assignments whose value is a project-class
+    #: constructor call (or annotated as a project class): attr -> class
+    #: qualname.  Filled by the call-graph builder's type pre-pass.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleSymbols:
+    """Per-module name bindings: imports, definitions, ``__all__``."""
+
+    info: ModuleInfo
+    imports: Dict[str, str] = field(default_factory=dict)  # local -> dotted
+    functions: Dict[str, str] = field(default_factory=dict)  # local -> qualname
+    classes: Dict[str, str] = field(default_factory=dict)  # local -> qualname
+    constants: Dict[str, ast.AST] = field(default_factory=dict)  # top-level data
+    all_names: Optional[List[str]] = None
+    all_node: Optional[ast.AST] = None
+
+    @property
+    def name(self) -> str:
+        """The module's dotted name."""
+        return self.info.name
+
+
+class Project:
+    """The resolved whole-program view the interprocedural checks run on."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules: Dict[str, ModuleSymbols] = {}
+        self.functions: Dict[str, FunctionSymbol] = {}
+        self.classes: Dict[str, ClassSymbol] = {}
+        #: Class qualnames referenced from module-level registry data
+        #: structures (dicts/tuples of classes, e.g. ``STRATEGIES``).
+        self.registered_classes: Dict[str, Set[str]] = {}
+        #: Function qualnames referenced the same way (e.g. ``FIGURES``).
+        self.registered_functions: Dict[str, Set[str]] = {}
+        self._subclasses: Dict[str, Set[str]] = {}
+        for info in modules:
+            self._index_module(info)
+        self._resolve_bases()
+
+    # -- construction ------------------------------------------------------
+
+    def _index_module(self, info: ModuleInfo) -> None:
+        mod = ModuleSymbols(info=info)
+        self.modules[info.name] = mod
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    mod.imports.setdefault(local, target)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(info.name, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    mod.imports.setdefault(local, f"{base}.{alias.name}")
+        for node in info.tree.body:
+            self._index_toplevel(mod, node)
+
+    @staticmethod
+    def _import_base(module: str, node: ast.ImportFrom) -> Optional[str]:
+        """Absolute dotted base of a ``from X import ...`` statement."""
+        if node.level == 0:
+            return node.module
+        parts = module.split(".")
+        # Drop the module's own name, then climb one package per extra dot.
+        anchor = len(parts) - node.level
+        if anchor < 0:
+            return None
+        base_parts = parts[:anchor]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts) if base_parts else None
+
+    def _index_toplevel(self, mod: ModuleSymbols, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{mod.name}.{node.name}"
+            mod.functions[node.name] = qual
+            self.functions[qual] = FunctionSymbol(qualname=qual, module=mod.name, node=node)
+        elif isinstance(node, ast.ClassDef):
+            qual = f"{mod.name}.{node.name}"
+            mod.classes[node.name] = qual
+            symbol = ClassSymbol(qualname=qual, module=mod.name, node=node)
+            self.classes[qual] = symbol
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    method_qual = f"{qual}.{item.name}"
+                    symbol.methods[item.name] = method_qual
+                    self.functions[method_qual] = FunctionSymbol(
+                        qualname=method_qual, module=mod.name, node=item, cls=qual
+                    )
+                elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                    annotated = self._annotation_name(item.annotation)
+                    if annotated is not None:
+                        symbol.attr_types.setdefault(item.target.id, annotated)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "__all__":
+                    mod.all_node = node
+                    value = node.value
+                    if value is not None:
+                        try:
+                            names = ast.literal_eval(value)
+                        except ValueError:
+                            names = None
+                        if isinstance(names, (list, tuple)):
+                            mod.all_names = [str(n) for n in names]
+                else:
+                    mod.constants[target.id] = node
+
+    @staticmethod
+    def _annotation_name(annotation: Optional[ast.expr]) -> Optional[str]:
+        """Render an annotation's class-naming part as raw dotted text."""
+        if annotation is None:
+            return None
+        node: ast.expr = annotation
+        # Optional[X] / "X" / List[X]: dig for the interesting name.
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, ast.Subscript):
+            head = Project._annotation_name(node.value)
+            if head in ("Optional", "typing.Optional"):
+                return Project._annotation_name(node.slice)
+            return None
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def _resolve_bases(self) -> None:
+        for symbol in self.classes.values():
+            resolved: List[str] = []
+            mod = self.modules[symbol.module]
+            for base in symbol.node.bases:
+                raw = self._annotation_name(base)
+                if raw is None:
+                    continue
+                target = self.resolve_name(mod, raw)
+                resolved.append(target if target is not None else raw)
+            symbol.bases = tuple(resolved)
+        for symbol in self.classes.values():
+            for base in symbol.bases:
+                if base in self.classes:
+                    self._subclasses.setdefault(base, set()).add(symbol.qualname)
+        # Registry scan: module-level data structures holding class or
+        # function refs (``STRATEGIES``-/``FIGURES``-style dispatch tables).
+        for mod in self.modules.values():
+            for name, node in mod.constants.items():
+                class_refs, func_refs = self._symbol_refs_in(mod, node)
+                if class_refs:
+                    self.registered_classes[f"{mod.name}.{name}"] = class_refs
+                if func_refs:
+                    self.registered_functions[f"{mod.name}.{name}"] = func_refs
+
+    def _symbol_refs_in(
+        self, mod: ModuleSymbols, node: ast.AST
+    ) -> Tuple[Set[str], Set[str]]:
+        """Project classes/functions referenced inside a module-level value."""
+        class_refs: Set[str] = set()
+        func_refs: Set[str] = set()
+        for child in ast.walk(node):
+            raw: Optional[str] = None
+            if isinstance(child, ast.Name):
+                raw = child.id
+            elif isinstance(child, ast.Attribute):
+                raw = self._annotation_name(child)
+            if raw is None:
+                continue
+            target = self.resolve_name(mod, raw)
+            if target is None:
+                continue
+            if target in self.classes:
+                class_refs.add(target)
+            elif target in self.functions:
+                func_refs.add(target)
+        return class_refs, func_refs
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve_name(self, mod: ModuleSymbols, raw: str) -> Optional[str]:
+        """Resolve dotted text written inside *mod* to a project qualname.
+
+        Follows local definitions, then imports (including imports of whole
+        project modules, so ``base.Strategy`` resolves through ``import
+        repro.core.strategies.base as base``).  Returns ``None`` when the
+        name leads outside the project.
+        """
+        head, _, rest = raw.partition(".")
+        target: Optional[str] = None
+        if head in mod.classes:
+            target = mod.classes[head]
+        elif head in mod.functions:
+            target = mod.functions[head]
+        elif head in mod.imports:
+            target = mod.imports[head]
+        elif head in self.modules:
+            target = head
+        if target is None:
+            return None
+        dotted = f"{target}.{rest}" if rest else target
+        return self._canonicalize(dotted)
+
+    def _canonicalize(self, dotted: str) -> Optional[str]:
+        """Map a dotted path to the project symbol it denotes, if any."""
+        if dotted in self.classes or dotted in self.functions or dotted in self.modules:
+            return dotted
+        # Re-exports: ``repro.lint.Finding`` -> follow the package import.
+        head, _, rest = dotted.rpartition(".")
+        if head in self.modules and rest:
+            mod = self.modules[head]
+            for table in (mod.classes, mod.functions, mod.imports):
+                if rest in table:
+                    return self._canonicalize(table[rest])
+        return None
+
+    def lookup_method(self, class_qual: str, name: str) -> Optional[str]:
+        """Find *name* on *class_qual* or (depth-first) its project bases."""
+        seen: Set[str] = set()
+        stack = [class_qual]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen or qual not in self.classes:
+                continue
+            seen.add(qual)
+            symbol = self.classes[qual]
+            if name in symbol.methods:
+                return symbol.methods[name]
+            stack.extend(symbol.bases)
+        return None
+
+    def lookup_attr_type(self, class_qual: str, name: str) -> Optional[str]:
+        """The project-class type of ``self.<name>`` on *class_qual*, if known."""
+        seen: Set[str] = set()
+        stack = [class_qual]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen or qual not in self.classes:
+                continue
+            seen.add(qual)
+            symbol = self.classes[qual]
+            if name in symbol.attr_types:
+                resolved = self.resolve_name(self.modules[symbol.module], symbol.attr_types[name])
+                if resolved is not None and resolved in self.classes:
+                    return resolved
+                if symbol.attr_types[name] in self.classes:
+                    return symbol.attr_types[name]
+                return None
+            stack.extend(symbol.bases)
+        return None
+
+    def subclasses(self, class_qual: str) -> Set[str]:
+        """All transitive project subclasses of *class_qual*."""
+        out: Set[str] = set()
+        stack = list(self._subclasses.get(class_qual, ()))
+        while stack:
+            qual = stack.pop()
+            if qual in out:
+                continue
+            out.add(qual)
+            stack.extend(self._subclasses.get(qual, ()))
+        return out
+
+    def is_subclass_of(self, class_qual: str, base_qual: str) -> bool:
+        """Whether *class_qual* is *base_qual* or inherits from it."""
+        return class_qual == base_qual or class_qual in self.subclasses(base_qual)
+
+    def iter_functions(self) -> Iterator[FunctionSymbol]:
+        """All indexed functions and methods, in deterministic order."""
+        for qual in sorted(self.functions):
+            yield self.functions[qual]
+
+    def import_graph(self) -> Dict[str, Set[str]]:
+        """Module-level import edges restricted to project modules."""
+        graph: Dict[str, Set[str]] = {}
+        for mod in self.modules.values():
+            edges: Set[str] = set()
+            for target in mod.imports.values():
+                resolved = self._canonicalize(target)
+                owner: Optional[str] = None
+                if resolved is None:
+                    continue
+                if resolved in self.modules:
+                    owner = resolved
+                elif resolved in self.functions:
+                    owner = self.functions[resolved].module
+                elif resolved in self.classes:
+                    owner = self.classes[resolved].module
+                if owner is not None and owner != mod.name:
+                    edges.add(owner)
+            graph[mod.name] = edges
+        return graph
+
+
+def build_project(modules: Sequence[ModuleInfo]) -> Project:
+    """Build the :class:`Project` symbol table for *modules*."""
+    return Project(modules)

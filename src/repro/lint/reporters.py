@@ -31,15 +31,15 @@ def summary_counts(findings: Sequence[Finding]) -> Dict[str, int]:
     return dict(Counter(f.severity for f in findings))
 
 
-def render_text(findings: Sequence[Finding]) -> str:
+def render_text(findings: Sequence[Finding], *, prog: str = "repro-lint") -> str:
     """One line per finding plus a trailing summary line."""
     lines: List[str] = [f.render() for f in findings]
     counts = summary_counts(findings)
     if findings:
         summary = ", ".join(f"{n} {sev}(s)" for sev, n in sorted(counts.items()))
-        lines.append(f"repro-lint: {summary}")
+        lines.append(f"{prog}: {summary}")
     else:
-        lines.append("repro-lint: clean")
+        lines.append(f"{prog}: clean")
     return "\n".join(lines)
 
 

@@ -215,7 +215,10 @@ class ResultStore:
         self._event(kind, "corrupt")
         self._event(kind, "miss")
         with contextlib.suppress(OSError):
-            os.unlink(path)
+            # Read-path best-effort cleanup: readers never lock (writes are
+            # atomic os.replace, so the worst case is deleting a just-rewritten
+            # entry, which the next writer recreates).
+            os.unlink(path)  # repro: noqa[A-LOCK]
 
     # -- maintenance ------------------------------------------------------------
 
@@ -292,7 +295,10 @@ class ResultStore:
         """Re-checksum every entry; returns the corrupt ones.
 
         With ``delete=True`` corrupt entries are also removed (the next
-        lookup would do the same lazily — this just does it eagerly).
+        lookup would do the same lazily — this just does it eagerly).  The
+        checksum scan itself runs lock-free like every read; only the
+        deletion pass takes the store lock, so verify cannot race a writer
+        re-publishing an entry it is about to unlink.
         """
         corrupt: List[StoreEntry] = []
         for entry in self.entries():
@@ -306,12 +312,13 @@ class ResultStore:
                 isinstance(kind, str)
                 and self._validate_envelope(envelope, entry.fingerprint, kind) is not None
             )
-            if ok:
-                continue
-            corrupt.append(entry)
-            if delete:
-                with contextlib.suppress(OSError):
-                    os.unlink(entry.path)
+            if not ok:
+                corrupt.append(entry)
+        if delete and corrupt:
+            with self.lock():
+                for entry in corrupt:
+                    with contextlib.suppress(OSError):
+                        os.unlink(entry.path)
         return corrupt
 
     def __iter__(self) -> Iterator[StoreEntry]:

@@ -1,0 +1,43 @@
+"""Shared helpers for the analyzer's own test suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import build_model, run_analysis
+from repro.lint import collect_modules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+@pytest.fixture
+def analyze_fixture():
+    """Run the full analyzer check set over one fixture tree by name.
+
+    ``api_doc`` defaults to ``None`` so fixture trees are never compared
+    against the real ``docs/API.md`` (their module names deliberately
+    shadow real ones).
+    """
+
+    def run(name, *, select=None, ignore=None, api_doc=None):
+        modules = collect_modules([FIXTURES / name])
+        return run_analysis(modules, select=select, ignore=ignore, api_doc=api_doc)
+
+    return run
+
+
+@pytest.fixture
+def fixture_model():
+    """Build the project + call-graph model for one fixture tree."""
+
+    def build(name):
+        return build_model(collect_modules([FIXTURES / name]))
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def src_model():
+    """The analysis model for the real ``src/repro`` tree (built once)."""
+    return build_model(collect_modules([SRC_REPRO]))

@@ -1,0 +1,10 @@
+"""Fixture: consumes widgets.build so only ``orphan`` is dead."""
+
+from repro.utils.widgets import build
+
+__all__ = ["make"]
+
+
+def make(spec):
+    """Fixture stub."""
+    return build(spec)

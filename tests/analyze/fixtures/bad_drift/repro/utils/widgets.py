@@ -1,0 +1,26 @@
+"""Fixture: __all__ vs docs vs usage drift (A-DRIFT, A-DEAD)."""
+
+__all__ = ["DISPATCH", "build", "orphan", "registered"]
+
+
+def build(spec):
+    """Fixture stub: documented, and used below."""
+    return helper(spec)
+
+
+def helper(spec):
+    """Fixture stub: private-by-convention, called by build."""
+    return spec
+
+
+def orphan(spec):
+    """Fixture stub: exported but never called, imported or registered."""
+    return spec
+
+
+def registered(spec):
+    """Fixture stub: only referenced through the DISPATCH registry."""
+    return spec
+
+
+DISPATCH = {"registered": registered}

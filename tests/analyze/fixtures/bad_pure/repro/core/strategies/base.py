@@ -1,0 +1,15 @@
+"""Fixture: the strategy contract's base class."""
+
+__all__ = ["Strategy"]
+
+
+class Strategy:
+    """Fixture stub."""
+
+    def assign(self, worker):
+        """Fixture stub."""
+        raise NotImplementedError
+
+    def reset(self):
+        """Fixture stub: pure — mutating self is the hooks' job."""
+        self._queue = []

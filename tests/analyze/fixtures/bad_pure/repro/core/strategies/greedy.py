@@ -1,0 +1,31 @@
+"""Fixture: impure strategy hooks (A-PURE)."""
+
+from repro.core.strategies.base import Strategy
+
+__all__ = ["Greedy", "HITS"]
+
+HITS = []
+
+
+class Greedy(Strategy):
+    """Fixture stub."""
+
+    def assign(self, worker):
+        """Fixture stub: shared-state writes and I/O in a hook."""
+        HITS.append(worker)
+        print("assigned", worker)
+        return self._pick(worker)
+
+    def _pick(self, worker):
+        """Fixture stub: class-attribute write reached from the hook."""
+        Greedy.counter = worker
+        return worker
+
+    def release_tasks(self, count):
+        """Fixture stub: module-global write via global statement."""
+        global HITS
+        HITS = HITS[:count]
+
+    def forget_worker(self, worker):
+        """Fixture stub: pure — self mutation stays legal."""
+        self._queue = [w for w in getattr(self, "_queue", []) if w != worker]

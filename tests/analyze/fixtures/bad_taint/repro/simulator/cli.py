@@ -1,0 +1,14 @@
+"""Fixture: CLI modules are sanitized boundaries — no taint findings here."""
+
+import time
+
+from repro.simulator.engine import simulate
+
+__all__ = ["main"]
+
+
+def main():
+    """Fixture stub: wall-clock use in a CLI is sanctioned."""
+    started = time.time()
+    simulate(None, None, None)
+    return started

@@ -1,0 +1,27 @@
+"""Fixture: nondeterminism sources reachable from simulate (A-TAINT)."""
+
+import os
+import time
+
+__all__ = ["simulate"]
+
+
+def simulate(strategy, platform, rng):
+    """Fixture stub: the taint root."""
+    jitter = _jitter()
+    names = _scan("runs")
+    return jitter, names
+
+
+def _jitter():
+    """Fixture stub: direct wall-clock read, two calls deep."""
+    return time.time()
+
+
+def _scan(root):
+    """Fixture stub: OS-ordered listing plus raw set iteration."""
+    names = os.listdir(root)
+    ok = sorted(os.listdir(root))
+    tags = {"a", "b"}
+    picked = [t for t in tags]
+    return names, ok, picked

@@ -1,0 +1,96 @@
+"""Baseline files: load/save round-trip, the ratchet, malformed input."""
+
+import json
+
+import pytest
+
+from repro.analyze import (
+    AnalysisFinding,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analyze.baseline import BASELINE_FORMAT
+from repro.lint import Severity
+
+
+def finding(key, rule_id="A-DEAD"):
+    return AnalysisFinding(
+        rule_id=rule_id,
+        severity=Severity.WARNING,
+        path="src/repro/x.py",
+        line=3,
+        col=0,
+        message="m",
+        key=key,
+    )
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        written = save_baseline(path, [finding("A-DEAD:repro.x.b"), finding("A-DEAD:repro.x.a")])
+        assert written == ["A-DEAD:repro.x.a", "A-DEAD:repro.x.b"]  # sorted, deduped
+        assert load_baseline(path) == written
+        doc = json.loads(path.read_text())
+        assert doc["format"] == BASELINE_FORMAT
+
+    def test_plain_findings_without_keys_are_skipped(self, tmp_path):
+        from repro.lint import Finding
+
+        plain = Finding(
+            rule_id="R-X", severity=Severity.ERROR, path="p", line=1, col=0, message="m"
+        )
+        path = tmp_path / "baseline.json"
+        assert save_baseline(path, [plain]) == []
+
+
+class TestMalformed:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BaselineError, match="cannot read"):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            load_baseline(path)
+
+    def test_wrong_format_tag(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"format": "other/9", "keys": []}))
+        with pytest.raises(BaselineError, match="unexpected format"):
+            load_baseline(path)
+
+    def test_non_string_keys(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"format": BASELINE_FORMAT, "keys": [1]}))
+        with pytest.raises(BaselineError, match="list of strings"):
+            load_baseline(path)
+
+
+class TestRatchet:
+    def test_known_findings_suppressed(self):
+        split = apply_baseline([finding("A-DEAD:repro.x.a")], ["A-DEAD:repro.x.a"])
+        assert split.fresh == ()
+        assert len(split.known) == 1
+        assert split.stale == ()
+
+    def test_fresh_findings_surface(self):
+        split = apply_baseline([finding("A-DEAD:repro.x.new")], ["A-DEAD:repro.x.old"])
+        assert len(split.fresh) == 1
+        assert split.stale == ("A-DEAD:repro.x.old",)
+
+    def test_stale_entries_detected(self):
+        split = apply_baseline([], ["A-DEAD:repro.x.gone"])
+        assert split.stale == ("A-DEAD:repro.x.gone",)
+
+    def test_keyless_findings_never_match_baseline(self):
+        from repro.lint import Finding
+
+        plain = Finding(
+            rule_id="R-X", severity=Severity.ERROR, path="p", line=1, col=0, message="m"
+        )
+        split = apply_baseline([plain], [])
+        assert len(split.fresh) == 1

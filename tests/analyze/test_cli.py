@@ -1,0 +1,182 @@
+"""The ``repro-analyze`` CLI: subcommands, exit codes, formats."""
+
+import json
+from pathlib import Path
+
+from repro.analyze.baseline import BASELINE_FORMAT
+from repro.analyze.cli import main
+
+from tests.analyze.conftest import FIXTURES
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCheck:
+    def test_findings_exit_one(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "check", str(FIXTURES / "bad_taint"), "--select", "A-TAINT"
+        )
+        assert code == 1
+        assert "A-TAINT" in out
+        assert "[A-TAINT:repro.simulator.engine._jitter:time.time]" in out
+
+    def test_clean_exit_zero(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "check", str(FIXTURES / "bad_taint"), "--select", "A-LOCK"
+        )
+        assert code == 0
+        assert "repro-analyze: clean" in out
+
+    def test_json_format_round_trips(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "check",
+            str(FIXTURES / "bad_pure"),
+            "--select",
+            "A-PURE",
+            "--format",
+            "json",
+        )
+        assert code == 1
+        doc = json.loads(out)
+        assert doc["version"] == 1
+        assert doc["counts"] == {"error": 4}
+        keys = {f["key"] for f in doc["findings"]}
+        assert "A-PURE:repro.core.strategies.greedy.Greedy.assign:I/O call print" in keys
+        assert all("chain" in f for f in doc["findings"])
+
+    def test_unknown_check_id_exit_two(self, capsys):
+        code, _, err = run_cli(capsys, "check", str(FIXTURES / "bad_taint"), "--select", "A-NOPE")
+        assert code == 2
+        assert "unknown check id" in err
+
+    def test_unreadable_path_exit_two(self, capsys):
+        code, _, err = run_cli(capsys, "check", "no/such/tree")
+        assert code == 2
+        assert "repro-analyze:" in err
+
+    def test_list_checks(self, capsys):
+        code, out, _ = run_cli(capsys, "check", "--list-checks")
+        assert code == 0
+        for check_id in ("A-TAINT", "A-LOCK", "A-LOCK-HELD", "A-PURE", "A-DRIFT", "A-DEAD"):
+            assert check_id in out
+
+
+class TestBaselineFlow:
+    def test_write_then_check_against_baseline(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        code, out, _ = run_cli(
+            capsys,
+            "check",
+            str(FIXTURES / "bad_pure"),
+            "--select",
+            "A-PURE",
+            "--write-baseline",
+            str(baseline),
+        )
+        assert code == 0
+        assert "wrote 4 key(s)" in out
+        assert json.loads(baseline.read_text())["format"] == BASELINE_FORMAT
+
+        code, out, _ = run_cli(
+            capsys,
+            "check",
+            str(FIXTURES / "bad_pure"),
+            "--select",
+            "A-PURE",
+            "--baseline",
+            str(baseline),
+        )
+        assert code == 0
+        assert "repro-analyze: clean" in out
+
+    def test_stale_baseline_entry_fails(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({"format": BASELINE_FORMAT, "keys": ["A-PURE:repro.gone.f:print"]})
+        )
+        code, _, err = run_cli(
+            capsys,
+            "check",
+            str(FIXTURES / "bad_pure"),
+            "--select",
+            "A-LOCK",
+            "--baseline",
+            str(baseline),
+        )
+        assert code == 1
+        assert "stale baseline entry" in err
+
+    def test_malformed_baseline_exit_two(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{broken")
+        code, _, err = run_cli(
+            capsys, "check", str(FIXTURES / "bad_pure"), "--baseline", str(baseline)
+        )
+        assert code == 2
+        assert "not valid JSON" in err
+
+
+class TestGraph:
+    def test_summary(self, capsys):
+        code, out, _ = run_cli(capsys, "graph", str(FIXTURES / "bad_taint"))
+        assert code == 0
+        assert "modules:" in out
+        assert "call edges:" in out
+
+    def test_callers_and_callees(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "graph",
+            str(FIXTURES / "bad_taint"),
+            "--callers",
+            "repro.simulator.engine._jitter",
+        )
+        assert code == 0
+        assert "repro.simulator.engine.simulate" in out
+
+        code, out, _ = run_cli(
+            capsys,
+            "graph",
+            str(FIXTURES / "bad_taint"),
+            "--callees",
+            "repro.simulator.engine.simulate",
+        )
+        assert code == 0
+        assert "repro.simulator.engine._jitter" in out
+
+    def test_unknown_function_exit_two(self, capsys):
+        code, _, err = run_cli(
+            capsys, "graph", str(FIXTURES / "bad_taint"), "--callers", "repro.nope.f"
+        )
+        assert code == 2
+        assert "unknown function" in err
+
+
+class TestExplain:
+    def test_explain_prints_full_chain(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "explain",
+            "A-TAINT:repro.simulator.engine._jitter:time.time",
+            str(FIXTURES / "bad_taint"),
+        )
+        assert code == 0
+        lines = out.splitlines()
+        assert lines[0] == "A-TAINT:repro.simulator.engine._jitter:time.time"
+        assert any("call chain:" in line for line in lines)
+        assert any("repro.simulator.engine.simulate" in line for line in lines)
+        assert any("time.time at line" in line for line in lines)
+
+    def test_unknown_key_exit_two(self, capsys):
+        code, _, err = run_cli(
+            capsys, "explain", "A-TAINT:repro.nope:thing", str(FIXTURES / "bad_taint")
+        )
+        assert code == 2
+        assert "no finding with key" in err

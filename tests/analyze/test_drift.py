@@ -1,0 +1,78 @@
+"""API drift and dead-public-code checks over the drift fixture."""
+
+from repro.analyze import run_analysis
+from repro.analyze.drift import parse_api_doc
+from repro.lint import collect_modules
+
+from tests.analyze.conftest import FIXTURES
+
+#: A doc that documents `build`, a vanished `legacy`, and omits the rest.
+_API_DOC = """\
+# API reference
+
+## `repro.utils.widgets`
+
+Fixture module.
+
+### `def build(spec)`
+
+Documented and live.
+
+### `def legacy(spec)`
+
+Documented but long gone.
+"""
+
+
+def run_with_doc(tmp_path, doc_text):
+    doc = tmp_path / "API.md"
+    doc.write_text(doc_text, encoding="utf-8")
+    modules = collect_modules([FIXTURES / "bad_drift"])
+    return run_analysis(modules, api_doc=str(doc))
+
+
+class TestParseApiDoc:
+    def test_sections_and_members(self, tmp_path):
+        doc = tmp_path / "API.md"
+        doc.write_text(_API_DOC, encoding="utf-8")
+        sections = parse_api_doc(doc)
+        assert sections == {"repro.utils.widgets": {"build", "legacy"}}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert parse_api_doc(tmp_path / "nope.md") == {}
+
+
+class TestApiDrift:
+    def test_both_drift_directions_flagged(self, tmp_path):
+        findings = [f for f in run_with_doc(tmp_path, _API_DOC) if f.rule_id == "A-DRIFT"]
+        drift_keys = {f.key for f in findings}
+        # `orphan` and `registered` are exported but undocumented; `legacy`
+        # is documented but gone.  `build` matches and is clean.
+        assert "A-DRIFT:repro.utils.widgets.orphan:undocumented" in drift_keys
+        assert "A-DRIFT:repro.utils.widgets.registered:undocumented" in drift_keys
+        assert "A-DRIFT:repro.utils.widgets.legacy:documented-but-missing" in drift_keys
+        assert not any("widgets.build" in k for k in drift_keys)
+
+    def test_no_api_doc_no_drift_findings(self):
+        modules = collect_modules([FIXTURES / "bad_drift"])
+        findings = run_analysis(modules, api_doc=None)
+        assert not any(f.rule_id == "A-DRIFT" for f in findings)
+
+
+class TestDeadPublicCode:
+    def test_only_true_orphan_flagged(self, analyze_fixture):
+        findings = [f for f in analyze_fixture("bad_drift") if f.rule_id == "A-DEAD"]
+        assert {f.key for f in findings} == {"A-DEAD:repro.utils.widgets.orphan"}
+        assert all(f.severity == "warning" for f in findings)
+
+    def test_registry_reference_counts_as_use(self, analyze_fixture):
+        findings = [f for f in analyze_fixture("bad_drift") if f.rule_id == "A-DEAD"]
+        assert not any("registered" in f.key for f in findings)
+
+    def test_import_and_call_count_as_use(self, analyze_fixture):
+        findings = [f for f in analyze_fixture("bad_drift") if f.rule_id == "A-DEAD"]
+        assert not any("build" in f.key for f in findings)
+
+    def test_cli_modules_exempt(self, analyze_fixture):
+        findings = [f for f in analyze_fixture("bad_drift") if f.rule_id == "A-DEAD"]
+        assert not any("cli" in f.key for f in findings)

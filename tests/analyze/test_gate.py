@@ -1,0 +1,55 @@
+"""Tier-1 gate: src/repro passes its own whole-program analyzer.
+
+Mirrors ``tests/lint/test_self_clean.py`` one level up: any commit that
+routes a wall-clock read into the simulation core, mutates the store
+outside its FileLock, or makes a strategy hook impure fails the test
+suite, not just an optional CI job.  The committed baseline may only
+shrink — a baselined finding that stops firing must be deleted.
+"""
+
+from pathlib import Path
+
+from repro.analyze import AnalysisFinding, apply_baseline, load_baseline, run_analysis
+from repro.lint import collect_modules
+
+ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = ROOT / "src" / "repro"
+BASELINE = ROOT / "tools" / "analyze_baseline.json"
+
+
+def current_findings():
+    modules = collect_modules([SRC_REPRO])
+    return run_analysis(modules, api_doc=str(ROOT / "docs" / "API.md"))
+
+
+def test_source_tree_is_analysis_clean_modulo_baseline():
+    findings = current_findings()
+    split = apply_baseline(findings, load_baseline(BASELINE))
+    rendered = "\n".join(f.render() for f in split.fresh)
+    assert not split.fresh, f"src/repro has new analyzer findings:\n{rendered}"
+
+
+def test_baseline_only_shrinks():
+    """Every baselined key must still fire — paid-off debt must be deleted."""
+    findings = current_findings()
+    split = apply_baseline(findings, load_baseline(BASELINE))
+    assert not split.stale, (
+        "stale baseline entries (the finding no longer fires — delete them "
+        f"from {BASELINE}): {split.stale}"
+    )
+
+
+def test_baseline_carries_no_errors():
+    """Grandfathered debt may be warnings only; errors must be fixed."""
+    findings = current_findings()
+    split = apply_baseline(findings, load_baseline(BASELINE))
+    assert all(f.severity == "warning" for f in split.known), [
+        f.key for f in split.known if f.severity != "warning"
+    ]
+
+
+def test_every_finding_has_key_and_explainable_identity():
+    findings = current_findings()
+    for f in findings:
+        assert isinstance(f, AnalysisFinding)
+        assert f.key.startswith(f.rule_id + ":")

@@ -1,0 +1,96 @@
+"""Project model: symbol table, imports, class hierarchy, registries."""
+
+from repro.analyze import build_project
+from repro.lint import collect_modules
+
+from tests.analyze.conftest import FIXTURES, SRC_REPRO
+
+
+def project_for(path):
+    return build_project(collect_modules([path]))
+
+
+class TestSymbolTable:
+    def test_functions_and_methods_indexed(self):
+        project = project_for(FIXTURES / "bad_pure")
+        assert "repro.core.strategies.greedy.Greedy.assign" in project.functions
+        assert "repro.core.strategies.base.Strategy" in project.classes
+        symbol = project.functions["repro.core.strategies.greedy.Greedy._pick"]
+        assert symbol.cls == "repro.core.strategies.greedy.Greedy"
+        assert symbol.name == "_pick"
+        assert symbol.module == "repro.core.strategies.greedy"
+
+    def test_all_names_parsed(self):
+        project = project_for(FIXTURES / "bad_drift")
+        mod = project.modules["repro.utils.widgets"]
+        assert mod.all_names == ["DISPATCH", "build", "orphan", "registered"]
+        assert mod.all_node is not None
+
+    def test_module_constants_indexed(self):
+        project = project_for(FIXTURES / "bad_pure")
+        assert "HITS" in project.modules["repro.core.strategies.greedy"].constants
+
+
+class TestClassHierarchy:
+    def test_bases_resolved_across_modules(self):
+        project = project_for(FIXTURES / "bad_pure")
+        greedy = project.classes["repro.core.strategies.greedy.Greedy"]
+        assert greedy.bases == ("repro.core.strategies.base.Strategy",)
+
+    def test_subclasses_and_is_subclass_of(self):
+        project = project_for(FIXTURES / "bad_pure")
+        base = "repro.core.strategies.base.Strategy"
+        assert project.subclasses(base) == {"repro.core.strategies.greedy.Greedy"}
+        assert project.is_subclass_of("repro.core.strategies.greedy.Greedy", base)
+        assert project.is_subclass_of(base, base)
+        assert not project.is_subclass_of(base, "repro.core.strategies.greedy.Greedy")
+
+    def test_lookup_method_walks_bases(self):
+        project = project_for(FIXTURES / "bad_pure")
+        found = project.lookup_method("repro.core.strategies.greedy.Greedy", "reset")
+        assert found == "repro.core.strategies.base.Strategy.reset"
+
+    def test_real_strategy_hierarchy(self):
+        project = project_for(SRC_REPRO)
+        subs = project.subclasses("repro.core.strategies.base.Strategy")
+        assert len(subs) >= 8  # the paper's strategy families
+
+
+class TestRegistries:
+    def test_function_registry_scanned(self):
+        project = project_for(FIXTURES / "bad_drift")
+        refs = project.registered_functions["repro.utils.widgets.DISPATCH"]
+        assert refs == {"repro.utils.widgets.registered"}
+
+    def test_real_strategies_registry_scanned(self):
+        project = project_for(SRC_REPRO)
+        registered = project.registered_classes[
+            "repro.core.strategies.registry.STRATEGIES"
+        ]
+        assert len(registered) >= 8
+        assert all(qual in project.classes for qual in registered)
+
+
+class TestResolution:
+    def test_import_resolution(self):
+        project = project_for(FIXTURES / "bad_drift")
+        mod = project.modules["repro.utils.cli"]
+        assert project.resolve_name(mod, "build") == "repro.utils.widgets.build"
+
+    def test_unknown_name_resolves_to_none(self):
+        project = project_for(FIXTURES / "bad_drift")
+        mod = project.modules["repro.utils.cli"]
+        assert project.resolve_name(mod, "no_such_thing") is None
+
+    def test_reexport_canonicalized(self):
+        project = project_for(SRC_REPRO)
+        mod = project.modules["repro.analyze.cli"]
+        # cli imports collect_modules via the repro.lint package __init__.
+        resolved = project.resolve_name(mod, "collect_modules")
+        assert resolved == "repro.lint.framework.collect_modules"
+
+    def test_import_graph_edges(self):
+        project = project_for(FIXTURES / "bad_drift")
+        graph = project.import_graph()
+        assert "repro.utils.widgets" in graph["repro.utils.cli"]
+        assert graph["repro.utils.widgets"] == set()

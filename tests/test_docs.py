@@ -19,6 +19,7 @@ ROOT = Path(__file__).resolve().parents[1]
 
 #: Console-script name → (module, function), mirroring [project.scripts].
 SCRIPTS = {
+    "repro-analyze": ("repro.analyze.cli", "main"),
     "repro-bench": ("repro.experiments.bench", "main"),
     "repro-experiments": ("repro.experiments.cli", "main"),
     "repro-lint": ("repro.lint.cli", "main"),
