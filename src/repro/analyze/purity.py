@@ -1,15 +1,20 @@
 """Strategy-hook purity check (A-PURE).
 
-The planned vectorized multi-replicate engine and the multi-host sweep
-service both assume strategy hooks can be *batched and replayed*: called
-any number of times, in any process, with only the strategy instance's own
-state changing.  That holds iff the hooks — ``assign``, ``release_tasks``,
-``forget_worker``, ``on_worker_lost``, ``reset``/``_setup`` — never write
-shared state or perform I/O.
+The vectorized multi-replicate engine (:mod:`repro.simulator.batch`) and
+the multi-host sweep service both assume strategy hooks can be *batched
+and replayed*: called any number of times, in any process, with only the
+strategy instance's own state changing.  That holds iff the hooks —
+``assign``, ``release_tasks``, ``forget_worker``, ``on_worker_lost``,
+``reset``/``_setup`` — never write shared state or perform I/O.  The same
+contract binds the batch engine's vector kernels: every ``run`` override
+on a :class:`repro.simulator.vector_kernels.VectorKernel` subclass must
+stay free of global writes, or lockstep replicates would observe each
+other through module state.
 
 The check walks the call graph forward from every hook override on every
-project subclass of :class:`repro.core.strategies.base.Strategy` and flags,
-anywhere in the closure:
+project subclass of :class:`repro.core.strategies.base.Strategy` (and
+every ``run`` on a vector-kernel subclass) and flags, anywhere in the
+closure:
 
 * ``global`` declarations (module-global writes);
 * mutation of module-level containers (``_CACHE[k] = v``,
@@ -33,14 +38,20 @@ from repro.analyze.findings import AnalysisFinding
 from repro.analyze.project import FunctionSymbol
 from repro.lint.framework import Severity
 
-__all__ = ["StrategyPurity", "STRATEGY_HOOKS"]
+__all__ = ["StrategyPurity", "STRATEGY_HOOKS", "VECTOR_KERNEL_HOOKS"]
 
 #: The strategy contract's engine-facing hooks.
 STRATEGY_HOOKS = frozenset(
     {"assign", "release_tasks", "forget_worker", "on_worker_lost", "reset", "_setup"}
 )
 
+#: The vector-kernel contract's engine-facing hooks (the batch engine's
+#: analogue of the strategy hooks: one ``run`` per (strategy, platform)
+#: cell, possibly in a worker process).
+VECTOR_KERNEL_HOOKS = frozenset({"run"})
+
 _STRATEGY_BASE = "repro.core.strategies.base.Strategy"
+_VECTOR_KERNEL_BASE = "repro.simulator.vector_kernels.VectorKernel"
 
 _IO_CALLS = frozenset(
     {
@@ -95,8 +106,9 @@ class StrategyPurity(AnalyzeCheck):
     severity = Severity.ERROR
     description = (
         "strategy hooks (assign/release_tasks/forget_worker/on_worker_lost/"
-        "reset/_setup) and everything they reach must not write module or "
-        "class globals nor perform I/O, so batched/replayed execution stays safe"
+        "reset/_setup) and vector-kernel run() hooks, plus everything they "
+        "reach, must not write module or class globals nor perform I/O, so "
+        "batched/replayed execution stays safe"
     )
 
     def analyze(self, model: AnalysisModel) -> Iterator[AnalysisFinding]:
@@ -129,15 +141,19 @@ class StrategyPurity(AnalyzeCheck):
                 )
 
     def _hook_roots(self, model: AnalysisModel) -> Set[str]:
-        if _STRATEGY_BASE not in model.project.classes:
-            return set()
-        classes = {_STRATEGY_BASE} | model.project.subclasses(_STRATEGY_BASE)
         roots: Set[str] = set()
-        for class_qual in classes:
-            symbol = model.project.classes[class_qual]
-            for name, method_qual in symbol.methods.items():
-                if name in STRATEGY_HOOKS:
-                    roots.add(method_qual)
+        for base, hooks in (
+            (_STRATEGY_BASE, STRATEGY_HOOKS),
+            (_VECTOR_KERNEL_BASE, VECTOR_KERNEL_HOOKS),
+        ):
+            if base not in model.project.classes:
+                continue
+            classes = {base} | model.project.subclasses(base)
+            for class_qual in classes:
+                symbol = model.project.classes[class_qual]
+                for name, method_qual in symbol.methods.items():
+                    if name in hooks:
+                        roots.add(method_qual)
         return roots
 
     # -- impure-operation detection ----------------------------------------

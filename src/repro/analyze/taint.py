@@ -35,6 +35,7 @@ __all__ = ["ENTRY_ROOT_PATTERNS", "DeterminismTaint", "entry_roots", "sanitized_
 #: Exact qualnames, or ``module.*`` for every public function of a module.
 ENTRY_ROOT_PATTERNS: Tuple[str, ...] = (
     "repro.simulator.engine.simulate",
+    "repro.simulator.batch.simulate_batch",
     "repro.faults.engine.simulate_faulty",
     "repro.store.fingerprint.*",
     "repro.obs.export.*",
@@ -114,9 +115,9 @@ class DeterminismTaint(AnalyzeCheck):
     severity = Severity.ERROR
     description = (
         "no wall-clock, OS-entropy, unordered-filesystem or raw-set-iteration "
-        "source may be reachable from simulate()/simulate_faulty() or the "
-        "fingerprint/exporter paths (sanitized: repro.obs.profile, "
-        "repro.utils.rng, CLI modules)"
+        "source may be reachable from simulate()/simulate_batch()/"
+        "simulate_faulty() or the fingerprint/exporter paths (sanitized: "
+        "repro.obs.profile, repro.utils.rng, CLI modules)"
     )
 
     def analyze(self, model: AnalysisModel) -> Iterator[AnalysisFinding]:

@@ -14,6 +14,7 @@ Usage::
 
     repro-bench list
     repro-bench run --quick --repeats 3 --outdir results
+    repro-bench run --suite scaling --json scaling.json
     repro-bench run --json bench-current.json
     repro-bench compare results/BENCH_old.json bench-current.json
     repro-bench compare old.json new.json --threshold 0.1 --warn-only
@@ -68,7 +69,7 @@ __all__ = [
 #: Schema tag embedded in every record; bump on incompatible layout changes.
 SCHEMA = "repro-bench/1"
 
-SUITES = ("default", "quick")
+SUITES = ("default", "quick", "scaling")
 
 
 #: A workload body: receives the top-level seed and a stage profiler (a
@@ -175,15 +176,28 @@ def _sample_drain_workload(size: int) -> WorkloadFn:
     return run
 
 
-def _sweep_workload(n: int, p: int, reps: int, workers: int) -> WorkloadFn:
-    """Figure-9-style replicate sweep: RandomMatrix averaged over *reps*."""
+def _sweep_workload(
+    n: int, p: int, reps: int, workers: int, vectorize: "bool | str" = "auto"
+) -> WorkloadFn:
+    """Figure-9-style replicate sweep: RandomMatrix averaged over *reps*.
+
+    *vectorize* pins the engine selection so the serial baseline stays a
+    pure scalar-loop measurement (comparable with pre-batch records) while
+    the vectorized workload measures the batch engine.
+    """
     strategy = StrategySpec("RandomMatrix", n)
     platform_spec = UniformPlatformSpec(p)
 
     def run(seed: int, prof: StageProfiler) -> object:
         with prof.stage("sweep"):
             return average_normalized_comm(
-                strategy, platform_spec, n, reps, seed=seed, workers=workers
+                strategy,
+                platform_spec,
+                n,
+                reps,
+                seed=seed,
+                workers=workers,
+                vectorize=vectorize,
             )
 
     return run
@@ -215,16 +229,50 @@ def _store_roundtrip_workload(entries: int) -> WorkloadFn:
     return run
 
 
+def _scaling_suite() -> List[Workload]:
+    """The replicate-count scaling sweep: R ∈ {1, 4, 16, 64} × 3 engines."""
+    n, p = 16, 50
+    workloads: List[Workload] = []
+    for reps in (1, 4, 16, 64):
+        base = {"strategy": "RandomMatrix", "n": n, "p": p, "reps": reps}
+        workloads.append(
+            Workload(
+                f"scaling_reps{reps:02d}_serial",
+                {**base, "workers": 1, "vectorize": False},
+                _sweep_workload(n, p, reps, 1, vectorize=False),
+            )
+        )
+        workloads.append(
+            Workload(
+                f"scaling_reps{reps:02d}_vectorized",
+                {**base, "workers": 1, "vectorize": True},
+                _sweep_workload(n, p, reps, 1, vectorize=True),
+            )
+        )
+        workloads.append(
+            Workload(
+                f"scaling_reps{reps:02d}_parallel4",
+                {**base, "workers": 4, "vectorize": "auto"},
+                _sweep_workload(n, p, reps, 4, vectorize="auto"),
+            )
+        )
+    return workloads
+
+
 def build_suite(suite: str = "default") -> List[Workload]:
-    """The fixed workload list for *suite* (``"default"`` or ``"quick"``).
+    """The fixed workload list for *suite*.
 
     The default suite exercises the engine at the paper's instance sizes;
     ``quick`` shrinks every workload to a few seconds total for CI smoke
-    runs.  Workload *names* are stable across suites so records remain
-    comparable within one suite.
+    runs (the two share workload names so records remain comparable within
+    one suite); ``scaling`` sweeps the replicate count R ∈ {1, 4, 16, 64}
+    serial vs vectorized vs parallel to chart how the batch engine and the
+    process pool amortize.
     """
     if suite not in SUITES:
         raise ValueError(f"unknown suite {suite!r}; choose from {SUITES}")
+    if suite == "scaling":
+        return _scaling_suite()
     quick = suite == "quick"
     n_rand = 60 if quick else 100
     n_dyn = 150 if quick else 300
@@ -269,13 +317,18 @@ def build_suite(suite: str = "default") -> List[Workload]:
         ),
         Workload(
             "replicate_sweep_serial",
-            {"strategy": "RandomMatrix", "n": sweep_n, "p": sweep_p, "reps": sweep_reps, "workers": 1},
-            _sweep_workload(sweep_n, sweep_p, sweep_reps, 1),
+            {"strategy": "RandomMatrix", "n": sweep_n, "p": sweep_p, "reps": sweep_reps, "workers": 1, "vectorize": False},
+            _sweep_workload(sweep_n, sweep_p, sweep_reps, 1, vectorize=False),
+        ),
+        Workload(
+            "replicate_sweep_vectorized",
+            {"strategy": "RandomMatrix", "n": sweep_n, "p": sweep_p, "reps": sweep_reps, "workers": 1, "vectorize": True},
+            _sweep_workload(sweep_n, sweep_p, sweep_reps, 1, vectorize=True),
         ),
         Workload(
             "replicate_sweep_parallel4",
-            {"strategy": "RandomMatrix", "n": sweep_n, "p": sweep_p, "reps": sweep_reps, "workers": 4},
-            _sweep_workload(sweep_n, sweep_p, sweep_reps, 4),
+            {"strategy": "RandomMatrix", "n": sweep_n, "p": sweep_p, "reps": sweep_reps, "workers": 4, "vectorize": False},
+            _sweep_workload(sweep_n, sweep_p, sweep_reps, 4, vectorize=False),
         ),
         Workload(
             "store_roundtrip",
@@ -297,6 +350,57 @@ def _machine_info() -> Dict[str, Any]:
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
     }
+
+
+def _derive_metrics(entries: Dict[str, Any], cpu_count: Optional[int]) -> Dict[str, Any]:
+    """Cross-workload metrics for a record's ``derived`` block.
+
+    Pure function of the timed entries (exposed for tests):
+
+    * ``replicate_sweep_speedup`` — serial over 4-worker median;
+    * ``parallel_speedup_ok`` — the warn-only assertion that process
+      parallelism pays (speedup ≥ 1.0) whenever the machine actually has
+      more than one CPU;
+    * ``replicate_sweep_vectorized_speedup`` — serial over batch-engine
+      median, the headline number of the vectorized engine;
+    * ``scaling_curve`` — one row per replicate count of the scaling
+      suite, with both speedups.
+    """
+
+    def median_of(name: str) -> Optional[float]:
+        entry = entries.get(name)
+        return None if entry is None else float(entry["seconds"]["median"])
+
+    derived: Dict[str, Any] = {}
+    serial = median_of("replicate_sweep_serial")
+    par = median_of("replicate_sweep_parallel4")
+    vec = median_of("replicate_sweep_vectorized")
+    if serial is not None and par is not None and par > 0:
+        speedup = serial / par
+        derived["replicate_sweep_speedup"] = speedup
+        derived["parallel_speedup_ok"] = bool(speedup >= 1.0 or (cpu_count or 1) <= 1)
+    if serial is not None and vec is not None and vec > 0:
+        derived["replicate_sweep_vectorized_speedup"] = serial / vec
+    curve: List[Dict[str, Any]] = []
+    for reps in (1, 4, 16, 64):
+        s = median_of(f"scaling_reps{reps:02d}_serial")
+        v = median_of(f"scaling_reps{reps:02d}_vectorized")
+        q = median_of(f"scaling_reps{reps:02d}_parallel4")
+        if s is None or v is None or q is None:
+            continue
+        curve.append(
+            {
+                "reps": reps,
+                "serial_s": s,
+                "vectorized_s": v,
+                "parallel_s": q,
+                "vectorized_speedup": s / v if v > 0 else None,
+                "parallel_speedup": s / q if q > 0 else None,
+            }
+        )
+    if curve:
+        derived["scaling_curve"] = curve
+    return derived
 
 
 def run_suite(
@@ -352,12 +456,14 @@ def run_suite(
         "machine": _machine_info(),
         "workloads": entries,
     }
-    serial = entries.get("replicate_sweep_serial")
-    par = entries.get("replicate_sweep_parallel4")
-    if serial is not None and par is not None:
-        record["derived"] = {
-            "replicate_sweep_speedup": serial["seconds"]["median"] / par["seconds"]["median"]
-        }
+    derived = _derive_metrics(entries, os.cpu_count())
+    if derived:
+        record["derived"] = derived
+    if echo is not None and derived.get("parallel_speedup_ok") is False:
+        echo(
+            "  warning: parallel replicate sweep is slower than serial on a "
+            "multi-core machine"
+        )
     return record
 
 
@@ -440,6 +546,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="time the suite and write a JSON record")
     run.add_argument("--quick", action="store_true", help="run the reduced CI suite")
+    run.add_argument(
+        "--suite",
+        choices=SUITES,
+        default=None,
+        help="suite to run (overrides --quick; e.g. 'scaling' for the replicate-count sweep)",
+    )
     run.add_argument("--repeats", type=int, default=3, help="timed repeats per workload (default: 3)")
     run.add_argument("--seed", type=int, default=0, help="workload seed (default: 0)")
     run.add_argument("--outdir", default="results", help="directory for BENCH_<timestamp>.json (default: results)")
@@ -467,7 +579,7 @@ def _load_record(path: str) -> Dict[str, Any]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    suite = "quick" if args.quick else "default"
+    suite = args.suite if args.suite else ("quick" if args.quick else "default")
     print(f"repro-bench: running suite '{suite}' ({args.repeats} repeats)")
     record = run_suite(
         suite, seed=args.seed, repeats=args.repeats, echo=print, profile=args.profile
@@ -487,6 +599,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     derived = record.get("derived", {})
     if "replicate_sweep_speedup" in derived:
         print(f"  replicate sweep speedup (4 workers): {derived['replicate_sweep_speedup']:.2f}x")
+    if "replicate_sweep_vectorized_speedup" in derived:
+        print(
+            f"  replicate sweep speedup (vectorized): "
+            f"{derived['replicate_sweep_vectorized_speedup']:.2f}x"
+        )
+    if derived.get("parallel_speedup_ok") is False:
+        print(
+            "warning: parallel replicate sweep is slower than serial on a "
+            "multi-core machine",
+            file=sys.stderr,
+        )
     print(f"wrote {path}")
     return 0
 
@@ -504,6 +627,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
               file=sys.stderr)
     rows = compare_results(old, new, threshold=args.threshold)
     print(_render_rows(rows))
+    old_vec = old.get("derived", {}).get("replicate_sweep_vectorized_speedup")
+    new_vec = new.get("derived", {}).get("replicate_sweep_vectorized_speedup")
+    if old_vec is not None or new_vec is not None:
+
+        def fmt(value: Optional[float]) -> str:
+            return "-" if value is None else f"{value:.2f}x"
+
+        print(f"vectorized-vs-serial speedup: old {fmt(old_vec)}, new {fmt(new_vec)}")
     regressions = [r for r in rows if r["status"] == "regression"]
     if regressions:
         names = ", ".join(r["name"] for r in regressions)

@@ -15,29 +15,33 @@ count:
   folded through the same Welford accumulator the serial path uses, so the
   floating-point aggregation order is identical too.
 
-Dispatch is chunked: repetitions are grouped into index chunks (about four
-per worker) so pool overhead amortizes while stragglers still balance.
-Two transports exist:
+Dispatch is chunked: repetitions are grouped into one contiguous index
+chunk per worker, so each process pays its startup and import cost against
+``reps / workers`` repetitions rather than one.  Two transports exist:
 
-* on ``fork`` platforms the :class:`RepJob` is published in a module
-  global before the pool is created, so forked workers inherit it and only
-  chunk indices cross the process boundary — this supports arbitrary
-  (closure) factories, like the ones the figure drivers build;
-* elsewhere the job is pickled per chunk, which requires picklable
-  factories — the ``*Spec`` classes below are picklable stand-ins for the
-  common strategy/platform factories.
+* picklable jobs (the ``*Spec`` classes below always are) go to a **warm
+  pool** — a persistent :class:`~concurrent.futures.ProcessPoolExecutor`
+  kept alive across calls, so a bench loop or sweep pays process startup
+  once, not per cell; the job is pickled once per chunk;
+* non-picklable jobs (arbitrary closures, like the ones the figure
+  drivers build) fall back to fork transport on ``fork`` platforms: the
+  :class:`RepJob` is published in a module global before a cold pool is
+  created, so forked workers inherit it and only chunk indices cross the
+  process boundary.
 
-When neither transport is usable (no multiprocessing support, or a
-non-picklable job on a spawn-only platform) the call silently degrades to
-the serial path, preserving results.
+When neither transport is usable (no multiprocessing support, a broken
+pool, or a non-picklable job on a spawn-only platform) the call silently
+degrades to the serial path, preserving results.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from itertools import repeat
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -48,7 +52,9 @@ from repro.core.strategies.registry import make_strategy
 from repro.experiments.runner import (
     PlatformFactory,
     StrategyFactory,
+    _batch_outcomes,
     _rep_normalized_comm,
+    _should_vectorize,
 )
 from repro.obs.sink import MetricsSink, RecordingSink
 from repro.platform.platform import Platform
@@ -75,6 +81,7 @@ __all__ = [
     "UniformPlatformSpec",
     "parallel_average_normalized_comm",
     "resolve_workers",
+    "shutdown_pool",
 ]
 
 
@@ -248,8 +255,20 @@ def _rep_values(
     platform_factory: PlatformFactory,
     n: int,
     collect_metrics: bool = False,
+    vectorize: bool = False,
 ) -> List[RepOutcome]:
-    """Run the repetitions *indices*, each from its own pre-spawned stream."""
+    """Run the repetitions *indices*, each from its own pre-spawned stream.
+
+    With *vectorize* (a resolved boolean — ``"auto"`` is decided before the
+    job is built) the whole index batch runs through the batch engine in
+    one lockstep call; outcomes still come back in *indices* order and stay
+    bit-identical to the scalar loop.
+    """
+    if vectorize:
+        generators = [as_generator(seeds[i]) for i in indices]
+        return _batch_outcomes(
+            generators, strategy_factory, platform_factory, n, collect_metrics
+        )
     outcomes: List[RepOutcome] = []
     for i in indices:
         rep_sink = RecordingSink() if collect_metrics else None
@@ -275,7 +294,14 @@ class RepJob:
     repetition order regardless of which process ran which repetition.
     """
 
-    __slots__ = ("strategy_factory", "platform_factory", "n", "seeds", "collect_metrics")
+    __slots__ = (
+        "strategy_factory",
+        "platform_factory",
+        "n",
+        "seeds",
+        "collect_metrics",
+        "vectorize",
+    )
 
     def __init__(
         self,
@@ -284,12 +310,14 @@ class RepJob:
         n: int,
         seeds: Sequence[np.random.SeedSequence],
         collect_metrics: bool = False,
+        vectorize: bool = False,
     ) -> None:
         self.strategy_factory = strategy_factory
         self.platform_factory = platform_factory
         self.n = check_positive_int("n", n)
         self.seeds: List[np.random.SeedSequence] = list(seeds)
         self.collect_metrics = bool(collect_metrics)
+        self.vectorize = bool(vectorize)
 
     def run(self, indices: Sequence[int]) -> List[RepOutcome]:
         """Per-repetition ``(value, snapshot)`` outcomes for *indices*."""
@@ -300,6 +328,7 @@ class RepJob:
             self.platform_factory,
             self.n,
             self.collect_metrics,
+            self.vectorize,
         )
 
 
@@ -335,9 +364,15 @@ def resolve_workers(workers: int) -> int:
 
 
 def _chunk_indices(reps: int, workers: int, chunk_size: Optional[int]) -> List[List[int]]:
-    """Split ``range(reps)`` into contiguous chunks (~4 per worker)."""
+    """Split ``range(reps)`` into contiguous chunks, one per worker.
+
+    Repetitions of one cell cost near-identical time, so stragglers are
+    not a concern and the widest chunks win: each worker amortizes its
+    startup over ``ceil(reps / workers)`` repetitions, and wide chunks
+    are what lets a vectorized job run one big lockstep batch per worker.
+    """
     if chunk_size is None:
-        chunk_size = max(1, -(-reps // (4 * workers)))
+        chunk_size = max(1, -(-reps // workers))
     else:
         chunk_size = check_positive_int("chunk_size", chunk_size)
     return [list(range(lo, min(lo + chunk_size, reps))) for lo in range(0, reps, chunk_size)]
@@ -382,20 +417,62 @@ def _run_fork(
     return [outcome for chunk in results for outcome in chunk]
 
 
+#: The warm worker pool and the (start method, worker count) it was built
+#: for.  Kept alive across calls so sweeps and bench loops pay process
+#: startup once; :func:`shutdown_pool` (registered ``atexit``) reclaims it.
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_KEY: Optional[Tuple[str, int]] = None
+
+
+def shutdown_pool() -> None:
+    """Shut down the warm worker pool, if one is alive.
+
+    Called automatically at interpreter exit; tests and long-lived hosts
+    can call it explicitly to reclaim the worker processes.
+    """
+    global _POOL, _POOL_KEY
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+    _POOL_KEY = None
+
+
+atexit.register(shutdown_pool)
+
+
+def _warm_pool(
+    ctx: multiprocessing.context.BaseContext, workers: int
+) -> Optional[ProcessPoolExecutor]:
+    """The persistent pool for (*ctx*, *workers*), (re)building on change."""
+    global _POOL, _POOL_KEY
+    key = (ctx.get_start_method(), workers)
+    if _POOL is not None and _POOL_KEY == key:
+        return _POOL
+    shutdown_pool()
+    try:
+        _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+    except OSError:
+        return None
+    _POOL_KEY = key
+    return _POOL
+
+
 def _run_pickled(
     job: RepJob,
     chunks: List[List[int]],
     workers: int,
     ctx: multiprocessing.context.BaseContext,
 ) -> Optional[List[RepOutcome]]:
-    """Pickle transport for spawn-only platforms (factories must pickle)."""
+    """Pickle transport over the warm pool (factories must pickle)."""
     payload = pickle.dumps(job)
-    try:
-        pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
-    except OSError:
+    pool = _warm_pool(ctx, workers)
+    if pool is None:
         return None
-    with pool:
+    try:
         results = list(pool.map(_pickled_chunk, repeat(payload), chunks))
+    except BrokenProcessPool:
+        shutdown_pool()
+        return None
     return [outcome for chunk in results for outcome in chunk]
 
 
@@ -410,10 +487,10 @@ def _dispatch(
     ctx = _preferred_context()
     if ctx is None:
         return job.run(all_indices)
-    if ctx.get_start_method() == "fork":
-        values = _run_fork(job, chunks, workers, ctx)
-    elif _is_picklable(job):
+    if _is_picklable(job):
         values = _run_pickled(job, chunks, workers, ctx)
+    elif ctx.get_start_method() == "fork":
+        values = _run_fork(job, chunks, workers, ctx)
     else:
         return job.run(all_indices)
     if values is None:
@@ -437,6 +514,7 @@ def parallel_average_normalized_comm(
     chunk_size: Optional[int] = None,
     sink: Optional[MetricsSink] = None,
     cache: Optional[ResultStore] = None,
+    vectorize: Union[bool, str] = "auto",
 ) -> Summary:
     """Parallel drop-in for :func:`~repro.experiments.runner.average_normalized_comm`.
 
@@ -455,9 +533,14 @@ def parallel_average_normalized_comm(
     key, same payload — a cell computed serially is a parallel hit and vice
     versa); the store's file lock makes sharing one cache directory across
     worker processes safe.
+
+    ``vectorize`` (``"auto"``/``True``/``False``) selects the batch engine
+    inside each worker's chunk, exactly as in the serial entry point; it is
+    resolved here once so worker processes never re-decide.
     """
     if reps <= 0:
         raise ValueError(f"reps must be positive, got {reps}")
+    use_batch = _should_vectorize(vectorize, strategy_factory)
     key = None
     if cache is not None:
         key = replicate_cell_key(
@@ -479,6 +562,7 @@ def parallel_average_normalized_comm(
         n,
         spawn_seed_sequences(seed, reps),
         collect_metrics=sink is not None,
+        vectorize=use_batch,
     )
     if nworkers <= 1:
         outcomes = job.run(list(range(reps)))

@@ -9,7 +9,7 @@ per repetition.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from repro.core.strategies.base import Strategy
 from repro.obs.sink import MetricsSink, RecordingSink
 from repro.platform.platform import Platform
 from repro.platform.speeds import SpeedModel
+from repro.simulator.batch import has_vector_kernel, simulate_batch
 from repro.simulator.engine import simulate
 from repro.store.cache import ResultStore
 from repro.store.cells import load_cell, replicate_cell_key, save_cell
@@ -66,6 +67,71 @@ def _rep_normalized_comm(
     return result.normalized(lb)
 
 
+def _should_vectorize(
+    vectorize: Union[bool, str], strategy_factory: StrategyFactory
+) -> bool:
+    """Resolve a ``vectorize`` option against the strategy's capabilities.
+
+    ``"auto"`` opts in iff the strategy's exact type has a vector kernel
+    (and does not collect per-task ids); ``True`` demands one and raises
+    when unavailable; ``False`` always runs scalar.
+    """
+    if vectorize is False:
+        return False
+    if vectorize not in (True, "auto"):
+        raise ValueError(
+            f"vectorize must be True, False or 'auto', got {vectorize!r}"
+        )
+    prototype = strategy_factory()
+    available = has_vector_kernel(prototype) and not prototype.collect_ids
+    if vectorize is True and not available:
+        raise ValueError(
+            f"vectorize=True but strategy {prototype.name!r} has no vector "
+            "kernel (or collects task ids); use vectorize='auto' to fall "
+            "back transparently"
+        )
+    return available
+
+
+def _batch_outcomes(
+    generators: Sequence[np.random.Generator],
+    strategy_factory: StrategyFactory,
+    platform_factory: PlatformFactory,
+    n: int,
+    collect_metrics: bool,
+) -> "List[tuple[float, Optional[Dict[str, Any]]]]":
+    """Run one replicate per generator through the vectorized batch engine.
+
+    Per-replicate RNG consumption matches :func:`_rep_normalized_comm`
+    exactly: the platform draw comes first on each stream, then the
+    simulation, so outcomes (values and metric snapshots alike) are
+    bit-identical to the scalar unit of work — just computed in lockstep.
+    """
+    platforms: List[Platform] = []
+    models: List[Optional[SpeedModel]] = []
+    for generator in generators:
+        platform, model = _unpack(platform_factory(generator))
+        platforms.append(platform)
+        models.append(model)
+    sinks: Optional[List[RecordingSink]] = (
+        [RecordingSink() for _ in generators] if collect_metrics else None
+    )
+    results = simulate_batch(
+        strategy_factory,
+        platforms,
+        rngs=list(generators),
+        speed_models=models,
+        sinks=sinks,
+    )
+    kernel = strategy_factory().kernel
+    outcomes: List[tuple[float, Optional[Dict[str, Any]]]] = []
+    for idx, result in enumerate(results):
+        lb = lower_bound(kernel, platforms[idx].relative_speeds, n)
+        snapshot = sinks[idx].snapshot() if sinks is not None else None
+        outcomes.append((result.normalized(lb), snapshot))
+    return outcomes
+
+
 def average_normalized_comm(
     strategy_factory: StrategyFactory,
     platform_factory: PlatformFactory,
@@ -76,6 +142,7 @@ def average_normalized_comm(
     workers: int = 1,
     sink: Optional[MetricsSink] = None,
     cache: Optional[ResultStore] = None,
+    vectorize: Union[bool, str] = "auto",
 ) -> Summary:
     """Mean/std of normalized communication over *reps* simulations.
 
@@ -103,6 +170,14 @@ def average_normalized_comm(
     it without simulating — bit-identical, since JSON round-trips floats
     exactly and cached snapshots replay through the same fold.  Uncacheable
     inputs silently bypass the cache.
+
+    ``vectorize`` selects the batch engine
+    (:func:`repro.simulator.simulate_batch`): ``"auto"`` (the default) uses
+    it whenever the strategy has a vector kernel, ``False`` forces the
+    scalar loop, ``True`` raises if no kernel exists.  Because the batch
+    engine is bit-identical to the scalar oracle, the setting changes
+    runtime only — summaries, sink snapshots and cache entries are the
+    same objects either way (cache keys deliberately ignore it).
     """
     if reps <= 0:
         raise ValueError(f"reps must be positive, got {reps}")
@@ -118,7 +193,9 @@ def average_normalized_comm(
             workers=workers,
             sink=sink,
             cache=cache,
+            vectorize=vectorize,
         )
+    use_batch = _should_vectorize(vectorize, strategy_factory)
     key = None
     if cache is not None:
         key = replicate_cell_key(
@@ -137,18 +214,33 @@ def average_normalized_comm(
         [] if (key is not None and sink is not None) else None
     )
     stats = RunningStats()
-    for rng in spawn_rngs(seed, reps):
-        if sink is None:
-            stats.add(_rep_normalized_comm(rng, strategy_factory, platform_factory, n))
-        else:
-            rep_sink = RecordingSink()
-            stats.add(
-                _rep_normalized_comm(rng, strategy_factory, platform_factory, n, sink=rep_sink)
-            )
-            snapshot = rep_sink.snapshot()
-            sink.absorb_snapshot(snapshot)
-            if snapshots is not None:
-                snapshots.append(snapshot)
+    if use_batch:
+        outcomes = _batch_outcomes(
+            spawn_rngs(seed, reps),
+            strategy_factory,
+            platform_factory,
+            n,
+            collect_metrics=sink is not None,
+        )
+        for value, snapshot in outcomes:
+            stats.add(value)
+            if sink is not None and snapshot is not None:
+                sink.absorb_snapshot(snapshot)
+                if snapshots is not None:
+                    snapshots.append(snapshot)
+    else:
+        for rng in spawn_rngs(seed, reps):
+            if sink is None:
+                stats.add(_rep_normalized_comm(rng, strategy_factory, platform_factory, n))
+            else:
+                rep_sink = RecordingSink()
+                stats.add(
+                    _rep_normalized_comm(rng, strategy_factory, platform_factory, n, sink=rep_sink)
+                )
+                snapshot = rep_sink.snapshot()
+                sink.absorb_snapshot(snapshot)
+                if snapshots is not None:
+                    snapshots.append(snapshot)
     summary = stats.summary()
     if cache is not None and key is not None:
         save_cell(cache, key, summary, snapshots)

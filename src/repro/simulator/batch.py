@@ -1,0 +1,209 @@
+"""Vectorized multi-replicate engine: R runs of one cell in lockstep.
+
+:func:`simulate_batch` runs R replicates of the same (strategy
+configuration, platform) cell and returns one
+:class:`~repro.simulator.results.SimulationResult` per replicate —
+**bit-identical** to R separate :func:`repro.simulator.simulate` calls
+with the same generators.  When the strategy's exact type has a vector
+kernel (see :mod:`repro.simulator.vector_kernels`), the replicates
+advance together over (R, p) / (R, n, ·) numpy arrays; otherwise each
+replicate transparently falls back to the scalar engine.
+
+The scalar engine stays the oracle: nothing here changes simulation
+semantics, RNG consumption or float operand order, which is what keeps
+store cache entries, pinned fingerprints and recorded experiments valid
+across the two code paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from repro.core.strategies.base import Strategy
+from repro.obs.sink import MetricsSink
+from repro.platform.platform import Platform
+from repro.platform.speeds import SpeedModel, StaticSpeedModel
+from repro.simulator.engine import simulate
+from repro.simulator.results import SimulationResult
+from repro.simulator.trace import AssignmentRecord, Trace
+from repro.simulator.vector_kernels import KernelRun, kernel_for
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["simulate_batch", "has_vector_kernel"]
+
+
+def has_vector_kernel(strategy: Union[Strategy, Type[Strategy]]) -> bool:
+    """True when *strategy*'s exact type has a vectorized batch kernel."""
+    return kernel_for(strategy) is not None
+
+
+def _supports_fast_path(
+    prototype: Strategy,
+    platforms: Sequence[Platform],
+    models: Sequence[Optional[SpeedModel]],
+) -> bool:
+    """Whether the whole batch can run on the vectorized kernel.
+
+    Requires a kernel for the exact strategy type, no per-task id
+    collection (ids are a scalar-trace feature), one common worker count,
+    and static speeds — a :class:`DynamicSpeedModel` consumes the RNG
+    stream inside the event loop, which only the scalar engine replays.
+    """
+    if kernel_for(prototype) is None or prototype.collect_ids:
+        return False
+    if not platforms:
+        return False
+    p0 = platforms[0].p
+    if any(pl.p != p0 for pl in platforms):
+        return False
+    for model in models:
+        if model is not None and type(model) is not StaticSpeedModel:
+            return False
+    return True
+
+
+def _replay_run(
+    run: KernelRun,
+    prototype: Strategy,
+    platform: Platform,
+    collect_trace: bool,
+    sink: Optional[MetricsSink],
+) -> SimulationResult:
+    """Fold one kernel run into a SimulationResult, replaying sink/trace.
+
+    Events are replayed in pop order with the same scalar types the
+    engine's loop would pass, so sink snapshots and traces are
+    indistinguishable from a serial run's.
+    """
+    if sink is not None:
+        sink.on_run_start(
+            prototype.name,
+            prototype.kernel,
+            prototype.n,
+            platform.p,
+            [float(s) for s in platform.relative_speeds],
+        )
+    trace: Optional[Trace] = Trace() if collect_trace else None
+    if run.events is not None:
+        for now, worker, blocks, tasks, duration in run.events:
+            if trace is not None:
+                trace.append(
+                    AssignmentRecord(
+                        time=now,
+                        worker=worker,
+                        blocks=blocks,
+                        tasks=tasks,
+                        duration=duration,
+                        phase=1,
+                        task_ids=None,
+                    )
+                )
+            if sink is not None:
+                sink.on_assignment(now, worker, blocks, tasks, duration, 1)
+    total_blocks = int(run.per_worker_blocks.sum())
+    total_tasks = int(run.per_worker_tasks.sum())
+    if sink is not None:
+        sink.on_run_end(run.makespan, total_blocks, total_tasks, run.n_assignments)
+    return SimulationResult(
+        total_blocks=total_blocks,
+        per_worker_blocks=run.per_worker_blocks,
+        per_worker_tasks=run.per_worker_tasks,
+        makespan=run.makespan,
+        n_assignments=run.n_assignments,
+        strategy_name=prototype.name,
+        trace=trace,
+    )
+
+
+def simulate_batch(
+    strategy_factory: Callable[[], Strategy],
+    platforms: Sequence[Platform],
+    *,
+    rngs: Sequence[SeedLike],
+    speed_models: Optional[Sequence[Optional[SpeedModel]]] = None,
+    collect_trace: bool = False,
+    sinks: Optional[Sequence[Optional[MetricsSink]]] = None,
+) -> List[SimulationResult]:
+    """Run R replicates of one strategy cell, vectorized when possible.
+
+    Parameters
+    ----------
+    strategy_factory:
+        Zero-argument callable building a fresh strategy instance; called
+        once for configuration on the fast path and once per replicate on
+        the scalar fallback.
+    platforms:
+        One platform per replicate (typically R draws of the same spec).
+    rngs:
+        One seed/generator per replicate; each replicate consumes its
+        stream exactly as a scalar :func:`~repro.simulator.simulate` call
+        would.
+    speed_models:
+        Optional per-replicate speed models; ``None`` entries default to
+        static speeds.  Any non-static model forces the scalar fallback.
+    collect_trace:
+        Attach an :class:`~repro.simulator.trace.AssignmentRecord` trace
+        to every result.
+    sinks:
+        Optional per-replicate metrics sinks; events are replayed to each
+        in the replicate's own pop order, yielding snapshots bit-identical
+        to serial runs.
+
+    Returns
+    -------
+    list of SimulationResult
+        One per replicate, in input order, bit-identical to the scalar
+        engine's output for the same inputs.
+    """
+    R = len(platforms)
+    if len(rngs) != R:
+        raise ValueError(f"got {len(rngs)} rngs for {R} platforms")
+    models: Sequence[Optional[SpeedModel]]
+    if speed_models is None:
+        models = [None] * R
+    elif len(speed_models) != R:
+        raise ValueError(f"got {len(speed_models)} speed models for {R} platforms")
+    else:
+        models = speed_models
+    sink_list: Sequence[Optional[MetricsSink]]
+    if sinks is None:
+        sink_list = [None] * R
+    elif len(sinks) != R:
+        raise ValueError(f"got {len(sinks)} sinks for {R} platforms")
+    else:
+        sink_list = sinks
+    if R == 0:
+        return []
+
+    generators = [as_generator(rng) for rng in rngs]
+    prototype = strategy_factory()
+    if not _supports_fast_path(prototype, platforms, models):
+        return [
+            simulate(
+                strategy_factory(),
+                platforms[r],
+                rng=generators[r],
+                speed_model=models[r],
+                collect_trace=collect_trace,
+                sink=sink_list[r],
+            )
+            for r in range(R)
+        ]
+
+    # Observable-state parity with the scalar engine: the model reset runs
+    # even though StaticSpeedModel consumes no randomness.
+    for r in range(R):
+        model = models[r]
+        if model is not None:
+            model.reset(platforms[r], generators[r])
+    speeds = np.stack([np.asarray(pl.speeds, dtype=np.float64) for pl in platforms])
+    want_events = collect_trace or any(s is not None for s in sink_list)
+    kernel = kernel_for(prototype)
+    assert kernel is not None  # _supports_fast_path checked
+    runs = kernel.run(prototype, speeds, generators, want_events)
+    return [
+        _replay_run(runs[r], prototype, platforms[r], collect_trace, sink_list[r])
+        for r in range(R)
+    ]

@@ -1,0 +1,739 @@
+"""Vectorized per-strategy kernels for the batch replicate engine.
+
+The batch engine (:mod:`repro.simulator.batch`) runs R replicates of one
+(strategy, platform) cell at once.  Each *vector kernel* here reproduces,
+bit for bit, what R independent :func:`repro.simulator.simulate` calls
+would compute — same RNG consumption per replicate, same IEEE-754
+operand order for every duration and timestamp, same heap tie-breaking —
+but over numpy arrays instead of one Python event at a time.
+
+Two kernel families cover six strategies:
+
+* :class:`_TaskByTaskKernel` (RandomOuter / SortedOuter / RandomMatrix /
+  SortedMatrix) — these strategies allocate exactly one task per request,
+  so the whole event schedule is *analytically* reconstructible: worker
+  ``w``'s ``k``-th request happens at ``k / speed_w`` (computed by the
+  same repeated float addition the event loop performs, via ``cumsum``),
+  and the heap's pop order is a stable sort by time with FIFO ties fixed
+  up exactly (see :func:`_pop_schedule`).  Random task order is re-drawn
+  with a single batched ``Generator.integers`` call per replicate, which
+  numpy guarantees to be stream-identical to the scalar per-draw calls.
+
+* the lockstep kernels (:class:`_OuterDynamicKernel` /
+  :class:`_MatrixDynamicKernel`) — the Dynamic* strategies' decisions
+  depend on evolving shared state, so replicates advance event by event,
+  but *together*: worker-available times are an (R, p) float array,
+  per-worker knowledge lives in (R, p, n) index buffers, the processed
+  task bitmaps are (R, n, n[, n]) booleans, and each step's cross/shell
+  marking is one padded gather/scatter across every active replicate.
+
+Strategies without a kernel here (MapReduce*, the two-phase variants,
+user subclasses) transparently fall back to per-replicate scalar
+simulation in the batch engine — the registry is keyed by *exact* type,
+so a subclass never silently inherits a kernel whose semantics it may
+have changed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.core.strategies.base import Strategy
+from repro.core.strategies.matrix_dynamic import MatrixDynamic
+from repro.core.strategies.matrix_random import MatrixRandom, MatrixSorted
+from repro.core.strategies.outer_dynamic import OuterDynamic
+from repro.core.strategies.outer_random import OuterRandom, OuterSorted
+from repro.simulator.engine import LivelockError
+
+__all__ = [
+    "Event",
+    "KernelRun",
+    "VectorKernel",
+    "kernel_for",
+]
+
+#: One simulated assignment, scalar-typed for trace/sink replay:
+#: ``(time, worker, blocks, tasks, duration)``; vectorized strategies are
+#: single-phase, so the phase is always 1.
+Event = Tuple[float, int, int, int, float]
+
+
+class KernelRun(NamedTuple):
+    """One replicate's accounting, as produced by a vector kernel.
+
+    ``events`` is populated only when the caller asked for them (trace or
+    sink attached); the fields mirror :class:`~repro.simulator.results.SimulationResult`.
+    """
+
+    per_worker_blocks: np.ndarray
+    per_worker_tasks: np.ndarray
+    makespan: float
+    n_assignments: int
+    events: Optional[List[Event]]
+
+
+class VectorKernel:
+    """Base class of vectorized strategy kernels.
+
+    Subclasses implement :meth:`run` as a pure function of its arguments
+    (plus the generators' streams): no I/O, no module or class globals —
+    the A-PURE analyzer check walks every override to enforce this, since
+    the batch engine may run kernels in any process and any order.
+    """
+
+    #: Registry names of the strategies this kernel instance covers.
+    strategy_name: str = ""
+
+    def run(
+        self,
+        prototype: Strategy,
+        speeds: np.ndarray,
+        generators: Sequence[np.random.Generator],
+        want_events: bool,
+    ) -> List[KernelRun]:
+        """Simulate one replicate per row of *speeds* ``(R, p)``.
+
+        *prototype* is an un-reset strategy instance used only for its
+        configuration (``n``); *generators* holds one per-replicate RNG,
+        consumed exactly as the scalar engine would consume it.
+        """
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Exact event-schedule reconstruction (task-by-task strategies)
+# ---------------------------------------------------------------------------
+
+
+def _heap_schedule(
+    d: np.ndarray, total: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Exact per-event replay of the scalar heap, as the fallback oracle.
+
+    Returns ``(worker_seq, pop_times, counts, makespan)`` for a run of
+    *total* one-task events with per-worker durations *d*.
+    """
+    p = int(d.size)
+    heap: List[Tuple[float, int, int]] = [(0.0, w, w) for w in range(p)]
+    counts = np.zeros(p, dtype=np.int64)
+    w_seq = np.empty(total, dtype=np.int64)
+    pop_times = np.empty(total, dtype=np.float64)
+    durations = d.tolist()
+    seq = p
+    makespan = 0.0
+    for t in range(total):
+        now, _, w = heapq.heappop(heap)
+        w_seq[t] = w
+        pop_times[t] = now
+        counts[w] += 1
+        finish = now + durations[w]
+        if finish > makespan:
+            makespan = finish
+        heapq.heappush(heap, (finish, seq, w))
+        seq += 1
+    return w_seq, pop_times, counts, makespan
+
+
+def _fifo_fix(
+    flat: np.ndarray, order: np.ndarray, total: int, p: int
+) -> Optional[np.ndarray]:
+    """Reorder equal-time runs of *order* into the heap's exact FIFO order.
+
+    ``flat[k * p + w]`` is worker ``w``'s ``k``-th pop time and *order* a
+    stable argsort of it.  Within a tied run the heap pops by insertion
+    sequence: a ``k == 0`` event carries sequence ``w`` and a later event
+    carries ``p +`` (the pop position of the same worker's previous
+    event) — predecessors finish strictly earlier, so their positions are
+    already final when a run is processed left to right.  Returns the
+    first *total* event ids in pop order, or ``None`` in the pathological
+    case of one worker appearing twice at one timestamp (``fl(t + d) ==
+    t`` under extreme speed ratios), where the caller must replay the
+    heap exactly.
+    """
+    t_sorted = flat[order]
+    m = int(t_sorted.size)
+    boundary = np.empty(m, dtype=bool)
+    boundary[0] = True
+    np.not_equal(t_sorted[1:], t_sorted[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    pos = np.empty(m, dtype=np.int64)
+    pos[order] = np.arange(m, dtype=np.int64)
+    ends = np.append(starts[1:], m)
+    for a, b in zip(starts.tolist(), ends.tolist()):
+        if a >= total:
+            # Runs are time-ordered; every event before the cut is final.
+            break
+        if b - a == 1:
+            continue
+        ids = order[a:b]
+        w = ids % p
+        if np.unique(w).size != w.size:
+            return None
+        keys = np.where(ids < p, w - p, pos[ids - p])
+        sub = np.argsort(keys, kind="stable")
+        reordered = ids[sub]
+        order[a:b] = reordered
+        pos[reordered] = np.arange(a, b, dtype=np.int64)
+    return order[:total]
+
+
+def _pop_schedule(
+    d: np.ndarray, total: int, k0: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """The scalar engine's exact pop schedule for a one-task-per-event run.
+
+    Worker ``w`` pops at times ``0, fl(d_w), fl(fl(d_w) + d_w), ...`` —
+    ``cumsum`` performs the identical sequential float additions — and the
+    heap serves pops in (time, FIFO) order.  *k0* bounds the per-worker
+    event count considered; it is estimated from the speed mix and grown
+    geometrically when a worker saturates it (exposed for tests).
+
+    Returns ``(worker_seq, pop_times, counts, makespan)``.
+    """
+    p = int(d.size)
+    if k0 is None:
+        rates = 1.0 / d
+        k0 = int(total * float(rates.max()) / float(rates.sum()) * 1.15) + 16
+    k0 = max(1, min(int(k0), total))
+    while True:
+        times = np.empty((k0 + 1, p), dtype=np.float64)
+        times[0] = 0.0
+        times[1:] = d
+        np.cumsum(times, axis=0, out=times)
+        flat = times[:k0].reshape(-1)
+        order = np.argsort(flat, kind="stable")
+        fixed = _fifo_fix(flat, order, total, p)
+        if fixed is None:
+            return _heap_schedule(d, total)
+        w_seq = fixed % p
+        counts = np.bincount(w_seq, minlength=p)
+        if int(counts.max(initial=0)) >= k0 and k0 < total:
+            # A worker consumed every generated slot: later events of its
+            # column may belong inside the cut.  Regrow and redo.
+            k0 = min(total, k0 * 2)
+            continue
+        pop_times = flat[fixed]
+        makespan = float(times[counts, np.arange(p)][counts > 0].max())
+        return w_seq.astype(np.int64), pop_times, counts.astype(np.int64), makespan
+
+
+def _replay_draws(universe: int, idx: np.ndarray) -> np.ndarray:
+    """Map pre-drawn swap-remove indices to drawn values.
+
+    Replays :meth:`repro.taskpool.sample_set.SampleSet.draw`'s swap-remove
+    on a full set of *universe* elements, with the per-draw uniform
+    indices *idx* already consumed from the RNG in one batched call.
+    """
+    items = list(range(universe))
+    out = np.empty(universe, dtype=np.int64)
+    size = universe
+    for t, pick in enumerate(idx.tolist()):
+        v = items[pick]
+        size -= 1
+        items[pick] = items[size]
+        out[t] = v
+    return out
+
+
+class _TaskByTaskKernel(VectorKernel):
+    """Analytic kernel for the four one-task-per-request strategies.
+
+    The schedule never depends on the task drawn (every assignment lasts
+    ``1 / speed_w``), so pop order, task order and block accounting
+    decouple: the pop schedule comes from :func:`_pop_schedule`, the task
+    order from one batched RNG draw (or ``arange`` for the Sorted*
+    variants), and per-worker distinct-block counts from boolean scatters
+    over (worker, block) key spaces.
+    """
+
+    def __init__(self, kernel: str, random_order: bool, strategy_name: str) -> None:
+        self._kernel = kernel
+        self._random = random_order
+        self.strategy_name = strategy_name
+
+    def run(
+        self,
+        prototype: Strategy,
+        speeds: np.ndarray,
+        generators: Sequence[np.random.Generator],
+        want_events: bool,
+    ) -> List[KernelRun]:
+        n = prototype.n
+        p = int(speeds.shape[1])
+        total = n * n if self._kernel == "outer" else n**3
+        runs: List[KernelRun] = []
+        for r in range(int(speeds.shape[0])):
+            d = 1.0 / speeds[r]
+            w_seq, pop_times, counts, makespan = _pop_schedule(d, total)
+            if self._random:
+                # Bit-identical to `total` successive rng.integers(size)
+                # calls with shrinking bounds (numpy's array-high path
+                # consumes the stream exactly like the scalar path).
+                idx = generators[r].integers(np.arange(total, 0, -1, dtype=np.int64))
+                task_seq = _replay_draws(total, idx)
+            else:
+                task_seq = np.arange(total, dtype=np.int64)
+            runs.append(
+                self._account(n, p, total, d, w_seq, pop_times, counts, makespan, task_seq, want_events)
+            )
+        return runs
+
+    def _operand_keys(
+        self, n: int, w_seq: np.ndarray, task_seq: np.ndarray
+    ) -> Tuple[np.ndarray, ...]:
+        """(worker, block) keys per operand cache, in cache-add order."""
+        if self._kernel == "outer":
+            i, j = np.divmod(task_seq, n)
+            base = w_seq * n
+            return (base + i, base + j)
+        ij, k = np.divmod(task_seq, n)
+        i, j = np.divmod(ij, n)
+        base = w_seq * (n * n)
+        return (base + i * n + k, base + k * n + j, base + i * n + j)
+
+    def _account(
+        self,
+        n: int,
+        p: int,
+        total: int,
+        d: np.ndarray,
+        w_seq: np.ndarray,
+        pop_times: np.ndarray,
+        counts: np.ndarray,
+        makespan: float,
+        task_seq: np.ndarray,
+        want_events: bool,
+    ) -> KernelRun:
+        """Fold one replicate's schedule + task order into a KernelRun."""
+        block_space = n if self._kernel == "outer" else n * n
+        keys = self._operand_keys(n, w_seq, task_seq)
+        per_blocks = np.zeros(p, dtype=np.int64)
+        for key in keys:
+            seen = np.zeros(p * block_space, dtype=bool)
+            seen[key] = True
+            per_blocks += seen.reshape(p, block_space).sum(axis=1)
+        events: Optional[List[Event]] = None
+        if want_events:
+            per_event = np.zeros(total, dtype=np.int64)
+            for key in keys:
+                first = np.zeros(total, dtype=bool)
+                first[np.unique(key, return_index=True)[1]] = True
+                per_event += first
+            durations = d[w_seq]
+            events = list(
+                zip(
+                    pop_times.tolist(),
+                    w_seq.tolist(),
+                    per_event.tolist(),
+                    [1] * total,
+                    durations.tolist(),
+                )
+            )
+        return KernelRun(per_blocks, counts, makespan, total, events)
+
+
+# ---------------------------------------------------------------------------
+# Lockstep kernels (Dynamic* strategies)
+# ---------------------------------------------------------------------------
+
+_SEQ_HUGE = np.iinfo(np.int64).max
+
+
+def _select_workers(
+    times: np.ndarray, seqs: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-replicate heap pop: ``(now, worker)`` minimizing (time, seq)."""
+    now = times.min(axis=1)
+    masked = np.where(times == now[:, None], seqs, _SEQ_HUGE)
+    return now, masked.argmin(axis=1)
+
+
+def _batched_dim_draws(
+    generators: Sequence[np.random.Generator],
+    act: np.ndarray,
+    need: np.ndarray,
+    sizes: np.ndarray,
+) -> np.ndarray:
+    """Per-replicate uniform indices for this step's dimension draws.
+
+    *need* is ``(dims, A)`` (which dimensions each active replicate grows)
+    and *sizes* the matching unknown-set sizes.  Each replicate's 1-3
+    bounded draws collapse into one ``Generator.integers`` call with an
+    array of highs — stream-identical to the scalar per-dimension calls.
+    """
+    dims = need.shape[0]
+    out = np.full(need.shape, -1, dtype=np.int64)
+    for g in np.flatnonzero(need.any(axis=0)).tolist():
+        gen = generators[int(act[g])]
+        which = [dim for dim in range(dims) if need[dim, g]]
+        if len(which) == 1:
+            out[which[0], g] = int(gen.integers(int(sizes[which[0], g])))
+        else:
+            highs = np.array([int(sizes[dim, g]) for dim in which], dtype=np.int64)
+            drawn = gen.integers(highs)
+            for slot, dim in enumerate(which):
+                out[dim, g] = int(drawn[slot])
+    return out
+
+
+def _draw_values(
+    items: np.ndarray,
+    order: np.ndarray,
+    cnt: np.ndarray,
+    n: int,
+    act: np.ndarray,
+    wsel: np.ndarray,
+    need: np.ndarray,
+    draw_idx: np.ndarray,
+) -> np.ndarray:
+    """Swap-remove the drawn indices out of each unknown set, vectorized.
+
+    Mirrors ``IndexKnowledge.draw_unknown``: the drawn value is recorded
+    in insertion order (*order*) and the unknown buffer (*items*) closes
+    the hole with its last live element.  Returns the ``(dims, A)`` drawn
+    values (-1 where nothing was drawn).
+    """
+    dims = need.shape[0]
+    vals = np.full(need.shape, -1, dtype=np.int64)
+    for dim in range(dims):
+        grp = np.flatnonzero(need[dim])
+        if grp.size == 0:
+            continue
+        rg = act[grp]
+        wg = wsel[grp]
+        size = n - cnt[dim, rg, wg]
+        ix = draw_idx[dim, grp]
+        v = items[dim, rg, wg, ix]
+        items[dim, rg, wg, ix] = items[dim, rg, wg, size - 1]
+        vals[dim, grp] = v
+        order[dim, rg, wg, cnt[dim, rg, wg]] = v
+        cnt[dim, rg, wg] += 1
+    return vals
+
+
+class _LockstepAccumulator:
+    """Shared per-step bookkeeping of the lockstep Dynamic* kernels.
+
+    Owns the event-queue mirror ((R, p) times + insertion sequences), the
+    per-worker accumulators and the livelock guard, and finalizes the
+    per-replicate :class:`KernelRun` list — everything that is identical
+    between the outer and matrix variants.
+    """
+
+    def __init__(self, strategy_name: str, R: int, p: int, n: int, want_events: bool) -> None:
+        self.name = strategy_name
+        self.times = np.zeros((R, p), dtype=np.float64)
+        self.seqs = np.tile(np.arange(p, dtype=np.int64), (R, 1))
+        self.next_seq = np.full(R, p, dtype=np.int64)
+        self.blocks_acc = np.zeros((R, p), dtype=np.int64)
+        self.tasks_acc = np.zeros((R, p), dtype=np.int64)
+        self.makespan = np.zeros(R, dtype=np.float64)
+        self.n_events = np.zeros(R, dtype=np.int64)
+        self.streak = np.zeros(R, dtype=np.int64)
+        self.budget = 4 * (3 * n + 2) * p + 1024
+        self.events: Optional[List[List[Event]]] = (
+            [[] for _ in range(R)] if want_events else None
+        )
+
+    def pop(self, act: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return _select_workers(self.times[act], self.seqs[act])
+
+    def commit(
+        self,
+        act: np.ndarray,
+        wsel: np.ndarray,
+        now: np.ndarray,
+        speeds: np.ndarray,
+        blocks: np.ndarray,
+        tasks: np.ndarray,
+    ) -> None:
+        """Account one popped event per active replicate, scalar-exactly."""
+        duration = tasks / speeds[act, wsel]
+        finish = now + duration
+        progressed = tasks > 0
+        grew = act[progressed]
+        self.makespan[grew] = np.maximum(self.makespan[grew], finish[progressed])
+        self.streak[act] = np.where(progressed, 0, self.streak[act] + 1)
+        if bool((self.streak[act] > self.budget).any()):
+            worst = int(self.streak[act].max())
+            raise LivelockError(
+                f"{worst} consecutive zero-task assignments "
+                f"(strategy={self.name}, remaining tasks unallocated)"
+            )
+        self.blocks_acc[act, wsel] += blocks
+        self.tasks_acc[act, wsel] += tasks
+        self.n_events[act] += 1
+        self.times[act, wsel] = finish
+        self.seqs[act, wsel] = self.next_seq[act]
+        self.next_seq[act] += 1
+        if self.events is not None:
+            now_l = now.tolist()
+            w_l = wsel.tolist()
+            b_l = blocks.tolist()
+            t_l = tasks.tolist()
+            d_l = duration.tolist()
+            for g, r in enumerate(act.tolist()):
+                self.events[r].append((now_l[g], w_l[g], b_l[g], t_l[g], d_l[g]))
+
+    def finish(self) -> List[KernelRun]:
+        runs: List[KernelRun] = []
+        for r in range(self.times.shape[0]):
+            runs.append(
+                KernelRun(
+                    self.blocks_acc[r].copy(),
+                    self.tasks_acc[r].copy(),
+                    float(self.makespan[r]),
+                    int(self.n_events[r]),
+                    None if self.events is None else self.events[r],
+                )
+            )
+        return runs
+
+
+class _OuterDynamicKernel(VectorKernel):
+    """Lockstep kernel for DynamicOuter (Algorithm 1), R replicates at once."""
+
+    strategy_name = "DynamicOuter"
+
+    def run(
+        self,
+        prototype: Strategy,
+        speeds: np.ndarray,
+        generators: Sequence[np.random.Generator],
+        want_events: bool,
+    ) -> List[KernelRun]:
+        n = prototype.n
+        R, p = int(speeds.shape[0]), int(speeds.shape[1])
+        acc = _LockstepAccumulator(self.strategy_name, R, p, n, want_events)
+        processed = np.zeros((R, n, n), dtype=bool)
+        remaining = np.full(R, n * n, dtype=np.int64)
+        # Two knowledge dimensions (rows of a, columns of b) per worker:
+        # unknown-set buffers, insertion-order buffers and known counts.
+        items = np.broadcast_to(np.arange(n, dtype=np.int64), (2, R, p, n)).copy()
+        order = np.zeros((2, R, p, n), dtype=np.int64)
+        cnt = np.zeros((2, R, p), dtype=np.int64)
+        act = np.arange(R, dtype=np.int64)
+        while act.size:
+            now, wsel = acc.pop(act)
+            A = int(act.size)
+            prev = cnt[:, act, wsel]  # (2, A) counts before this step's draws
+            complete = (prev[0] >= n) & (prev[1] >= n)
+            tasks = np.zeros(A, dtype=np.int64)
+            for g in np.flatnonzero(complete).tolist():
+                r = int(act[g])
+                tasks[g] = remaining[r]
+                processed[r] = True
+            need = np.empty((2, A), dtype=bool)
+            need[0] = ~complete & (prev[0] < n)
+            need[1] = ~complete & (prev[1] < n)
+            sizes = n - prev
+            draw_idx = _batched_dim_draws(generators, act, need, sizes)
+            vals = _draw_values(items, order, cnt, n, act, wsel, need, draw_idx)
+            iv, jv = vals[0], vals[1]
+            # Cross marking, three disjoint pieces (center, row arm over the
+            # previous columns, column arm over the previous rows).
+            center = np.flatnonzero(need[0] & need[1])
+            if center.size:
+                rg = act[center]
+                fresh = ~processed[rg, iv[center], jv[center]]
+                processed[rg, iv[center], jv[center]] = True
+                tasks[center] += fresh.astype(np.int64)
+            tasks += _mark_arm(processed, order[1], act, wsel, need[0] & (prev[1] > 0), prev[1], iv, axis=0)
+            tasks += _mark_arm(processed, order[0], act, wsel, need[1] & (prev[0] > 0), prev[0], jv, axis=1)
+            blocks = need[0].astype(np.int64) + need[1].astype(np.int64)
+            remaining[act] -= tasks
+            acc.commit(act, wsel, now, speeds, blocks, tasks)
+            act = act[remaining[act] > 0]
+        return acc.finish()
+
+
+def _mark_arm(
+    processed: np.ndarray,
+    arm_order: np.ndarray,
+    act: np.ndarray,
+    wsel: np.ndarray,
+    grp_mask: np.ndarray,
+    arm_counts: np.ndarray,
+    fixed: np.ndarray,
+    axis: int,
+) -> np.ndarray:
+    """Mark one arm of the DynamicOuter cross across replicates.
+
+    For every replicate in *grp_mask*, marks the unprocessed tasks pairing
+    the freshly drawn index *fixed* against the worker's previously-known
+    indices of the other dimension (*arm_order* rows, *arm_counts* live
+    prefix lengths).  Rows across replicates are padded to the longest
+    prefix and masked.  Returns the newly-marked count per active slot.
+    """
+    out = np.zeros(act.size, dtype=np.int64)
+    grp = np.flatnonzero(grp_mask)
+    if grp.size == 0:
+        return out
+    rg = act[grp]
+    wg = wsel[grp]
+    width = int(arm_counts[grp].max())
+    pad = arm_order[rg, wg, :width]
+    valid = np.arange(width) < arm_counts[grp][:, None]
+    rep = np.broadcast_to(rg[:, None], pad.shape)
+    fix = np.broadcast_to(fixed[grp][:, None], pad.shape)
+    if axis == 0:
+        current = processed[rep, fix, pad]
+    else:
+        current = processed[rep, pad, fix]
+    fresh = valid & ~current
+    if axis == 0:
+        processed[rep[fresh], fix[fresh], pad[fresh]] = True
+    else:
+        processed[rep[fresh], pad[fresh], fix[fresh]] = True
+    out[grp] = fresh.sum(axis=1)
+    return out
+
+
+class _MatrixDynamicKernel(VectorKernel):
+    """Lockstep kernel for DynamicMatrix (Algorithm 3), R replicates at once."""
+
+    strategy_name = "DynamicMatrix"
+
+    def run(
+        self,
+        prototype: Strategy,
+        speeds: np.ndarray,
+        generators: Sequence[np.random.Generator],
+        want_events: bool,
+    ) -> List[KernelRun]:
+        n = prototype.n
+        R, p = int(speeds.shape[0]), int(speeds.shape[1])
+        acc = _LockstepAccumulator(self.strategy_name, R, p, n, want_events)
+        processed = np.zeros((R, n, n, n), dtype=bool)
+        remaining = np.full(R, n**3, dtype=np.int64)
+        items = np.broadcast_to(np.arange(n, dtype=np.int64), (3, R, p, n)).copy()
+        order = np.zeros((3, R, p, n), dtype=np.int64)
+        cnt = np.zeros((3, R, p), dtype=np.int64)
+        act = np.arange(R, dtype=np.int64)
+        while act.size:
+            now, wsel = acc.pop(act)
+            A = int(act.size)
+            prev = cnt[:, act, wsel]  # (3, A): |I|, |J|, |K| before the draws
+            complete = (prev >= n).all(axis=0)
+            tasks = np.zeros(A, dtype=np.int64)
+            for g in np.flatnonzero(complete).tolist():
+                r = int(act[g])
+                tasks[g] = remaining[r]
+                processed[r] = True
+            need = ~complete & (prev < n)  # (3, A), draw order i, j, k
+            sizes = n - prev
+            draw_idx = _batched_dim_draws(generators, act, need, sizes)
+            vals = _draw_values(items, order, cnt, n, act, wsel, need, draw_idx)
+            grew = need.astype(np.int64)
+            # Shipped blocks: growth of the A (I x K), B (K x J), C (I x J)
+            # rectangles — the vectorized _grown_blocks arithmetic.
+            blocks = (
+                ((prev[0] + grew[0]) * (prev[2] + grew[2]) - prev[0] * prev[2])
+                + ((prev[2] + grew[2]) * (prev[1] + grew[1]) - prev[2] * prev[1])
+                + ((prev[0] + grew[0]) * (prev[1] + grew[1]) - prev[0] * prev[1])
+            )
+            # Shell marking: three disjoint slabs of the grown cube.
+            grown_j = prev[1] + grew[1]
+            grown_k = prev[2] + grew[2]
+            tasks += _mark_slab(
+                processed, act, need[0] & (grown_j > 0) & (grown_k > 0),
+                _fixed_plane(vals[0], 0),
+                (order[1], grown_j), (order[2], grown_k), wsel,
+            )
+            tasks += _mark_slab(
+                processed, act, need[1] & (prev[0] > 0) & (grown_k > 0),
+                _fixed_plane(vals[1], 1),
+                (order[0], prev[0]), (order[2], grown_k), wsel,
+            )
+            tasks += _mark_slab(
+                processed, act, need[2] & (prev[0] > 0) & (prev[1] > 0),
+                _fixed_plane(vals[2], 2),
+                (order[0], prev[0]), (order[1], prev[1]), wsel,
+            )
+            remaining[act] -= tasks
+            acc.commit(act, wsel, now, speeds, blocks, tasks)
+            act = act[remaining[act] > 0]
+        return acc.finish()
+
+
+def _fixed_plane(vals: np.ndarray, dim: int) -> Tuple[np.ndarray, int]:
+    """The (values, cube axis) of a slab's fixed index."""
+    return vals, dim
+
+
+def _mark_slab(
+    processed: np.ndarray,
+    act: np.ndarray,
+    grp_mask: np.ndarray,
+    fixed: Tuple[np.ndarray, int],
+    span_a: Tuple[np.ndarray, np.ndarray],
+    span_b: Tuple[np.ndarray, np.ndarray],
+    wsel: np.ndarray,
+) -> np.ndarray:
+    """Mark one DynamicMatrix shell slab across replicates.
+
+    The slab fixes one cube axis to a freshly drawn index and spans the
+    other two axes with per-worker index prefixes (padded to the longest
+    prefix across the group and masked).  The three slabs of a shell are
+    disjoint by construction, so gathers never see a sibling's scatter.
+    Returns the newly-marked count per active slot.
+    """
+    out = np.zeros(act.size, dtype=np.int64)
+    grp = np.flatnonzero(grp_mask)
+    if grp.size == 0:
+        return out
+    rg = act[grp]
+    wg = wsel[grp]
+    fixed_vals, fixed_axis = fixed
+    order_a, len_a = span_a
+    order_b, len_b = span_b
+    wa = int(len_a[grp].max())
+    wb = int(len_b[grp].max())
+    pad_a = order_a[rg, wg, :wa]  # (G, wa)
+    pad_b = order_b[rg, wg, :wb]  # (G, wb)
+    valid = (np.arange(wa) < len_a[grp][:, None])[:, :, None] & (
+        np.arange(wb) < len_b[grp][:, None]
+    )[:, None, :]
+    shape = (int(grp.size), wa, wb)
+    rep = np.broadcast_to(rg[:, None, None], shape)
+    fix = np.broadcast_to(fixed_vals[grp][:, None, None], shape)
+    a_idx = np.broadcast_to(pad_a[:, :, None], shape)
+    b_idx = np.broadcast_to(pad_b[:, None, :], shape)
+    # Map (fixed, span_a, span_b) onto cube axes (i, j, k).
+    if fixed_axis == 0:
+        i_idx, j_idx, k_idx = fix, a_idx, b_idx
+    elif fixed_axis == 1:
+        i_idx, j_idx, k_idx = a_idx, fix, b_idx
+    else:
+        i_idx, j_idx, k_idx = a_idx, b_idx, fix
+    current = processed[rep, i_idx, j_idx, k_idx]
+    fresh = valid & ~current
+    processed[rep[fresh], i_idx[fresh], j_idx[fresh], k_idx[fresh]] = True
+    out[grp] = fresh.sum(axis=(1, 2))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: Exact-type kernel registry.  Keyed by ``type(strategy)`` — never
+#: ``isinstance`` — so strategy subclasses (which may change semantics)
+#: safely fall back to per-replicate scalar simulation.
+_KERNELS: Dict[Type[Strategy], VectorKernel] = {
+    OuterRandom: _TaskByTaskKernel("outer", True, "RandomOuter"),
+    OuterSorted: _TaskByTaskKernel("outer", False, "SortedOuter"),
+    MatrixRandom: _TaskByTaskKernel("matrix", True, "RandomMatrix"),
+    MatrixSorted: _TaskByTaskKernel("matrix", False, "SortedMatrix"),
+    OuterDynamic: _OuterDynamicKernel(),
+    MatrixDynamic: _MatrixDynamicKernel(),
+}
+
+
+def kernel_for(strategy: "Strategy | Type[Strategy]") -> Optional[VectorKernel]:
+    """The vector kernel covering *strategy*'s exact type, or ``None``."""
+    cls = strategy if isinstance(strategy, type) else type(strategy)
+    return _KERNELS.get(cls)

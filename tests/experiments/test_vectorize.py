@@ -1,0 +1,172 @@
+"""Vectorized-engine wiring through the runner, parallel and bench layers.
+
+The engine-level equivalence lives in ``tests/simulator/test_batch.py``;
+here we pin the plumbing: ``vectorize`` mode resolution, bit-identical
+summaries/snapshots across engine selections, cache coherence across
+modes, the per-worker chunking default, warm-pool reuse, and the bench
+suite's scaling workloads and derived metrics.
+"""
+
+import pytest
+
+import repro.experiments.parallel as parallel_module
+from repro.experiments.bench import _derive_metrics, build_suite
+from repro.experiments.parallel import (
+    RepJob,
+    StrategySpec,
+    UniformPlatformSpec,
+    _chunk_indices,
+    parallel_average_normalized_comm,
+    shutdown_pool,
+)
+from repro.experiments.runner import average_normalized_comm
+from repro.obs.sink import RecordingSink
+from repro.store.cache import ResultStore
+from repro.utils.rng import spawn_seed_sequences
+
+
+@pytest.fixture
+def cell():
+    return StrategySpec("RandomMatrix", 6), UniformPlatformSpec(10)
+
+
+class TestRunnerVectorize:
+    def test_modes_bit_identical(self, cell):
+        strategy, platform = cell
+        scalar = average_normalized_comm(strategy, platform, 6, 5, seed=2, vectorize=False)
+        vector = average_normalized_comm(strategy, platform, 6, 5, seed=2, vectorize=True)
+        auto = average_normalized_comm(strategy, platform, 6, 5, seed=2)
+        assert scalar == vector == auto
+
+    def test_sink_snapshots_bit_identical(self, cell):
+        strategy, platform = cell
+        scalar_sink, vector_sink = RecordingSink(), RecordingSink()
+        average_normalized_comm(
+            strategy, platform, 6, 4, seed=3, vectorize=False, sink=scalar_sink
+        )
+        average_normalized_comm(
+            strategy, platform, 6, 4, seed=3, vectorize=True, sink=vector_sink
+        )
+        assert scalar_sink.snapshot() == vector_sink.snapshot()
+
+    def test_auto_falls_back_for_kernel_less_strategy(self, cell):
+        _, platform = cell
+        strategy = StrategySpec("MapReduceOuter", 6)
+        scalar = average_normalized_comm(strategy, platform, 6, 3, seed=1, vectorize=False)
+        auto = average_normalized_comm(strategy, platform, 6, 3, seed=1)
+        assert scalar == auto
+
+    def test_true_requires_a_kernel(self, cell):
+        _, platform = cell
+        with pytest.raises(ValueError, match="no vector kernel"):
+            average_normalized_comm(
+                StrategySpec("MapReduceOuter", 6), platform, 6, 3, vectorize=True
+            )
+
+    def test_invalid_mode_rejected(self, cell):
+        strategy, platform = cell
+        with pytest.raises(ValueError, match="vectorize"):
+            average_normalized_comm(strategy, platform, 6, 3, vectorize="yes")
+
+    def test_cache_coherent_across_modes(self, cell, tmp_path):
+        strategy, platform = cell
+        store = ResultStore(str(tmp_path))
+        scalar = average_normalized_comm(
+            strategy, platform, 6, 4, seed=5, vectorize=False, cache=store
+        )
+        hit = average_normalized_comm(
+            strategy, platform, 6, 4, seed=5, vectorize=True, cache=store
+        )
+        assert scalar == hit
+        assert store.counts.hits == 1
+
+
+class TestParallelVectorize:
+    def test_job_run_respects_index_order_when_vectorized(self, cell):
+        strategy, platform = cell
+        job = RepJob(
+            strategy, platform, 6, spawn_seed_sequences(0, 4), vectorize=True
+        )
+        forward = job.run([0, 1, 2, 3])
+        assert job.run([3, 2, 1, 0]) == forward[::-1]
+        scalar_job = RepJob(
+            strategy, platform, 6, spawn_seed_sequences(0, 4), vectorize=False
+        )
+        assert scalar_job.run([0, 1, 2, 3]) == forward
+
+    def test_parallel_matches_serial_with_vectorize(self, cell):
+        strategy, platform = cell
+        serial = average_normalized_comm(strategy, platform, 6, 5, seed=4, vectorize=False)
+        par = parallel_average_normalized_comm(
+            strategy, platform, 6, 5, seed=4, workers=2, vectorize="auto"
+        )
+        assert serial == par
+
+    def test_warm_pool_is_reused_across_calls(self, cell):
+        strategy, platform = cell
+        try:
+            parallel_average_normalized_comm(strategy, platform, 6, 4, seed=1, workers=2)
+            first = parallel_module._POOL
+            parallel_average_normalized_comm(strategy, platform, 6, 4, seed=2, workers=2)
+            assert parallel_module._POOL is first
+            assert first is not None
+        finally:
+            shutdown_pool()
+        assert parallel_module._POOL is None
+
+    def test_default_chunking_is_one_chunk_per_worker(self):
+        assert _chunk_indices(10, 3, None) == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+        assert _chunk_indices(8, 4, None) == [[0, 1], [2, 3], [4, 5], [6, 7]]
+        assert _chunk_indices(3, 8, None) == [[0], [1], [2]]
+
+
+class TestBenchScaling:
+    def test_scaling_suite_shape(self):
+        names = [wl.name for wl in build_suite("scaling")]
+        for reps in (1, 4, 16, 64):
+            for engine in ("serial", "vectorized", "parallel4"):
+                assert f"scaling_reps{reps:02d}_{engine}" in names
+        assert len(names) == 12
+
+    def test_quick_suite_has_vectorized_workload(self):
+        names = [wl.name for wl in build_suite("quick")]
+        assert "replicate_sweep_vectorized" in names
+
+    @staticmethod
+    def _entry(median):
+        return {"seconds": {"median": median}}
+
+    def test_derive_metrics_speedups(self):
+        entries = {
+            "replicate_sweep_serial": self._entry(4.0),
+            "replicate_sweep_parallel4": self._entry(2.0),
+            "replicate_sweep_vectorized": self._entry(0.5),
+        }
+        derived = _derive_metrics(entries, cpu_count=4)
+        assert derived["replicate_sweep_speedup"] == 2.0
+        assert derived["parallel_speedup_ok"] is True
+        assert derived["replicate_sweep_vectorized_speedup"] == 8.0
+
+    def test_derive_metrics_flags_parallel_loss_on_multicore(self):
+        entries = {
+            "replicate_sweep_serial": self._entry(2.0),
+            "replicate_sweep_parallel4": self._entry(4.0),
+        }
+        assert _derive_metrics(entries, cpu_count=4)["parallel_speedup_ok"] is False
+        # Warn-only on a single-CPU machine: parallelism cannot win there.
+        assert _derive_metrics(entries, cpu_count=1)["parallel_speedup_ok"] is True
+
+    def test_derive_metrics_scaling_curve(self):
+        entries = {}
+        for reps in (1, 4, 16, 64):
+            entries[f"scaling_reps{reps:02d}_serial"] = self._entry(1.0 * reps)
+            entries[f"scaling_reps{reps:02d}_vectorized"] = self._entry(0.2 * reps)
+            entries[f"scaling_reps{reps:02d}_parallel4"] = self._entry(0.5 * reps)
+        curve = _derive_metrics(entries, cpu_count=4)["scaling_curve"]
+        assert [row["reps"] for row in curve] == [1, 4, 16, 64]
+        for row in curve:
+            assert row["vectorized_speedup"] == pytest.approx(5.0)
+            assert row["parallel_speedup"] == pytest.approx(2.0)
+
+    def test_derive_metrics_empty(self):
+        assert _derive_metrics({}, cpu_count=4) == {}

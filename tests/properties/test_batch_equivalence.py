@@ -1,0 +1,82 @@
+"""Property-based batch/scalar equivalence (hypothesis).
+
+For random (strategy, n, p, seed) cells, the vectorized engine's
+per-replicate traces must fingerprint-match the scalar oracle exactly:
+same event sequence (time, worker, blocks, tasks, duration), same
+totals, same RNG stream consumption.  This is the batch engine's whole
+contract, so it gets the adversarial-input treatment on top of the
+pinned cases in ``tests/simulator/test_batch.py``.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.strategies.registry import make_strategy
+from repro.platform import Platform, uniform_speeds
+from repro.simulator import simulate, simulate_batch
+from repro.utils.rng import spawn_rngs
+
+VECTORIZED_OUTER = ["RandomOuter", "SortedOuter", "DynamicOuter"]
+VECTORIZED_MATRIX = ["RandomMatrix", "SortedMatrix", "DynamicMatrix"]
+
+COMMON = dict(
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def batch_case(draw):
+    kernel = draw(st.booleans())
+    if kernel:
+        name = draw(st.sampled_from(VECTORIZED_MATRIX))
+        n = draw(st.integers(1, 5))
+    else:
+        name = draw(st.sampled_from(VECTORIZED_OUTER))
+        n = draw(st.integers(1, 12))
+    p = draw(st.integers(1, 12))
+    low = draw(st.floats(1.0, 50.0))
+    high = draw(st.floats(50.0, 100.0))
+    platform_seed = draw(st.integers(0, 2**31))
+    seed = draw(st.integers(0, 2**31))
+    return name, n, p, low, high, platform_seed, seed
+
+
+def trace_fingerprint(result):
+    return (
+        result.total_blocks,
+        result.n_assignments,
+        result.makespan,
+        result.per_worker_blocks.tolist(),
+        result.per_worker_tasks.tolist(),
+        [
+            (r.time, r.worker, r.blocks, r.tasks, r.duration, r.phase)
+            for r in result.trace.records
+        ],
+    )
+
+
+@given(batch_case())
+@settings(**COMMON)
+def test_batch_traces_fingerprint_match_scalar(case):
+    name, n, p, low, high, platform_seed, seed = case
+    platform = Platform(uniform_speeds(p, low, high, rng=platform_seed))
+    reps = 2
+    scalar_gens = spawn_rngs(seed, reps)
+    refs = [
+        simulate(make_strategy(name, n), platform, rng=g, collect_trace=True)
+        for g in scalar_gens
+    ]
+    batch_gens = spawn_rngs(seed, reps)
+    gots = simulate_batch(
+        lambda: make_strategy(name, n),
+        [platform] * reps,
+        rngs=batch_gens,
+        collect_trace=True,
+    )
+    for ref, got in zip(refs, gots):
+        assert trace_fingerprint(ref) == trace_fingerprint(got)
+    for bg, sg in zip(batch_gens, scalar_gens):
+        assert bg.bit_generator.state == sg.bit_generator.state
