@@ -17,7 +17,10 @@ source:
 Declared *sanitized boundaries* are not traversed: :mod:`repro.obs.profile`
 (the one sanctioned wall-clock module), :mod:`repro.utils.rng` (the one
 sanctioned entropy boundary — fresh entropy only ever enters through an
-explicit ``seed=None``), and CLI entry-point modules.
+explicit ``seed=None``), the :mod:`repro.serve` service layer (request
+latencies and quota refill are wall-clock by nature; simulation results it
+returns come from the deterministic engine through the store), and CLI
+entry-point modules.
 """
 
 from __future__ import annotations
@@ -101,6 +104,8 @@ def sanitized_modules(model: AnalysisModel) -> List[str]:
     for name in sorted(model.project.modules):
         if (
             name in ("repro.obs.profile", "repro.utils.rng")
+            or name == "repro.serve"
+            or name.startswith("repro.serve.")
             or name.endswith(".cli")
             or name.endswith(".__main__")
         ):
@@ -117,7 +122,7 @@ class DeterminismTaint(AnalyzeCheck):
         "no wall-clock, OS-entropy, unordered-filesystem or raw-set-iteration "
         "source may be reachable from simulate()/simulate_batch()/"
         "simulate_faulty() or the fingerprint/exporter paths (sanitized: "
-        "repro.obs.profile, repro.utils.rng, CLI modules)"
+        "repro.obs.profile, repro.utils.rng, repro.serve, CLI modules)"
     )
 
     def analyze(self, model: AnalysisModel) -> Iterator[AnalysisFinding]:

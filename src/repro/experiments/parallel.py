@@ -72,6 +72,8 @@ from repro.utils.stats import RunningStats, Summary
 from repro.utils.validation import check_positive_int, check_speeds
 
 __all__ = [
+    "CellRequest",
+    "CellResult",
     "FixedPlatformSpec",
     "HeterogeneityPlatformSpec",
     "RepJob",
@@ -81,6 +83,7 @@ __all__ = [
     "UniformPlatformSpec",
     "parallel_average_normalized_comm",
     "resolve_workers",
+    "run_cells",
     "shutdown_pool",
 ]
 
@@ -582,3 +585,123 @@ def parallel_average_normalized_comm(
     if cache is not None and key is not None:
         save_cell(cache, key, summary, snapshots)
     return summary
+
+
+# ---------------------------------------------------------------------------
+# Callable batch entry point (used by ``repro-serve`` lane workers)
+# ---------------------------------------------------------------------------
+
+
+class CellRequest:
+    """One replicate cell, described as data, for :func:`run_cells`.
+
+    The request carries exactly the inputs of a
+    :func:`~repro.experiments.runner.average_normalized_comm` call —
+    factories, problem size, repetition count and seed — so a batch of
+    heterogeneous cells (different strategies, platforms and sizes) can be
+    submitted through one entry point.  ``key()`` exposes the cell's cache
+    key, which is what lets callers (the serve queue, sweep planners)
+    deduplicate requests before computing anything.
+    """
+
+    __slots__ = ("strategy_factory", "platform_factory", "n", "reps", "seed")
+
+    def __init__(
+        self,
+        strategy_factory: StrategyFactory,
+        platform_factory: PlatformFactory,
+        n: int,
+        reps: int,
+        *,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.strategy_factory = strategy_factory
+        self.platform_factory = platform_factory
+        self.n = check_positive_int("n", n)
+        self.reps = check_positive_int("reps", reps)
+        self.seed = seed
+
+    def key(self, *, metrics: bool = False) -> Optional[Dict[str, Any]]:
+        """The cell's cache key (``None`` when any input is uncacheable)."""
+        return replicate_cell_key(
+            strategy_factory=self.strategy_factory,
+            platform_factory=self.platform_factory,
+            n=self.n,
+            reps=self.reps,
+            seed=self.seed,
+            metrics=metrics,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CellRequest({self.strategy_factory!r}, {self.platform_factory!r}, "
+            f"n={self.n}, reps={self.reps}, seed={self.seed!r})"
+        )
+
+
+class CellResult:
+    """Outcome of one :class:`CellRequest`: a summary or an error string.
+
+    Batch callers need per-cell fault isolation — one malformed cell must
+    not void its batch siblings' work — so failures are captured here
+    instead of raised.  Exactly one of ``summary``/``error`` is set.
+    """
+
+    __slots__ = ("summary", "error")
+
+    def __init__(self, summary: Optional[Summary], error: Optional[str] = None) -> None:
+        if (summary is None) == (error is None):
+            raise ValueError("exactly one of summary/error must be set")
+        self.summary = summary
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell computed (or loaded) successfully."""
+        return self.summary is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CellResult(summary={self.summary!r}, error={self.error!r})"
+
+
+def run_cells(
+    requests: Sequence[CellRequest],
+    *,
+    cache: Optional[ResultStore] = None,
+    workers: int = 1,
+    vectorize: Union[bool, str] = "auto",
+) -> List[CellResult]:
+    """Run a batch of replicate cells through the replicate runner.
+
+    The callable batch entry point behind ``repro-serve``'s simulation
+    lane: each request goes through
+    :func:`~repro.experiments.runner.average_normalized_comm` with the
+    shared *cache* (hits load, misses compute and write back) and the
+    results come back **in request order**.  A failing cell yields a
+    :class:`CellResult` carrying the error message instead of aborting the
+    batch — the caller decides whether a cell failure is fatal.
+
+    ``workers``/``vectorize`` are forwarded per cell; the batch itself runs
+    sequentially in the calling thread, so a thread-pool caller gets one
+    OS thread per *batch*, not per cell.
+    """
+    from repro.experiments.runner import average_normalized_comm
+
+    results: List[CellResult] = []
+    for request in requests:
+        try:
+            summary = average_normalized_comm(
+                request.strategy_factory,
+                request.platform_factory,
+                request.n,
+                request.reps,
+                seed=request.seed,
+                workers=workers,
+                cache=cache,
+                vectorize=vectorize,
+            )
+        except Exception as exc:
+            results.append(CellResult(None, f"{type(exc).__name__}: {exc}"))
+        else:
+            results.append(CellResult(summary))
+    return results

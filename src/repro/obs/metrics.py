@@ -21,6 +21,7 @@ same bits the serial loop produces.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS",
     "MetricKey",
     "Metrics",
     "TASK_BUCKETS",
@@ -46,6 +48,26 @@ ALL_PHASES = 0
 #: Default fixed bucket upper bounds for per-assignment task counts
 #: (roughly powers of two; the overflow bucket catches anything larger).
 TASK_BUCKETS: Tuple[int, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+
+#: Fixed bucket upper bounds (seconds) for request/cell latency histograms
+#: (1 ms .. 30 s, roughly 2.5x steps — a cache hit lands in the first few
+#: buckets, a simulated cell in the tail; the overflow bucket catches hangs).
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
 
 
 def _check_key(key: MetricKey) -> MetricKey:
@@ -232,6 +254,31 @@ class Histogram:
     def items(self) -> List[Tuple[MetricKey, Tuple[List[int], int, float]]]:
         """All ``(key, (bucket_counts, count, sum))`` in sorted key order."""
         return [(k, (list(c.counts), c.count, c.sum)) for k, c in sorted(self._cells.items())]
+
+    def quantile(self, key: MetricKey, q: float) -> Optional[float]:
+        """Upper-bound estimate of the *q*-quantile of one key's observations.
+
+        Returns the smallest bucket upper bound whose cumulative count
+        reaches ``ceil(q * count)`` — i.e. at least a *q* fraction of the
+        observations are ≤ the returned value.  Observations that landed in
+        the overflow bucket report the last finite bound (a lower bound on
+        the true quantile; pick wider buckets if the tail matters).
+        ``None`` when the key has no observations.
+        """
+        q = float(q)
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must lie in [0, 1], got {q}")
+        cell = self._cells.get(key)
+        if cell is None or cell.count == 0:
+            return None
+        # ceil(count * q), tolerating float fuzz like 0.3 * 10 = 3.0000...4
+        target = max(1, math.ceil(cell.count * q - 1e-9))
+        cumulative = 0
+        for i, upper in enumerate(self.buckets):
+            cumulative += cell.counts[i]
+            if cumulative >= target:
+                return upper
+        return self.buckets[-1]
 
     def merge(self, other: "Histogram") -> None:
         """Fold *other* into this histogram (same bucket spec required)."""

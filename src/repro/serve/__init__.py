@@ -1,0 +1,61 @@
+"""Async sweep service over the result store, built for heavy traffic.
+
+``repro-serve`` turns the repo from a batch tool into a long-running
+service: many clients concurrently POST sweep cells and closed-form
+analytical queries, cache hits answer instantly from the shared
+:class:`~repro.store.cache.ResultStore`, duplicate in-flight cells
+coalesce onto one engine run, and misses are batched through the same
+parallel runner the CLI uses — all stdlib asyncio, no third-party
+dependencies.
+
+Layered API:
+
+* :mod:`repro.serve.protocol` — the JSON wire schema
+  (``repro.serve/1``): cell specs canonicalized through
+  :func:`repro.store.cells.replicate_cell_key`, analytical queries over
+  the closed forms of :mod:`repro.core.analysis`;
+* :mod:`repro.serve.quotas` — per-client token buckets, one budget per
+  ``(client, lane)``;
+* :mod:`repro.serve.telemetry` — the :mod:`repro.obs`-backed
+  :class:`~repro.serve.telemetry.ServiceSink` behind ``/metrics``;
+* :mod:`repro.serve.queueing` — the coalescing, priority-ordered,
+  bounded simulation lane;
+* :mod:`repro.serve.service` — the asyncio HTTP front, SSE streaming and
+  graceful SIGTERM drain;
+* :mod:`repro.serve.client` — the blocking Python client and the
+  in-process :class:`~repro.serve.client.ServerThread` test harness;
+* :mod:`repro.serve.cli` — the ``repro-serve`` entry point.
+
+Two priority classes hold by construction: analytical queries are
+evaluated inline on the event loop and never enter the simulation lane,
+so a saturated simulation queue cannot delay them.
+"""
+
+from __future__ import annotations
+
+from repro.serve.client import ServeClient, ServeError, ServerThread, wait_until_healthy
+from repro.serve.protocol import SERVE_SCHEMA, AnalyticalQuery, CellSpec, ProtocolError
+from repro.serve.queueing import AdmissionError, CellOutcome, SimulationLane
+from repro.serve.quotas import QuotaRegistry, TokenBucket
+from repro.serve.service import ServeConfig, SweepService, run_server
+from repro.serve.telemetry import ServiceSink
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "AdmissionError",
+    "AnalyticalQuery",
+    "CellOutcome",
+    "CellSpec",
+    "ProtocolError",
+    "QuotaRegistry",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerThread",
+    "ServiceSink",
+    "SimulationLane",
+    "SweepService",
+    "TokenBucket",
+    "run_server",
+    "wait_until_healthy",
+]

@@ -1,0 +1,293 @@
+"""The simulation lane: cache-first, coalescing, priority-batched.
+
+Every simulation cell a client POSTs flows through one
+:class:`SimulationLane`:
+
+1. **Cache probe** — ``store.get`` runs on the executor (file I/O off the
+   event loop); a hit answers immediately with the cached summary.
+2. **Coalescing** — cells are identified by their canonical key
+   fingerprint; a second request for an in-flight fingerprint attaches to
+   the first one's future instead of queueing again, so N identical sweeps
+   cost one engine run.  The in-flight table is re-checked *after* the
+   cache probe's await, closing the window where two misses for the same
+   cell interleave on the loop.
+3. **Admission** — a bounded priority queue; when ``max_queue`` cells are
+   already waiting the submit fails with :class:`AdmissionError`
+   (HTTP 503), which is what keeps a paper-scale grid from buffering
+   unboundedly instead of pushing back.
+4. **Batched compute** — lane workers pop up to ``batch_max`` cells in
+   ``(-priority, arrival)`` order and run them through
+   :func:`repro.experiments.parallel.run_cells` on the executor with the
+   shared store as cache, so results are written back through the same
+   content-addressed path every other runner uses.
+
+The lane is single-loop asyncio plus a thread executor; the only
+thread-shared objects are the store (internally locked) and the
+:class:`~repro.serve.telemetry.ServiceSink` (internally locked).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.parallel import run_cells
+from repro.serve.protocol import CellSpec
+from repro.serve.telemetry import ServiceSink
+from repro.store.cache import ResultStore
+from repro.store.cells import CELL_KIND, summary_to_payload
+from repro.utils.validation import check_positive_int
+
+__all__ = ["AdmissionError", "CellOutcome", "SimulationLane"]
+
+
+class AdmissionError(RuntimeError):
+    """The lane refused a cell; ``reason`` picks the HTTP status."""
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class CellOutcome:
+    """Terminal result of one submitted cell, as seen by one requester.
+
+    ``status`` is ``"hit"`` (served from cache), ``"computed"`` (this
+    request triggered the engine run), ``"coalesced"`` (attached to another
+    request's run) or ``"error"``; ``latency_s`` is *this requester's* wall
+    wait, so coalesced requesters report their own latency even though the
+    engine ran once.
+    """
+
+    __slots__ = ("fingerprint", "status", "summary", "error", "latency_s")
+
+    def __init__(
+        self,
+        fingerprint: str,
+        status: str,
+        summary: Optional[Dict[str, Any]],
+        error: Optional[str],
+        latency_s: float,
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.status = status
+        self.summary = summary
+        self.error = error
+        self.latency_s = latency_s
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-ready response body for this outcome."""
+        return {
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "summary": self.summary,
+            "error": self.error,
+            "latency_s": self.latency_s,
+        }
+
+
+class _Settled:
+    """What a finished engine run hands every attached requester."""
+
+    __slots__ = ("summary", "error")
+
+    def __init__(self, summary: Optional[Dict[str, Any]], error: Optional[str]) -> None:
+        self.summary = summary
+        self.error = error
+
+
+class _Job:
+    """One queued-or-running cell: the spec plus the shared future."""
+
+    __slots__ = ("cell", "future")
+
+    def __init__(self, cell: CellSpec, future: "asyncio.Future[_Settled]") -> None:
+        self.cell = cell
+        self.future = future
+
+
+class SimulationLane:
+    """The bounded, coalescing, priority-ordered simulation queue."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        sink: ServiceSink,
+        executor: ThreadPoolExecutor,
+        *,
+        workers: int = 2,
+        max_queue: int = 64,
+        batch_max: int = 8,
+        cell_workers: int = 1,
+    ) -> None:
+        self._store = store
+        self._sink = sink
+        self._executor = executor
+        self._workers = check_positive_int("workers", workers)
+        self._max_queue = check_positive_int("max_queue", max_queue)
+        self._batch_max = check_positive_int("batch_max", batch_max)
+        self._cell_workers = check_positive_int("cell_workers", cell_workers)
+        self._jobs: Dict[str, _Job] = {}
+        self._heap: List[Tuple[int, int, _Job]] = []
+        self._seq = 0
+        self._draining = False
+        self._wakeup = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._tasks: List["asyncio.Task[None]"] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the lane's worker tasks (idempotent)."""
+        if self._tasks:
+            return
+        loop = asyncio.get_running_loop()
+        self._tasks = [
+            loop.create_task(self._worker()) for _ in range(self._workers)
+        ]
+
+    async def drain(self) -> None:
+        """Stop admitting, wait for every in-flight cell, stop the workers."""
+        self._draining = True
+        await self._idle.wait()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:  # repro: noqa[R-SILENT]
+                pass  # the cancellation IS the outcome we asked for
+        self._tasks = []
+
+    @property
+    def queue_depth(self) -> int:
+        """Cells admitted but not yet picked up by a worker."""
+        return len(self._heap)
+
+    @property
+    def in_flight(self) -> int:
+        """Cells admitted and not yet settled (queued + running)."""
+        return len(self._jobs)
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has begun; submits are rejected."""
+        return self._draining
+
+    # -- submission ---------------------------------------------------------
+
+    async def submit(self, cell: CellSpec) -> CellOutcome:
+        """Resolve one cell: cache hit, coalesce, or queue for compute.
+
+        Raises :class:`AdmissionError` when draining or when the queue is
+        full; every other failure settles into an ``"error"`` outcome so
+        one bad cell in a sweep doesn't poison its siblings.
+        """
+        start = time.monotonic()
+        fp = cell.fingerprint()
+        if self._draining:
+            self._sink.rejected("draining")
+            raise AdmissionError("draining", "service is draining; retry elsewhere")
+
+        job = self._jobs.get(fp)
+        if job is None:
+            payload = await asyncio.get_running_loop().run_in_executor(
+                self._executor, partial(self._store.get, cell.key(), kind=CELL_KIND)
+            )
+            summary = payload.get("summary") if isinstance(payload, dict) else None
+            if isinstance(summary, dict):
+                return self._finish(fp, "hit", summary, None, start)
+            # The probe awaited; a duplicate may have queued meanwhile.
+            job = self._jobs.get(fp)
+
+        if job is not None:
+            self._sink.coalesced()
+            settled = await asyncio.shield(job.future)
+            status = "coalesced" if settled.error is None else "error"
+            return self._finish(fp, status, settled.summary, settled.error, start)
+
+        if len(self._heap) >= self._max_queue:
+            self._sink.rejected("queue_full")
+            raise AdmissionError(
+                "queue_full",
+                f"simulation queue is full ({self._max_queue} cells); retry later",
+            )
+        loop = asyncio.get_running_loop()
+        job = _Job(cell, loop.create_future())
+        self._jobs[fp] = job
+        self._idle.clear()
+        self._seq += 1
+        heapq.heappush(self._heap, (-cell.priority, self._seq, job))
+        self._wakeup.set()
+        settled = await asyncio.shield(job.future)
+        status = "computed" if settled.error is None else "error"
+        return self._finish(fp, status, settled.summary, settled.error, start)
+
+    def _finish(
+        self,
+        fp: str,
+        status: str,
+        summary: Optional[Dict[str, Any]],
+        error: Optional[str],
+        start: float,
+    ) -> CellOutcome:
+        latency = time.monotonic() - start
+        self._sink.cell_done(status)
+        self._sink.observe_latency("simulation", latency)
+        return CellOutcome(fp, status, summary, error, latency)
+
+    # -- workers ------------------------------------------------------------
+
+    def _pop_batch(self) -> List[_Job]:
+        batch: List[_Job] = []
+        while self._heap and len(batch) < self._batch_max:
+            batch.append(heapq.heappop(self._heap)[2])
+        return batch
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._wakeup.wait()
+            batch = self._pop_batch()
+            if not batch:
+                self._wakeup.clear()
+                continue
+            requests = [job.cell.request for job in batch]
+            try:
+                results = await loop.run_in_executor(
+                    self._executor,
+                    partial(
+                        run_cells,
+                        requests,
+                        cache=self._store,
+                        workers=self._cell_workers,
+                        vectorize="auto",
+                    ),
+                )
+                # summary_to_payload is the exact shape the store persists,
+                # so a freshly computed response is byte-identical to a later
+                # cache-hit response for the same cell.
+                settled = [
+                    _Settled(
+                        None
+                        if r.summary is None
+                        else dict(summary_to_payload(r.summary, None)["summary"]),
+                        r.error,
+                    )
+                    for r in results
+                ]
+            except Exception as exc:  # executor failure: fail the whole batch
+                settled = [
+                    _Settled(None, f"{type(exc).__name__}: {exc}") for _ in batch
+                ]
+            for job, outcome in zip(batch, settled):
+                self._jobs.pop(job.cell.fingerprint(), None)
+                if not job.future.done():
+                    job.future.set_result(outcome)
+            if not self._jobs:
+                self._idle.set()

@@ -1,0 +1,100 @@
+"""Per-client token-bucket quotas for the sweep service.
+
+The service's contract is that a flood of cheap analytical queries must
+never starve the simulation lane and vice versa, and that no single client
+may monopolize either lane.  Both properties are enforced *before*
+queueing: every request first passes through a :class:`QuotaRegistry`
+keyed ``(client, lane)``, so the two lanes have independent budgets and a
+client exhausting its simulation quota can still ask analytical questions.
+
+Buckets follow the classic token-bucket scheme: capacity ``burst`` tokens,
+refilled continuously at ``rate`` tokens/second; a request costs one token
+(a sweep costs one per cell).  An empty bucket maps to HTTP 429.
+
+The clock is injectable so tests drive refill deterministically; the
+default is ``time.monotonic`` (``repro.serve`` is a sanctioned wall-clock
+boundary — see ``repro.analyze.taint.sanitized_modules``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Tuple
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["QuotaRegistry", "TokenBucket"]
+
+
+class TokenBucket:
+    """One client/lane budget: ``capacity`` tokens refilled at ``rate``/s."""
+
+    __slots__ = ("capacity", "rate", "tokens", "updated")
+
+    def __init__(self, capacity: float, rate: float, *, now: float) -> None:
+        self.capacity = check_positive("capacity", capacity)
+        self.rate = check_nonnegative("rate", rate)
+        self.tokens = self.capacity
+        self.updated = float(now)
+
+    def try_take(self, cost: float, *, now: float) -> bool:
+        """Spend *cost* tokens if the bucket (refilled to *now*) holds them."""
+        elapsed = max(0.0, float(now) - self.updated)
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+        self.updated = float(now)
+        if self.tokens + 1e-12 < cost:
+            return False
+        self.tokens -= cost
+        return True
+
+
+class QuotaRegistry:
+    """Token buckets per ``(client, lane)``, created lazily on first use.
+
+    ``rate``/``burst`` apply to every bucket (one policy, many clients);
+    ``rate=0`` with a finite burst means a hard per-client request budget,
+    while ``unlimited=True`` disables quota checks entirely (the CLI maps
+    ``--quota-rate 0 --quota-burst 0`` to it).  The registry is
+    thread-safe and bounds its memory: at most ``max_clients`` buckets are
+    kept, evicting the least recently *checked* — an evicted client simply
+    starts over with a full bucket.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        max_clients: int = 10_000,
+    ) -> None:
+        self.rate = check_nonnegative("rate", rate)
+        self.unlimited = burst == 0
+        self.burst = 0.0 if self.unlimited else check_positive("burst", burst)
+        self._clock = clock
+        self._max_clients = int(check_positive("max_clients", max_clients))
+        self._buckets: "OrderedDict[Tuple[str, str], TokenBucket]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def allow(self, client: str, lane: str, cost: float = 1.0) -> bool:
+        """True when *client* may spend *cost* tokens on *lane* right now."""
+        if self.unlimited:
+            return True
+        cost = check_positive("cost", cost)
+        key = (str(client), str(lane))
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = TokenBucket(self.burst, self.rate, now=now)
+                self._buckets[key] = bucket
+                while len(self._buckets) > self._max_clients:
+                    self._buckets.popitem(last=False)
+            self._buckets.move_to_end(key)
+            return bucket.try_take(cost, now=now)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buckets)

@@ -1,0 +1,134 @@
+"""Service metrics for ``repro-serve``, built on :mod:`repro.obs`.
+
+One :class:`ServiceSink` instance aggregates everything ``/metrics``
+reports: request and rejection counters per lane, cache traffic forwarded
+from the shared :class:`~repro.store.cache.ResultStore` (the sink plugs in
+as the store's ``MetricsSink``), the in-flight coalesce counter, and a
+request-latency histogram per lane/status from which p50/p99 are derived.
+
+Unlike the engine sinks, service events arrive from *many* threads — the
+asyncio loop observes latencies while executor threads emit store events —
+so every mutation and the snapshot hold one internal lock.  Families reuse
+the ``(label, worker, phase)`` key type of :mod:`repro.obs.metrics` with
+the label dimension carrying the lane/status/reason and the sentinel
+values for the unused dimensions.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Mapping, Optional
+
+from repro.obs.metrics import ALL_PHASES, ALL_WORKERS, LATENCY_BUCKETS, MetricKey, Metrics
+from repro.obs.sink import MetricsSink
+
+__all__ = ["ServiceSink"]
+
+#: Lane names used by the service.
+_LANES = ("analytical", "simulation")
+
+
+def _key(label: str) -> MetricKey:
+    return (label, ALL_WORKERS, ALL_PHASES)
+
+
+class ServiceSink(MetricsSink):
+    """Thread-safe accumulator behind the service's ``/metrics`` endpoint.
+
+    Families (all keyed on the label dimension):
+
+    ==============================  ===========================================
+    ``serve_requests`` (counter)    accepted requests per lane
+    ``serve_rejected`` (counter)    rejections per reason (``quota``,
+                                    ``queue_full``, ``draining``, ``invalid``)
+    ``serve_coalesced`` (counter)   cells that joined an in-flight computation
+    ``serve_cells`` (counter)       finished cells per terminal status
+                                    (``hit``/``computed``/``coalesced``/``error``)
+    ``store_<event>`` (counter)     cache traffic forwarded by the store,
+                                    keyed by entry kind
+    ``serve_latency`` (histogram)   request latency seconds per lane
+                                    (:data:`~repro.obs.metrics.LATENCY_BUCKETS`)
+    ==============================  ===========================================
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics = Metrics()
+
+    # -- service-side hooks -------------------------------------------------
+
+    def request(self, lane: str) -> None:
+        """Count one accepted request on *lane*."""
+        with self._lock:
+            self._metrics.counter("serve_requests").inc(_key(lane))
+
+    def rejected(self, reason: str) -> None:
+        """Count one rejected request (*reason* names the admission gate)."""
+        with self._lock:
+            self._metrics.counter("serve_rejected").inc(_key(reason))
+
+    def coalesced(self) -> None:
+        """Count one cell that attached to an already in-flight duplicate."""
+        with self._lock:
+            self._metrics.counter("serve_coalesced").inc(_key("simulation"))
+
+    def cell_done(self, status: str) -> None:
+        """Count one finished cell by terminal *status*."""
+        with self._lock:
+            self._metrics.counter("serve_cells").inc(_key(status))
+
+    def observe_latency(self, lane: str, seconds: float) -> None:
+        """Record one request's wall latency on *lane*."""
+        with self._lock:
+            self._metrics.histogram("serve_latency", LATENCY_BUCKETS).observe(
+                _key(lane), seconds
+            )
+
+    # -- MetricsSink hooks --------------------------------------------------
+
+    def on_store_event(self, kind: str, event: str) -> None:
+        """Forwarded store traffic (runs on executor threads)."""
+        if event not in ("hit", "miss", "put", "corrupt"):
+            raise ValueError(f"unknown store event {event!r}")
+        with self._lock:
+            self._metrics.counter(f"store_{event}").inc(_key(str(kind)))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready dump of every family (consistent under the lock)."""
+        with self._lock:
+            return self._metrics.to_dict()
+
+    def absorb_snapshot(self, raw: Mapping[str, Any]) -> None:
+        """Fold another sink's snapshot in (used by tests and reports)."""
+        other = Metrics.from_dict(raw["metrics"] if "metrics" in raw else raw)
+        with self._lock:
+            self._metrics.merge(other)
+
+    # -- derived numbers for /metrics ---------------------------------------
+
+    def counter_value(self, family: str, label: str) -> int:
+        """One counter cell's current value."""
+        with self._lock:
+            return self._metrics.counter(family).get(_key(label))
+
+    def hit_rate(self) -> Optional[float]:
+        """Cache hits over lookups across all entry kinds, ``None`` pre-traffic."""
+        with self._lock:
+            hits = self._metrics.counter("store_hit").total()
+            misses = self._metrics.counter("store_miss").total()
+        lookups = hits + misses
+        if lookups == 0:
+            return None
+        return hits / lookups
+
+    def latency_quantiles(self) -> Dict[str, Dict[str, Optional[float]]]:
+        """Per-lane ``{"p50": ..., "p99": ...}`` from the latency histogram."""
+        out: Dict[str, Dict[str, Optional[float]]] = {}
+        with self._lock:
+            hist = self._metrics.histogram("serve_latency", LATENCY_BUCKETS)
+            for lane in _LANES:
+                out[lane] = {
+                    "p50": hist.quantile(_key(lane), 0.5),
+                    "p99": hist.quantile(_key(lane), 0.99),
+                }
+        return out

@@ -21,7 +21,12 @@ turn a recoverable problem into a crash:
   files even with ``workers=`` processes sharing one store;
 * reads treat any anomaly (unparsable JSON, wrong format tag, fingerprint
   or payload checksum mismatch) as a *miss*: the corrupt file is counted,
-  unlinked best-effort, and the caller recomputes.
+  unlinked best-effort, and the caller recomputes;
+* one store instance may be shared by threads (the ``repro-serve``
+  executor lanes do): every operation additionally holds an in-process
+  ``threading.RLock``, because the file lock serializes *processes* while
+  the instance's counters and sink forwarding need protection *within*
+  one process.  Lock order is always mutex → file lock.
 
 Hit/miss/put/corrupt counts are kept per store instance
 (:class:`StoreCounts`) and, when a :class:`~repro.obs.sink.MetricsSink` is
@@ -35,6 +40,7 @@ import contextlib
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 
@@ -85,12 +91,19 @@ class ResultStore:
     :class:`~repro.obs.sink.MetricsSink`) receives one ``on_store_event``
     per lookup/write so cache behavior lands in the same metrics pipeline
     as the simulations themselves.
+
+    Instances are thread-safe: ``get``/``put``/``gc``/``verify`` serialize
+    on an in-process re-entrant mutex (the :class:`~repro.store.lock.FileLock`
+    only excludes other *processes*), so one store can back a thread-pool
+    of ``repro-serve`` lane workers without corrupting its counters or
+    interleaving sink events.
     """
 
     def __init__(self, root: str, *, sink: Optional[MetricsSink] = None) -> None:
         self.root = str(root)
         self.counts = StoreCounts()
         self._sink = sink
+        self._mutex = threading.RLock()
         os.makedirs(self._objects_dir(), exist_ok=True)
 
     # -- layout ---------------------------------------------------------------
@@ -135,24 +148,25 @@ class ResultStore:
         """
         fp = fingerprint(key)
         path = self._entry_path(fp)
-        try:
-            with open(path, encoding="utf-8") as fh:
-                envelope = json.load(fh)
-        except FileNotFoundError:
-            self._event(kind, "miss")
-            return None
-        except (OSError, ValueError):
-            self._discard_corrupt(kind, path)
-            return None
-        payload = self._validate_envelope(envelope, fp, kind)
-        if payload is None:
-            self._discard_corrupt(kind, path)
-            return None
-        # Touch for LRU: gc evicts the least recently *used*, not written.
-        with contextlib.suppress(OSError):
-            os.utime(path)
-        self._event(kind, "hit")
-        return payload
+        with self._mutex:
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    envelope = json.load(fh)
+            except FileNotFoundError:
+                self._event(kind, "miss")
+                return None
+            except (OSError, ValueError):
+                self._discard_corrupt(kind, path)
+                return None
+            payload = self._validate_envelope(envelope, fp, kind)
+            if payload is None:
+                self._discard_corrupt(kind, path)
+                return None
+            # Touch for LRU: gc evicts the least recently *used*, not written.
+            with contextlib.suppress(OSError):
+                os.utime(path)
+            self._event(kind, "hit")
+            return payload
 
     def put(self, key: Mapping[str, Any], payload: Mapping[str, Any], *, kind: str) -> str:
         """Cache *payload* under *key*; returns the entry's fingerprint.
@@ -173,17 +187,18 @@ class ResultStore:
         }
         text = json.dumps(envelope, sort_keys=True, indent=None, separators=(",", ":"))
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        with self.lock():
-            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    fh.write(text)
-                os.replace(tmp, path)
-            except BaseException:
-                with contextlib.suppress(OSError):
-                    os.unlink(tmp)
-                raise
-        self._event(kind, "put")
+        with self._mutex:
+            with self.lock():
+                fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                        fh.write(text)
+                    os.replace(tmp, path)
+                except BaseException:
+                    with contextlib.suppress(OSError):
+                        os.unlink(tmp)
+                    raise
+            self._event(kind, "put")
         return fp
 
     # -- validation ---------------------------------------------------------------
@@ -278,7 +293,7 @@ class ResultStore:
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         evicted: List[StoreEntry] = []
-        with self.lock():
+        with self._mutex, self.lock():
             entries = self.entries()
             total = sum(e.size for e in entries)
             for entry in entries:
@@ -315,7 +330,7 @@ class ResultStore:
             if not ok:
                 corrupt.append(entry)
         if delete and corrupt:
-            with self.lock():
+            with self._mutex, self.lock():
                 for entry in corrupt:
                     with contextlib.suppress(OSError):
                         os.unlink(entry.path)

@@ -1,0 +1,81 @@
+"""CellRequest / CellResult / run_cells — the serve lane's batch entrypoint."""
+
+import pytest
+
+from repro.experiments.parallel import (
+    CellRequest,
+    CellResult,
+    StrategySpec,
+    UniformPlatformSpec,
+    run_cells,
+)
+from repro.experiments.runner import average_normalized_comm
+from repro.store.cache import ResultStore
+
+
+def make_request(seed=0, n=12):
+    return CellRequest(
+        StrategySpec("DynamicOuter", n), UniformPlatformSpec(4), n, 2, seed=seed
+    )
+
+
+def _boom_platform(rng):
+    raise RuntimeError("platform fabrication failed")
+
+
+class TestCellRequest:
+    def test_key_matches_runner_schema(self):
+        key = make_request().key()
+        assert key["schema"] == "repro.store.cell/1"
+        assert key["reps"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CellRequest(StrategySpec("DynamicOuter", 8), UniformPlatformSpec(4), 0, 2)
+        with pytest.raises(ValueError):
+            CellRequest(StrategySpec("DynamicOuter", 8), UniformPlatformSpec(4), 8, 0)
+
+
+class TestCellResult:
+    def test_exactly_one_of_summary_or_error(self):
+        with pytest.raises(ValueError):
+            CellResult(None, None)
+        summary = average_normalized_comm(
+            StrategySpec("DynamicOuter", 8), UniformPlatformSpec(4), 8, 1, seed=0
+        )
+        with pytest.raises(ValueError):
+            CellResult(summary, "also an error")
+        assert CellResult(summary).ok
+        assert not CellResult(None, "err").ok
+
+
+class TestRunCells:
+    def test_matches_direct_runner_call(self):
+        request = make_request(seed=3)
+        results = run_cells([request])
+        assert len(results) == 1 and results[0].ok
+        direct = average_normalized_comm(
+            request.strategy_factory,
+            request.platform_factory,
+            request.n,
+            request.reps,
+            seed=request.seed,
+        )
+        assert results[0].summary.mean == direct.mean
+
+    def test_writes_through_the_cache(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        request = make_request(seed=4)
+        run_cells([request], cache=store)
+        assert store.counts.puts == 1
+        run_cells([request], cache=store)
+        assert store.counts.puts == 1  # second run is a pure hit
+        assert store.counts.hits == 1
+
+    def test_one_bad_cell_does_not_poison_the_batch(self):
+        bad = CellRequest(StrategySpec("DynamicOuter", 8), _boom_platform, 8, 1)
+        good = make_request(seed=5)
+        results = run_cells([bad, good])
+        assert not results[0].ok
+        assert "platform fabrication failed" in results[0].error
+        assert results[1].ok

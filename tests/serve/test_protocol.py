@@ -1,0 +1,195 @@
+"""Wire-schema validation: platform/cell/analytical parsing + canonicalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    agnostic_beta,
+    lower_bound,
+    optimal_outer_beta,
+    outer_total_ratio,
+)
+from repro.experiments.parallel import (
+    FixedPlatformSpec,
+    HeterogeneityPlatformSpec,
+    ScenarioPlatformSpec,
+    UniformPlatformSpec,
+)
+from repro.platform.platform import Platform
+from repro.serve.protocol import (
+    SERVE_SCHEMA,
+    AnalyticalQuery,
+    CellSpec,
+    ProtocolError,
+    parse_platform,
+)
+
+CELL = {
+    "strategy": "DynamicOuter",
+    "n": 16,
+    "reps": 3,
+    "seed": 7,
+    "platform": {"type": "uniform", "p": 4},
+}
+
+
+class TestParsePlatform:
+    def test_all_four_types(self):
+        assert isinstance(parse_platform({"type": "uniform", "p": 4}), UniformPlatformSpec)
+        assert isinstance(
+            parse_platform({"type": "fixed", "speeds": [70, 10, 15]}), FixedPlatformSpec
+        )
+        assert isinstance(
+            parse_platform({"type": "heterogeneity", "p": 4, "h": 50}),
+            HeterogeneityPlatformSpec,
+        )
+        assert isinstance(
+            parse_platform({"type": "scenario", "name": "unif.1", "p": 8}),
+            ScenarioPlatformSpec,
+        )
+
+    def test_uniform_defaults_to_paper_draw(self):
+        spec = parse_platform({"type": "uniform", "p": 4})
+        assert (spec.low, spec.high) == (10.0, 100.0)
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "not a mapping",
+            {"type": "nope"},
+            {"type": "uniform", "p": 0},
+            {"type": "uniform", "p": True},
+            {"type": "uniform"},
+            {"type": "fixed", "speeds": []},
+            {"type": "fixed", "speeds": "fast"},
+            {"type": "fixed", "speeds": [1.0, "x"]},
+            {"type": "heterogeneity", "p": 4, "h": 100},
+            {"type": "scenario", "p": 8},
+            {"type": "scenario", "name": "nope", "p": 8},
+        ],
+    )
+    def test_rejects(self, raw):
+        with pytest.raises(ProtocolError):
+            parse_platform(raw)
+
+    def test_worker_cap(self):
+        with pytest.raises(ProtocolError):
+            parse_platform({"type": "uniform", "p": 9}, max_p=8)
+        with pytest.raises(ProtocolError):
+            parse_platform({"type": "fixed", "speeds": [1.0] * 9}, max_p=8)
+
+
+class TestCellSpec:
+    def test_parse_roundtrip(self):
+        cell = CellSpec.parse(CELL)
+        assert cell.priority == 0
+        key = cell.key()
+        assert key["schema"] == "repro.store.cell/1"
+        assert cell.describe()["fingerprint"] == cell.fingerprint()
+
+    def test_canonicalization_ignores_field_order_and_defaults(self):
+        reordered = {
+            "platform": {"p": 4, "type": "uniform", "low": 10, "high": 100},
+            "seed": 7,
+            "reps": 3,
+            "n": 16,
+            "strategy": "DynamicOuter",
+            "strategy_kwargs": {},
+            "priority": 9,
+        }
+        assert CellSpec.parse(reordered).fingerprint() == CellSpec.parse(CELL).fingerprint()
+
+    def test_seed_and_kwargs_change_the_fingerprint(self):
+        base = CellSpec.parse(CELL).fingerprint()
+        assert CellSpec.parse({**CELL, "seed": 8}).fingerprint() != base
+        assert (
+            CellSpec.parse(
+                {**CELL, "strategy": "DynamicOuter2Phases", "strategy_kwargs": {"phase1_fraction": 0.5}}
+            ).fingerprint()
+            != base
+        )
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            [],
+            {**CELL, "strategy": "nope"},
+            {**CELL, "n": 0},
+            {**CELL, "n": 2.5},
+            {**CELL, "reps": 0},
+            {**CELL, "seed": -1},
+            {**CELL, "priority": 10},
+            {**CELL, "priority": "high"},
+            {**CELL, "strategy_kwargs": {"no_such_kwarg": 1}},
+            {k: v for k, v in CELL.items() if k != "platform"},
+        ],
+    )
+    def test_rejects(self, raw):
+        with pytest.raises(ProtocolError):
+            CellSpec.parse(raw)
+
+    def test_admission_caps(self):
+        with pytest.raises(ProtocolError):
+            CellSpec.parse(CELL, max_n=8)
+        with pytest.raises(ProtocolError):
+            CellSpec.parse(CELL, max_reps=2)
+
+
+class TestAnalyticalQuery:
+    SPEEDS = [70.0, 10.0, 15.0, 20.0]
+
+    def _rel(self):
+        return Platform(np.asarray(self.SPEEDS)).relative_speeds
+
+    def test_ratio_with_explicit_beta(self):
+        out = AnalyticalQuery.parse(
+            {"query": "ratio", "kernel": "outer", "n": 50, "speeds": self.SPEEDS, "beta": 2.0}
+        ).evaluate()
+        assert out["beta"] == 2.0
+        assert out["p"] == 4
+        assert out["value"] == pytest.approx(outer_total_ratio(2.0, self._rel(), 50))
+
+    def test_ratio_defaults_to_optimal_beta(self):
+        out = AnalyticalQuery.parse(
+            {"query": "ratio", "kernel": "outer", "n": 50, "speeds": self.SPEEDS}
+        ).evaluate()
+        beta_star = optimal_outer_beta(self._rel(), 50)
+        assert out["beta"] == pytest.approx(beta_star)
+        assert out["value"] == pytest.approx(outer_total_ratio(beta_star, self._rel(), 50))
+
+    def test_optimal_beta_can_exceed_one(self):
+        out = AnalyticalQuery.parse(
+            {"query": "optimal_beta", "kernel": "outer", "n": 50, "speeds": self.SPEEDS}
+        ).evaluate()
+        assert out["value"] == pytest.approx(optimal_outer_beta(self._rel(), 50))
+
+    def test_agnostic_beta_uses_p_not_speeds(self):
+        out = AnalyticalQuery.parse(
+            {"query": "agnostic_beta", "kernel": "outer", "n": 100, "p": 8}
+        ).evaluate()
+        assert out["value"] == pytest.approx(agnostic_beta("outer", 8, 100))
+
+    def test_lower_bound(self):
+        out = AnalyticalQuery.parse(
+            {"query": "lower_bound", "kernel": "matrix", "n": 30, "speeds": self.SPEEDS}
+        ).evaluate()
+        assert out["value"] == pytest.approx(lower_bound("matrix", self._rel(), 30))
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            {"query": "nope", "kernel": "outer", "n": 10, "speeds": [1.0]},
+            {"query": "ratio", "kernel": "cube", "n": 10, "speeds": [1.0]},
+            {"query": "ratio", "kernel": "outer", "n": 0, "speeds": [1.0]},
+            {"query": "ratio", "kernel": "outer", "n": 10, "speeds": []},
+            {"query": "ratio", "kernel": "outer", "n": 10, "speeds": [1.0], "beta": 0},
+            {"query": "ratio", "kernel": "outer", "n": 10, "speeds": [1.0], "beta": -1.0},
+            {"query": "agnostic_beta", "kernel": "outer", "n": 10},
+        ],
+    )
+    def test_rejects(self, raw):
+        with pytest.raises(ProtocolError):
+            AnalyticalQuery.parse(raw)
+
+    def test_schema_tag(self):
+        assert SERVE_SCHEMA == "repro.serve/1"

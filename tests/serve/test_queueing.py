@@ -1,0 +1,183 @@
+"""SimulationLane: coalescing, admission control, priority order, drain."""
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.metrics import ALL_PHASES, ALL_WORKERS
+from repro.obs.sink import RecordingSink
+from repro.serve.protocol import CellSpec
+from repro.serve.queueing import AdmissionError, SimulationLane
+from repro.serve.telemetry import ServiceSink
+from repro.store.cache import ResultStore
+
+
+def make_cell(seed=0, priority=0, n=12):
+    return CellSpec.parse(
+        {
+            "strategy": "DynamicOuter",
+            "n": n,
+            "reps": 2,
+            "seed": seed,
+            "platform": {"type": "uniform", "p": 4},
+            "priority": priority,
+        }
+    )
+
+
+def make_lane(tmp_path, *, store_sink=None, executor=None, **kwargs):
+    store = ResultStore(str(tmp_path / "cache"), sink=store_sink)
+    sink = ServiceSink()
+    executor = executor or ThreadPoolExecutor(max_workers=4)
+    return SimulationLane(store, sink, executor, **kwargs), store, sink
+
+
+class TestCoalescing:
+    def test_concurrent_identical_cells_run_the_engine_once(self, tmp_path):
+        recording = RecordingSink()
+        lane, store, sink = make_lane(tmp_path, store_sink=recording)
+
+        async def scenario():
+            await lane.start()
+            try:
+                outcomes = await asyncio.gather(
+                    lane.submit(make_cell(seed=5)), lane.submit(make_cell(seed=5))
+                )
+            finally:
+                await lane.drain()
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+        statuses = sorted(o.status for o in outcomes)
+        assert statuses == ["coalesced", "computed"]
+        # One engine run: exactly one store put, observed two independent ways.
+        assert store.counts.puts == 1
+        put_key = ("replicate-cell", ALL_WORKERS, ALL_PHASES)
+        assert recording.metrics.counter("store_put").get(put_key) == 1
+        assert sink.counter_value("serve_coalesced", "simulation") == 1
+        # Both requesters got the same summary payload.
+        assert outcomes[0].summary == outcomes[1].summary
+
+    def test_second_request_after_completion_is_a_cache_hit(self, tmp_path):
+        lane, store, sink = make_lane(tmp_path)
+
+        async def scenario():
+            await lane.start()
+            try:
+                first = await lane.submit(make_cell(seed=6))
+                second = await lane.submit(make_cell(seed=6))
+            finally:
+                await lane.drain()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert (first.status, second.status) == ("computed", "hit")
+        assert first.summary == second.summary
+        assert store.counts.puts == 1
+
+
+class TestAdmission:
+    def test_queue_full_rejects(self, tmp_path):
+        lane, _, sink = make_lane(tmp_path, max_queue=1)
+
+        async def scenario():
+            # Workers never started: the first cell parks in the queue.
+            first = asyncio.ensure_future(lane.submit(make_cell(seed=1)))
+            await asyncio.sleep(0.05)  # let the cache probe resolve + enqueue
+            assert lane.queue_depth == 1
+            with pytest.raises(AdmissionError) as err:
+                await lane.submit(make_cell(seed=2))
+            assert err.value.reason == "queue_full"
+            first.cancel()
+            try:
+                await first
+            except asyncio.CancelledError:
+                pass
+
+        asyncio.run(scenario())
+        assert sink.counter_value("serve_rejected", "queue_full") == 1
+
+    def test_draining_rejects(self, tmp_path):
+        lane, _, sink = make_lane(tmp_path)
+
+        async def scenario():
+            await lane.start()
+            await lane.drain()
+            with pytest.raises(AdmissionError) as err:
+                await lane.submit(make_cell(seed=3))
+            assert err.value.reason == "draining"
+
+        asyncio.run(scenario())
+        assert sink.counter_value("serve_rejected", "draining") == 1
+
+
+class TestPriorityOrder:
+    def test_saturated_lane_runs_high_priority_first(self, tmp_path):
+        lane, _, _ = make_lane(tmp_path, workers=1, batch_max=1)
+        finished = []
+
+        async def scenario():
+            # Enqueue while no worker runs, in *ascending* priority order.
+            tasks = []
+            for seed, priority in ((1, 0), (2, 5), (3, 9)):
+                cell = make_cell(seed=seed, priority=priority)
+
+                async def submit(c=cell, p=priority):
+                    outcome = await lane.submit(c)
+                    finished.append(p)
+                    return outcome
+
+                tasks.append(asyncio.ensure_future(submit()))
+                await asyncio.sleep(0.05)  # past the cache probe, into the heap
+            assert lane.queue_depth == 3
+            await lane.start()
+            await asyncio.gather(*tasks)
+            await lane.drain()
+
+        asyncio.run(scenario())
+        # One worker, one cell per batch: completion order is execution order.
+        assert finished == [9, 5, 0]
+
+
+class TestErrorIsolation:
+    def test_engine_failure_settles_every_requester(self, tmp_path, monkeypatch):
+        lane, _, sink = make_lane(tmp_path)
+
+        def boom(requests, **kwargs):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr("repro.serve.queueing.run_cells", boom)
+
+        async def scenario():
+            await lane.start()
+            try:
+                outcomes = await asyncio.gather(
+                    lane.submit(make_cell(seed=7)), lane.submit(make_cell(seed=8))
+                )
+            finally:
+                await lane.drain()
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+        assert all(o.status == "error" for o in outcomes)
+        assert all("engine exploded" in (o.error or "") for o in outcomes)
+        assert lane.in_flight == 0  # jobs cleaned up despite the failure
+        assert sink.counter_value("serve_cells", "error") == 2
+
+    def test_payload_shape(self, tmp_path):
+        lane, _, _ = make_lane(tmp_path)
+
+        async def scenario():
+            await lane.start()
+            try:
+                return await lane.submit(make_cell(seed=9))
+            finally:
+                await lane.drain()
+
+        outcome = asyncio.run(scenario())
+        payload = outcome.payload()
+        assert payload["status"] == "computed"
+        assert payload["fingerprint"] == make_cell(seed=9).fingerprint()
+        assert payload["latency_s"] >= 0
+        assert set(payload["summary"]) >= {"mean", "n"}

@@ -1,0 +1,87 @@
+"""Token-bucket quotas: refill math, per-(client, lane) isolation, eviction."""
+
+import pytest
+
+from repro.serve.quotas import QuotaRegistry, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(2.0, 1.0, now=0.0)
+        assert bucket.try_take(1.0, now=0.0)
+        assert bucket.try_take(1.0, now=0.0)
+        assert not bucket.try_take(1.0, now=0.0)
+        assert bucket.try_take(1.0, now=1.0)  # one token refilled
+        assert not bucket.try_take(1.0, now=1.0)
+
+    def test_refill_caps_at_capacity(self):
+        bucket = TokenBucket(2.0, 10.0, now=0.0)
+        # 100 s at rate 10 would be 1000 tokens; the cap holds it at 2.
+        assert bucket.try_take(2.0, now=100.0)
+        assert not bucket.try_take(1.0, now=100.0)
+
+    def test_zero_rate_is_a_hard_budget(self):
+        bucket = TokenBucket(3.0, 0.0, now=0.0)
+        for _ in range(3):
+            assert bucket.try_take(1.0, now=0.0)
+        assert not bucket.try_take(1.0, now=10_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0, 1.0, now=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, -1.0, now=0.0)
+
+
+class TestQuotaRegistry:
+    def test_lanes_have_independent_budgets(self):
+        clock = FakeClock()
+        quotas = QuotaRegistry(0.0, 1.0, clock=clock)
+        assert quotas.allow("alice", "simulation")
+        assert not quotas.allow("alice", "simulation")
+        # Exhausting simulation does not touch the analytical budget.
+        assert quotas.allow("alice", "analytical")
+
+    def test_clients_do_not_share_buckets(self):
+        quotas = QuotaRegistry(0.0, 1.0, clock=FakeClock())
+        assert quotas.allow("alice", "simulation")
+        assert quotas.allow("bob", "simulation")
+        assert not quotas.allow("alice", "simulation")
+
+    def test_sweep_cost_spends_many_tokens(self):
+        quotas = QuotaRegistry(0.0, 4.0, clock=FakeClock())
+        assert quotas.allow("alice", "simulation", cost=3.0)
+        assert not quotas.allow("alice", "simulation", cost=3.0)
+        assert quotas.allow("alice", "simulation", cost=1.0)
+
+    def test_refill_over_time(self):
+        clock = FakeClock()
+        quotas = QuotaRegistry(2.0, 2.0, clock=clock)
+        assert quotas.allow("alice", "simulation", cost=2.0)
+        assert not quotas.allow("alice", "simulation")
+        clock.t = 1.0
+        assert quotas.allow("alice", "simulation", cost=2.0)
+
+    def test_burst_zero_disables_quotas(self):
+        quotas = QuotaRegistry(0.0, 0.0, clock=FakeClock())
+        assert quotas.unlimited
+        for _ in range(100):
+            assert quotas.allow("anyone", "simulation", cost=50.0)
+        assert len(quotas) == 0
+
+    def test_lru_eviction_bounds_memory(self):
+        quotas = QuotaRegistry(0.0, 1.0, clock=FakeClock(), max_clients=2)
+        assert quotas.allow("a", "simulation")
+        assert quotas.allow("b", "simulation")
+        assert quotas.allow("c", "simulation")  # evicts ("a", "simulation")
+        assert len(quotas) == 2
+        # Evicted client starts over with a fresh (full) bucket.
+        assert quotas.allow("a", "simulation")

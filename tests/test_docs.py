@@ -24,6 +24,7 @@ SCRIPTS = {
     "repro-experiments": ("repro.experiments.cli", "main"),
     "repro-lint": ("repro.lint.cli", "main"),
     "repro-report": ("repro.obs.cli", "main"),
+    "repro-serve": ("repro.serve.cli", "main"),
     "repro-store": ("repro.store.cli", "main"),
 }
 
