@@ -72,6 +72,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip figures whose CSV a previous run with this scale/seed already"
         " wrote (needs --cache and --outdir; CSVs are checksum-verified)",
     )
+    run.add_argument(
+        "--workers-external",
+        action="store_true",
+        help="act as one of N independent sweep workers sharing --cache: claim"
+        " unclaimed cells through the store (stealing stale claims of dead"
+        " peers), then assemble the figure from cache — byte-identical to a"
+        " single-process run; see docs/DISTRIBUTED.md",
+    )
+    run.add_argument(
+        "--claim-stale-after",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds without a heartbeat before a peer's claim is presumed"
+        " dead and stolen (default: 30)",
+    )
 
     gantt = sub.add_parser("gantt", help="simulate one strategy and print an ASCII Gantt chart")
     gantt.add_argument("strategy", help="strategy name (see repro.strategy_names())")
@@ -133,6 +149,41 @@ def _open_store_and_orchestrator(
     # plain cached run is already resumable; --resume only enables skipping.
     orch = SweepOrchestrator(store, scale=args.scale, seed=args.seed) if args.outdir else None
     return store, orch
+
+
+def _drain_external(
+    args: argparse.Namespace,
+    figure_ids: List[str],
+    store: ResultStore,
+    orch: Optional[SweepOrchestrator],
+) -> None:
+    """Claim-and-compute every figure's cold cells as one external worker.
+
+    After this returns the store holds every planned cell (computed here,
+    by a peer, or stolen from a dead peer), so the normal per-figure loop
+    below assembles the CSVs entirely from cache hits.
+    """
+    from repro.experiments.external import drain_figure
+    from repro.store.claims import ClaimRegistry
+    from repro.store.journal import Journal
+
+    registry = ClaimRegistry(store, stale_after=args.claim_stale_after)
+    journal = Journal(store)
+    for fid in figure_ids:
+        stats = drain_figure(
+            fid,
+            scale=args.scale,
+            seed=args.seed,
+            store=store,
+            claims=registry,
+            journal=journal,
+            orchestrator=orch,
+            workers=args.workers,
+        )
+        print(
+            f"   [{fid} drained as {registry.owner}: {stats.computed} computed,"
+            f" {stats.cached} from peers/cache, {registry.counts['stolen']} stolen]"
+        )
 
 
 def _print_cache_summary(store: ResultStore) -> None:
@@ -271,6 +322,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     figure_ids = _resolve_figures(args.figures)
     store, orch = _open_store_and_orchestrator(args)
+    if args.workers_external:
+        if store is None:
+            raise SystemExit("--workers-external requires --cache")
+        _drain_external(args, figure_ids, store, orch)
     for fid in figure_ids:
         csv_path = os.path.join(args.outdir, f"{fid}_{args.scale}.csv") if args.outdir else None
         if args.resume and orch is not None and csv_path is not None and orch.completed_csv(fid, csv_path):

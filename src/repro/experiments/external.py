@@ -1,0 +1,138 @@
+"""Coordinator-free multi-worker sweeps over one shared store.
+
+``repro-experiments run --workers-external`` turns each invocation into
+one of N interchangeable sweep workers.  There is no master process; the
+store *is* the coordinator:
+
+1. **Plan** — the worker runs the figure generator under
+   :func:`~repro.experiments.runner.collect_planned_cells`, which records
+   the deterministic grid of replicate cells instead of computing it.
+   Every worker derives the identical plan from (figure, scale, seed).
+2. **Publish** — the plan's fingerprints are written to the
+   :class:`~repro.store.orchestrator.SweepOrchestrator` cell manifest
+   (idempotent: identical bytes from every worker) and journaled as
+   ``accepted`` under a deterministic job id.
+3. **Drain** — :func:`repro.store.claims.drain_cells` walks the grid:
+   cells already in the store are skipped, unclaimed cells are claimed
+   and computed, foreign-claimed cells are revisited until their owner
+   finishes — or dies, goes stale, and is stolen from.
+4. **Assemble** — the caller re-runs the generator normally with the
+   store as cache; every cell is a hit, so the CSV is byte-identical to
+   a single-process run.
+
+All timing (polling, staleness) lives in :mod:`repro.store.claims`; this
+module stays clock-free per the R-OBS-CLOCK discipline for
+``repro.experiments``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.figures import generate
+from repro.experiments.runner import PlannedCell, average_normalized_comm, collect_planned_cells
+from repro.store.cache import ResultStore
+from repro.store.claims import ClaimRegistry, DrainStats, drain_cells
+from repro.store.fingerprint import ENGINE_VERSION, fingerprint, seed_token
+from repro.store.journal import Journal
+from repro.store.orchestrator import SweepOrchestrator
+from repro.utils.rng import SeedLike
+
+__all__ = ["drain_figure", "external_job_id", "plan_figure_cells"]
+
+#: Schema tag fingerprinted into external-mode job ids.
+_JOB_SCHEMA = "repro.store.job/1"
+
+
+def plan_figure_cells(figure_id: str, *, scale: str, seed: SeedLike) -> List[PlannedCell]:
+    """The deduplicated, cacheable cell grid *figure_id* would compute.
+
+    Runs the real generator under the plan collector (cheap: analytical
+    series still evaluate, simulations do not), then drops uncacheable
+    cells and duplicate fingerprints.  Deterministic in its arguments —
+    the property the whole external mode rests on.
+    """
+    with collect_planned_cells() as bucket:
+        generate(figure_id, scale=scale, seed=seed, workers=1, cache=None)
+    seen: Dict[str, PlannedCell] = {}
+    for cell in bucket:
+        if cell.fingerprint is not None and cell.fingerprint not in seen:
+            seen[cell.fingerprint] = cell
+    return list(seen.values())
+
+
+def external_job_id(figure_id: str, *, scale: str, seed: SeedLike) -> Optional[str]:
+    """Deterministic journal job id for one figure sweep, or ``None``.
+
+    ``None`` mirrors :class:`~repro.store.orchestrator.SweepOrchestrator`'s
+    unresumable case: a seed that cannot be tokenized cannot be identified
+    across processes, so its sweep gets no cross-process job identity.
+    """
+    tok = seed_token(seed)
+    if tok is None:
+        return None
+    return fingerprint(
+        {
+            "schema": _JOB_SCHEMA,
+            "engine": ENGINE_VERSION,
+            "figure": str(figure_id),
+            "scale": str(scale),
+            "seed": tok,
+        }
+    )
+
+
+def drain_figure(
+    figure_id: str,
+    *,
+    scale: str,
+    seed: SeedLike,
+    store: ResultStore,
+    claims: ClaimRegistry,
+    journal: Optional[Journal] = None,
+    orchestrator: Optional[SweepOrchestrator] = None,
+    workers: int = 1,
+    vectorize: "bool | str" = "auto",
+    poll_interval: float = 0.05,
+    timeout: Optional[float] = None,
+) -> DrainStats:
+    """Plan, publish and drain one figure's cell grid as one worker.
+
+    Safe to run in any number of processes concurrently: claims guarantee
+    each cold cell is computed exactly once, and the function returns when
+    *every* planned cell is present in the store — whether this worker
+    computed it, a peer did, or a peer died and this worker stole it.
+    ``workers``/``vectorize`` configure how *this* worker computes the
+    cells it wins (they do not affect results, only speed).
+    """
+    plan = plan_figure_cells(figure_id, scale=scale, seed=seed)
+    job = external_job_id(figure_id, scale=scale, seed=seed)
+    fingerprints = sorted(c.fingerprint for c in plan if c.fingerprint is not None)
+    if orchestrator is not None:
+        orchestrator.write_cell_manifest(figure_id, fingerprints)
+    if journal is not None and job is not None:
+        journal.append_many("accepted", fingerprints, job=job, owner=claims.owner)
+
+    def compute(cell: PlannedCell) -> None:
+        average_normalized_comm(
+            cell.strategy_factory,
+            cell.platform_factory,
+            cell.n,
+            cell.reps,
+            seed=cell.seed,
+            workers=workers,
+            cache=store,
+            vectorize=vectorize,
+        )
+
+    cells = {c.fingerprint: c for c in plan if c.fingerprint is not None}
+    return drain_cells(
+        store,
+        cells,
+        compute,
+        claims=claims,
+        journal=journal,
+        job=job,
+        poll_interval=poll_interval,
+        timeout=timeout,
+    )

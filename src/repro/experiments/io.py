@@ -8,9 +8,11 @@ consume the CSVs directly.
 
 from __future__ import annotations
 
+import contextlib
 import csv
 import io
 import os
+import tempfile
 from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.config import FigureData
@@ -35,14 +37,26 @@ def figure_to_rows(fig: FigureData) -> List[Tuple]:
 
 
 def write_csv(fig: FigureData, path: str) -> str:
-    """Write the figure to *path* as tidy CSV; returns the path."""
+    """Write the figure to *path* as tidy CSV; returns the path.
+
+    The write is atomic (temp file + ``os.replace``) so concurrent
+    external sweep workers finishing the same figure — who by construction
+    produce byte-identical rows — can never interleave halves of the file.
+    """
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    with open(path, "w", newline="") as fh:
-        writer = csv.writer(fh)
-        writer.writerow(_HEADER)
-        writer.writerows(figure_to_rows(fig))
+    fd, tmp = tempfile.mkstemp(dir=directory or ".", suffix=".csv.tmp")
+    try:
+        with os.fdopen(fd, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(_HEADER)
+            writer.writerows(figure_to_rows(fig))
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
     return path
 
 

@@ -9,7 +9,10 @@ per repetition.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+import contextlib
+import contextvars
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -24,12 +27,15 @@ from repro.simulator.batch import has_vector_kernel, simulate_batch
 from repro.simulator.engine import simulate
 from repro.store.cache import ResultStore
 from repro.store.cells import load_cell, replicate_cell_key, save_cell
+from repro.store.fingerprint import fingerprint
 from repro.utils.rng import SeedLike, spawn_rngs
 from repro.utils.stats import RunningStats, Summary
 
 __all__ = [
     "average_normalized_comm",
+    "collect_planned_cells",
     "mean_analysis_ratio",
+    "PlannedCell",
     "PlatformFactory",
     "StrategyFactory",
 ]
@@ -38,6 +44,59 @@ __all__ = [
 # (and optionally a speed model) for that repetition.
 PlatformFactory = Callable[[np.random.Generator], "Platform | tuple[Platform, SpeedModel]"]
 StrategyFactory = Callable[[], Strategy]
+
+
+@dataclass(frozen=True)
+class PlannedCell:
+    """One replicate cell recorded by :func:`collect_planned_cells`.
+
+    Carries everything needed to compute the cell later in any process —
+    the (picklable) factories and scalar parameters — plus the cell's
+    store key and fingerprint when the cell is cacheable (``None`` for
+    uncacheable inputs, which planning skips over and the assembling run
+    computes inline).
+    """
+
+    strategy_factory: StrategyFactory
+    platform_factory: PlatformFactory
+    n: int
+    reps: int
+    seed: SeedLike
+    key: Optional[Dict[str, Any]]
+    fingerprint: Optional[str]
+
+
+#: When set, :func:`average_normalized_comm` records cells instead of
+#: computing them.  Context-local so a planner pass can never leak into
+#: unrelated threads or tasks.
+_PLAN_BUCKET: "contextvars.ContextVar[Optional[List[PlannedCell]]]" = contextvars.ContextVar(
+    "repro_plan_bucket", default=None
+)
+
+#: Placeholder statistics returned while planning; real values come from
+#: the post-drain assembly pass, which hits the cache.  Non-zero so figure
+#: code dividing by a planned mean never trips on 0.
+_PLAN_PLACEHOLDER = Summary(n=1, mean=1.0, std=0.0, min=1.0, max=1.0)
+
+
+@contextlib.contextmanager
+def collect_planned_cells() -> Iterator[List[PlannedCell]]:
+    """Record the replicate cells a figure *would* compute, without computing.
+
+    Inside the context every :func:`average_normalized_comm` call appends
+    a :class:`PlannedCell` to the yielded list and returns a placeholder
+    summary.  Running a figure generator under this context is the
+    planning pre-pass of the external multi-worker mode
+    (:mod:`repro.experiments.external`): because the generators are
+    deterministic in (figure, scale, seed), every worker plans the exact
+    same grid.
+    """
+    bucket: List[PlannedCell] = []
+    token = _PLAN_BUCKET.set(bucket)
+    try:
+        yield bucket
+    finally:
+        _PLAN_BUCKET.reset(token)
 
 
 def _unpack(made: "Platform | tuple[Platform, SpeedModel]") -> "tuple[Platform, Optional[SpeedModel]]":
@@ -181,6 +240,28 @@ def average_normalized_comm(
     """
     if reps <= 0:
         raise ValueError(f"reps must be positive, got {reps}")
+    bucket = _PLAN_BUCKET.get()
+    if bucket is not None:
+        planned_key = replicate_cell_key(
+            strategy_factory=strategy_factory,
+            platform_factory=platform_factory,
+            n=n,
+            reps=reps,
+            seed=seed,
+            metrics=sink is not None,
+        )
+        bucket.append(
+            PlannedCell(
+                strategy_factory=strategy_factory,
+                platform_factory=platform_factory,
+                n=n,
+                reps=reps,
+                seed=seed,
+                key=planned_key,
+                fingerprint=None if planned_key is None else fingerprint(planned_key),
+            )
+        )
+        return _PLAN_PLACEHOLDER
     if workers != 1:
         from repro.experiments.parallel import parallel_average_normalized_comm
 

@@ -21,7 +21,14 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.obs.metrics import ALL_PHASES, ALL_WORKERS, Metrics, TASK_BUCKETS
 
-__all__ = ["MetricsSink", "NullSink", "RecordingSink"]
+__all__ = ["MetricsSink", "NullSink", "RecordingSink", "STORE_EVENTS"]
+
+#: Events the result-store layer may forward through ``on_store_event``:
+#: cache traffic (``hit``/``miss``/``put``/``corrupt`` with the entry kind),
+#: claim-file lifecycle (``claim``/``steal``/``release`` with kind
+#: ``"claim"``) and journal activity (``journal_append``/``journal_corrupt``
+#: with kind ``"journal"``).
+STORE_EVENTS = ("hit", "miss", "put", "corrupt", "claim", "steal", "release", "journal_append", "journal_corrupt")
 
 
 class MetricsSink:
@@ -66,10 +73,15 @@ class MetricsSink:
         """The run finished; totals are the result's headline numbers."""
 
     def on_store_event(self, kind: str, event: str) -> None:
-        """The result cache looked up or wrote an entry of *kind*.
+        """The result-store layer looked up/wrote an entry of *kind*.
 
-        *event* is one of ``hit``/``miss``/``put``/``corrupt`` (see
-        :class:`repro.store.cache.ResultStore`).  Unlike the engine hooks
+        *event* is one of :data:`STORE_EVENTS`: cache traffic
+        (``hit``/``miss``/``put``/``corrupt``, see
+        :class:`repro.store.cache.ResultStore`), claim lifecycle
+        (``claim``/``steal``/``release``, see
+        :class:`repro.store.claims.ClaimRegistry`) or journal activity
+        (``journal_append``/``journal_corrupt``, see
+        :class:`repro.store.journal.Journal`).  Unlike the engine hooks
         this fires outside any run, so implementations must not assume a
         current strategy.
         """
@@ -100,9 +112,11 @@ class RecordingSink(MetricsSink):
     ``tasks_allocated`` (counter) allocated tasks, per worker and phase
     ``zero_task_assignments``   index-only shipments (no work allocated)
     ``fault_<kind>`` (counter)  fault events per kind (crash/restart/loss/...)
-    ``store_<event>`` (counter) result-cache traffic per entry kind, keyed
+    ``store_<event>`` (counter) result-store traffic per entry kind, keyed
                                 ``(kind, ALL_WORKERS, ALL_PHASES)`` for each
-                                of hit/miss/put/corrupt
+                                of :data:`STORE_EVENTS` (cache hits/misses/
+                                puts/corruption, claim/steal/release,
+                                journal appends/quarantines)
     ``assignment_tasks`` (hist) per-assignment task counts, fixed power-of-two buckets
     ``makespan`` (gauge)        last run's makespan
     ``phase2_start_time`` (gauge) simulated time of the first phase-2 assignment
@@ -210,8 +224,8 @@ class RecordingSink(MetricsSink):
         )
 
     def on_store_event(self, kind: str, event: str) -> None:
-        """Count cache traffic as ``store_<event>`` keyed by entry kind."""
-        if event not in ("hit", "miss", "put", "corrupt"):
+        """Count store traffic as ``store_<event>`` keyed by entry kind."""
+        if event not in STORE_EVENTS:
             raise ValueError(f"unknown store event {event!r}")
         self.metrics.counter(f"store_{event}").inc((str(kind), ALL_WORKERS, ALL_PHASES))
 

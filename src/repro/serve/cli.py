@@ -72,6 +72,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-cells", type=int, default=256, help="largest accepted sweep"
     )
+    parser.add_argument(
+        "--claim-stale-after",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help=(
+            "cross-process claim heartbeat staleness in seconds; a peer may "
+            "steal a cell whose claim is older (0 = disable claims)"
+        ),
+    )
+    parser.add_argument(
+        "--claim-poll",
+        type=float,
+        default=0.05,
+        metavar="S",
+        help="poll interval while waiting on a peer process's claimed cell",
+    )
     return parser
 
 
@@ -92,5 +109,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_reps=args.max_reps,
         max_p=args.max_p,
         max_cells=args.max_cells,
+        claim_stale_after=args.claim_stale_after,
+        claim_poll=args.claim_poll,
     )
     return run_server(config)

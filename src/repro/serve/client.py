@@ -37,7 +37,7 @@ class ServeError(RuntimeError):
 
 
 class ServeClient:
-    """Thin blocking wrapper over the service's five routes."""
+    """Thin blocking wrapper over the service's routes."""
 
     def __init__(
         self,
@@ -83,6 +83,10 @@ class ServeClient:
     def metrics(self) -> Dict[str, Any]:
         """``GET /metrics``."""
         return self._request("GET", "/metrics")
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/<id>`` — sweep recovery status from the journal."""
+        return self._request("GET", f"/jobs/{job_id}")
 
     def analytical(self, query: Dict[str, Any]) -> Dict[str, Any]:
         """``POST /v1/analytical`` — closed-form fast path."""
@@ -173,8 +177,9 @@ class ServerThread:
     production shutdown too.
     """
 
-    def __init__(self, config: ServeConfig) -> None:
+    def __init__(self, config: ServeConfig, *, clock: Optional[Any] = None) -> None:
         self.config = config
+        self._clock = clock
         self.service: Optional[SweepService] = None
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
@@ -201,7 +206,7 @@ class ServerThread:
         import asyncio
 
         async def _amain() -> None:
-            service = SweepService(self.config)
+            service = SweepService(self.config, clock=self._clock)
             self.service = service
             try:
                 self._address = await service.start()

@@ -51,6 +51,7 @@ from repro.platform.speeds import SCENARIO_NAMES
 from repro.store.fingerprint import fingerprint
 
 __all__ = [
+    "JOB_SCHEMA",
     "KERNELS",
     "PLATFORM_TYPES",
     "QUERY_KINDS",
@@ -60,10 +61,14 @@ __all__ = [
     "PlatformSpec",
     "ProtocolError",
     "parse_platform",
+    "sweep_job_id",
 ]
 
 #: Protocol schema tag, echoed by ``/healthz`` so clients can pin it.
 SERVE_SCHEMA = "repro.serve/1"
+
+#: Schema tag fingerprinted into sweep job ids (journal recovery keys).
+JOB_SCHEMA = "repro.serve.job/1"
 
 #: Supported platform spec types (the picklable factory specs of
 #: :mod:`repro.experiments.parallel`).
@@ -366,3 +371,16 @@ class AnalyticalQuery:
         )
         out["value"] = float(ratio)
         return out
+
+
+def sweep_job_id(cells: List[CellSpec]) -> str:
+    """Deterministic journal job id for one sweep's cell set.
+
+    A fingerprint over the *sorted* cell fingerprints, so the id depends
+    only on which cells the sweep covers — not their order, which service
+    process accepted them, or when.  Any process holding the same journal
+    can therefore answer ``GET /jobs/<id>`` for a sweep it never saw.
+    """
+    return fingerprint(
+        {"schema": JOB_SCHEMA, "cells": sorted(c.fingerprint() for c in cells)}
+    )

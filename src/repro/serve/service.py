@@ -2,7 +2,7 @@
 
 A deliberately small HTTP/1.1 server on raw asyncio streams — stdlib only,
 one request per connection, ``Connection: close`` — because the protocol
-surface is five routes of JSON and the interesting machinery lives in
+surface is a handful of JSON routes and the interesting machinery lives in
 :mod:`repro.serve.queueing`:
 
 ========  ==================  ============================================
@@ -10,12 +10,23 @@ method    path                behavior
 ========  ==================  ============================================
 GET       ``/healthz``        liveness + drain state + schema tag
 GET       ``/metrics``        :mod:`repro.obs` snapshot + derived numbers
+GET       ``/jobs/<id>``      sweep recovery: finished/pending cells
+                              replayed from the journal + store — answers
+                              for sweeps accepted by an earlier (possibly
+                              killed) process over the same store
 POST      ``/v1/analytical``  closed-form query, evaluated inline (the
                               fast path: never touches the simulation lane)
 POST      ``/v1/cell``        one simulation cell through the lane
 POST      ``/v1/sweep``       many cells; ``"stream": true`` upgrades the
                               response to SSE with per-cell progress
 ========  ==================  ============================================
+
+Multiple service processes may point at one ``store_root``: every sweep's
+cells are journaled ``accepted`` under a deterministic job id, and (unless
+``claim_stale_after=0``) each cold cell is *claimed* before it is queued,
+so concurrent processes coalesce cross-process instead of computing the
+cell twice — see :mod:`repro.serve.queueing` and
+:mod:`repro.store.claims`.
 
 Status codes: 400 malformed spec, 404/405 unknown route, 413 oversized
 body, 429 per-client quota exhausted, 503 queue full or draining.
@@ -34,15 +45,24 @@ import json
 import signal
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Set, Tuple
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.experiments.parallel import shutdown_pool
-from repro.serve.protocol import SERVE_SCHEMA, AnalyticalQuery, CellSpec, ProtocolError
+from repro.serve.protocol import (
+    SERVE_SCHEMA,
+    AnalyticalQuery,
+    CellSpec,
+    ProtocolError,
+    sweep_job_id,
+)
 from repro.serve.queueing import AdmissionError, CellOutcome, SimulationLane
 from repro.serve.quotas import QuotaRegistry
 from repro.serve.telemetry import ServiceSink
 from repro.store.cache import ResultStore
-from repro.utils.validation import check_nonnegative, check_positive_int
+from repro.store.claims import ClaimRegistry
+from repro.store.journal import Journal
+from repro.utils.validation import check_nonnegative, check_positive, check_positive_int
 
 __all__ = ["ServeConfig", "SweepService", "run_server"]
 
@@ -79,6 +99,8 @@ class ServeConfig:
         "executor_threads",
         "read_timeout",
         "drain_grace",
+        "claim_stale_after",
+        "claim_poll",
     )
 
     def __init__(
@@ -101,6 +123,8 @@ class ServeConfig:
         executor_threads: int = 4,
         read_timeout: float = 30.0,
         drain_grace: float = 5.0,
+        claim_stale_after: float = 30.0,
+        claim_poll: float = 0.05,
     ) -> None:
         self.host = str(host)
         if isinstance(port, bool) or not isinstance(port, int) or not 0 <= port <= 65535:
@@ -121,6 +145,9 @@ class ServeConfig:
         self.executor_threads = check_positive_int("executor_threads", executor_threads)
         self.read_timeout = check_nonnegative("read_timeout", read_timeout)
         self.drain_grace = check_nonnegative("drain_grace", drain_grace)
+        # 0 disables cross-process claims (single-instance deployments).
+        self.claim_stale_after = check_nonnegative("claim_stale_after", claim_stale_after)
+        self.claim_poll = check_positive("claim_poll", claim_poll)
 
 
 class _HttpError(Exception):
@@ -133,13 +160,34 @@ class _HttpError(Exception):
 
 
 class SweepService:
-    """One service instance: store, quotas, lanes, HTTP front."""
+    """One service instance: store, quotas, claims, journal, lanes, HTTP front.
 
-    def __init__(self, config: ServeConfig) -> None:
+    ``clock`` is injectable for deterministic tests; when given it drives
+    *both* the quota token buckets (normally ``time.monotonic``) and the
+    claim heartbeats (normally ``time.time`` — wall time, because
+    heartbeats must be comparable across processes).
+    """
+
+    def __init__(
+        self, config: ServeConfig, *, clock: Optional[Callable[[], float]] = None
+    ) -> None:
         self.config = config
         self.sink = ServiceSink()
         self.store = ResultStore(config.store_root, sink=self.sink)
-        self.quotas = QuotaRegistry(config.quota_rate, config.quota_burst)
+        self.quotas = QuotaRegistry(
+            config.quota_rate,
+            config.quota_burst,
+            clock=clock if clock is not None else time.monotonic,
+        )
+        self.journal = Journal(self.store, sink=self.sink)
+        self.claims: Optional[ClaimRegistry] = None
+        if config.claim_stale_after > 0:
+            self.claims = ClaimRegistry(
+                self.store,
+                stale_after=config.claim_stale_after,
+                clock=clock if clock is not None else time.time,
+                sink=self.sink,
+            )
         self._executor = ThreadPoolExecutor(
             max_workers=config.executor_threads, thread_name_prefix="repro-serve"
         )
@@ -151,6 +199,9 @@ class SweepService:
             max_queue=config.max_queue,
             batch_max=config.batch_max,
             cell_workers=config.cell_workers,
+            claims=self.claims,
+            journal=self.journal,
+            claim_poll=config.claim_poll,
         )
         self._server: Optional["asyncio.Server"] = None
         self._draining = False
@@ -335,9 +386,29 @@ class SweepService:
         if path == "/v1/sweep" and method == "POST":
             await self._route_sweep(client, body, writer)
             return
+        if path.startswith("/jobs/"):
+            if method != "GET":
+                raise _HttpError(405, f"method {method} not allowed on {path}")
+            await self._route_job(path[len("/jobs/") :], writer)
+            return
         if path in ("/healthz", "/metrics", "/v1/analytical", "/v1/cell", "/v1/sweep"):
             raise _HttpError(405, f"method {method} not allowed on {path}")
         raise _HttpError(404, f"unknown path {path}")
+
+    async def _route_job(self, job_id: str, writer: asyncio.StreamWriter) -> None:
+        """``GET /jobs/<id>``: sweep status replayed from journal + store.
+
+        Deliberately independent of any in-memory state, so a fresh
+        process answers for jobs accepted before a crash or restart.
+        """
+        if not job_id:
+            raise _HttpError(404, "missing job id")
+        status = await asyncio.get_running_loop().run_in_executor(
+            self._executor, partial(self.journal.job_status, job_id, store=self.store)
+        )
+        if status is None:
+            raise _HttpError(404, f"unknown job {job_id}")
+        self._write_json(writer, 200, status)
 
     async def _route_analytical(
         self, client: str, body: bytes, writer: asyncio.StreamWriter, start: float
@@ -379,15 +450,40 @@ class SweepService:
         self._check_quota(client, "simulation", cost=float(len(raw_cells)))
         cells = [self._parse_cell(raw) for raw in raw_cells]
         self.sink.request("simulation")
+        job_id = await self._journal_accepted(cells)
         if stream:
-            await self._stream_sweep(cells, writer)
+            await self._stream_sweep(cells, job_id, writer)
         else:
             results = await asyncio.gather(
                 *(self._submit_safe(cell) for cell in cells)
             )
             self._write_json(
-                writer, 200, {"cells": results, "counts": _status_counts(results)}
+                writer,
+                200,
+                {"cells": results, "counts": _status_counts(results), "job": job_id},
             )
+
+    async def _journal_accepted(self, cells: List[CellSpec]) -> str:
+        """Journal every sweep cell ``accepted`` under a deterministic job id.
+
+        The id depends only on the cell set, so re-submitting the same
+        sweep (to this process or any peer on the same store) maps onto
+        the same recoverable job.
+        """
+        job_id = sweep_job_id(cells)
+        fingerprints = sorted({cell.fingerprint() for cell in cells})
+        owner = None if self.claims is None else self.claims.owner
+        await asyncio.get_running_loop().run_in_executor(
+            self._executor,
+            partial(
+                self.journal.append_many,
+                "accepted",
+                fingerprints,
+                job=job_id,
+                owner=owner,
+            ),
+        )
+        return job_id
 
     async def _submit_safe(self, cell: CellSpec) -> Dict[str, Any]:
         """One sweep cell's payload; admission failures become row entries."""
@@ -404,7 +500,7 @@ class SweepService:
         return outcome.payload()
 
     async def _stream_sweep(
-        self, cells: List[CellSpec], writer: asyncio.StreamWriter
+        self, cells: List[CellSpec], job_id: str, writer: asyncio.StreamWriter
     ) -> None:
         """SSE: one ``cell`` event per finished cell, then ``done``."""
         head = (
@@ -414,7 +510,7 @@ class SweepService:
             "Connection: close\r\n\r\n"
         )
         writer.write(head.encode("latin-1"))
-        _write_sse(writer, "accepted", {"cells": len(cells)})
+        _write_sse(writer, "accepted", {"cells": len(cells), "job": job_id})
         await writer.drain()
 
         async def indexed(i: int, cell: CellSpec) -> Tuple[int, Dict[str, Any]]:
@@ -452,6 +548,7 @@ class SweepService:
                     "puts": counts.puts,
                     "corrupt": counts.corrupt,
                 },
+                "claims": None if self.claims is None else dict(self.claims.counts),
             },
             "draining": self.draining,
         }

@@ -20,7 +20,7 @@ import threading
 from typing import Any, Dict, Mapping, Optional
 
 from repro.obs.metrics import ALL_PHASES, ALL_WORKERS, LATENCY_BUCKETS, MetricKey, Metrics
-from repro.obs.sink import MetricsSink
+from repro.obs.sink import STORE_EVENTS, MetricsSink
 
 __all__ = ["ServiceSink"]
 
@@ -44,8 +44,10 @@ class ServiceSink(MetricsSink):
     ``serve_coalesced`` (counter)   cells that joined an in-flight computation
     ``serve_cells`` (counter)       finished cells per terminal status
                                     (``hit``/``computed``/``coalesced``/``error``)
-    ``store_<event>`` (counter)     cache traffic forwarded by the store,
-                                    keyed by entry kind
+    ``store_<event>`` (counter)     store traffic forwarded by the store,
+                                    claim registry and journal, keyed by
+                                    entry kind (see
+                                    :data:`~repro.obs.sink.STORE_EVENTS`)
     ``serve_latency`` (histogram)   request latency seconds per lane
                                     (:data:`~repro.obs.metrics.LATENCY_BUCKETS`)
     ==============================  ===========================================
@@ -87,8 +89,8 @@ class ServiceSink(MetricsSink):
     # -- MetricsSink hooks --------------------------------------------------
 
     def on_store_event(self, kind: str, event: str) -> None:
-        """Forwarded store traffic (runs on executor threads)."""
-        if event not in ("hit", "miss", "put", "corrupt"):
+        """Forwarded store/claim/journal traffic (runs on executor threads)."""
+        if event not in STORE_EVENTS:
             raise ValueError(f"unknown store event {event!r}")
         with self._lock:
             self._metrics.counter(f"store_{event}").inc(_key(str(kind)))

@@ -21,16 +21,23 @@ Layered API:
   runner's replicate cells (:class:`~repro.utils.stats.Summary` values);
 * :mod:`repro.store.results` — caching wrapper for single simulations
   (serialized :class:`~repro.simulator.results.SimulationResult` values);
-* :mod:`repro.store.orchestrator` — figure-level resume manifests for
-  ``repro-experiments run --resume``;
+* :mod:`repro.store.orchestrator` — figure-level resume manifests (and
+  planned cell manifests) for ``repro-experiments run --resume`` and the
+  multi-worker external mode;
+* :mod:`repro.store.claims` — per-cell claim files with heartbeats and
+  stale-claim stealing, so N processes share one cold store without
+  duplicate computation (see docs/DISTRIBUTED.md);
+* :mod:`repro.store.journal` — the append-only checksummed request
+  journal that lets a killed service answer "was my sweep finished?";
 * :mod:`repro.store.cli` — the ``repro-store`` maintenance tool
-  (``stats``/``ls``/``gc``/``verify``).
+  (``stats``/``ls``/``gc``/``verify``/``claims``/``journal``).
 """
 
 from __future__ import annotations
 
 from repro.store.cache import ResultStore, StoreCounts
 from repro.store.cells import replicate_cell_key
+from repro.store.claims import ClaimRegistry, HeartbeatTicker, drain_cells
 from repro.store.fingerprint import (
     ENGINE_VERSION,
     canonical_json,
@@ -38,17 +45,22 @@ from repro.store.fingerprint import (
     seed_token,
     spec_token,
 )
+from repro.store.journal import Journal
 from repro.store.lock import FileLock
 from repro.store.orchestrator import SweepOrchestrator
 from repro.store.results import run_cached_simulation
 
 __all__ = [
     "ENGINE_VERSION",
+    "ClaimRegistry",
     "FileLock",
+    "HeartbeatTicker",
+    "Journal",
     "ResultStore",
     "StoreCounts",
     "SweepOrchestrator",
     "canonical_json",
+    "drain_cells",
     "fingerprint",
     "replicate_cell_key",
     "run_cached_simulation",

@@ -201,6 +201,21 @@ class ResultStore:
             self._event(kind, "put")
         return fp
 
+    def has_fingerprint(self, fp: str) -> bool:
+        """Lock-free existence probe by fingerprint — no counters, no parsing.
+
+        The claim/drain machinery (:mod:`repro.store.claims`) polls this
+        while waiting on foreign owners; it deliberately bypasses the
+        hit/miss counters so a wait loop doesn't masquerade as cache
+        traffic.  A corrupt entry reads as present here — the eventual
+        :meth:`get` still validates and recomputes.
+        """
+        return os.path.exists(self._entry_path(str(fp)))
+
+    def contains(self, key: Mapping[str, Any]) -> bool:
+        """:meth:`has_fingerprint` for a canonical *key* (fingerprints it)."""
+        return self.has_fingerprint(fingerprint(key))
+
     # -- validation ---------------------------------------------------------------
 
     def _validate_envelope(

@@ -6,6 +6,8 @@ Examples::
     repro-store ls cache/ --kind replicate-cell
     repro-store gc cache/ --max-bytes 33554432
     repro-store verify cache/ --delete
+    repro-store claims cache/ --stale-after 30 --break-stale
+    repro-store journal cache/ --job <id> --repair
 """
 
 from __future__ import annotations
@@ -16,6 +18,8 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.store.cache import ResultStore
+from repro.store.claims import ClaimRegistry
+from repro.store.journal import Journal
 
 __all__ = ["build_parser", "main"]
 
@@ -48,6 +52,30 @@ def build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser("verify", help="re-checksum every entry, report corruption")
     verify.add_argument("root", help="cache directory")
     verify.add_argument("--delete", action="store_true", help="also delete corrupt entries")
+
+    claims = sub.add_parser("claims", help="list cell claim files; optionally break stale ones")
+    claims.add_argument("root", help="cache directory")
+    claims.add_argument(
+        "--stale-after",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="heartbeat age (seconds) past which a claim counts as stale (default: 30)",
+    )
+    claims.add_argument(
+        "--break-stale",
+        action="store_true",
+        help="unlink stale claims so survivors can steal the cells immediately",
+    )
+
+    journal = sub.add_parser("journal", help="inspect (or repair) the request journal")
+    journal.add_argument("root", help="cache directory")
+    journal.add_argument("--job", default=None, help="show one job's finished/pending cells")
+    journal.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt journal lines (moved to journal/quarantine)",
+    )
     return parser
 
 
@@ -102,10 +130,57 @@ def _verify(args: argparse.Namespace) -> int:
     return 1
 
 
+def _claims(args: argparse.Namespace) -> int:
+    store = _require_store(args.root)
+    registry = ClaimRegistry(store, stale_after=args.stale_after)
+    active = registry.active()
+    for info in active:
+        state = "stale" if registry.is_stale(info) else "live"
+        print(f"{info.fingerprint}  {state:5s}  owner={info.owner}  heartbeat={info.heartbeat:.1f}")
+    if args.break_stale:
+        broken = registry.break_stale()
+        print(f"broke {broken} stale claims")
+    elif not active:
+        print(f"{args.root}: no claims")
+    return 0
+
+
+def _journal(args: argparse.Namespace) -> int:
+    store = _require_store(args.root)
+    journal = Journal(store)
+    if args.repair:
+        quarantined = journal.repair()
+        print(f"quarantined {quarantined} corrupt lines")
+    replayed = journal.replay()
+    print(f"{args.root}: {len(replayed.records)} records, {replayed.corrupt} corrupt")
+    if args.job is not None:
+        status = journal.job_status(args.job, store=store)
+        if status is None:
+            print(f"unknown job {args.job}")
+            return 1
+        print(
+            f"job {args.job}: done={status['done']} "
+            f"finished={len(status['finished'])} pending={len(status['pending'])}"
+        )
+        for fp in status["pending"]:
+            print(f"  pending: {fp} ({status['cells'][fp]})")
+    else:
+        for job in journal.jobs():
+            print(f"  job {job}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro-store`` console script."""
     args = build_parser().parse_args(argv)
-    handlers = {"stats": _stats, "ls": _ls, "gc": _gc, "verify": _verify}
+    handlers = {
+        "stats": _stats,
+        "ls": _ls,
+        "gc": _gc,
+        "verify": _verify,
+        "claims": _claims,
+        "journal": _journal,
+    }
     return handlers[args.command](args)
 
 

@@ -120,3 +120,29 @@ class TestReport:
         rc = main(["report", str(tmp_path), "-o", str(tmp_path / "r.md")])
         assert rc == 0
         assert (tmp_path / "r.md").exists()
+
+
+class TestWorkersExternal:
+    def test_parser_accepts_external_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig01", "--workers-external", "--claim-stale-after", "5"]
+        )
+        assert args.workers_external is True
+        assert args.claim_stale_after == 5.0
+
+    def test_external_requires_cache(self):
+        with pytest.raises(SystemExit, match="requires --cache"):
+            main(["run", "fig01", "--workers-external", "--quiet"])
+
+    def test_single_external_worker_matches_plain_run(self, tmp_path, capsys):
+        plain, ext = tmp_path / "plain", tmp_path / "ext"
+        assert main(["run", "fig01", "--scale", "ci", "--outdir", str(plain), "--quiet"]) == 0
+        rc = main([
+            "run", "fig01", "--scale", "ci", "--outdir", str(ext), "--quiet",
+            "--cache", str(tmp_path / "cache"), "--workers-external",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "drained as" in out
+        with open(plain / "fig01_ci.csv", "rb") as a, open(ext / "fig01_ci.csv", "rb") as b:
+            assert a.read() == b.read()

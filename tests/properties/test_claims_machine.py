@@ -1,0 +1,153 @@
+"""Stateful property test of the claim protocol (hypothesis).
+
+Drives arbitrary interleavings of claim / heartbeat / release / complete /
+crash / clock-advance across several simulated owners sharing one real
+store directory, checking the three properties the cross-process layer
+promises:
+
+* **mutual exclusion** — at most one claim file per cell, always owned by
+  exactly one owner (or absent);
+* **no double compute** — a cell is computed (put into the store) at most
+  once, because every compute path re-checks store presence first;
+* **no lost cells** — whatever happened (including crashed owners whose
+  claims linger), once claims go stale a surviving owner can always drain
+  the remaining cells.
+"""
+
+import shutil
+import tempfile
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.store.cache import ResultStore
+from repro.store.claims import ClaimRegistry
+from repro.store.fingerprint import fingerprint
+
+N_OWNERS = 3
+N_CELLS = 4
+STALE_AFTER = 10.0
+
+KEYS = [{"machine-cell": i} for i in range(N_CELLS)]
+FPS = [fingerprint(k) for k in KEYS]
+
+owners = st.integers(0, N_OWNERS - 1)
+cells = st.integers(0, N_CELLS - 1)
+
+
+class SharedClock:
+    def __init__(self):
+        self.t = 1_000.0
+
+    def __call__(self):
+        return self.t
+
+
+class ClaimMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.root = tempfile.mkdtemp(prefix="claims-machine-")
+        self.store = ResultStore(self.root)
+        self.clock = SharedClock()
+        self.registries = [
+            ClaimRegistry(
+                self.store,
+                owner=f"owner-{i}",
+                stale_after=STALE_AFTER,
+                clock=self.clock,
+            )
+            for i in range(N_OWNERS)
+        ]
+        self.alive = [True] * N_OWNERS
+        self.computes = {fp: 0 for fp in FPS}
+
+    # -- rules ---------------------------------------------------------------
+
+    @rule(dt=st.floats(0.1, 2.5 * STALE_AFTER))
+    def advance_clock(self, dt):
+        self.clock.t += dt
+
+    @rule(i=owners, j=cells)
+    def claim(self, i, j):
+        if self.alive[i] and not self.store.has_fingerprint(FPS[j]):
+            self.registries[i].try_claim(FPS[j])
+
+    @rule(i=owners, j=cells)
+    def heartbeat(self, i, j):
+        if self.alive[i]:
+            self.registries[i].heartbeat(FPS[j])
+
+    @rule(i=owners, j=cells)
+    def release(self, i, j):
+        if self.alive[i]:
+            self.registries[i].release(FPS[j])
+
+    @rule(i=owners, j=cells)
+    def complete(self, i, j):
+        """The owner's compute step, exactly as ``drain_cells`` sequences it."""
+        fp, registry = FPS[j], self.registries[i]
+        if not self.alive[i]:
+            return
+        if self.store.has_fingerprint(fp):
+            return  # someone already finished it; computing again is the bug
+        if not registry.try_claim(fp):
+            return
+        self.computes[fp] += 1
+        assert self.computes[fp] == 1, f"cell {j} computed twice"
+        self.store.put(KEYS[j], {"value": float(j)}, kind="machine-cell")
+        registry.release(fp)
+
+    @rule(i=owners)
+    def crash(self, i):
+        """SIGKILL: the owner stops acting; its claims linger until stale."""
+        if sum(self.alive) > 1:  # keep at least one survivor to drain with
+            self.alive[i] = False
+
+    @rule(i=owners)
+    def break_stale(self, i):
+        if self.alive[i]:
+            self.registries[i].break_stale()
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def one_owner_per_claim(self):
+        seen = set()
+        for info in self.registries[0].active():
+            assert info.fingerprint not in seen
+            seen.add(info.fingerprint)
+            assert info.owner in {r.owner for r in self.registries}
+
+    @invariant()
+    def computed_cells_are_in_the_store(self):
+        for fp, count in self.computes.items():
+            assert count <= 1
+            if count:
+                assert self.store.has_fingerprint(fp)
+
+    # -- convergence ---------------------------------------------------------
+
+    def teardown(self):
+        try:
+            # Let every lingering claim (crashed owners included) go stale,
+            # then any survivor must be able to drain the leftovers.
+            self.clock.t += STALE_AFTER + 1.0
+            survivor = self.registries[self.alive.index(True)]
+            for j, fp in enumerate(FPS):
+                if self.store.has_fingerprint(fp):
+                    continue
+                assert survivor.try_claim(fp), f"cell {j} lost: unclaimable"
+                self.computes[fp] += 1
+                assert self.computes[fp] == 1, f"cell {j} computed twice"
+                self.store.put(KEYS[j], {"value": float(j)}, kind="machine-cell")
+                survivor.release(fp)
+            assert all(self.store.has_fingerprint(fp) for fp in FPS)  # drained
+        finally:
+            shutil.rmtree(self.root, ignore_errors=True)
+
+
+ClaimMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+TestClaimMachine = ClaimMachine.TestCase

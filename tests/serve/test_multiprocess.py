@@ -1,0 +1,200 @@
+"""Two service instances over one store: cross-process coalescing & recovery.
+
+Each :class:`ServerThread` boots a complete, independent
+:class:`SweepService` — its own event loop, executor, claim registry and
+journal — over the same store root, which is exactly the state two
+``repro-serve`` processes behind a load balancer would share.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError, ServerThread
+from repro.serve.protocol import CellSpec, sweep_job_id
+from repro.serve.service import ServeConfig
+from repro.store.cache import ResultStore
+from repro.store.claims import ClaimRegistry
+from repro.store.journal import Journal
+
+CELLS = [
+    {
+        "strategy": strategy,
+        "n": 6,
+        "reps": 2,
+        "seed": 7,
+        "platform": {"type": "uniform", "p": 3},
+    }
+    for strategy in ("DynamicOuter", "SortedOuter", "RandomOuter")
+]
+
+
+def config(tmp_path, **overrides):
+    settings = dict(
+        port=0,
+        store_root=str(tmp_path / "shared-store"),
+        quota_burst=0,  # quotas off: these tests exercise claims, not limits
+        claim_stale_after=5.0,
+        claim_poll=0.01,
+    )
+    settings.update(overrides)
+    return ServeConfig(**settings)
+
+
+class TestCrossProcessCoalescing:
+    def test_identical_cold_sweeps_run_each_engine_cell_once(self, tmp_path):
+        with ServerThread(config(tmp_path)) as (h1, p1), \
+                ServerThread(config(tmp_path)) as (h2, p2):
+            clients = [ServeClient(h1, p1), ServeClient(h2, p2)]
+            results = {}
+
+            def sweep(idx):
+                results[idx] = clients[idx % 2].sweep(CELLS)
+
+            threads = [threading.Thread(target=sweep, args=(i,)) for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            # Every requester got every cell answered, none rejected.
+            for body in results.values():
+                assert sum(body["counts"].values()) == len(CELLS)
+                assert "rejected" not in body["counts"]
+                assert all(c["summary"] is not None for c in body["cells"])
+            # The put counter across BOTH services is the cell count:
+            # each cold cell hit the engine exactly once, cluster-wide.
+            puts = 0
+            for client in clients:
+                puts += client.metrics()["derived"]["store"]["puts"]
+            assert puts == len(CELLS)
+            # All four sweeps resolved to the same deterministic job id.
+            jobs = {body["job"] for body in results.values()}
+            assert len(jobs) == 1
+
+    def test_both_services_serve_the_same_summaries(self, tmp_path):
+        with ServerThread(config(tmp_path)) as (h1, p1), \
+                ServerThread(config(tmp_path)) as (h2, p2):
+            first = ServeClient(h1, p1).sweep(CELLS)
+            second = ServeClient(h2, p2).sweep(CELLS)
+            assert second["counts"] == {"hit": len(CELLS)}
+            by_fp = {c["fingerprint"]: c["summary"] for c in first["cells"]}
+            for cell in second["cells"]:
+                assert cell["summary"] == by_fp[cell["fingerprint"]]
+
+
+class TestJobRecovery:
+    def test_jobs_answers_from_either_service(self, tmp_path):
+        with ServerThread(config(tmp_path)) as (h1, p1), \
+                ServerThread(config(tmp_path)) as (h2, p2):
+            job = ServeClient(h1, p1).sweep(CELLS)["job"]
+            status = ServeClient(h2, p2).job(job)  # the service that never saw it
+            assert status["job"] == job
+            assert status["done"] is True
+            assert len(status["finished"]) == len(CELLS)
+            assert status["pending"] == []
+
+    def test_jobs_survives_service_restart(self, tmp_path):
+        with ServerThread(config(tmp_path)) as (host, port):
+            job = ServeClient(host, port).sweep(CELLS)["job"]
+        # First service fully stopped; a fresh one reconstructs the answer
+        # from journal + store alone.
+        with ServerThread(config(tmp_path)) as (host, port):
+            status = ServeClient(host, port).job(job)
+            assert status["done"] is True and len(status["finished"]) == len(CELLS)
+
+    def test_unfinished_job_reports_pending_after_restart(self, tmp_path):
+        store = ResultStore(str(tmp_path / "shared-store"))
+        Journal(store).append_many(
+            "accepted", ["never-computed-1", "never-computed-2"], job="half-done"
+        )
+        with ServerThread(config(tmp_path)) as (host, port):
+            status = ServeClient(host, port).job("half-done")
+            assert status["done"] is False
+            assert status["pending"] == ["never-computed-1", "never-computed-2"]
+
+    def test_unknown_job_is_404(self, tmp_path):
+        with ServerThread(config(tmp_path)) as (host, port):
+            with pytest.raises(ServeError) as err:
+                ServeClient(host, port).job("no-such-job")
+            assert err.value.status == 404
+
+    def test_jobs_route_rejects_post(self, tmp_path):
+        with ServerThread(config(tmp_path)) as (host, port):
+            with pytest.raises(ServeError) as err:
+                ServeClient(host, port)._request("POST", "/jobs/abc", {})
+            assert err.value.status == 405
+
+
+class FakeClock:
+    """Settable clock for deterministic quota-refill and staleness tests."""
+
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+QUERY = {"query": "ratio", "kernel": "outer", "n": 16, "speeds": [1.0, 2.0], "beta": 2.0}
+
+
+class TestInjectedClock:
+    def test_quota_refill_is_clock_driven_not_wall_driven(self, tmp_path):
+        clock = FakeClock(100.0)
+        cfg = config(tmp_path, quota_rate=1.0, quota_burst=1.0)
+        with ServerThread(cfg, clock=clock) as (host, port):
+            client = ServeClient(host, port, client_id="budget")
+            assert client.analytical(QUERY)["value"] > 0
+            with pytest.raises(ServeError) as err:
+                client.analytical(QUERY)  # bucket empty, no wall time passed
+            assert err.value.status == 429
+            clock.t += 5.0  # tokens refill by decree, not by sleeping
+            assert client.analytical(QUERY)["value"] > 0
+
+    def test_stale_claim_steal_is_clock_driven(self, tmp_path):
+        # A "dead worker" claimed the cell at fake-time 0; the service's
+        # injected clock says 1000, far past staleness — it must steal and
+        # compute without any real waiting.
+        clock = FakeClock(1_000.0)
+        cfg = config(tmp_path, claim_stale_after=30.0)
+        store = ResultStore(cfg.store_root)
+        dead = ClaimRegistry(
+            store, owner="dead-worker", stale_after=30.0, clock=FakeClock(0.0)
+        )
+        assert dead.try_claim(CellSpec.parse(CELLS[0]).fingerprint())
+        with ServerThread(cfg, clock=clock) as (host, port):
+            client = ServeClient(host, port)
+            body = client.sweep([CELLS[0]])
+            assert body["counts"] == {"computed": 1}
+            assert client.metrics()["derived"]["claims"]["stolen"] == 1
+
+
+class TestClaimConfiguration:
+    def test_sweep_job_id_is_order_insensitive(self):
+        cells = [CellSpec.parse(raw) for raw in CELLS]
+        assert sweep_job_id(cells) == sweep_job_id(list(reversed(cells)))
+
+    def test_claims_disabled_still_serves_and_journals(self, tmp_path):
+        with ServerThread(config(tmp_path, claim_stale_after=0.0)) as (host, port):
+            client = ServeClient(host, port)
+            body = client.sweep(CELLS)
+            assert body["counts"] == {"computed": len(CELLS)}
+            assert client.metrics()["derived"]["claims"] is None
+            # Journal acceptance (and /jobs) works without claims.
+            status = client.job(body["job"])
+            assert status["done"] is True
+
+    def test_metrics_expose_claim_counters(self, tmp_path):
+        with ServerThread(config(tmp_path)) as (host, port):
+            client = ServeClient(host, port)
+            client.sweep(CELLS)
+            claims = client.metrics()["derived"]["claims"]
+            assert claims["claimed"] == len(CELLS)
+            assert claims["released"] == len(CELLS)
+
+    def test_config_validates_claim_fields(self, tmp_path):
+        with pytest.raises(ValueError, match="claim_stale_after"):
+            config(tmp_path, claim_stale_after=-1.0)
+        with pytest.raises(ValueError, match="claim_poll"):
+            config(tmp_path, claim_poll=0.0)

@@ -154,7 +154,8 @@ class TestProtocolSurface:
             assert names[0] == "accepted"
             assert names[-1] == "done"
             assert names.count("cell") == 3
-            assert events[0][1] == {"cells": 3}
+            assert events[0][1]["cells"] == 3
+            assert isinstance(events[0][1]["job"], str) and events[0][1]["job"]
             indices = sorted(data["index"] for name, data in events if name == "cell")
             assert indices == [0, 1, 2]
             done = events[-1][1]

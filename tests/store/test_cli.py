@@ -78,3 +78,69 @@ class TestVerify:
         assert main(["verify", root, "--delete"]) == 1
         assert not os.path.exists(victim.path)
         assert main(["verify", root]) == 0
+
+
+class TestClaims:
+    def test_no_claims(self, root, capsys):
+        assert main(["claims", root]) == 0
+        assert "no claims" in capsys.readouterr().out
+
+    def test_lists_live_and_stale(self, root, capsys):
+        from repro.store.claims import ClaimRegistry
+
+        store = ResultStore(root)
+        live = ClaimRegistry(store, owner="w-live", stale_after=3600.0)
+        live.try_claim("fresh-cell")
+        dead = ClaimRegistry(store, owner="w-dead", stale_after=3600.0,
+                             clock=lambda: 0.0)
+        dead.try_claim("stale-cell")
+        assert main(["claims", root]) == 0
+        out = capsys.readouterr().out
+        assert "fresh-cell  live" in out
+        assert "stale-cell  stale" in out
+        assert "owner=w-dead" in out
+
+    def test_break_stale_unlinks_only_stale(self, root, capsys):
+        from repro.store.claims import ClaimRegistry
+
+        store = ResultStore(root)
+        ClaimRegistry(store, owner="w-dead", stale_after=3600.0,
+                      clock=lambda: 0.0).try_claim("stale-cell")
+        assert main(["claims", root, "--break-stale"]) == 0
+        assert "broke 1 stale claims" in capsys.readouterr().out
+        assert ClaimRegistry(store).active() == []
+
+
+class TestJournal:
+    def test_empty_journal(self, root, capsys):
+        assert main(["journal", root]) == 0
+        assert "0 records, 0 corrupt" in capsys.readouterr().out
+
+    def test_job_status_and_listing(self, root, capsys):
+        from repro.store.journal import Journal
+
+        journal = Journal(ResultStore(root))
+        journal.append_many("accepted", ["cell-a", "cell-b"], job="job-x")
+        journal.append("flushed", "cell-a")
+        assert main(["journal", root]) == 0
+        assert "job job-x" in capsys.readouterr().out
+        assert main(["journal", root, "--job", "job-x"]) == 0
+        out = capsys.readouterr().out
+        assert "done=False finished=1 pending=1" in out
+        assert "pending: cell-b" in out
+
+    def test_unknown_job_exits_nonzero(self, root, capsys):
+        assert main(["journal", root, "--job", "nope"]) == 1
+        assert "unknown job" in capsys.readouterr().out
+
+    def test_repair_quarantines(self, root, capsys):
+        from repro.store.journal import Journal
+
+        journal = Journal(ResultStore(root))
+        journal.append("accepted", "cell-a", job="j")
+        with open(journal.path, "a") as fh:
+            fh.write("torn-line\n")
+        assert main(["journal", root, "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined 1 corrupt lines" in out
+        assert "1 records, 0 corrupt" in out

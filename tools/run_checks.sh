@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # One-shot local gate: tier-1 tests, the invariant linter, the whole-program
-# analyzer, the docs gate, and (when installed) the strict typing gate — the
-# same jobs CI runs.
+# analyzer, the docs gate, the cross-process claims smoke, and (when
+# installed) the strict typing gate — the same jobs CI runs.
 #
 #   ./tools/run_checks.sh
 #
@@ -31,6 +31,7 @@ run python -m pytest -x -q
 run python -m repro.lint src/repro
 run python -m repro.analyze check --baseline tools/analyze_baseline.json src/repro
 run python tools/check_docs.py
+run python tools/claims_smoke.py
 
 if python -c "import mypy" >/dev/null 2>&1; then
     run python -m mypy --strict src/repro
