@@ -13,12 +13,15 @@ tunes β by minimizing the matmul analysis of Section 4.2.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from repro.core.strategies.base import Assignment
 from repro.core.strategies.matrix_dynamic import MatrixDynamic
+
+if TYPE_CHECKING:
+    from repro.platform.platform import Platform
 from repro.taskpool.knowledge import BlockCache
 from repro.taskpool.sample_set import SampleSet
 from repro.utils.validation import check_fraction, check_nonnegative, check_nonnegative_int
@@ -57,8 +60,14 @@ class MatrixTwoPhase(MatrixDynamic):
         self._threshold_tasks = threshold_tasks
         self._agnostic = bool(agnostic)
 
-    def _resolve_threshold(self) -> int:
-        total = self.total_tasks
+    def resolve_threshold(self, platform: "Platform") -> int:
+        """The phase-2 threshold this configuration yields on *platform*.
+
+        Pure function of (configuration, platform) — the vector kernel
+        replays it per replicate, and :meth:`reset` applies it to the
+        bound platform via :meth:`_resolve_threshold`.
+        """
+        total = self.n**3
         if self._threshold_tasks is not None:
             return min(self._threshold_tasks, total)
         if self._phase1_fraction is not None:
@@ -68,12 +77,15 @@ class MatrixTwoPhase(MatrixDynamic):
             from repro.core.analysis.matrix import optimal_matrix_beta
 
             if self._agnostic:
-                rel = np.full(self.platform.p, 1.0 / self.platform.p)
+                rel = np.full(platform.p, 1.0 / platform.p)
             else:
-                rel = self.platform.relative_speeds
+                rel = platform.relative_speeds
             beta = optimal_matrix_beta(rel, self.n)
         self._resolved_beta = float(beta)
         return min(total, int(round(math.exp(-beta) * total)))
+
+    def _resolve_threshold(self) -> int:
+        return self.resolve_threshold(self.platform)
 
     @property
     def beta(self) -> Optional[float]:

@@ -49,6 +49,7 @@ from repro.experiments.runner import average_normalized_comm
 from repro.obs.profile import StageProfiler, wall_time
 from repro.platform.platform import Platform
 from repro.platform.speeds import uniform_speeds
+from repro.simulator.batch import fallback_reason
 from repro.simulator.engine import simulate
 from repro.simulator.events import EventQueue
 from repro.taskpool.sample_set import SampleSet
@@ -177,6 +178,24 @@ def _sample_drain_workload(size: int) -> WorkloadFn:
     return run
 
 
+def _engine_params(strategy: StrategySpec, vectorize: "bool | str") -> Dict[str, Any]:
+    """BENCH-JSON engine metadata for a sweep workload.
+
+    Resolves what engine the workload's replicates actually run on, so a
+    ``vectorize="auto"`` scalar fallback is recorded in the committed
+    record rather than silently skewing a comparison: ``engine`` is
+    ``"vectorized"`` or ``"scalar"``, and ``vectorize_fallback`` names the
+    reason (``"forced"`` for an explicit ``vectorize=False``, else a
+    :func:`repro.simulator.batch.fallback_reason` string).
+    """
+    if vectorize is False:
+        return {"engine": "scalar", "vectorize_fallback": "forced"}
+    reason = fallback_reason(strategy())
+    if reason is None:
+        return {"engine": "vectorized"}
+    return {"engine": "scalar", "vectorize_fallback": reason}
+
+
 def _sweep_workload(
     n: int, p: int, reps: int, workers: int, vectorize: "bool | str" = "auto"
 ) -> WorkloadFn:
@@ -200,6 +219,43 @@ def _sweep_workload(
                 workers=workers,
                 vectorize=vectorize,
             )
+
+    return run
+
+
+def _beta_sweep_workload(
+    strategy_name: str,
+    n: int,
+    p: int,
+    reps: int,
+    betas: "tuple[float, ...]",
+    vectorize: "bool | str",
+) -> WorkloadFn:
+    """Figure-6/11-style β sweep: a two-phase strategy across a β grid.
+
+    The sweep the paper's headline comparisons hinge on — one
+    ``average_normalized_comm`` cell per β, all replicates on the engine
+    *vectorize* selects, so the serial/vectorized workload pair measures
+    the two-phase kernels end to end.
+    """
+    platform_spec = UniformPlatformSpec(p)
+
+    def run(seed: int, prof: StageProfiler) -> object:
+        out = []
+        with prof.stage("sweep"):
+            for beta in betas:
+                out.append(
+                    average_normalized_comm(
+                        StrategySpec(strategy_name, n, beta=float(beta)),
+                        platform_spec,
+                        n,
+                        reps,
+                        seed=seed,
+                        workers=1,
+                        vectorize=vectorize,
+                    )
+                )
+        return out
 
     return run
 
@@ -281,30 +337,63 @@ def _serve_roundtrip_workload(cells: int, n: int, reps: int) -> WorkloadFn:
 
 
 def _scaling_suite() -> List[Workload]:
-    """The replicate-count scaling sweep: R ∈ {1, 4, 16, 64} × 3 engines."""
+    """The replicate-count scaling sweep plus the two-phase β sweep.
+
+    R ∈ {1, 4, 16, 64} × 3 engines for RandomMatrix, and a serial vs
+    vectorized DynamicOuter2Phases β sweep — the cell the two-phase
+    kernels' committed speedup is measured on.
+    """
     n, p = 16, 50
+    spec = StrategySpec("RandomMatrix", n)
     workloads: List[Workload] = []
     for reps in (1, 4, 16, 64):
         base = {"strategy": "RandomMatrix", "n": n, "p": p, "reps": reps}
         workloads.append(
             Workload(
                 f"scaling_reps{reps:02d}_serial",
-                {**base, "workers": 1, "vectorize": False},
+                {**base, "workers": 1, "vectorize": False, **_engine_params(spec, False)},
                 _sweep_workload(n, p, reps, 1, vectorize=False),
             )
         )
         workloads.append(
             Workload(
                 f"scaling_reps{reps:02d}_vectorized",
-                {**base, "workers": 1, "vectorize": True},
+                {**base, "workers": 1, "vectorize": True, **_engine_params(spec, True)},
                 _sweep_workload(n, p, reps, 1, vectorize=True),
             )
         )
         workloads.append(
             Workload(
                 f"scaling_reps{reps:02d}_parallel4",
-                {**base, "workers": 4, "vectorize": "auto"},
+                {**base, "workers": 4, "vectorize": "auto", **_engine_params(spec, "auto")},
                 _sweep_workload(n, p, reps, 4, vectorize="auto"),
+            )
+        )
+    # DynamicMatrix2Phases is the cell where vectorization pays most: the
+    # scalar engine's per-event cost (cube marking, three n^2 block
+    # caches) dwarfs the kernel's, and the static-speed phase-2 tail is
+    # closed-form.  Low betas cross into phase 2 early, so the analytic
+    # path dominates; higher betas spend longer in the RNG-bound phase-1
+    # lockstep and pull the aggregate down.
+    tp_n, tp_p, tp_reps = 12, 20, 256
+    tp_betas = (0.5, 1.0, 1.5, 2.0)
+    tp_spec = StrategySpec("DynamicMatrix2Phases", tp_n, beta=tp_betas[0])
+    tp_base = {
+        "strategy": "DynamicMatrix2Phases",
+        "n": tp_n,
+        "p": tp_p,
+        "reps": tp_reps,
+        "betas": list(tp_betas),
+        "workers": 1,
+    }
+    for engine, vectorize in (("serial", False), ("vectorized", True)):
+        workloads.append(
+            Workload(
+                f"twophase_beta_sweep_{engine}",
+                {**tp_base, "vectorize": vectorize, **_engine_params(tp_spec, vectorize)},
+                _beta_sweep_workload(
+                    "DynamicMatrix2Phases", tp_n, tp_p, tp_reps, tp_betas, vectorize
+                ),
             )
         )
     return workloads
@@ -370,17 +459,20 @@ def build_suite(suite: str = "default") -> List[Workload]:
         ),
         Workload(
             "replicate_sweep_serial",
-            {"strategy": "RandomMatrix", "n": sweep_n, "p": sweep_p, "reps": sweep_reps, "workers": 1, "vectorize": False},
+            {"strategy": "RandomMatrix", "n": sweep_n, "p": sweep_p, "reps": sweep_reps, "workers": 1, "vectorize": False,
+             **_engine_params(StrategySpec("RandomMatrix", sweep_n), False)},
             _sweep_workload(sweep_n, sweep_p, sweep_reps, 1, vectorize=False),
         ),
         Workload(
             "replicate_sweep_vectorized",
-            {"strategy": "RandomMatrix", "n": sweep_n, "p": sweep_p, "reps": sweep_reps, "workers": 1, "vectorize": True},
+            {"strategy": "RandomMatrix", "n": sweep_n, "p": sweep_p, "reps": sweep_reps, "workers": 1, "vectorize": True,
+             **_engine_params(StrategySpec("RandomMatrix", sweep_n), True)},
             _sweep_workload(sweep_n, sweep_p, sweep_reps, 1, vectorize=True),
         ),
         Workload(
             "replicate_sweep_parallel4",
-            {"strategy": "RandomMatrix", "n": sweep_n, "p": sweep_p, "reps": sweep_reps, "workers": 4, "vectorize": False},
+            {"strategy": "RandomMatrix", "n": sweep_n, "p": sweep_p, "reps": sweep_reps, "workers": 4, "vectorize": False,
+             **_engine_params(StrategySpec("RandomMatrix", sweep_n), False)},
             _sweep_workload(sweep_n, sweep_p, sweep_reps, 4, vectorize=False),
         ),
         Workload(
@@ -421,6 +513,8 @@ def _derive_metrics(entries: Dict[str, Any], cpu_count: Optional[int]) -> Dict[s
       more than one CPU;
     * ``replicate_sweep_vectorized_speedup`` — serial over batch-engine
       median, the headline number of the vectorized engine;
+    * ``twophase_beta_sweep_speedup`` — the same ratio for the scaling
+      suite's DynamicOuter2Phases β sweep, pinning the two-phase kernels;
     * ``scaling_curve`` — one row per replicate count of the scaling
       suite, with both speedups.
     """
@@ -458,6 +552,10 @@ def _derive_metrics(entries: Dict[str, Any], cpu_count: Optional[int]) -> Dict[s
         )
     if curve:
         derived["scaling_curve"] = curve
+    tp_serial = median_of("twophase_beta_sweep_serial")
+    tp_vec = median_of("twophase_beta_sweep_vectorized")
+    if tp_serial is not None and tp_vec is not None and tp_vec > 0:
+        derived["twophase_beta_sweep_speedup"] = tp_serial / tp_vec
     return derived
 
 
@@ -661,6 +759,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"  replicate sweep speedup (vectorized): "
             f"{derived['replicate_sweep_vectorized_speedup']:.2f}x"
+        )
+    if "twophase_beta_sweep_speedup" in derived:
+        print(
+            f"  two-phase beta sweep speedup (vectorized): "
+            f"{derived['twophase_beta_sweep_speedup']:.2f}x"
         )
     if derived.get("parallel_speedup_ok") is False:
         print(

@@ -72,6 +72,23 @@ MATRIX_BASELINES = ("RandomMatrix", "SortedMatrix", "DynamicMatrix")
 NORMALIZED_YLABEL = "Normalized communication amount"
 
 
+def _engine_meta(strategy_names: Sequence[str], n: int) -> Dict[str, str]:
+    """Sweep metadata: which engine each strategy's replicates run on.
+
+    ``"vectorized"`` when the batch engine covers the strategy, else
+    ``"scalar (<reason>)"`` with the
+    :func:`repro.simulator.batch.fallback_reason` string — recorded per
+    figure so a silent scalar fallback shows up in exported meta.
+    """
+    from repro.simulator.batch import fallback_reason
+
+    engines: Dict[str, str] = {}
+    for name in strategy_names:
+        reason = fallback_reason(StrategySpec(name, n)())
+        engines[name] = "vectorized" if reason is None else f"scalar ({reason})"
+    return engines
+
+
 def _p_grid(scale: str) -> Sequence[int]:
     return {
         "paper": (10, 50, 100, 150, 200, 250, 300),
@@ -108,7 +125,12 @@ def _sweep_vs_p(
         title=title,
         xlabel="Number of processors",
         ylabel=NORMALIZED_YLABEL,
-        meta={"kernel": kernel, "n": n, "reps": reps},
+        meta={
+            "kernel": kernel,
+            "n": n,
+            "reps": reps,
+            "engine": _engine_meta(strategy_names, n),
+        },
     )
     for name in strategy_names:
         fig.new_series(name)
@@ -263,7 +285,13 @@ def fig02(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Option
         title="DynamicOuter2Phases vs fraction of tasks in phase 1 (p=20)",
         xlabel="Percentage of tasks treated in phase 1",
         ylabel=NORMALIZED_YLABEL,
-        meta={"kernel": "outer", "n": n, "p": p, "reps": reps},
+        meta={
+            "kernel": "outer",
+            "n": n,
+            "p": p,
+            "reps": reps,
+            "engine": _engine_meta(("DynamicOuter2Phases",) + OUTER_BASELINES, n),
+        },
     )
     sweep = fig.new_series("DynamicOuter2Phases")
     for frac in fractions:
@@ -326,6 +354,7 @@ def _beta_sweep(
             "reps": reps,
             "beta_opt_analysis": beta_opt(rel, n),
             "beta_opt_agnostic": agnostic_beta(kernel, p, n),
+            "engine": _engine_meta((two_phase, dynamic), n),
         },
     )
     sim_series = fig.new_series(two_phase)
@@ -421,7 +450,13 @@ def fig07(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Option
         title="Outer product: impact of heterogeneity (p=20)",
         xlabel="Heterogeneity",
         ylabel=NORMALIZED_YLABEL,
-        meta={"kernel": "outer", "n": n, "p": p, "reps": reps},
+        meta={
+            "kernel": "outer",
+            "n": n,
+            "p": p,
+            "reps": reps,
+            "engine": _engine_meta(OUTER_BASELINES + ("DynamicOuter2Phases",), n),
+        },
     )
     names = OUTER_BASELINES + ("DynamicOuter2Phases",)
     for name in names:
@@ -453,7 +488,13 @@ def fig08(scale: str = "ci", seed: SeedLike = 0, workers: int = 1, cache: Option
         title="Outer product: heterogeneity scenarios (p=20)",
         xlabel="Scenario",
         ylabel=NORMALIZED_YLABEL,
-        meta={"kernel": "outer", "n": n, "p": p, "reps": reps},
+        meta={
+            "kernel": "outer",
+            "n": n,
+            "p": p,
+            "reps": reps,
+            "engine": _engine_meta(OUTER_BASELINES + ("DynamicOuter2Phases",), n),
+        },
         x_categories=list(scenarios),
     )
     names = OUTER_BASELINES + ("DynamicOuter2Phases",)

@@ -23,7 +23,7 @@ from repro.core.strategies.base import Strategy
 from repro.obs.sink import MetricsSink, RecordingSink
 from repro.platform.platform import Platform
 from repro.platform.speeds import SpeedModel
-from repro.simulator.batch import has_vector_kernel, simulate_batch
+from repro.simulator.batch import fallback_reason, simulate_batch
 from repro.simulator.engine import simulate
 from repro.store.cache import ResultStore
 from repro.store.cells import load_cell, replicate_cell_key, save_cell
@@ -35,6 +35,7 @@ __all__ = [
     "average_normalized_comm",
     "collect_planned_cells",
     "mean_analysis_ratio",
+    "resolve_vectorize",
     "PlannedCell",
     "PlatformFactory",
     "StrategyFactory",
@@ -126,30 +127,45 @@ def _rep_normalized_comm(
     return result.normalized(lb)
 
 
-def _should_vectorize(
+def resolve_vectorize(
     vectorize: Union[bool, str], strategy_factory: StrategyFactory
-) -> bool:
+) -> "tuple[bool, Optional[str]]":
     """Resolve a ``vectorize`` option against the strategy's capabilities.
+
+    Returns ``(use_batch, reason)``: *use_batch* selects the engine and
+    *reason* names why the scalar loop runs when it does (a
+    :func:`repro.simulator.batch.fallback_reason` string, or ``"forced"``
+    for an explicit ``vectorize=False``; ``None`` on the fast path).
+    Sweep metadata records the reason so auto fallbacks are visible in
+    bench and report output rather than silent.
 
     ``"auto"`` opts in iff the strategy's exact type has a vector kernel
     (and does not collect per-task ids); ``True`` demands one and raises
     when unavailable; ``False`` always runs scalar.
     """
     if vectorize is False:
-        return False
+        return False, "forced"
     if vectorize not in (True, "auto"):
         raise ValueError(
             f"vectorize must be True, False or 'auto', got {vectorize!r}"
         )
     prototype = strategy_factory()
-    available = has_vector_kernel(prototype) and not prototype.collect_ids
-    if vectorize is True and not available:
+    reason = fallback_reason(prototype)
+    if vectorize is True and reason is not None:
         raise ValueError(
-            f"vectorize=True but strategy {prototype.name!r} has no vector "
-            "kernel (or collects task ids); use vectorize='auto' to fall "
+            f"vectorize=True but strategy {prototype.name!r} cannot take the "
+            f"vectorized fast path ({reason}: no vector kernel for the exact "
+            "type, or per-task id collection); use vectorize='auto' to fall "
             "back transparently"
         )
-    return available
+    return reason is None, reason
+
+
+def _should_vectorize(
+    vectorize: Union[bool, str], strategy_factory: StrategyFactory
+) -> bool:
+    """Engine selection only — see :func:`resolve_vectorize` for the reason."""
+    return resolve_vectorize(vectorize, strategy_factory)[0]
 
 
 def _batch_outcomes(

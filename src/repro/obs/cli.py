@@ -95,7 +95,28 @@ def _run(args: argparse.Namespace) -> int:
         print(f"wrote {save_summary(sink, args.summary)}")
     if not args.quiet:
         print(render_report(summary_from_sink(sink)))
+        print(_engine_note(args.strategies, args.n))
     return 0
+
+
+def _engine_note(strategies: List[str], n: int) -> str:
+    """One line naming the batch-engine coverage of the reported strategies.
+
+    Replicate sweeps over these strategies take the vectorized fast path
+    unless :func:`repro.simulator.batch.fallback_reason` says otherwise —
+    naming the reason here keeps scalar fallbacks visible from the CLI.
+    """
+    from repro.core.strategies.registry import make_strategy
+    from repro.simulator.batch import fallback_reason
+
+    parts = []
+    for name in strategies:
+        reason = fallback_reason(make_strategy(name, n))
+        parts.append(name if reason is None else f"{name}: scalar ({reason})")
+    scalars = [part for part in parts if "(" in part]
+    if not scalars:
+        return f"engine: vectorized batch kernels cover {', '.join(parts)}"
+    return "engine: scalar fallback for " + "; ".join(scalars)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

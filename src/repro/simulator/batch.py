@@ -8,6 +8,23 @@ with the same generators.  When the strategy's exact type has a vector
 kernel (see :mod:`repro.simulator.vector_kernels`), the replicates
 advance together over (R, p) / (R, n, ·) numpy arrays; otherwise each
 replicate transparently falls back to the scalar engine.
+:func:`fallback_reason` names the first reason a batch cannot take the
+fast path (``None`` when it can), and sweep runners record it so a
+silent scalar fallback is visible in bench/report output.
+
+Dynamic speed models no longer force the fallback: kernels replay
+``model.duration`` per event on the replicate's own stream (see
+:func:`~repro.simulator.vector_kernels._event_durations`), so ``dyn.*``
+heterogeneity sweeps vectorize too.  Only strategy subclasses without a
+kernel, per-task id collection, mixed worker counts, or custom/shared
+model instances still drop to the scalar loop.
+
+Large batches are sliced along the replicate axis: each kernel reports a
+per-replicate working-set estimate and :func:`simulate_batch` runs
+``ceil(R / chunk)`` kernel invocations whose state fits
+*memory_budget_bytes* (default 256 MiB).  Chunking is invisible in the
+results — replicates never interact, so slicing the batch is exact, not
+approximate.
 
 The scalar engine stays the oracle: nothing here changes simulation
 semantics, RNG consumption or float operand order, which is what keeps
@@ -17,21 +34,30 @@ across the two code paths.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Type, Union
+from typing import Callable, List, Optional, Sequence, Set, Type, Union
 
 import numpy as np
 
 from repro.core.strategies.base import Strategy
 from repro.obs.sink import MetricsSink
 from repro.platform.platform import Platform
-from repro.platform.speeds import SpeedModel, StaticSpeedModel
+from repro.platform.speeds import DynamicSpeedModel, SpeedModel, StaticSpeedModel
 from repro.simulator.engine import simulate
 from repro.simulator.results import SimulationResult
 from repro.simulator.trace import AssignmentRecord, Trace
-from repro.simulator.vector_kernels import KernelRun, kernel_for
+from repro.simulator.vector_kernels import BatchContext, KernelRun, kernel_for
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["simulate_batch", "has_vector_kernel"]
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET_BYTES",
+    "fallback_reason",
+    "has_vector_kernel",
+    "simulate_batch",
+]
+
+#: Default ceiling on kernel working-set bytes per batch; replicate
+#: chunks are sized so paper-scale (R, n, n, n) bitmaps stay in RAM.
+DEFAULT_MEMORY_BUDGET_BYTES = 256 * 1024 * 1024
 
 
 def has_vector_kernel(strategy: Union[Strategy, Type[Strategy]]) -> bool:
@@ -39,29 +65,67 @@ def has_vector_kernel(strategy: Union[Strategy, Type[Strategy]]) -> bool:
     return kernel_for(strategy) is not None
 
 
+def fallback_reason(
+    strategy: Union[Strategy, Type[Strategy]],
+    platforms: Optional[Sequence[Platform]] = None,
+    speed_models: Optional[Sequence[Optional[SpeedModel]]] = None,
+) -> Optional[str]:
+    """Why a batch of *strategy* would fall back to the scalar engine.
+
+    Returns ``None`` when the vectorized fast path applies, else the
+    first blocking reason:
+
+    ``"no-kernel"``
+        The exact strategy type has no vector kernel (e.g. a user
+        subclass — the registry never matches subclasses, since they may
+        change semantics).
+    ``"collect-ids"``
+        Per-task id collection is a scalar-trace feature.
+    ``"mixed-p"``
+        Replicate platforms disagree on the worker count, so (R, p)
+        state has no common shape.
+    ``"custom-speed-model"``
+        A speed model other than the static/dynamic library models; only
+        those two have kernel-side replay contracts.
+    ``"shared-speed-model"``
+        One dynamic model instance serving several replicates — its
+        internal state would interleave streams, which only sequential
+        scalar runs order correctly.
+
+    Sweep metadata records this string so ``vectorize="auto"`` fallbacks
+    are visible rather than silent.
+    """
+    if kernel_for(strategy) is None:
+        return "no-kernel"
+    collect_ids = strategy.collect_ids if isinstance(strategy, Strategy) else False
+    if collect_ids:
+        return "collect-ids"
+    if platforms is not None:
+        if not platforms:
+            return "mixed-p"
+        p0 = platforms[0].p
+        if any(pl.p != p0 for pl in platforms):
+            return "mixed-p"
+    if speed_models is not None:
+        seen_dynamic: Set[int] = set()
+        for model in speed_models:
+            if model is None or type(model) is StaticSpeedModel:
+                continue
+            if type(model) is not DynamicSpeedModel:
+                return "custom-speed-model"
+            if id(model) in seen_dynamic:
+                return "shared-speed-model"
+            seen_dynamic.add(id(model))
+    return None
+
+
 def _supports_fast_path(
     prototype: Strategy,
     platforms: Sequence[Platform],
     models: Sequence[Optional[SpeedModel]],
 ) -> bool:
-    """Whether the whole batch can run on the vectorized kernel.
-
-    Requires a kernel for the exact strategy type, no per-task id
-    collection (ids are a scalar-trace feature), one common worker count,
-    and static speeds — a :class:`DynamicSpeedModel` consumes the RNG
-    stream inside the event loop, which only the scalar engine replays.
-    """
-    if kernel_for(prototype) is None or prototype.collect_ids:
-        return False
-    if not platforms:
-        return False
-    p0 = platforms[0].p
-    if any(pl.p != p0 for pl in platforms):
-        return False
-    for model in models:
-        if model is not None and type(model) is not StaticSpeedModel:
-            return False
-    return True
+    """Whether the whole batch can run on the vectorized kernel."""
+    return fallback_reason(prototype, platforms, models) is None
 
 
 def _replay_run(
@@ -87,7 +151,7 @@ def _replay_run(
         )
     trace: Optional[Trace] = Trace() if collect_trace else None
     if run.events is not None:
-        for now, worker, blocks, tasks, duration in run.events:
+        for now, worker, blocks, tasks, duration, phase in run.events:
             if trace is not None:
                 trace.append(
                     AssignmentRecord(
@@ -96,12 +160,12 @@ def _replay_run(
                         blocks=blocks,
                         tasks=tasks,
                         duration=duration,
-                        phase=1,
+                        phase=phase,
                         task_ids=None,
                     )
                 )
             if sink is not None:
-                sink.on_assignment(now, worker, blocks, tasks, duration, 1)
+                sink.on_assignment(now, worker, blocks, tasks, duration, phase)
     total_blocks = int(run.per_worker_blocks.sum())
     total_tasks = int(run.per_worker_tasks.sum())
     if sink is not None:
@@ -125,6 +189,7 @@ def simulate_batch(
     speed_models: Optional[Sequence[Optional[SpeedModel]]] = None,
     collect_trace: bool = False,
     sinks: Optional[Sequence[Optional[MetricsSink]]] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> List[SimulationResult]:
     """Run R replicates of one strategy cell, vectorized when possible.
 
@@ -142,7 +207,10 @@ def simulate_batch(
         would.
     speed_models:
         Optional per-replicate speed models; ``None`` entries default to
-        static speeds.  Any non-static model forces the scalar fallback.
+        static speeds.  Static and dynamic library models vectorize;
+        custom model classes (or one dynamic instance shared between
+        replicates) force the scalar fallback — see
+        :func:`fallback_reason`.
     collect_trace:
         Attach an :class:`~repro.simulator.trace.AssignmentRecord` trace
         to every result.
@@ -150,6 +218,11 @@ def simulate_batch(
         Optional per-replicate metrics sinks; events are replayed to each
         in the replicate's own pop order, yielding snapshots bit-identical
         to serial runs.
+    memory_budget_bytes:
+        Ceiling on the kernel's replicate-scaled working set; the batch
+        is sliced along R into chunks that fit (replicates never
+        interact, so slicing is exact).  ``None`` uses
+        :data:`DEFAULT_MEMORY_BUDGET_BYTES`.
 
     Returns
     -------
@@ -176,6 +249,8 @@ def simulate_batch(
         sink_list = sinks
     if R == 0:
         return []
+    if memory_budget_bytes is not None and memory_budget_bytes <= 0:
+        raise ValueError(f"memory_budget_bytes must be positive, got {memory_budget_bytes}")
 
     generators = [as_generator(rng) for rng in rngs]
     prototype = strategy_factory()
@@ -192,8 +267,9 @@ def simulate_batch(
             for r in range(R)
         ]
 
-    # Observable-state parity with the scalar engine: the model reset runs
-    # even though StaticSpeedModel consumes no randomness.
+    # Observable-state parity with the scalar engine: every model reset
+    # runs up front (resets draw nothing, so chunk boundaries cannot
+    # reorder stream consumption).
     for r in range(R):
         model = models[r]
         if model is not None:
@@ -202,7 +278,20 @@ def simulate_batch(
     want_events = collect_trace or any(s is not None for s in sink_list)
     kernel = kernel_for(prototype)
     assert kernel is not None  # _supports_fast_path checked
-    runs = kernel.run(prototype, speeds, generators, want_events)
+    budget = DEFAULT_MEMORY_BUDGET_BYTES if memory_budget_bytes is None else memory_budget_bytes
+    per_rep = max(1, int(kernel.bytes_per_replicate(prototype, platforms[0].p)))
+    chunk = max(1, budget // per_rep)
+    runs: List[KernelRun] = []
+    for lo in range(0, R, chunk):
+        hi = min(R, lo + chunk)
+        ctx = BatchContext(
+            platforms=platforms[lo:hi],
+            speeds=speeds[lo:hi],
+            generators=generators[lo:hi],
+            models=models[lo:hi],
+            want_events=want_events,
+        )
+        runs.extend(kernel.run(prototype, ctx))
     return [
         _replay_run(runs[r], prototype, platforms[r], collect_trace, sink_list[r])
         for r in range(R)

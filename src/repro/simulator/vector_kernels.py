@@ -7,17 +7,20 @@ would compute — same RNG consumption per replicate, same IEEE-754
 operand order for every duration and timestamp, same heap tie-breaking —
 but over numpy arrays instead of one Python event at a time.
 
-Two kernel families cover six strategies:
+Three kernel families cover all ten registry strategies:
 
 * :class:`_TaskByTaskKernel` (RandomOuter / SortedOuter / RandomMatrix /
-  SortedMatrix) — these strategies allocate exactly one task per request,
-  so the whole event schedule is *analytically* reconstructible: worker
-  ``w``'s ``k``-th request happens at ``k / speed_w`` (computed by the
-  same repeated float addition the event loop performs, via ``cumsum``),
-  and the heap's pop order is a stable sort by time with FIFO ties fixed
-  up exactly (see :func:`_pop_schedule`).  Random task order is re-drawn
+  SortedMatrix / MapReduceOuter / MapReduceMatrix) — these strategies
+  allocate exactly one task per request, so under static speeds the whole
+  event schedule is *analytically* reconstructible: worker ``w``'s
+  ``k``-th request happens at ``k / speed_w`` (computed by the same
+  repeated float addition the event loop performs, via ``cumsum``), and
+  the heap's pop order is a stable sort by time with FIFO ties fixed up
+  exactly (see :func:`_pop_schedule`).  Random task order is re-drawn
   with a single batched ``Generator.integers`` call per replicate, which
   numpy guarantees to be stream-identical to the scalar per-draw calls.
+  The MapReduce variants are the degenerate cached-nothing case: a
+  constant 2 (outer) or 3 (matmul) blocks ship with every task.
 
 * the lockstep kernels (:class:`_OuterDynamicKernel` /
   :class:`_MatrixDynamicKernel`) — the Dynamic* strategies' decisions
@@ -27,11 +30,28 @@ Two kernel families cover six strategies:
   task bitmaps are (R, n, n[, n]) booleans, and each step's cross/shell
   marking is one padded gather/scatter across every active replicate.
 
-Strategies without a kernel here (MapReduce*, the two-phase variants,
-user subclasses) transparently fall back to per-replicate scalar
-simulation in the batch engine — the registry is keyed by *exact* type,
-so a subclass never silently inherits a kernel whose semantics it may
-have changed.
+* the two-phase kernels (:class:`_TwoPhaseKernel`, covering
+  DynamicOuter2Phases / DynamicMatrix2Phases) — phase 1 *is* the
+  lockstep Dynamic* loop (the state machinery is shared); each replicate
+  independently crosses its ``e^{-beta}``-remaining threshold, freezing
+  its knowledge into per-worker boolean block caches and a swap-remove
+  sampler replay, after which its events follow the single-task phase-2
+  path.  Replicates in different phases advance through the same (R, p)
+  event queue side by side.
+
+Dynamic speed models (``dyn.*``) no longer force the scalar engine:
+strategy-side state stays vectorized across the replicate axis while
+each event's duration replays ``model.duration`` on the replicate's own
+stream, in pop order — exactly the call the scalar loop makes after each
+assignment (see :func:`_event_durations`).
+
+Strategies without a kernel here (user subclasses) transparently fall
+back to per-replicate scalar simulation in the batch engine — the
+registry is keyed by *exact* type, so a subclass never silently inherits
+a kernel whose semantics it may have changed.  Kernels also advertise a
+per-replicate working-set estimate (:meth:`VectorKernel.bytes_per_replicate`)
+that the batch engine uses to chunk the replicate axis under a memory
+budget, keeping paper-scale ``(R, n, n, n)`` bitmaps in RAM.
 """
 
 from __future__ import annotations
@@ -42,13 +62,19 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Type
 import numpy as np
 
 from repro.core.strategies.base import Strategy
+from repro.core.strategies.mapreduce import MatrixMapReduce, OuterMapReduce
 from repro.core.strategies.matrix_dynamic import MatrixDynamic
 from repro.core.strategies.matrix_random import MatrixRandom, MatrixSorted
+from repro.core.strategies.matrix_two_phase import MatrixTwoPhase
 from repro.core.strategies.outer_dynamic import OuterDynamic
 from repro.core.strategies.outer_random import OuterRandom, OuterSorted
+from repro.core.strategies.outer_two_phase import OuterTwoPhase
+from repro.platform.platform import Platform
+from repro.platform.speeds import SpeedModel, StaticSpeedModel
 from repro.simulator.engine import LivelockError
 
 __all__ = [
+    "BatchContext",
     "Event",
     "KernelRun",
     "VectorKernel",
@@ -56,9 +82,23 @@ __all__ = [
 ]
 
 #: One simulated assignment, scalar-typed for trace/sink replay:
-#: ``(time, worker, blocks, tasks, duration)``; vectorized strategies are
-#: single-phase, so the phase is always 1.
-Event = Tuple[float, int, int, int, float]
+#: ``(time, worker, blocks, tasks, duration, phase)``.
+Event = Tuple[float, int, int, int, float, int]
+
+
+class BatchContext(NamedTuple):
+    """Per-batch inputs a kernel consumes besides the strategy prototype.
+
+    ``speeds`` is the (R, p) float64 stack of ``platforms[r].speeds``;
+    ``models`` holds the per-replicate speed models (already ``reset`` by
+    the batch engine, ``None`` meaning static platform speeds).
+    """
+
+    platforms: Sequence[Platform]
+    speeds: np.ndarray
+    generators: Sequence[np.random.Generator]
+    models: Sequence[Optional[SpeedModel]]
+    want_events: bool
 
 
 class KernelRun(NamedTuple):
@@ -87,20 +127,73 @@ class VectorKernel:
     #: Registry names of the strategies this kernel instance covers.
     strategy_name: str = ""
 
-    def run(
-        self,
-        prototype: Strategy,
-        speeds: np.ndarray,
-        generators: Sequence[np.random.Generator],
-        want_events: bool,
-    ) -> List[KernelRun]:
-        """Simulate one replicate per row of *speeds* ``(R, p)``.
+    def run(self, prototype: Strategy, ctx: BatchContext) -> List[KernelRun]:
+        """Simulate one replicate per row of ``ctx.speeds`` ``(R, p)``.
 
         *prototype* is an un-reset strategy instance used only for its
-        configuration (``n``); *generators* holds one per-replicate RNG,
-        consumed exactly as the scalar engine would consume it.
+        configuration (``n``, threshold parameters); ``ctx.generators``
+        holds one per-replicate RNG, consumed exactly as the scalar
+        engine would consume it.
         """
         raise NotImplementedError
+
+    def bytes_per_replicate(self, prototype: Strategy, p: int) -> int:
+        """Rough working-set bytes one replicate adds to a batch.
+
+        Only state that scales with the replicate axis counts (bitmaps,
+        knowledge buffers, sampler replays) — transient per-replicate
+        temporaries of a serial inner loop do not.  The batch engine
+        divides its memory budget by this to size replicate chunks.
+        """
+        return 1024
+
+
+# ---------------------------------------------------------------------------
+# Shared duration replay (static division / dynamic model calls)
+# ---------------------------------------------------------------------------
+
+
+def _replay_models(
+    models: Sequence[Optional[SpeedModel]],
+) -> Optional[List[Optional[SpeedModel]]]:
+    """Per-replicate models whose ``duration`` must be replayed per event.
+
+    ``None`` when every replicate runs on static speeds (the common
+    case): durations then come from the one vectorized division in
+    :func:`_event_durations` with zero per-event Python work.
+    """
+    out = [
+        model if model is not None and type(model) is not StaticSpeedModel else None
+        for model in models
+    ]
+    return out if any(model is not None for model in out) else None
+
+
+def _event_durations(
+    speeds: np.ndarray,
+    replay: Optional[List[Optional[SpeedModel]]],
+    act: np.ndarray,
+    wsel: np.ndarray,
+    tasks: np.ndarray,
+) -> np.ndarray:
+    """Durations of one popped event per active replicate, scalar-exactly.
+
+    Static replicates use the same ``tasks / speed`` float division the
+    scalar engine inlines.  Replicates with a dynamic model instead call
+    ``model.duration(worker, tasks)`` on the replicate's own stream —
+    after the step's strategy draws, exactly where the scalar loop calls
+    it — so RNG consumption and the evolving per-worker speeds match the
+    oracle bit for bit.
+    """
+    durations = tasks / speeds[act, wsel]
+    if replay is not None:
+        w_l = wsel.tolist()
+        t_l = tasks.tolist()
+        for g, r in enumerate(act.tolist()):
+            model = replay[r]
+            if model is not None:
+                durations[g] = model.duration(w_l[g], t_l[g])
+    return durations
 
 
 # ---------------------------------------------------------------------------
@@ -109,15 +202,26 @@ class VectorKernel:
 
 
 def _heap_schedule(
-    d: np.ndarray, total: int
+    d: np.ndarray,
+    total: int,
+    t0: Optional[np.ndarray] = None,
+    rank0: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
     """Exact per-event replay of the scalar heap, as the fallback oracle.
 
     Returns ``(worker_seq, pop_times, counts, makespan)`` for a run of
-    *total* one-task events with per-worker durations *d*.
+    *total* one-task events with per-worker durations *d*.  *t0* gives
+    each worker's pending event time (default: all zero, a fresh run) and
+    *rank0* the FIFO rank of that pending event (default: worker order) —
+    together they resume the heap mid-run, as phase 2 of the two-phase
+    strategies needs.
     """
     p = int(d.size)
-    heap: List[Tuple[float, int, int]] = [(0.0, w, w) for w in range(p)]
+    start = [0.0] * p if t0 is None else t0.tolist()
+    ranks = list(range(p)) if rank0 is None else rank0.tolist()
+    heap: List[Tuple[float, int, int]] = sorted(
+        (start[w], ranks[w], w) for w in range(p)
+    )
     counts = np.zeros(p, dtype=np.int64)
     w_seq = np.empty(total, dtype=np.int64)
     pop_times = np.empty(total, dtype=np.float64)
@@ -138,20 +242,25 @@ def _heap_schedule(
 
 
 def _fifo_fix(
-    flat: np.ndarray, order: np.ndarray, total: int, p: int
+    flat: np.ndarray,
+    order: np.ndarray,
+    total: int,
+    p: int,
+    rank0: Optional[np.ndarray] = None,
 ) -> Optional[np.ndarray]:
     """Reorder equal-time runs of *order* into the heap's exact FIFO order.
 
     ``flat[k * p + w]`` is worker ``w``'s ``k``-th pop time and *order* a
     stable argsort of it.  Within a tied run the heap pops by insertion
-    sequence: a ``k == 0`` event carries sequence ``w`` and a later event
-    carries ``p +`` (the pop position of the same worker's previous
-    event) — predecessors finish strictly earlier, so their positions are
-    already final when a run is processed left to right.  Returns the
-    first *total* event ids in pop order, or ``None`` in the pathological
-    case of one worker appearing twice at one timestamp (``fl(t + d) ==
-    t`` under extreme speed ratios), where the caller must replay the
-    heap exactly.
+    sequence: a ``k == 0`` event carries sequence ``rank0[w]`` (worker
+    order for a fresh run, the pending events' insertion ranks when
+    resuming mid-run) and a later event carries ``p +`` (the pop position
+    of the same worker's previous event) — predecessors finish strictly
+    earlier, so their positions are already final when a run is processed
+    left to right.  Returns the first *total* event ids in pop order, or
+    ``None`` in the pathological case of one worker appearing twice at
+    one timestamp (``fl(t + d) == t`` under extreme speed ratios), where
+    the caller must replay the heap exactly.
     """
     t_sorted = flat[order]
     m = int(t_sorted.size)
@@ -159,20 +268,21 @@ def _fifo_fix(
     boundary[0] = True
     np.not_equal(t_sorted[1:], t_sorted[:-1], out=boundary[1:])
     starts = np.flatnonzero(boundary)
+    ends = np.append(starts[1:], m)
+    # Runs are time-ordered; only tied runs before the cut need fixing,
+    # and with continuous speeds there usually are none.
+    multi = np.flatnonzero((ends - starts > 1) & (starts < total))
+    if multi.size == 0:
+        return order[:total]
     pos = np.empty(m, dtype=np.int64)
     pos[order] = np.arange(m, dtype=np.int64)
-    ends = np.append(starts[1:], m)
-    for a, b in zip(starts.tolist(), ends.tolist()):
-        if a >= total:
-            # Runs are time-ordered; every event before the cut is final.
-            break
-        if b - a == 1:
-            continue
+    for a, b in zip(starts[multi].tolist(), ends[multi].tolist()):
         ids = order[a:b]
         w = ids % p
         if np.unique(w).size != w.size:
             return None
-        keys = np.where(ids < p, w - p, pos[ids - p])
+        first_key = w if rank0 is None else rank0[w]
+        keys = np.where(ids < p, first_key - p, pos[ids - p])
         sub = np.argsort(keys, kind="stable")
         reordered = ids[sub]
         order[a:b] = reordered
@@ -181,15 +291,22 @@ def _fifo_fix(
 
 
 def _pop_schedule(
-    d: np.ndarray, total: int, k0: Optional[int] = None
+    d: np.ndarray,
+    total: int,
+    k0: Optional[int] = None,
+    t0: Optional[np.ndarray] = None,
+    rank0: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
     """The scalar engine's exact pop schedule for a one-task-per-event run.
 
-    Worker ``w`` pops at times ``0, fl(d_w), fl(fl(d_w) + d_w), ...`` —
-    ``cumsum`` performs the identical sequential float additions — and the
-    heap serves pops in (time, FIFO) order.  *k0* bounds the per-worker
-    event count considered; it is estimated from the speed mix and grown
-    geometrically when a worker saturates it (exposed for tests).
+    Worker ``w`` pops at times ``t0_w, fl(t0_w + d_w), ...`` (*t0* zero
+    for a fresh run) — ``cumsum`` performs the identical sequential float
+    additions — and the heap serves pops in (time, FIFO) order, with
+    *rank0* giving the pending events' insertion ranks when resuming a
+    run mid-heap (phase 2 of the two-phase strategies).  *k0* bounds the
+    per-worker event count considered; it is estimated from the speed mix
+    and grown geometrically when a worker saturates it (exposed for
+    tests).
 
     Returns ``(worker_seq, pop_times, counts, makespan)``.
     """
@@ -200,14 +317,14 @@ def _pop_schedule(
     k0 = max(1, min(int(k0), total))
     while True:
         times = np.empty((k0 + 1, p), dtype=np.float64)
-        times[0] = 0.0
+        times[0] = 0.0 if t0 is None else t0
         times[1:] = d
         np.cumsum(times, axis=0, out=times)
         flat = times[:k0].reshape(-1)
         order = np.argsort(flat, kind="stable")
-        fixed = _fifo_fix(flat, order, total, p)
+        fixed = _fifo_fix(flat, order, total, p, rank0)
         if fixed is None:
-            return _heap_schedule(d, total)
+            return _heap_schedule(d, total, t0, rank0)
         w_seq = fixed % p
         counts = np.bincount(w_seq, minlength=p)
         if int(counts.max(initial=0)) >= k0 and k0 < total:
@@ -220,66 +337,150 @@ def _pop_schedule(
         return w_seq.astype(np.int64), pop_times, counts.astype(np.int64), makespan
 
 
-def _replay_draws(universe: int, idx: np.ndarray) -> np.ndarray:
+def _replay_draws(
+    universe: int, idx: np.ndarray, items: Optional[List[int]] = None
+) -> np.ndarray:
     """Map pre-drawn swap-remove indices to drawn values.
 
     Replays :meth:`repro.taskpool.sample_set.SampleSet.draw`'s swap-remove
-    on a full set of *universe* elements, with the per-draw uniform
-    indices *idx* already consumed from the RNG in one batched call.
+    on a full set of *universe* elements (or the explicit *items* list —
+    phase 2's frozen remainder — which is consumed in place), with the
+    per-draw uniform indices *idx* already consumed from the RNG in one
+    batched call.
     """
-    items = list(range(universe))
-    out = np.empty(universe, dtype=np.int64)
+    if items is None:
+        items = list(range(universe))
+    out = [0] * universe
     size = universe
     for t, pick in enumerate(idx.tolist()):
         v = items[pick]
         size -= 1
         items[pick] = items[size]
         out[t] = v
-    return out
+    return np.array(out, dtype=np.int64)
 
 
 class _TaskByTaskKernel(VectorKernel):
-    """Analytic kernel for the four one-task-per-request strategies.
+    """Analytic kernel for the six one-task-per-request strategies.
 
-    The schedule never depends on the task drawn (every assignment lasts
-    ``1 / speed_w``), so pop order, task order and block accounting
-    decouple: the pop schedule comes from :func:`_pop_schedule`, the task
-    order from one batched RNG draw (or ``arange`` for the Sorted*
-    variants), and per-worker distinct-block counts from boolean scatters
-    over (worker, block) key spaces.
+    Under static speeds the schedule never depends on the task drawn
+    (every assignment lasts ``1 / speed_w``), so pop order, task order
+    and block accounting decouple: the pop schedule comes from
+    :func:`_pop_schedule`, the task order from one batched RNG draw (or
+    ``arange`` for the Sorted* variants), and per-worker distinct-block
+    counts from boolean scatters over (worker, block) key spaces.  The
+    MapReduce variants ship a constant *blocks_per_task* instead of
+    consulting caches.  Replicates with a dynamic speed model take the
+    lockstep single-task path (:meth:`_run_lockstep`) — the schedule is
+    then genuinely history-dependent — with identical draws.
     """
 
-    def __init__(self, kernel: str, random_order: bool, strategy_name: str) -> None:
+    def __init__(
+        self,
+        kernel: str,
+        random_order: bool,
+        strategy_name: str,
+        blocks_per_task: Optional[int] = None,
+    ) -> None:
         self._kernel = kernel
         self._random = random_order
+        self._replicated = blocks_per_task
         self.strategy_name = strategy_name
 
-    def run(
-        self,
-        prototype: Strategy,
-        speeds: np.ndarray,
-        generators: Sequence[np.random.Generator],
-        want_events: bool,
-    ) -> List[KernelRun]:
+    def bytes_per_replicate(self, prototype: Strategy, p: int) -> int:
         n = prototype.n
-        p = int(speeds.shape[1])
         total = n * n if self._kernel == "outer" else n**3
-        runs: List[KernelRun] = []
-        for r in range(int(speeds.shape[0])):
+        caches = 0
+        if self._replicated is None:
+            caches = 2 * p * n if self._kernel == "outer" else 3 * p * n * n
+        return 8 * total + caches + 64 * p
+
+    def run(self, prototype: Strategy, ctx: BatchContext) -> List[KernelRun]:
+        n = prototype.n
+        speeds = ctx.speeds
+        p = int(speeds.shape[1])
+        R = int(speeds.shape[0])
+        total = n * n if self._kernel == "outer" else n**3
+        replay = _replay_models(ctx.models)
+        runs: List[Optional[KernelRun]] = [None] * R
+        lockstep = (
+            [] if replay is None else [r for r in range(R) if replay[r] is not None]
+        )
+        for r in range(R):
+            if replay is not None and replay[r] is not None:
+                continue
             d = 1.0 / speeds[r]
             w_seq, pop_times, counts, makespan = _pop_schedule(d, total)
+            task_seq: Optional[np.ndarray] = None
             if self._random:
                 # Bit-identical to `total` successive rng.integers(size)
                 # calls with shrinking bounds (numpy's array-high path
                 # consumes the stream exactly like the scalar path).
-                idx = generators[r].integers(np.arange(total, 0, -1, dtype=np.int64))
-                task_seq = _replay_draws(total, idx)
-            else:
+                idx = ctx.generators[r].integers(np.arange(total, 0, -1, dtype=np.int64))
+                if self._replicated is None:
+                    task_seq = _replay_draws(total, idx)
+            elif self._replicated is None:
                 task_seq = np.arange(total, dtype=np.int64)
-            runs.append(
-                self._account(n, p, total, d, w_seq, pop_times, counts, makespan, task_seq, want_events)
+            runs[r] = self._account(
+                n, p, total, d, w_seq, pop_times, counts, makespan, task_seq, ctx.want_events
             )
-        return runs
+        if lockstep:
+            for r, kr in zip(lockstep, self._run_lockstep(n, p, total, lockstep, ctx, replay)):
+                runs[r] = kr
+        return [kr for kr in runs if kr is not None]
+
+    def _run_lockstep(
+        self,
+        n: int,
+        p: int,
+        total: int,
+        sub: List[int],
+        ctx: BatchContext,
+        replay: Optional[List[Optional[SpeedModel]]],
+    ) -> List[KernelRun]:
+        """Event-by-event lockstep for dynamic-speed replicates.
+
+        Same draws, same block accounting; only the schedule is computed
+        per event because durations depend on the evolving speeds.
+        """
+        assert replay is not None
+        Rn = len(sub)
+        speeds = ctx.speeds[np.asarray(sub, dtype=np.int64)]
+        generators = [ctx.generators[r] for r in sub]
+        models: List[Optional[SpeedModel]] = [replay[r] for r in sub]
+        acc = _LockstepAccumulator(self.strategy_name, Rn, p, n, ctx.want_events)
+        remaining = np.full(Rn, total, dtype=np.int64)
+        items: List[Optional[List[int]]] = [
+            list(range(total)) if self._random else None for _ in sub
+        ]
+        caches = _BlockCaches(self._kernel, Rn, p, n) if self._replicated is None else None
+        act = np.arange(Rn, dtype=np.int64)
+        while act.size:
+            now, wsel = acc.pop(act)
+            A = int(act.size)
+            if self._random:
+                vals = np.empty(A, dtype=np.int64)
+                for g, r in enumerate(act.tolist()):
+                    lst = items[r]
+                    assert lst is not None
+                    size = int(remaining[r])
+                    # SampleSet.draw's swap-remove, replayed in place.
+                    idx = int(generators[r].integers(size))
+                    vals[g] = lst[idx]
+                    lst[idx] = lst[size - 1]
+            else:
+                vals = total - remaining[act]
+            if caches is not None:
+                blocks = caches.ship(act, wsel, vals)
+            else:
+                assert self._replicated is not None
+                blocks = np.full(A, self._replicated, dtype=np.int64)
+            tasks = np.ones(A, dtype=np.int64)
+            durations = _event_durations(speeds, models, act, wsel, tasks)
+            acc.commit(act, wsel, now, durations, blocks, tasks)
+            remaining[act] -= 1
+            act = act[remaining[act] > 0]
+        return acc.finish()
 
     def _operand_keys(
         self, n: int, w_seq: np.ndarray, task_seq: np.ndarray
@@ -304,10 +505,28 @@ class _TaskByTaskKernel(VectorKernel):
         pop_times: np.ndarray,
         counts: np.ndarray,
         makespan: float,
-        task_seq: np.ndarray,
+        task_seq: Optional[np.ndarray],
         want_events: bool,
     ) -> KernelRun:
         """Fold one replicate's schedule + task order into a KernelRun."""
+        events: Optional[List[Event]] = None
+        if self._replicated is not None:
+            # Full replication: every task ships the same constant blocks.
+            per_blocks = counts * self._replicated
+            if want_events:
+                durations = d[w_seq]
+                events = list(
+                    zip(
+                        pop_times.tolist(),
+                        w_seq.tolist(),
+                        [self._replicated] * total,
+                        [1] * total,
+                        durations.tolist(),
+                        [1] * total,
+                    )
+                )
+            return KernelRun(per_blocks, counts, makespan, total, events)
+        assert task_seq is not None
         block_space = n if self._kernel == "outer" else n * n
         keys = self._operand_keys(n, w_seq, task_seq)
         per_blocks = np.zeros(p, dtype=np.int64)
@@ -315,7 +534,6 @@ class _TaskByTaskKernel(VectorKernel):
             seen = np.zeros(p * block_space, dtype=bool)
             seen[key] = True
             per_blocks += seen.reshape(p, block_space).sum(axis=1)
-        events: Optional[List[Event]] = None
         if want_events:
             per_event = np.zeros(total, dtype=np.int64)
             for key in keys:
@@ -330,6 +548,7 @@ class _TaskByTaskKernel(VectorKernel):
                     per_event.tolist(),
                     [1] * total,
                     durations.tolist(),
+                    [1] * total,
                 )
             )
         return KernelRun(per_blocks, counts, makespan, total, events)
@@ -360,23 +579,24 @@ def _batched_dim_draws(
     """Per-replicate uniform indices for this step's dimension draws.
 
     *need* is ``(dims, A)`` (which dimensions each active replicate grows)
-    and *sizes* the matching unknown-set sizes.  Each replicate's 1-3
-    bounded draws collapse into one ``Generator.integers`` call with an
-    array of highs — stream-identical to the scalar per-dimension calls.
+    and *sizes* the matching unknown-set sizes.  Each draw is a plain
+    scalar ``Generator.integers`` call in dimension order — the exact
+    calls the scalar strategy makes, and several times cheaper than
+    numpy's array-of-highs path at 1-3 elements.
     """
     dims = need.shape[0]
-    out = np.full(need.shape, -1, dtype=np.int64)
-    for g in np.flatnonzero(need.any(axis=0)).tolist():
-        gen = generators[int(act[g])]
-        which = [dim for dim in range(dims) if need[dim, g]]
-        if len(which) == 1:
-            out[which[0], g] = int(gen.integers(int(sizes[which[0], g])))
-        else:
-            highs = np.array([int(sizes[dim, g]) for dim in which], dtype=np.int64)
-            drawn = gen.integers(highs)
-            for slot, dim in enumerate(which):
-                out[dim, g] = int(drawn[slot])
-    return out
+    need_rows = need.tolist()
+    sizes_rows = sizes.tolist()
+    out_rows = [[-1] * need.shape[1] for _ in range(dims)]
+    act_l = act.tolist()
+    # Dimension-major is safe: each generator only ever serves its own
+    # replicate, so its stream still sees the draws in dimension order.
+    for dim in range(dims):
+        nr, sr, ol = need_rows[dim], sizes_rows[dim], out_rows[dim]
+        for g, needed in enumerate(nr):
+            if needed:
+                ol[g] = int(generators[act_l[g]].integers(sr[g]))
+    return np.array(out_rows, dtype=np.int64)
 
 
 def _draw_values(
@@ -414,13 +634,57 @@ def _draw_values(
     return vals
 
 
+class _BlockCaches:
+    """(R, p, ·) boolean per-worker block caches for single-task draws.
+
+    Backs both the random task-by-task strategies under dynamic speeds
+    and phase 2 of the two-phase strategies: a worker's holdings are an
+    arbitrary block subset, and ``ship`` counts (then records) the blocks
+    a drawn task is missing — exactly ``BlockCache.add``'s semantics,
+    batched across the step's active replicates.
+    """
+
+    def __init__(self, kind: str, R: int, p: int, n: int) -> None:
+        self._outer = kind == "outer"
+        self._n = n
+        if self._outer:
+            self.a = np.zeros((R, p, n), dtype=bool)
+            self.b = np.zeros((R, p, n), dtype=bool)
+            self.c: Optional[np.ndarray] = None
+        else:
+            self.a = np.zeros((R, p, n, n), dtype=bool)
+            self.b = np.zeros((R, p, n, n), dtype=bool)
+            self.c = np.zeros((R, p, n, n), dtype=bool)
+
+    def ship(self, rg: np.ndarray, wg: np.ndarray, vals: np.ndarray) -> np.ndarray:
+        """Newly shipped blocks per (replicate, worker, flat task) triple."""
+        n = self._n
+        if self._outer:
+            i, j = np.divmod(vals, n)
+            blocks = (~self.a[rg, wg, i]).astype(np.int64)
+            blocks += ~self.b[rg, wg, j]
+            self.a[rg, wg, i] = True
+            self.b[rg, wg, j] = True
+            return blocks
+        assert self.c is not None
+        ij, k = np.divmod(vals, n)
+        i, j = np.divmod(ij, n)
+        blocks = (~self.a[rg, wg, i, k]).astype(np.int64)
+        blocks += ~self.b[rg, wg, k, j]
+        blocks += ~self.c[rg, wg, i, j]
+        self.a[rg, wg, i, k] = True
+        self.b[rg, wg, k, j] = True
+        self.c[rg, wg, i, j] = True
+        return blocks
+
+
 class _LockstepAccumulator:
-    """Shared per-step bookkeeping of the lockstep Dynamic* kernels.
+    """Shared per-step bookkeeping of the lockstep kernels.
 
     Owns the event-queue mirror ((R, p) times + insertion sequences), the
     per-worker accumulators and the livelock guard, and finalizes the
     per-replicate :class:`KernelRun` list — everything that is identical
-    between the outer and matrix variants.
+    between the outer, matrix and two-phase variants.
     """
 
     def __init__(self, strategy_name: str, R: int, p: int, n: int, want_events: bool) -> None:
@@ -446,13 +710,13 @@ class _LockstepAccumulator:
         act: np.ndarray,
         wsel: np.ndarray,
         now: np.ndarray,
-        speeds: np.ndarray,
+        durations: np.ndarray,
         blocks: np.ndarray,
         tasks: np.ndarray,
+        phases: Optional[np.ndarray] = None,
     ) -> None:
         """Account one popped event per active replicate, scalar-exactly."""
-        duration = tasks / speeds[act, wsel]
-        finish = now + duration
+        finish = now + durations
         progressed = tasks > 0
         grew = act[progressed]
         self.makespan[grew] = np.maximum(self.makespan[grew], finish[progressed])
@@ -474,9 +738,12 @@ class _LockstepAccumulator:
             w_l = wsel.tolist()
             b_l = blocks.tolist()
             t_l = tasks.tolist()
-            d_l = duration.tolist()
+            d_l = durations.tolist()
+            ph_l = None if phases is None else phases.tolist()
             for g, r in enumerate(act.tolist()):
-                self.events[r].append((now_l[g], w_l[g], b_l[g], t_l[g], d_l[g]))
+                self.events[r].append(
+                    (now_l[g], w_l[g], b_l[g], t_l[g], d_l[g], 1 if ph_l is None else ph_l[g])
+                )
 
     def finish(self) -> List[KernelRun]:
         runs: List[KernelRun] = []
@@ -493,60 +760,89 @@ class _LockstepAccumulator:
         return runs
 
 
+class _OuterDynState:
+    """Vectorized DynamicOuter phase-1 state: knowledge + processed bitmap.
+
+    One :meth:`step` performs the scalar ``_dynamic_assign`` for a group
+    of active replicates (two uniform dimension draws, cross marking over
+    the previous index sets, complete-knowledge absorption) and keeps
+    ``remaining`` in sync.  Shared by the DynamicOuter kernel and phase 1
+    of DynamicOuter2Phases.
+    """
+
+    def __init__(self, R: int, p: int, n: int) -> None:
+        self.n = n
+        self.processed = np.zeros((R, n, n), dtype=bool)
+        self.remaining = np.full(R, n * n, dtype=np.int64)
+        # Two knowledge dimensions (rows of a, columns of b) per worker:
+        # unknown-set buffers, insertion-order buffers and known counts.
+        self.items = np.broadcast_to(np.arange(n, dtype=np.int64), (2, R, p, n)).copy()
+        self.order = np.zeros((2, R, p, n), dtype=np.int64)
+        self.cnt = np.zeros((2, R, p), dtype=np.int64)
+
+    def step(
+        self,
+        generators: Sequence[np.random.Generator],
+        act: np.ndarray,
+        wsel: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = self.n
+        A = int(act.size)
+        prev = self.cnt[:, act, wsel]  # (2, A) counts before this step's draws
+        complete = (prev[0] >= n) & (prev[1] >= n)
+        tasks = np.zeros(A, dtype=np.int64)
+        for g in np.flatnonzero(complete).tolist():
+            r = int(act[g])
+            tasks[g] = self.remaining[r]
+            self.processed[r] = True
+        need = np.empty((2, A), dtype=bool)
+        need[0] = ~complete & (prev[0] < n)
+        need[1] = ~complete & (prev[1] < n)
+        sizes = n - prev
+        draw_idx = _batched_dim_draws(generators, act, need, sizes)
+        vals = _draw_values(self.items, self.order, self.cnt, n, act, wsel, need, draw_idx)
+        iv, jv = vals[0], vals[1]
+        # Cross marking, three disjoint pieces (center, row arm over the
+        # previous columns, column arm over the previous rows).
+        center = np.flatnonzero(need[0] & need[1])
+        if center.size:
+            rg = act[center]
+            fresh = ~self.processed[rg, iv[center], jv[center]]
+            self.processed[rg, iv[center], jv[center]] = True
+            tasks[center] += fresh.astype(np.int64)
+        tasks += _mark_arm(
+            self.processed, self.order[1], act, wsel, need[0] & (prev[1] > 0), prev[1], iv, axis=0
+        )
+        tasks += _mark_arm(
+            self.processed, self.order[0], act, wsel, need[1] & (prev[0] > 0), prev[0], jv, axis=1
+        )
+        blocks = need[0].astype(np.int64) + need[1].astype(np.int64)
+        self.remaining[act] -= tasks
+        return blocks, tasks
+
+
 class _OuterDynamicKernel(VectorKernel):
     """Lockstep kernel for DynamicOuter (Algorithm 1), R replicates at once."""
 
     strategy_name = "DynamicOuter"
 
-    def run(
-        self,
-        prototype: Strategy,
-        speeds: np.ndarray,
-        generators: Sequence[np.random.Generator],
-        want_events: bool,
-    ) -> List[KernelRun]:
+    def bytes_per_replicate(self, prototype: Strategy, p: int) -> int:
         n = prototype.n
-        R, p = int(speeds.shape[0]), int(speeds.shape[1])
-        acc = _LockstepAccumulator(self.strategy_name, R, p, n, want_events)
-        processed = np.zeros((R, n, n), dtype=bool)
-        remaining = np.full(R, n * n, dtype=np.int64)
-        # Two knowledge dimensions (rows of a, columns of b) per worker:
-        # unknown-set buffers, insertion-order buffers and known counts.
-        items = np.broadcast_to(np.arange(n, dtype=np.int64), (2, R, p, n)).copy()
-        order = np.zeros((2, R, p, n), dtype=np.int64)
-        cnt = np.zeros((2, R, p), dtype=np.int64)
+        return n * n + 32 * p * n + 64 * p
+
+    def run(self, prototype: Strategy, ctx: BatchContext) -> List[KernelRun]:
+        n = prototype.n
+        R, p = int(ctx.speeds.shape[0]), int(ctx.speeds.shape[1])
+        replay = _replay_models(ctx.models)
+        acc = _LockstepAccumulator(self.strategy_name, R, p, n, ctx.want_events)
+        state = _OuterDynState(R, p, n)
         act = np.arange(R, dtype=np.int64)
         while act.size:
             now, wsel = acc.pop(act)
-            A = int(act.size)
-            prev = cnt[:, act, wsel]  # (2, A) counts before this step's draws
-            complete = (prev[0] >= n) & (prev[1] >= n)
-            tasks = np.zeros(A, dtype=np.int64)
-            for g in np.flatnonzero(complete).tolist():
-                r = int(act[g])
-                tasks[g] = remaining[r]
-                processed[r] = True
-            need = np.empty((2, A), dtype=bool)
-            need[0] = ~complete & (prev[0] < n)
-            need[1] = ~complete & (prev[1] < n)
-            sizes = n - prev
-            draw_idx = _batched_dim_draws(generators, act, need, sizes)
-            vals = _draw_values(items, order, cnt, n, act, wsel, need, draw_idx)
-            iv, jv = vals[0], vals[1]
-            # Cross marking, three disjoint pieces (center, row arm over the
-            # previous columns, column arm over the previous rows).
-            center = np.flatnonzero(need[0] & need[1])
-            if center.size:
-                rg = act[center]
-                fresh = ~processed[rg, iv[center], jv[center]]
-                processed[rg, iv[center], jv[center]] = True
-                tasks[center] += fresh.astype(np.int64)
-            tasks += _mark_arm(processed, order[1], act, wsel, need[0] & (prev[1] > 0), prev[1], iv, axis=0)
-            tasks += _mark_arm(processed, order[0], act, wsel, need[1] & (prev[0] > 0), prev[0], jv, axis=1)
-            blocks = need[0].astype(np.int64) + need[1].astype(np.int64)
-            remaining[act] -= tasks
-            acc.commit(act, wsel, now, speeds, blocks, tasks)
-            act = act[remaining[act] > 0]
+            blocks, tasks = state.step(ctx.generators, act, wsel)
+            durations = _event_durations(ctx.speeds, replay, act, wsel, tasks)
+            acc.commit(act, wsel, now, durations, blocks, tasks)
+            act = act[state.remaining[act] > 0]
         return acc.finish()
 
 
@@ -592,70 +888,93 @@ def _mark_arm(
     return out
 
 
+class _MatrixDynState:
+    """Vectorized DynamicMatrix phase-1 state: I/J/K knowledge + cube bitmap.
+
+    As :class:`_OuterDynState`, but with three dimensions, rectangle-growth
+    block accounting and shell marking.  Shared by the DynamicMatrix kernel
+    and phase 1 of DynamicMatrix2Phases.
+    """
+
+    def __init__(self, R: int, p: int, n: int) -> None:
+        self.n = n
+        self.processed = np.zeros((R, n, n, n), dtype=bool)
+        self.remaining = np.full(R, n**3, dtype=np.int64)
+        self.items = np.broadcast_to(np.arange(n, dtype=np.int64), (3, R, p, n)).copy()
+        self.order = np.zeros((3, R, p, n), dtype=np.int64)
+        self.cnt = np.zeros((3, R, p), dtype=np.int64)
+
+    def step(
+        self,
+        generators: Sequence[np.random.Generator],
+        act: np.ndarray,
+        wsel: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = self.n
+        A = int(act.size)
+        prev = self.cnt[:, act, wsel]  # (3, A): |I|, |J|, |K| before the draws
+        complete = (prev >= n).all(axis=0)
+        tasks = np.zeros(A, dtype=np.int64)
+        for g in np.flatnonzero(complete).tolist():
+            r = int(act[g])
+            tasks[g] = self.remaining[r]
+            self.processed[r] = True
+        need = ~complete & (prev < n)  # (3, A), draw order i, j, k
+        sizes = n - prev
+        draw_idx = _batched_dim_draws(generators, act, need, sizes)
+        vals = _draw_values(self.items, self.order, self.cnt, n, act, wsel, need, draw_idx)
+        grew = need.astype(np.int64)
+        # Shipped blocks: growth of the A (I x K), B (K x J), C (I x J)
+        # rectangles — the vectorized _grown_blocks arithmetic.
+        blocks = (
+            ((prev[0] + grew[0]) * (prev[2] + grew[2]) - prev[0] * prev[2])
+            + ((prev[2] + grew[2]) * (prev[1] + grew[1]) - prev[2] * prev[1])
+            + ((prev[0] + grew[0]) * (prev[1] + grew[1]) - prev[0] * prev[1])
+        )
+        # Shell marking: three disjoint slabs of the grown cube.
+        grown_j = prev[1] + grew[1]
+        grown_k = prev[2] + grew[2]
+        tasks += _mark_slab(
+            self.processed, act, need[0] & (grown_j > 0) & (grown_k > 0),
+            _fixed_plane(vals[0], 0),
+            (self.order[1], grown_j), (self.order[2], grown_k), wsel,
+        )
+        tasks += _mark_slab(
+            self.processed, act, need[1] & (prev[0] > 0) & (grown_k > 0),
+            _fixed_plane(vals[1], 1),
+            (self.order[0], prev[0]), (self.order[2], grown_k), wsel,
+        )
+        tasks += _mark_slab(
+            self.processed, act, need[2] & (prev[0] > 0) & (prev[1] > 0),
+            _fixed_plane(vals[2], 2),
+            (self.order[0], prev[0]), (self.order[1], prev[1]), wsel,
+        )
+        self.remaining[act] -= tasks
+        return blocks, tasks
+
+
 class _MatrixDynamicKernel(VectorKernel):
     """Lockstep kernel for DynamicMatrix (Algorithm 3), R replicates at once."""
 
     strategy_name = "DynamicMatrix"
 
-    def run(
-        self,
-        prototype: Strategy,
-        speeds: np.ndarray,
-        generators: Sequence[np.random.Generator],
-        want_events: bool,
-    ) -> List[KernelRun]:
+    def bytes_per_replicate(self, prototype: Strategy, p: int) -> int:
         n = prototype.n
-        R, p = int(speeds.shape[0]), int(speeds.shape[1])
-        acc = _LockstepAccumulator(self.strategy_name, R, p, n, want_events)
-        processed = np.zeros((R, n, n, n), dtype=bool)
-        remaining = np.full(R, n**3, dtype=np.int64)
-        items = np.broadcast_to(np.arange(n, dtype=np.int64), (3, R, p, n)).copy()
-        order = np.zeros((3, R, p, n), dtype=np.int64)
-        cnt = np.zeros((3, R, p), dtype=np.int64)
+        return n**3 + 48 * p * n + 64 * p
+
+    def run(self, prototype: Strategy, ctx: BatchContext) -> List[KernelRun]:
+        n = prototype.n
+        R, p = int(ctx.speeds.shape[0]), int(ctx.speeds.shape[1])
+        replay = _replay_models(ctx.models)
+        acc = _LockstepAccumulator(self.strategy_name, R, p, n, ctx.want_events)
+        state = _MatrixDynState(R, p, n)
         act = np.arange(R, dtype=np.int64)
         while act.size:
             now, wsel = acc.pop(act)
-            A = int(act.size)
-            prev = cnt[:, act, wsel]  # (3, A): |I|, |J|, |K| before the draws
-            complete = (prev >= n).all(axis=0)
-            tasks = np.zeros(A, dtype=np.int64)
-            for g in np.flatnonzero(complete).tolist():
-                r = int(act[g])
-                tasks[g] = remaining[r]
-                processed[r] = True
-            need = ~complete & (prev < n)  # (3, A), draw order i, j, k
-            sizes = n - prev
-            draw_idx = _batched_dim_draws(generators, act, need, sizes)
-            vals = _draw_values(items, order, cnt, n, act, wsel, need, draw_idx)
-            grew = need.astype(np.int64)
-            # Shipped blocks: growth of the A (I x K), B (K x J), C (I x J)
-            # rectangles — the vectorized _grown_blocks arithmetic.
-            blocks = (
-                ((prev[0] + grew[0]) * (prev[2] + grew[2]) - prev[0] * prev[2])
-                + ((prev[2] + grew[2]) * (prev[1] + grew[1]) - prev[2] * prev[1])
-                + ((prev[0] + grew[0]) * (prev[1] + grew[1]) - prev[0] * prev[1])
-            )
-            # Shell marking: three disjoint slabs of the grown cube.
-            grown_j = prev[1] + grew[1]
-            grown_k = prev[2] + grew[2]
-            tasks += _mark_slab(
-                processed, act, need[0] & (grown_j > 0) & (grown_k > 0),
-                _fixed_plane(vals[0], 0),
-                (order[1], grown_j), (order[2], grown_k), wsel,
-            )
-            tasks += _mark_slab(
-                processed, act, need[1] & (prev[0] > 0) & (grown_k > 0),
-                _fixed_plane(vals[1], 1),
-                (order[0], prev[0]), (order[2], grown_k), wsel,
-            )
-            tasks += _mark_slab(
-                processed, act, need[2] & (prev[0] > 0) & (prev[1] > 0),
-                _fixed_plane(vals[2], 2),
-                (order[0], prev[0]), (order[1], prev[1]), wsel,
-            )
-            remaining[act] -= tasks
-            acc.commit(act, wsel, now, speeds, blocks, tasks)
-            act = act[remaining[act] > 0]
+            blocks, tasks = state.step(ctx.generators, act, wsel)
+            durations = _event_durations(ctx.speeds, replay, act, wsel, tasks)
+            acc.commit(act, wsel, now, durations, blocks, tasks)
+            act = act[state.remaining[act] > 0]
         return acc.finish()
 
 
@@ -717,6 +1036,251 @@ def _mark_slab(
 
 
 # ---------------------------------------------------------------------------
+# Two-phase kernels (DynamicOuter2Phases / DynamicMatrix2Phases)
+# ---------------------------------------------------------------------------
+
+
+class _TwoPhaseKernel(VectorKernel):
+    """Lockstep kernel for the two-phase strategies (Algorithm 2 / §4.1).
+
+    Phase 1 reuses the Dynamic* state machinery verbatim.  Each replicate
+    crosses its own threshold (``resolve_threshold`` replayed against the
+    replicate's platform, matching the scalar reset) the moment a request
+    finds ``remaining <= threshold`` — the same pre-dispatch check
+    ``assign`` performs — and freezes its knowledge into per-worker block
+    caches plus a swap-remove sampler over the surviving task ids, in the
+    pool's sorted id order.  From then on its events draw one uniformly
+    random unprocessed task, ship the missing blocks, and report phase 2.
+
+    Under static speeds a crossing replicate leaves the lockstep loop
+    entirely: phase 2 assigns exactly one task per event at a constant
+    ``1 / speed_w`` duration, so its whole remainder is closed-form — the
+    pop schedule resumes the heap from the replicate's pending event
+    times and FIFO ranks (:func:`_pop_schedule` with ``t0``/``rank0``),
+    the sampler draws collapse into one batched ``Generator.integers``
+    call, and block shipping is first-occurrence accounting against the
+    frozen caches (:meth:`_phase2_analytic`).  Only replicates on a
+    dynamic speed model stay in the event loop, their phases advancing
+    side by side through the shared queue.
+    """
+
+    def __init__(self, kind: str, strategy_name: str) -> None:
+        self._kind = kind
+        self.strategy_name = strategy_name
+
+    def bytes_per_replicate(self, prototype: Strategy, p: int) -> int:
+        n = prototype.n
+        if self._kind == "outer":
+            # Phase-1 state + (R, p, n) caches + sampler replay ids.
+            return 9 * n * n + 34 * p * n + 64 * p
+        return 9 * n**3 + 3 * p * n * n + 48 * p * n + 64 * p
+
+    def run(self, prototype: Strategy, ctx: BatchContext) -> List[KernelRun]:
+        assert isinstance(prototype, (OuterTwoPhase, MatrixTwoPhase))
+        n = prototype.n
+        R, p = int(ctx.speeds.shape[0]), int(ctx.speeds.shape[1])
+        outer = self._kind == "outer"
+        replay = _replay_models(ctx.models)
+        # The scalar strategy resolves its threshold at reset() from the
+        # bound platform; replay that resolution per replicate.
+        thresholds = np.array(
+            [prototype.resolve_threshold(pl) for pl in ctx.platforms], dtype=np.int64
+        )
+        acc = _LockstepAccumulator(self.strategy_name, R, p, n, ctx.want_events)
+        state = _OuterDynState(R, p, n) if outer else _MatrixDynState(R, p, n)
+        phase2 = np.zeros(R, dtype=bool)
+        p2_items: List[Optional[List[int]]] = [None] * R
+        caches: Optional[_BlockCaches] = None
+        act = np.arange(R, dtype=np.int64)
+        while act.size:
+            now, wsel = acc.pop(act)
+            # Threshold check before dispatch, as assign() does.
+            crossing = ~phase2[act] & (state.remaining[act] <= thresholds[act])
+            if crossing.any():
+                for r in act[crossing].tolist():
+                    if replay is None or replay[r] is None:
+                        # Static speeds: the remainder is closed-form.
+                        self._phase2_analytic(int(r), state, acc, ctx)
+                        continue
+                    if caches is None:
+                        caches = _BlockCaches(self._kind, R, p, n)
+                    p2_items[int(r)] = self._freeze(state, caches, int(r), p)
+                    phase2[r] = True
+                keep = state.remaining[act] > 0
+                if not keep.all():
+                    act = act[keep]
+                    now = now[keep]
+                    wsel = wsel[keep]
+                    if not act.size:
+                        break
+            in2 = phase2[act]
+            A = int(act.size)
+            blocks = np.zeros(A, dtype=np.int64)
+            tasks = np.zeros(A, dtype=np.int64)
+            phases: Optional[np.ndarray] = None
+            g1 = np.flatnonzero(~in2)
+            if g1.size:
+                b1, t1 = state.step(ctx.generators, act[g1], wsel[g1])
+                blocks[g1] = b1
+                tasks[g1] = t1
+            g2 = np.flatnonzero(in2)
+            if g2.size:
+                assert caches is not None
+                phases = np.ones(A, dtype=np.int64)
+                phases[g2] = 2
+                rg = act[g2]
+                vals = np.empty(int(g2.size), dtype=np.int64)
+                for x, r in enumerate(rg.tolist()):
+                    lst = p2_items[r]
+                    assert lst is not None
+                    # SampleSet.draw over the frozen remainder: the live
+                    # size *is* the remaining count.
+                    size = int(state.remaining[r])
+                    idx = int(ctx.generators[r].integers(size))
+                    vals[x] = lst[idx]
+                    lst[idx] = lst[size - 1]
+                blocks[g2] = caches.ship(rg, wsel[g2], vals)
+                tasks[g2] = 1
+                state.remaining[rg] -= 1
+            durations = _event_durations(ctx.speeds, replay, act, wsel, tasks)
+            acc.commit(act, wsel, now, durations, blocks, tasks, phases)
+            act = act[state.remaining[act] > 0]
+        return acc.finish()
+
+    def _freeze(
+        self,
+        state: "_OuterDynState | _MatrixDynState",
+        caches: _BlockCaches,
+        r: int,
+        p: int,
+    ) -> List[int]:
+        """Scalar ``_enter_phase2`` for replicate *r*.
+
+        Returns the frozen sampler items (the pool's unprocessed ids in
+        ascending order) and seeds the worker block caches from the
+        phase-1 index sets — the index-set product for matmul, the plain
+        index sets for the outer product.
+        """
+        order, cnt = state.order, state.cnt
+        if self._kind == "outer":
+            for w in range(p):
+                caches.a[r, w, order[0, r, w, : int(cnt[0, r, w])]] = True
+                caches.b[r, w, order[1, r, w, : int(cnt[1, r, w])]] = True
+        else:
+            assert caches.c is not None
+            for w in range(p):
+                rows = order[0, r, w, : int(cnt[0, r, w])]
+                cols = order[1, r, w, : int(cnt[1, r, w])]
+                deps = order[2, r, w, : int(cnt[2, r, w])]
+                caches.a[r, w][np.ix_(rows, deps)] = True
+                caches.b[r, w][np.ix_(deps, cols)] = True
+                caches.c[r, w][np.ix_(rows, cols)] = True
+        flat: List[int] = np.flatnonzero(~state.processed[r].reshape(-1)).tolist()
+        return flat
+
+    def _phase2_analytic(
+        self,
+        r: int,
+        state: "_OuterDynState | _MatrixDynState",
+        acc: _LockstepAccumulator,
+        ctx: BatchContext,
+    ) -> None:
+        """Close out replicate *r*'s phase 2 in closed form (static speeds).
+
+        Every phase-2 event assigns exactly one task for a constant
+        ``1 / speed_w``, so from the crossing pop onward the schedule is
+        the heap resumed at the replicate's pending event times (the
+        crossing pop itself becomes the first phase-2 event), the sampler
+        indices are one batched draw over deterministically shrinking
+        bounds, and the shipped blocks are first occurrences of
+        (worker, block) keys not already in the frozen phase-1 caches.
+        The replicate's totals merge into the accumulator and it leaves
+        the lockstep loop for good.
+        """
+        n = state.n
+        p = int(acc.times.shape[1])
+        m = int(state.remaining[r])
+        d = 1.0 / ctx.speeds[r]
+        rank0 = np.empty(p, dtype=np.int64)
+        rank0[np.argsort(acc.seqs[r], kind="stable")] = np.arange(p, dtype=np.int64)
+        w_seq, pop_times, counts, mk2 = _pop_schedule(
+            d, m, t0=acc.times[r], rank0=rank0
+        )
+        idx = ctx.generators[r].integers(np.arange(m, 0, -1, dtype=np.int64))
+        pool: List[int] = np.flatnonzero(~state.processed[r].reshape(-1)).tolist()
+        task_seq = _replay_draws(m, idx, items=pool)
+        order, cnt = state.order, state.cnt
+        outer = self._kind == "outer"
+        block_space = n if outer else n * n
+        # Frozen per-worker caches (scalar _enter_phase2) as flat
+        # (worker, block) masks, one per operand in cache-add order.
+        dims = 2 if outer else 3
+        seen = [np.zeros((p, block_space), dtype=bool) for _ in range(dims)]
+        if outer:
+            width = int(cnt[:, r].max())
+            if width:
+                valid_cols = np.arange(width)
+                w_rows = np.broadcast_to(np.arange(p)[:, None], (p, width))
+                for dim in range(2):
+                    pad = order[dim, r, :, :width]
+                    valid = valid_cols < cnt[dim, r][:, None]
+                    seen[dim][w_rows[valid], pad[valid]] = True
+        else:
+            seen_a = seen[0].reshape(p, n, n)
+            seen_b = seen[1].reshape(p, n, n)
+            seen_c = seen[2].reshape(p, n, n)
+            cnt_r = cnt[:, r].tolist()
+            for w in range(p):
+                rows = order[0, r, w, : cnt_r[0][w]][:, None]
+                cols = order[1, r, w, : cnt_r[1][w]]
+                deps = order[2, r, w, : cnt_r[2][w]]
+                seen_a[w][rows, deps] = True
+                seen_b[w][deps[:, None], cols] = True
+                seen_c[w][rows, cols] = True
+        if outer:
+            i, j = np.divmod(task_seq, n)
+            base = w_seq * n
+            keys = (base + i, base + j)
+        else:
+            ij, k = np.divmod(task_seq, n)
+            i, j = np.divmod(ij, n)
+            base = w_seq * block_space
+            keys = (base + i * n + k, base + k * n + j, base + i * n + j)
+        per_blocks = np.zeros(p, dtype=np.int64)
+        per_event = np.zeros(m, dtype=np.int64) if acc.events is not None else None
+        is_first = np.empty(m, dtype=bool)
+        for cache, key in zip(seen, keys):
+            # First occurrence of each (worker, block) key not already in
+            # the frozen cache ships exactly once (BlockCache.add).
+            srt = np.argsort(key, kind="stable")
+            ks = key[srt]
+            is_first[0] = True
+            np.not_equal(ks[1:], ks[:-1], out=is_first[1:])
+            fresh = is_first & ~cache.reshape(-1)[ks]
+            per_blocks += np.bincount(ks[fresh] // block_space, minlength=p)
+            if per_event is not None:
+                per_event[srt[fresh]] += 1
+        acc.blocks_acc[r] += per_blocks
+        acc.tasks_acc[r] += counts
+        acc.n_events[r] += m
+        if mk2 > acc.makespan[r]:
+            acc.makespan[r] = mk2
+        if acc.events is not None:
+            assert per_event is not None
+            acc.events[r].extend(
+                zip(
+                    pop_times.tolist(),
+                    w_seq.tolist(),
+                    per_event.tolist(),
+                    [1] * m,
+                    d[w_seq].tolist(),
+                    [2] * m,
+                )
+            )
+        state.remaining[r] = 0
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -728,8 +1292,12 @@ _KERNELS: Dict[Type[Strategy], VectorKernel] = {
     OuterSorted: _TaskByTaskKernel("outer", False, "SortedOuter"),
     MatrixRandom: _TaskByTaskKernel("matrix", True, "RandomMatrix"),
     MatrixSorted: _TaskByTaskKernel("matrix", False, "SortedMatrix"),
+    OuterMapReduce: _TaskByTaskKernel("outer", True, "MapReduceOuter", blocks_per_task=2),
+    MatrixMapReduce: _TaskByTaskKernel("matrix", True, "MapReduceMatrix", blocks_per_task=3),
     OuterDynamic: _OuterDynamicKernel(),
     MatrixDynamic: _MatrixDynamicKernel(),
+    OuterTwoPhase: _TwoPhaseKernel("outer", "DynamicOuter2Phases"),
+    MatrixTwoPhase: _TwoPhaseKernel("matrix", "DynamicMatrix2Phases"),
 }
 
 

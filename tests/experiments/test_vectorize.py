@@ -49,18 +49,24 @@ class TestRunnerVectorize:
         )
         assert scalar_sink.snapshot() == vector_sink.snapshot()
 
-    def test_auto_falls_back_for_kernel_less_strategy(self, cell):
+    def test_auto_falls_back_for_fast_path_ineligible_strategy(self, cell):
+        # collect_ids needs per-task id lists the kernels do not build, so
+        # "auto" must transparently run the scalar loop.
         _, platform = cell
-        strategy = StrategySpec("MapReduceOuter", 6)
+        strategy = StrategySpec("RandomOuter", 6, collect_ids=True)
         scalar = average_normalized_comm(strategy, platform, 6, 3, seed=1, vectorize=False)
         auto = average_normalized_comm(strategy, platform, 6, 3, seed=1)
         assert scalar == auto
 
-    def test_true_requires_a_kernel(self, cell):
+    def test_true_requires_the_fast_path(self, cell):
         _, platform = cell
         with pytest.raises(ValueError, match="no vector kernel"):
             average_normalized_comm(
-                StrategySpec("MapReduceOuter", 6), platform, 6, 3, vectorize=True
+                StrategySpec("RandomOuter", 6, collect_ids=True),
+                platform,
+                6,
+                3,
+                vectorize=True,
             )
 
     def test_invalid_mode_rejected(self, cell):
@@ -126,7 +132,25 @@ class TestBenchScaling:
         for reps in (1, 4, 16, 64):
             for engine in ("serial", "vectorized", "parallel4"):
                 assert f"scaling_reps{reps:02d}_{engine}" in names
-        assert len(names) == 12
+        assert "twophase_beta_sweep_serial" in names
+        assert "twophase_beta_sweep_vectorized" in names
+        assert len(names) == 14
+
+    def test_scaling_suite_records_engine_params(self):
+        by_name = {wl.name: wl for wl in build_suite("scaling")}
+        assert by_name["scaling_reps04_vectorized"].params["engine"] == "vectorized"
+        assert by_name["twophase_beta_sweep_vectorized"].params["engine"] == "vectorized"
+        serial = by_name["twophase_beta_sweep_serial"].params
+        assert serial["engine"] == "scalar"
+        assert serial["vectorize_fallback"] == "forced"
+
+    def test_derive_metrics_two_phase_beta_sweep_speedup(self):
+        entries = {
+            "twophase_beta_sweep_serial": self._entry(6.0),
+            "twophase_beta_sweep_vectorized": self._entry(1.0),
+        }
+        derived = _derive_metrics(entries, cpu_count=4)
+        assert derived["twophase_beta_sweep_speedup"] == 6.0
 
     def test_quick_suite_has_vectorized_workload(self):
         names = [wl.name for wl in build_suite("quick")]

@@ -10,11 +10,13 @@ edge cases, and the transparent fallbacks.
 import numpy as np
 import pytest
 
+from repro.core.strategies.outer_random import OuterRandom
 from repro.core.strategies.registry import make_strategy
 from repro.obs.sink import RecordingSink
 from repro.platform import Platform, uniform_speeds
-from repro.platform.speeds import make_scenario
+from repro.platform.speeds import StaticSpeedModel, make_scenario
 from repro.simulator import has_vector_kernel, simulate, simulate_batch
+from repro.simulator.batch import fallback_reason
 from repro.simulator.vector_kernels import (
     _fifo_fix,
     _heap_schedule,
@@ -28,9 +30,17 @@ VECTORIZED = [
     "SortedOuter",
     "RandomMatrix",
     "SortedMatrix",
+    "MapReduceOuter",
+    "MapReduceMatrix",
     "DynamicOuter",
     "DynamicMatrix",
+    "DynamicOuter2Phases",
+    "DynamicMatrix2Phases",
 ]
+
+
+class _SubclassedRandomOuter(OuterRandom):
+    """Exact-type registry must not cover subclasses (changed semantics)."""
 
 
 def assert_same_result(ref, got):
@@ -189,18 +199,48 @@ def test_fifo_fix_bails_on_same_worker_twice_in_a_tie():
 def test_has_vector_kernel_registry():
     for name in VECTORIZED:
         assert has_vector_kernel(make_strategy(name, 4))
-    assert not has_vector_kernel(make_strategy("MapReduceOuter", 4))
-    assert kernel_for(make_strategy("DynamicOuter2Phases", 4)) is None
+    # Exact-type matching: a subclass may change semantics, so it must
+    # fall back even though its parent has a kernel.
+    assert kernel_for(_SubclassedRandomOuter(4)) is None
+    assert not has_vector_kernel(_SubclassedRandomOuter(4))
+
+
+def test_fallback_reason_strings():
+    assert fallback_reason(make_strategy("DynamicOuter2Phases", 4)) is None
+    assert fallback_reason(_SubclassedRandomOuter(4)) == "no-kernel"
+    assert fallback_reason(make_strategy("RandomOuter", 4, collect_ids=True)) == "collect-ids"
+    mixed = [
+        Platform(uniform_speeds(3, 10, 100, rng=1)),
+        Platform(uniform_speeds(5, 10, 100, rng=2)),
+    ]
+    assert fallback_reason(make_strategy("RandomOuter", 4), mixed) == "mixed-p"
+    platform = Platform(uniform_speeds(3, 10, 100, rng=1))
+
+    class _OddModel(StaticSpeedModel):
+        pass
+
+    assert (
+        fallback_reason(make_strategy("RandomOuter", 4), [platform], [_OddModel()])
+        == "custom-speed-model"
+    )
+    _, dyn_model = make_scenario("dyn.5", 3, rng=0)
+    assert fallback_reason(make_strategy("RandomOuter", 4), [platform], [dyn_model]) is None
+    assert (
+        fallback_reason(
+            make_strategy("RandomOuter", 4), [platform, platform], [dyn_model, dyn_model]
+        )
+        == "shared-speed-model"
+    )
 
 
 def test_fallback_strategy_without_kernel():
     platform = Platform(uniform_speeds(5, 10, 100, rng=8))
     refs = [
-        simulate(make_strategy("MapReduceOuter", 8), platform, rng=g, collect_trace=True)
+        simulate(_SubclassedRandomOuter(8), platform, rng=g, collect_trace=True)
         for g in spawn_rngs(4, 2)
     ]
     gots = simulate_batch(
-        lambda: make_strategy("MapReduceOuter", 8),
+        lambda: _SubclassedRandomOuter(8),
         [platform] * 2,
         rngs=spawn_rngs(4, 2),
         collect_trace=True,
@@ -227,28 +267,125 @@ def test_fallback_on_collect_ids():
     assert got.trace.records[0].task_ids is not None
 
 
-def test_fallback_on_dynamic_speed_model():
+@pytest.mark.parametrize("name", VECTORIZED)
+def test_dynamic_speed_models_vectorize(name):
+    # dyn.* models no longer force the scalar loop: the kernels replay
+    # model.duration per event on the replicate's own stream.
+    n = _size(name)
     ref_rngs = spawn_rngs(6, 2)
     ref_results = []
     for g in ref_rngs:
-        platform, model = make_scenario("dyn.5", 5, rng=g)
+        platform, model = make_scenario("dyn.20", 5, rng=g)
         ref_results.append(
-            simulate(make_strategy("RandomOuter", 6), platform, rng=g, speed_model=model)
+            simulate(
+                make_strategy(name, n), platform, rng=g, speed_model=model, collect_trace=True
+            )
         )
     got_rngs = spawn_rngs(6, 2)
     platforms, models = [], []
     for g in got_rngs:
-        platform, model = make_scenario("dyn.5", 5, rng=g)
+        platform, model = make_scenario("dyn.20", 5, rng=g)
         platforms.append(platform)
         models.append(model)
+    assert fallback_reason(make_strategy(name, n), platforms, models) is None
     gots = simulate_batch(
-        lambda: make_strategy("RandomOuter", 6),
+        lambda: make_strategy(name, n),
         platforms,
         rngs=got_rngs,
         speed_models=models,
+        collect_trace=True,
     )
     for ref, got in zip(ref_results, gots):
         assert_same_result(ref, got)
+    for bg, sg in zip(got_rngs, ref_rngs):
+        assert bg.bit_generator.state == sg.bit_generator.state
+
+
+def test_fallback_on_custom_speed_model():
+    class _OddModel(StaticSpeedModel):
+        pass
+
+    platform = Platform(uniform_speeds(4, 10, 100, rng=8))
+    ref = simulate(
+        make_strategy("RandomOuter", 6), platform, rng=3, speed_model=_OddModel()
+    )
+    got = simulate_batch(
+        lambda: make_strategy("RandomOuter", 6),
+        [platform],
+        rngs=[3],
+        speed_models=[_OddModel()],
+    )[0]
+    assert_same_result(ref, got)
+
+
+def test_two_phase_trace_marks_phase_two():
+    platform = Platform(uniform_speeds(4, 10, 100, rng=6))
+    got = simulate_batch(
+        lambda: make_strategy("DynamicOuter2Phases", 10, phase1_fraction=0.5),
+        [platform],
+        rngs=[4],
+        collect_trace=True,
+    )[0]
+    phases = {rec.phase for rec in got.trace.records}
+    assert phases == {1, 2}
+
+
+@pytest.mark.parametrize(
+    "name,kwargs",
+    [
+        ("DynamicOuter2Phases", {"threshold_tasks": 0}),
+        ("DynamicOuter2Phases", {"phase1_fraction": 0.0}),
+        ("DynamicOuter2Phases", {"threshold_tasks": 10**9}),
+        ("DynamicOuter2Phases", {"agnostic": True}),
+        ("DynamicMatrix2Phases", {"phase1_fraction": 1.0}),
+        ("DynamicMatrix2Phases", {"threshold_tasks": 0}),
+    ],
+)
+def test_two_phase_threshold_edge_cases(name, kwargs):
+    # threshold >= total => phase 2 from the very first event; threshold 0
+    # (phase1_fraction 1.0) => pure phase 1.  Both must stay bit-identical.
+    n = 5 if "Matrix" in name else 8
+    platform = Platform(uniform_speeds(5, 10, 100, rng=2))
+    ref = simulate(make_strategy(name, n, **kwargs), platform, rng=13, collect_trace=True)
+    got = simulate_batch(
+        lambda: make_strategy(name, n, **kwargs), [platform], rngs=[13], collect_trace=True
+    )[0]
+    assert_same_result(ref, got)
+
+
+@pytest.mark.parametrize("name", ["DynamicMatrix2Phases", "DynamicMatrix", "RandomMatrix"])
+def test_chunked_batch_matches_unchunked(name):
+    # A memory budget that forces >= 3 replicate chunks must not change a
+    # single bit: replicates never interact, so slicing R is exact.
+    n = 6
+    R = 9
+    platforms = [Platform(uniform_speeds(4, 10, 100, rng=50 + r)) for r in range(R)]
+    kernel = kernel_for(make_strategy(name, n))
+    budget = 3 * kernel.bytes_per_replicate(make_strategy(name, n), 4)
+    assert (R * kernel.bytes_per_replicate(make_strategy(name, n), 4)) / budget >= 3
+    full = simulate_batch(
+        lambda: make_strategy(name, n), platforms, rngs=spawn_rngs(77, R), collect_trace=True
+    )
+    chunked = simulate_batch(
+        lambda: make_strategy(name, n),
+        platforms,
+        rngs=spawn_rngs(77, R),
+        collect_trace=True,
+        memory_budget_bytes=budget,
+    )
+    for ref, got in zip(full, chunked):
+        assert_same_result(ref, got)
+
+
+def test_memory_budget_validation():
+    platform = Platform(uniform_speeds(3, 10, 100, rng=1))
+    with pytest.raises(ValueError, match="memory_budget_bytes"):
+        simulate_batch(
+            lambda: make_strategy("RandomOuter", 4),
+            [platform],
+            rngs=[1],
+            memory_budget_bytes=0,
+        )
 
 
 def test_fallback_on_mixed_worker_counts():
